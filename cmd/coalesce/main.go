@@ -1,0 +1,104 @@
+// Command coalesce runs a coalescing strategy on an instance file in the
+// textual challenge format and reports what was coalesced.
+//
+// Usage:
+//
+//	coalesce -in instance.g -strategy brute [-k 6] [-compare] [-color]
+//
+// With -compare, every strategy runs and a comparison table is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regcoal"
+	"regcoal/internal/graph"
+)
+
+func main() {
+	var (
+		inPath   = flag.String("in", "", "instance file (default stdin)")
+		strategy = flag.String("strategy", "briggs+george", "strategy: aggressive|briggs|george|briggs+george|ext-george|brute|optimistic")
+		kFlag    = flag.Int("k", 0, "register count (overrides the file's k)")
+		compare  = flag.Bool("compare", false, "run every strategy and compare")
+		color    = flag.Bool("color", false, "print a coloring of the coalesced graph")
+		dimacs   = flag.Bool("dimacs", false, "input is DIMACS .col (with regcoal move comments)")
+	)
+	flag.Parse()
+	if err := run(*inPath, *strategy, *kFlag, *compare, *color, *dimacs); err != nil {
+		fmt.Fprintln(os.Stderr, "coalesce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, strategy string, kFlag int, compare, color, dimacs bool) error {
+	in := os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var file *regcoal.File
+	var err error
+	if dimacs {
+		g, derr := graph.ReadDIMACS(in)
+		if derr != nil {
+			return derr
+		}
+		file = &regcoal.File{G: g}
+	} else {
+		file, err = regcoal.ReadGraph(in)
+		if err != nil {
+			return err
+		}
+	}
+	k := file.K
+	if kFlag > 0 {
+		k = kFlag
+	}
+	if k <= 0 {
+		return fmt.Errorf("no register count: set one in the file ('k 6') or pass -k")
+	}
+	g := file.G
+	fmt.Printf("instance: %d vertices, %d interferences, %d moves (weight %d), k=%d\n",
+		g.N(), g.E(), g.NumAffinities(), g.TotalAffinityWeight(), k)
+	fmt.Printf("greedy-%d-colorable before coalescing: %v\n\n", k, regcoal.IsGreedyKColorable(g, k))
+
+	strategies := []regcoal.Strategy{regcoal.Strategy(strategy)}
+	if compare {
+		strategies = regcoal.Strategies()
+	}
+	for _, s := range strategies {
+		res, ok := regcoal.Run(g, k, s)
+		if !ok {
+			return fmt.Errorf("unknown strategy %q", s)
+		}
+		fmt.Printf("%-14s coalesced %d moves (weight %d), kept %d (weight %d), colorable=%v, rounds=%d\n",
+			s, len(res.Coalesced), res.CoalescedWeight,
+			len(res.Remaining), res.RemainingWeight, res.Colorable, res.Rounds)
+		if color && !compare {
+			printColoring(g, k, res)
+		}
+	}
+	return nil
+}
+
+func printColoring(g *regcoal.Graph, k int, res *regcoal.Result) {
+	if !res.Colorable {
+		fmt.Println("  (coalesced graph not greedy-k-colorable; no coloring printed)")
+		return
+	}
+	alloc, err := regcoal.Allocate(g, k, regcoal.AllocNone)
+	if err != nil || len(alloc.Spilled) > 0 {
+		fmt.Println("  (coloring failed)")
+		return
+	}
+	for v := 0; v < g.N(); v++ {
+		fmt.Printf("  %-12s -> r%d\n", g.Name(regcoal.V(v)), alloc.Coloring[v])
+	}
+}

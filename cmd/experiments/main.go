@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper-reproduction tables recorded in
+// EXPERIMENTS.md: one experiment per theorem/figure (see DESIGN.md §3).
+//
+// Usage:
+//
+//	experiments -exp all          # run everything
+//	experiments -exp T5 -seed 7   # one experiment, custom seed
+//	experiments -list             # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regcoal/internal/expt"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "all", "experiment id or 'all'")
+		seed  = flag.Int64("seed", 20060408, "random seed")
+		quick = flag.Bool("quick", false, "smaller sweeps")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		asCSV = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := expt.Config{Seed: *seed, Quick: *quick}
+	var toRun []expt.Experiment
+	if *id == "all" {
+		toRun = expt.All()
+	} else {
+		e, ok := expt.Lookup(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *id)
+			os.Exit(1)
+		}
+		toRun = []expt.Experiment{e}
+	}
+	render := expt.RunAndRender
+	if *asCSV {
+		render = expt.RunAndRenderCSV
+	}
+	for _, e := range toRun {
+		if err := render(os.Stdout, e, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Challenge corpus comparison: generate a mixed corpus of coalescing
+// instances (SSA-derived and synthetic, in the spirit of the Appel–George
+// coalescing challenge) and compare every strategy's coalesced move weight.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regcoal"
+	"regcoal/internal/challenge"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	k := 6
+	corpus, err := challenge.Corpus(rng, 12, k)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("corpus: %d instances, k=%d\n\n", len(corpus), k)
+
+	totals := map[regcoal.Strategy]int64{}
+	colorable := map[regcoal.Strategy]int{}
+	var movable int64
+	for _, inst := range corpus {
+		st := inst.Describe()
+		movable += st.MoveWeight
+		fmt.Printf("%-24s n=%-4d e=%-5d moves=%-3d weight=%d\n",
+			inst.Name, st.Vertices, st.Edges, st.Moves, st.MoveWeight)
+		for _, s := range regcoal.Strategies() {
+			res, _ := regcoal.Run(inst.File.G, k, s)
+			totals[s] += res.CoalescedWeight
+			if res.Colorable {
+				colorable[s]++
+			}
+		}
+	}
+	fmt.Printf("\n%-14s %12s %10s %12s\n", "strategy", "saved", "share", "colorable")
+	for _, s := range regcoal.Strategies() {
+		fmt.Printf("%-14s %12d %9.1f%% %9d/%d\n",
+			s, totals[s], 100*float64(totals[s])/float64(movable), colorable[s], len(corpus))
+	}
+}

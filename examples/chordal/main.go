@@ -1,0 +1,63 @@
+// Theorem 5 in action: on a chordal (interval) graph, incremental
+// conservative coalescing is decidable in polynomial time. The example
+// builds the live ranges of a straight-line program, asks whether two
+// specific variables can share a register, and prints the witnessing
+// coloring produced from the clique-tree interval covering.
+package main
+
+import (
+	"fmt"
+
+	"regcoal"
+	"regcoal/internal/coalesce"
+	"regcoal/internal/graph"
+)
+
+func main() {
+	// Live ranges of a little straight-line program (time flows right):
+	//   x: [0,1]   t1: [2,3]   t2: [4,5]   y: [6,7]
+	//   long: [0,7] (a frame-pointer-ish value, alive throughout)
+	// x, t1, t2, y are pairwise disjoint; all overlap long.
+	ivs := []graph.Interval{
+		{Lo: 0, Hi: 1}, // x
+		{Lo: 2, Hi: 3}, // t1
+		{Lo: 4, Hi: 5}, // t2
+		{Lo: 6, Hi: 7}, // y
+		{Lo: 0, Hi: 7}, // long
+	}
+	names := []string{"x", "t1", "t2", "y", "long"}
+	g := graph.IntervalGraph(ivs)
+	for i, n := range names {
+		g.SetName(graph.V(i), n)
+	}
+	x, y := regcoal.V(0), regcoal.V(3)
+
+	for _, k := range []int{2, 3} {
+		dec, err := regcoal.CanCoalesceChordal(g, x, y, k)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("k=%d: can x and y share a register? %v\n", k, dec.OK)
+		if !dec.OK {
+			continue
+		}
+		var classNames []string
+		for _, v := range dec.Class {
+			classNames = append(classNames, g.Name(v))
+		}
+		fmt.Printf("  merge class: %v (padding cliques crossed: %d)\n",
+			classNames, len(dec.PaddingCliques))
+		col, ok, err := coalesce.ChordalIncrementalColoring(g, x, y, k)
+		if err != nil || !ok {
+			panic(fmt.Sprint("coloring failed: ", err))
+		}
+		for v := 0; v < g.N(); v++ {
+			fmt.Printf("  %-5s -> r%d\n", g.Name(graph.V(v)), col[v])
+		}
+	}
+
+	// Contrast with the greedy-k-colorable open question: the brute-force
+	// test answers the same question heuristically on any graph.
+	fmt.Printf("\nbrute-force incremental test (k=2): %v\n",
+		coalesce.IncrementalOne(g, x, y, 2))
+}

@@ -1,0 +1,41 @@
+// Quickstart: build a small interference graph with move affinities, run
+// every coalescing strategy, and print what each one saves.
+package main
+
+import (
+	"fmt"
+
+	"regcoal"
+)
+
+func main() {
+	// A little diamond of live ranges: a-b and b-c interfere; the program
+	// would like a and c in one register (a hot move, weight 10) and c and
+	// d in one register (a cold move, weight 1).
+	g := regcoal.NewNamedGraph("a", "b", "c", "d")
+	g.AddEdge(0, 1)         // a -- b
+	g.AddEdge(1, 2)         // b -- c
+	g.AddAffinity(0, 2, 10) // a => c
+	g.AddAffinity(2, 3, 1)  // c => d
+	k := 2
+
+	fmt.Printf("instance:\n%s\n", g.String())
+	fmt.Printf("col(G) = %d, greedy-%d-colorable: %v\n\n",
+		regcoal.ColoringNumber(g), k, regcoal.IsGreedyKColorable(g, k))
+
+	for _, s := range regcoal.Strategies() {
+		res, _ := regcoal.Run(g, k, s)
+		fmt.Printf("%-14s saved weight %2d of %2d, still colorable: %v\n",
+			s, res.CoalescedWeight, g.TotalAffinityWeight(), res.Colorable)
+	}
+
+	// Allocate registers after conservative coalescing.
+	alloc, err := regcoal.Allocate(g, k, regcoal.AllocConservative)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nassignment:")
+	for v := 0; v < g.N(); v++ {
+		fmt.Printf("  %s -> r%d\n", g.Name(regcoal.V(v)), alloc.Coloring[v])
+	}
+}

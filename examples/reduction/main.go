@@ -1,0 +1,48 @@
+// Theorem 2 end to end, through real code: a multiway cut instance becomes
+// an actual program (Figure 1's construction), the program's interference
+// graph is rebuilt by the compiler pipeline, and the optimal aggressive
+// coalescing of that graph equals the minimum multiway cut — the
+// NP-completeness reduction, demonstrated on live code.
+package main
+
+import (
+	"fmt"
+
+	"regcoal/internal/exact"
+	"regcoal/internal/graph"
+	"regcoal/internal/mwc"
+	"regcoal/internal/reduction"
+	"regcoal/internal/ssa"
+)
+
+func main() {
+	// The multiway cut instance: terminals s1, s2, s3 in a little web.
+	src := graph.NewNamed("s1", "s2", "s3", "u", "v", "w")
+	src.AddEdge(0, 3) // s1 - u
+	src.AddEdge(3, 4) // u - v
+	src.AddEdge(4, 1) // v - s2
+	src.AddEdge(4, 2) // v - s3
+	src.AddEdge(3, 5) // u - w
+	in := &mwc.Instance{G: src, Terminals: []graph.V{0, 1, 2}}
+	cut, _ := in.SolveExact()
+	fmt.Printf("multiway cut instance: %d vertices, %d edges, min cut = %d\n\n",
+		src.N(), src.E(), cut)
+
+	// Figure 1's program.
+	fn, _ := reduction.BuildProgram(in)
+	fmt.Printf("--- generated program ---\n%s\n", fn)
+
+	// The compiler's own interference graph of that program.
+	g, _ := ssa.BuildInterference(fn)
+	fmt.Printf("interference graph: %d vertices, %d interferences (the terminal clique), %d moves\n",
+		g.N(), g.E(), g.NumAffinities())
+
+	// Optimal aggressive coalescing = minimum multiway cut.
+	res := exact.OptimalAggressive(g, exact.MinimizeCount)
+	fmt.Printf("optimal aggressive coalescing keeps %d moves uncoalesced\n", res.Cost)
+	if res.Cost == int64(cut) {
+		fmt.Println("=> equals the minimum multiway cut: Theorem 2's equivalence, live ✓")
+	} else {
+		fmt.Println("=> MISMATCH: this would be a bug")
+	}
+}

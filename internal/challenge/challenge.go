@@ -1,0 +1,148 @@
+// Package challenge generates and describes coalescing-challenge instances
+// in the spirit of the Appel–George "coalescing challenge" the paper's
+// conclusion references. The original challenge distributed interference
+// graphs with move edges dumped from the SML/NJ compiler for a 6-register
+// x86 model; offline, we regenerate instances of the same shape from two
+// sources:
+//
+//   - SSA-derived: random mini-IR programs pushed through SSA construction
+//     and out-of-SSA lowering, optionally pressure-reduced to k first (the
+//     two-phase setting that makes coalescing hard), then dumped as
+//     interference graphs with move affinities;
+//   - synthetic: structured graph-class generators (chordal, interval,
+//     permutation gadgets) with sprinkled affinities.
+//
+// Instances serialize in the textual format of graph.File.
+package challenge
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/ir"
+	"regcoal/internal/ssa"
+)
+
+// Instance is one challenge instance.
+type Instance struct {
+	Name string
+	File *graph.File
+}
+
+// Stats summarizes an instance.
+type Stats struct {
+	Vertices, Edges, Moves int
+	MoveWeight             int64
+	K                      int
+}
+
+// Describe computes instance statistics.
+func (in *Instance) Describe() Stats {
+	return Stats{
+		Vertices:   in.File.G.N(),
+		Edges:      in.File.G.E(),
+		Moves:      in.File.G.NumAffinities(),
+		MoveWeight: in.File.G.TotalAffinityWeight(),
+		K:          in.File.K,
+	}
+}
+
+// FromSSA generates an instance by running a random program through the
+// SSA pipeline. When reduce is true, register pressure is first lowered to
+// k by spill-everywhere — the aggressive-spilling two-phase setting in
+// which the paper observes that conservative coalescing struggles.
+func FromSSA(rng *rand.Rand, params ir.RandomParams, k int, reduce bool) (*Instance, error) {
+	fn := ir.Random(rng, params)
+	_, low, err := ssa.Pipeline(fn)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("ssa-v%d-b%d-k%d", params.Vars, params.Blocks, k)
+	if reduce {
+		if _, ok := ssa.ReduceMaxlive(low, k); !ok {
+			return nil, fmt.Errorf("challenge: cannot reduce pressure to %d", k)
+		}
+		name += "-reduced"
+	}
+	g, _ := ssa.BuildInterference(low)
+	g.NormalizeAffinities()
+	return &Instance{Name: name, File: &graph.File{G: g, K: k}}, nil
+}
+
+// Synthetic generates a structured instance: kind selects the generator.
+type Kind int
+
+const (
+	// KindChordal is a random chordal graph with sprinkled affinities.
+	KindChordal Kind = iota
+	// KindInterval is a random interval graph with sprinkled affinities.
+	KindInterval
+	// KindPermutation is the Figure 3 permutation gadget (p = k/2 + 1).
+	KindPermutation
+	// KindER is a plain random graph with sprinkled affinities.
+	KindER
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindChordal:
+		return "chordal"
+	case KindInterval:
+		return "interval"
+	case KindPermutation:
+		return "permutation"
+	case KindER:
+		return "er"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Synthetic builds a synthetic instance with n vertices for k registers.
+func Synthetic(rng *rand.Rand, kind Kind, n, k int) *Instance {
+	var g *graph.Graph
+	switch kind {
+	case KindChordal:
+		g = graph.RandomChordal(rng, n, n/2+1, 4)
+		graph.SprinkleAffinities(rng, g, n, 8)
+	case KindInterval:
+		g = graph.RandomInterval(rng, n, 2*n, 6)
+		graph.SprinkleAffinities(rng, g, n, 8)
+	case KindPermutation:
+		p := k/2 + 1
+		g, _, _ = graph.Permutation(p)
+	case KindER:
+		g = graph.RandomER(rng, n, 0.15)
+		graph.SprinkleAffinities(rng, g, n, 8)
+	default:
+		panic(fmt.Sprintf("challenge: unknown kind %d", int(kind)))
+	}
+	g.NormalizeAffinities()
+	return &Instance{
+		Name: fmt.Sprintf("%s-n%d-k%d", kind, n, k),
+		File: &graph.File{G: g, K: k},
+	}
+}
+
+// Corpus generates a mixed corpus of count instances for k registers.
+func Corpus(rng *rand.Rand, count, k int) ([]*Instance, error) {
+	var out []*Instance
+	kinds := []Kind{KindChordal, KindInterval, KindER}
+	for i := 0; len(out) < count; i++ {
+		switch i % 3 {
+		case 0, 1:
+			params := ir.DefaultRandomParams()
+			params.Vars = 5 + rng.Intn(6)
+			params.Blocks = 4 + rng.Intn(6)
+			inst, err := FromSSA(rng, params, k, i%2 == 1)
+			if err != nil {
+				continue // pressure reduction can fail; skip
+			}
+			out = append(out, inst)
+		default:
+			out = append(out, Synthetic(rng, kinds[i%len(kinds)], 20+rng.Intn(30), k))
+		}
+	}
+	return out, nil
+}

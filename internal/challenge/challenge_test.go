@@ -1,0 +1,102 @@
+package challenge
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"regcoal/internal/chordal"
+	"regcoal/internal/graph"
+	"regcoal/internal/ir"
+	"regcoal/internal/ssa"
+)
+
+func TestFromSSA(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := ir.DefaultRandomParams()
+	inst, err := FromSSA(rng, params, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := inst.Describe()
+	if st.Vertices == 0 || st.K != 6 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := inst.File.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trips through the textual format.
+	text := inst.File.FormatString()
+	back, err := graph.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.G.N() != st.Vertices || back.G.NumAffinities() != st.Moves {
+		t.Fatal("format round trip changed instance")
+	}
+}
+
+func TestFromSSAReduced(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	params := ir.DefaultRandomParams()
+	params.Vars = 8
+	k := 5
+	inst, err := FromSSA(rng, params, k, true)
+	if err != nil {
+		t.Skipf("pressure reduction failed: %v", err)
+	}
+	if !strings.Contains(inst.Name, "reduced") {
+		t.Fatal("name should record reduction")
+	}
+}
+
+func TestSyntheticKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, kind := range []Kind{KindChordal, KindInterval, KindPermutation, KindER} {
+		inst := Synthetic(rng, kind, 25, 6)
+		if err := inst.File.G.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !strings.Contains(inst.Name, kind.String()) {
+			t.Fatalf("name %q missing kind", inst.Name)
+		}
+	}
+	// Chordal/interval kinds really are chordal.
+	for _, kind := range []Kind{KindChordal, KindInterval} {
+		inst := Synthetic(rng, kind, 20, 6)
+		if !chordal.IsChordal(inst.File.G) {
+			t.Fatalf("%v instance not chordal", kind)
+		}
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	corpus, err := Corpus(rng, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 8 {
+		t.Fatalf("corpus size %d", len(corpus))
+	}
+	names := map[string]int{}
+	for _, inst := range corpus {
+		names[inst.Name]++
+		if inst.File.K != 6 {
+			t.Fatalf("instance %s has k=%d", inst.Name, inst.File.K)
+		}
+	}
+}
+
+func TestSSAInstanceHasMoves(t *testing.T) {
+	// The diamond's lowering must produce at least one move and hence an
+	// affinity in the instance.
+	_, low, err := ssa.Pipeline(ir.Diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := ssa.BuildInterference(low)
+	if g.NumAffinities() == 0 {
+		t.Fatal("lowered diamond must carry affinities")
+	}
+}

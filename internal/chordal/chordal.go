@@ -1,0 +1,269 @@
+// Package chordal implements chordal graph machinery: recognition via
+// maximum cardinality search (MCS), perfect elimination orders (PEO),
+// clique number, optimal coloring, maximal clique enumeration, and clique
+// trees (the subtree-of-a-tree representation of Golumbic, Thm 4.8, that the
+// paper's Theorem 1 and Theorem 5 are built on).
+//
+// A graph is chordal iff every cycle of length at least 4 has a chord, iff
+// it admits a perfect elimination order, iff it is the intersection graph of
+// subtrees of a tree. Interference graphs of strict SSA programs are chordal
+// (paper, Theorem 1).
+package chordal
+
+import (
+	"regcoal/internal/graph"
+)
+
+// MCSOrder runs maximum cardinality search and returns a vertex order that
+// is a perfect elimination order iff the graph is chordal. The returned
+// slice is in elimination order: order[0] is eliminated first. MCS visits
+// vertices by decreasing already-visited-neighbor count; the visit order
+// reversed is the candidate PEO. Runs in O(V + E).
+func MCSOrder(g *graph.Graph) []graph.V {
+	n := g.N()
+	weight := make([]int, n)
+	visited := make([]bool, n)
+	// buckets[w] holds vertices of current weight w (with stale entries
+	// skipped lazily).
+	buckets := make([][]graph.V, n+1)
+	for v := 0; v < n; v++ {
+		buckets[0] = append(buckets[0], graph.V(v))
+	}
+	visitOrder := make([]graph.V, 0, n)
+	maxW := 0
+	for len(visitOrder) < n {
+		// Find the current max bucket with a live entry.
+		var v graph.V = -1
+		for maxW >= 0 {
+			b := buckets[maxW]
+			for len(b) > 0 {
+				cand := b[len(b)-1]
+				b = b[:len(b)-1]
+				if !visited[cand] && weight[cand] == maxW {
+					v = cand
+					break
+				}
+			}
+			buckets[maxW] = b
+			if v != -1 {
+				break
+			}
+			maxW--
+		}
+		if v == -1 {
+			break // defensive; cannot happen
+		}
+		visited[v] = true
+		visitOrder = append(visitOrder, v)
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if visited[w] {
+				return
+			}
+			weight[w]++
+			buckets[weight[w]] = append(buckets[weight[w]], w)
+			if weight[w] > maxW {
+				maxW = weight[w]
+			}
+		})
+	}
+	// Elimination order is the reverse of the visit order.
+	peo := make([]graph.V, n)
+	for i, v := range visitOrder {
+		peo[n-1-i] = v
+	}
+	return peo
+}
+
+// IsPEO reports whether order is a perfect elimination order of g: for each
+// vertex, its neighbors occurring later in the order form a clique. The
+// check uses the Tarjan–Yannakakis trick — it suffices that the
+// later-neighbors minus the earliest of them ("the parent") are all
+// adjacent to the parent — and runs in O(V + E) adjacency probes.
+func IsPEO(g *graph.Graph, order []graph.V) bool {
+	n := g.N()
+	if len(order) != n {
+		return false
+	}
+	pos := make([]int, n)
+	seen := make([]bool, n)
+	for i, v := range order {
+		if v < 0 || int(v) >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+		pos[v] = i
+	}
+	for _, v := range order {
+		parent := graph.V(-1)
+		best := n
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if pos[w] > pos[v] && pos[w] < best {
+				best, parent = pos[w], w
+			}
+		})
+		if parent == -1 {
+			continue
+		}
+		ok := true
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if w != parent && pos[w] > pos[v] && !g.HasEdge(parent, w) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsChordal reports whether g is chordal.
+func IsChordal(g *graph.Graph) bool {
+	return IsPEO(g, MCSOrder(g))
+}
+
+// PEO returns a perfect elimination order of g, or ok=false if g is not
+// chordal.
+func PEO(g *graph.Graph) ([]graph.V, bool) {
+	order := MCSOrder(g)
+	if !IsPEO(g, order) {
+		return nil, false
+	}
+	return order, true
+}
+
+// Omega computes the clique number ω(g) of a chordal graph given a PEO:
+// the largest 1 + |later neighbors| over all vertices. The result is
+// meaningless if order is not a PEO of g.
+func Omega(g *graph.Graph, peo []graph.V) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	pos := make([]int, n)
+	for i, v := range peo {
+		pos[v] = i
+	}
+	best := 1
+	for _, v := range peo {
+		later := 0
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if pos[w] > pos[v] {
+				later++
+			}
+		})
+		if later+1 > best {
+			best = later + 1
+		}
+	}
+	return best
+}
+
+// Color optimally colors a chordal graph with ω(g) colors by assigning, in
+// reverse PEO, the lowest color unused among already-colored neighbors.
+// It returns the coloring and ω. ok=false if g is not chordal.
+func Color(g *graph.Graph) (graph.Coloring, int, bool) {
+	peo, ok := PEO(g)
+	if !ok {
+		return nil, 0, false
+	}
+	col := ColorWithPEO(g, peo)
+	return col, Omega(g, peo), true
+}
+
+// ColorWithPEO colors g greedily in reverse elimination order. For a
+// chordal g with a valid PEO this uses exactly ω(g) colors.
+func ColorWithPEO(g *graph.Graph, peo []graph.V) graph.Coloring {
+	col := graph.NewColoring(g.N())
+	for i := len(peo) - 1; i >= 0; i-- {
+		v := peo[i]
+		used := make(map[int]bool)
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if col[w] != graph.NoColor {
+				used[col[w]] = true
+			}
+		})
+		c := 0
+		for used[c] {
+			c++
+		}
+		col[v] = c
+	}
+	return col
+}
+
+// MaximalCliques enumerates the maximal cliques of a chordal graph in
+// O(V + E) using the Blair–Peyton criterion: with a PEO, the candidate
+// clique of v is {v} ∪ later-neighbors(v), and it is maximal unless some
+// vertex u with parent u = v satisfies |later(u)| = |later(v)| + 1 (its
+// candidate then strictly contains v's). ok=false if g is not chordal.
+func MaximalCliques(g *graph.Graph) ([][]graph.V, bool) {
+	peo, ok := PEO(g)
+	if !ok {
+		return nil, false
+	}
+	return MaximalCliquesPEO(g, peo), true
+}
+
+// MaximalCliquesPEO is MaximalCliques for a caller that already holds a
+// valid PEO.
+func MaximalCliquesPEO(g *graph.Graph, peo []graph.V) [][]graph.V {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	pos := make([]int, n)
+	for i, v := range peo {
+		pos[v] = i
+	}
+	laterCount := make([]int, n)
+	parent := make([]graph.V, n)
+	for v := 0; v < n; v++ {
+		parent[v] = -1
+	}
+	for _, v := range peo {
+		best := n
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if pos[w] > pos[v] {
+				laterCount[v]++
+				if pos[w] < best {
+					best = pos[w]
+					parent[v] = w
+				}
+			}
+		})
+	}
+	// v's candidate is subsumed iff a child u has |later(u)| = |later(v)|+1.
+	subsumed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if p := parent[v]; p != -1 && laterCount[v] == laterCount[p]+1 {
+			subsumed[p] = true
+		}
+	}
+	var cliques [][]graph.V
+	for _, v := range peo {
+		if subsumed[v] {
+			continue
+		}
+		c := []graph.V{v}
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if pos[w] > pos[v] {
+				c = append(c, w)
+			}
+		})
+		cliques = append(cliques, c)
+	}
+	return cliques
+}
+
+// SimplicialVertex returns a simplicial vertex of g (one whose neighborhood
+// is a clique), or ok=false if none exists. Every chordal graph has one
+// (Dirac); this is the basis of the paper's Property 1 proof.
+func SimplicialVertex(g *graph.Graph) (graph.V, bool) {
+	for v := 0; v < g.N(); v++ {
+		if g.IsClique(g.Neighbors(graph.V(v))) {
+			return graph.V(v), true
+		}
+	}
+	return -1, false
+}

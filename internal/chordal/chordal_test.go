@@ -1,0 +1,351 @@
+package chordal
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+)
+
+func cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.V(i), graph.V((i+1)%n))
+	}
+	return g
+}
+
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	g.AddClique(g.Vertices()...)
+	return g
+}
+
+func TestIsChordalBasics(t *testing.T) {
+	if !IsChordal(graph.New(0)) || !IsChordal(graph.New(5)) {
+		t.Fatal("edgeless graphs are chordal")
+	}
+	if !IsChordal(complete(5)) {
+		t.Fatal("complete graphs are chordal")
+	}
+	if !IsChordal(cycle(3)) {
+		t.Fatal("triangle is chordal")
+	}
+	if IsChordal(cycle(4)) {
+		t.Fatal("C4 is not chordal")
+	}
+	if IsChordal(cycle(5)) {
+		t.Fatal("C5 is not chordal")
+	}
+	// C4 plus one chord is chordal.
+	g := cycle(4)
+	g.AddEdge(0, 2)
+	if !IsChordal(g) {
+		t.Fatal("C4+chord is chordal")
+	}
+	// Trees are chordal.
+	tree := graph.New(6)
+	tree.AddEdge(0, 1)
+	tree.AddEdge(0, 2)
+	tree.AddEdge(1, 3)
+	tree.AddEdge(1, 4)
+	tree.AddEdge(2, 5)
+	if !IsChordal(tree) {
+		t.Fatal("trees are chordal")
+	}
+}
+
+func TestIsPEOValidation(t *testing.T) {
+	g := cycle(4)
+	g.AddEdge(0, 2)
+	// 1,3,0,2 eliminates the two simplicial corners first: a valid PEO.
+	if !IsPEO(g, []graph.V{1, 3, 0, 2}) {
+		t.Fatal("1,3,0,2 should be a PEO of C4+chord(0,2)")
+	}
+	// 0,... is not: 0's later neighbors {1,2,3} are not a clique (1,3 not
+	// adjacent).
+	if IsPEO(g, []graph.V{0, 1, 2, 3}) {
+		t.Fatal("0 first cannot start a PEO here")
+	}
+	// Malformed orders.
+	if IsPEO(g, []graph.V{0, 1, 2}) {
+		t.Fatal("short order accepted")
+	}
+	if IsPEO(g, []graph.V{0, 0, 1, 2}) {
+		t.Fatal("duplicate order accepted")
+	}
+}
+
+func TestOmega(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{graph.New(0), 0},
+		{graph.New(4), 1},
+		{complete(5), 5},
+		{cycle(3), 3},
+	}
+	for i, c := range cases {
+		peo, ok := PEO(c.g)
+		if !ok {
+			t.Fatalf("case %d: not chordal?", i)
+		}
+		if got := Omega(c.g, peo); got != c.want {
+			t.Errorf("case %d: omega=%d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestColorOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.RandomChordal(rng, 25, 15, 4)
+		col, omega, ok := Color(g)
+		if !ok {
+			t.Fatal("RandomChordal produced a non-chordal graph")
+		}
+		if !col.Proper(g) {
+			t.Fatalf("improper coloring: %v", col.Check(g))
+		}
+		if col.NumColors() != omega {
+			t.Fatalf("chordal coloring used %d colors, want ω=%d", col.NumColors(), omega)
+		}
+	}
+	if _, _, ok := Color(cycle(4)); ok {
+		t.Fatal("coloring C4 as chordal should fail")
+	}
+}
+
+// Property 1 of the paper: a k-colorable chordal graph is
+// greedy-k-colorable — equivalently col(G) = ω(G) for chordal G.
+func TestProperty1ChordalGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		g := graph.RandomChordal(rng, 20, 12, 4)
+		peo, ok := PEO(g)
+		if !ok {
+			t.Fatal("not chordal")
+		}
+		omega := Omega(g, peo)
+		if !greedy.IsGreedyKColorable(g, omega) {
+			t.Fatalf("chordal graph with ω=%d not greedy-%d-colorable", omega, omega)
+		}
+		if got := greedy.ColoringNumber(g); got != omega {
+			t.Fatalf("col=%d, ω=%d: must be equal on chordal graphs", got, omega)
+		}
+	}
+}
+
+// Property 2 of the paper, chordality part: G chordal iff CliqueLift(G, p)
+// chordal.
+func TestProperty2Chordal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomChordal(rng, 12, 8, 3)
+		lifted, _ := g.CliqueLift(2)
+		if !IsChordal(lifted) {
+			t.Fatal("clique lift of chordal graph must be chordal")
+		}
+	}
+	// And a non-chordal graph stays non-chordal.
+	lifted, _ := cycle(4).CliqueLift(2)
+	if IsChordal(lifted) {
+		t.Fatal("clique lift of C4 must stay non-chordal")
+	}
+}
+
+func TestSimplicialVertex(t *testing.T) {
+	g := cycle(4)
+	if _, ok := SimplicialVertex(g); ok {
+		t.Fatal("C4 has no simplicial vertex")
+	}
+	g.AddEdge(0, 2)
+	v, ok := SimplicialVertex(g)
+	if !ok {
+		t.Fatal("C4+chord has simplicial vertices")
+	}
+	if v != 1 && v != 3 {
+		t.Fatalf("simplicial vertex %d should be a corner (1 or 3)", int(v))
+	}
+}
+
+func TestMaximalCliquesSmall(t *testing.T) {
+	// Two triangles sharing an edge: cliques {0,1,2} and {1,2,3}.
+	g := graph.New(4)
+	g.AddClique(0, 1, 2)
+	g.AddClique(1, 2, 3)
+	cliques, ok := MaximalCliques(g)
+	if !ok {
+		t.Fatal("graph is chordal")
+	}
+	if len(cliques) != 2 {
+		t.Fatalf("got %d cliques, want 2: %v", len(cliques), cliques)
+	}
+	for _, c := range cliques {
+		if len(c) != 3 {
+			t.Fatalf("clique %v has wrong size", c)
+		}
+	}
+}
+
+// Cross-check Blair–Peyton maximal clique enumeration against brute-force
+// subset filtering on random chordal graphs.
+func TestQuickMaximalCliques(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomChordal(rng, 14, 9, 3)
+		peo, ok := PEO(g)
+		if !ok {
+			return false
+		}
+		got := MaximalCliquesPEO(g, peo)
+		want := bruteMaximalCliques(g, peo)
+		if len(got) != len(want) {
+			return false
+		}
+		key := func(c []graph.V) string {
+			s := append([]graph.V(nil), c...)
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			out := ""
+			for _, v := range s {
+				out += string(rune('A' + int(v)))
+			}
+			return out
+		}
+		gotKeys := map[string]bool{}
+		for _, c := range got {
+			if !g.IsClique(c) {
+				return false
+			}
+			gotKeys[key(c)] = true
+		}
+		for _, c := range want {
+			if !gotKeys[key(c)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteMaximalCliques builds all PEO candidate cliques and filters
+// non-maximal ones by pairwise subset checks.
+func bruteMaximalCliques(g *graph.Graph, peo []graph.V) [][]graph.V {
+	pos := make([]int, g.N())
+	for i, v := range peo {
+		pos[v] = i
+	}
+	var candidates [][]graph.V
+	for _, v := range peo {
+		c := []graph.V{v}
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if pos[w] > pos[v] {
+				c = append(c, w)
+			}
+		})
+		candidates = append(candidates, c)
+	}
+	isSubset := func(a, b []graph.V) bool {
+		in := map[graph.V]bool{}
+		for _, v := range b {
+			in[v] = true
+		}
+		for _, v := range a {
+			if !in[v] {
+				return false
+			}
+		}
+		return true
+	}
+	var out [][]graph.V
+	for i, c := range candidates {
+		maximal := true
+		for j, d := range candidates {
+			if i != j && len(c) <= len(d) && isSubset(c, d) {
+				if len(c) < len(d) || i > j {
+					maximal = false
+					break
+				}
+			}
+		}
+		if maximal {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Every vertex of a chordal graph must appear in at least one maximal
+// clique, and cliques must cover all edges.
+func TestMaximalCliquesCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomChordal(rng, 18, 10, 4)
+		cliques, ok := MaximalCliques(g)
+		if !ok {
+			t.Fatal("not chordal")
+		}
+		seen := make([]bool, g.N())
+		for _, c := range cliques {
+			for _, v := range c {
+				seen[v] = true
+			}
+		}
+		for v, s := range seen {
+			if !s {
+				t.Fatalf("vertex %d not in any maximal clique", v)
+			}
+		}
+		for _, e := range g.Edges() {
+			covered := false
+			for _, c := range cliques {
+				has := func(x graph.V) bool {
+					for _, v := range c {
+						if v == x {
+							return true
+						}
+					}
+					return false
+				}
+				if has(e[0]) && has(e[1]) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("edge %v not inside any maximal clique", e)
+			}
+		}
+	}
+}
+
+func TestRandomChordalIsChordal(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomChordal(rng, n, 10, 4)
+		return IsChordal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalGraphsAreChordal(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%25) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomInterval(rng, n, 30, 6)
+		return IsChordal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

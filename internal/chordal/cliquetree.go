@@ -1,0 +1,190 @@
+package chordal
+
+import (
+	"fmt"
+	"sort"
+
+	"regcoal/internal/graph"
+)
+
+// CliqueTree is a clique tree (junction tree) of a chordal graph: nodes are
+// the maximal cliques, edges form a maximum-weight spanning forest of the
+// clique-intersection graph, and for every vertex v the set of nodes whose
+// cliques contain v induces a connected subtree T_v. This is the
+// representation behind the paper's Theorem 1 (SSA live ranges are subtrees
+// of the dominance tree) and the data structure of the Theorem 5 algorithm.
+type CliqueTree struct {
+	// Cliques holds the maximal cliques, each sorted by vertex id.
+	Cliques [][]graph.V
+	// Adj is the tree adjacency: Adj[i] lists the neighbors of clique i.
+	Adj [][]int
+	// Member maps each vertex of the underlying graph to the sorted list of
+	// clique indices containing it (its subtree T_v).
+	Member [][]int
+}
+
+// NewCliqueTree builds a clique tree of g. ok=false if g is not chordal.
+// Construction: enumerate maximal cliques from a PEO, weight clique pairs by
+// intersection size, and take a maximum-weight spanning forest (Kruskal);
+// for chordal graphs any maximum-weight spanning tree of the clique
+// intersection graph is a valid clique tree.
+func NewCliqueTree(g *graph.Graph) (*CliqueTree, bool) {
+	peo, ok := PEO(g)
+	if !ok {
+		return nil, false
+	}
+	cliques := MaximalCliquesPEO(g, peo)
+	for _, c := range cliques {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	t := &CliqueTree{
+		Cliques: cliques,
+		Adj:     make([][]int, len(cliques)),
+		Member:  make([][]int, g.N()),
+	}
+	for i, c := range cliques {
+		for _, v := range c {
+			t.Member[v] = append(t.Member[v], i)
+		}
+	}
+	for _, m := range t.Member {
+		sort.Ints(m)
+	}
+	// Intersection weights: for each vertex in multiple cliques, bump every
+	// pair of cliques containing it.
+	type edge struct {
+		a, b, w int
+	}
+	weights := make(map[[2]int]int)
+	for _, m := range t.Member {
+		for i := 0; i < len(m); i++ {
+			for j := i + 1; j < len(m); j++ {
+				weights[[2]int{m[i], m[j]}]++
+			}
+		}
+	}
+	edges := make([]edge, 0, len(weights))
+	for pair, w := range weights {
+		edges = append(edges, edge{a: pair[0], b: pair[1], w: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w // max weight first
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	uf := graph.NewPartition(len(cliques))
+	for _, e := range edges {
+		if uf.Same(graph.V(e.a), graph.V(e.b)) {
+			continue
+		}
+		uf.Union(graph.V(e.a), graph.V(e.b))
+		t.Adj[e.a] = append(t.Adj[e.a], e.b)
+		t.Adj[e.b] = append(t.Adj[e.b], e.a)
+	}
+	return t, true
+}
+
+// NumNodes reports the number of tree nodes (maximal cliques).
+func (t *CliqueTree) NumNodes() int { return len(t.Cliques) }
+
+// Contains reports whether clique node i contains vertex v.
+func (t *CliqueTree) Contains(i int, v graph.V) bool {
+	c := t.Cliques[i]
+	j := sort.Search(len(c), func(k int) bool { return c[k] >= v })
+	return j < len(c) && c[j] == v
+}
+
+// Path returns the unique tree path from clique node `from` to clique node
+// `to`, inclusive, or ok=false when they lie in different components of the
+// forest.
+func (t *CliqueTree) Path(from, to int) ([]int, bool) {
+	if from == to {
+		return []int{from}, true
+	}
+	prev := make([]int, len(t.Cliques))
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[from] = -1
+	queue := []int{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range t.Adj[n] {
+			if prev[m] != -2 {
+				continue
+			}
+			prev[m] = n
+			if m == to {
+				var path []int
+				for cur := to; cur != -1; cur = prev[cur] {
+					path = append(path, cur)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, true
+			}
+			queue = append(queue, m)
+		}
+	}
+	return nil, false
+}
+
+// SubtreeConnected reports whether, for every vertex, the clique nodes
+// containing it induce a connected subtree — the defining property of a
+// clique tree. It is used by tests to certify the construction.
+func (t *CliqueTree) SubtreeConnected() error {
+	for v, m := range t.Member {
+		if len(m) <= 1 {
+			continue
+		}
+		in := make(map[int]bool, len(m))
+		for _, i := range m {
+			in[i] = true
+		}
+		// BFS within the member set from m[0].
+		seen := map[int]bool{m[0]: true}
+		queue := []int{m[0]}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, w := range t.Adj[n] {
+				if in[w] && !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if len(seen) != len(m) {
+			return fmt.Errorf("chordal: subtree of vertex %d disconnected: reached %d of %d cliques", v, len(seen), len(m))
+		}
+	}
+	return nil
+}
+
+// VertexPathInterval intersects vertex v's subtree with a tree path
+// (a slice of clique node ids) and returns the index range [lo, hi] of path
+// positions whose cliques contain v, or ok=false when the intersection is
+// empty. For a valid clique tree the intersection of a subtree with a path
+// is always contiguous, which is what makes the paper's Figure 5 interval
+// view work; callers can trust lo..hi with no gaps.
+func (t *CliqueTree) VertexPathInterval(path []int, v graph.V) (lo, hi int, ok bool) {
+	lo, hi = -1, -1
+	for i, n := range path {
+		if t.Contains(n, v) {
+			if lo == -1 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	if lo == -1 {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,182 @@
+package chordal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+)
+
+func TestCliqueTreeSmall(t *testing.T) {
+	// Path of cliques: {0,1} - {1,2} - {2,3}.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	ct, ok := NewCliqueTree(g)
+	if !ok {
+		t.Fatal("path is chordal")
+	}
+	if ct.NumNodes() != 3 {
+		t.Fatalf("nodes=%d, want 3", ct.NumNodes())
+	}
+	if err := ct.SubtreeConnected(); err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 1 is in exactly two cliques; its subtree must be 2 nodes.
+	if len(ct.Member[1]) != 2 {
+		t.Fatalf("member[1]=%v", ct.Member[1])
+	}
+}
+
+func TestCliqueTreeRejectsNonChordal(t *testing.T) {
+	c4 := graph.New(4)
+	c4.AddEdge(0, 1)
+	c4.AddEdge(1, 2)
+	c4.AddEdge(2, 3)
+	c4.AddEdge(3, 0)
+	if _, ok := NewCliqueTree(c4); ok {
+		t.Fatal("C4 must be rejected")
+	}
+}
+
+func TestCliqueTreePath(t *testing.T) {
+	// Star of cliques around vertex 0: {0,1}, {0,2}, {0,3}.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	ct, ok := NewCliqueTree(g)
+	if !ok {
+		t.Fatal("star is chordal")
+	}
+	if ct.NumNodes() != 3 {
+		t.Fatalf("nodes=%d, want 3", ct.NumNodes())
+	}
+	from, to := 0, 2
+	path, ok := ct.Path(from, to)
+	if !ok {
+		t.Fatal("tree is connected: path must exist")
+	}
+	if path[0] != from || path[len(path)-1] != to {
+		t.Fatalf("path %v does not link %d to %d", path, from, to)
+	}
+	// Single-node path.
+	p, ok := ct.Path(1, 1)
+	if !ok || len(p) != 1 {
+		t.Fatalf("self path=%v", p)
+	}
+}
+
+func TestCliqueTreeForestDisconnected(t *testing.T) {
+	// Two disjoint edges: 2 cliques in different components.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	ct, ok := NewCliqueTree(g)
+	if !ok {
+		t.Fatal("chordal")
+	}
+	if ct.NumNodes() != 2 {
+		t.Fatalf("nodes=%d", ct.NumNodes())
+	}
+	if _, ok := ct.Path(0, 1); ok {
+		t.Fatal("disconnected cliques must have no path")
+	}
+}
+
+func TestVertexPathInterval(t *testing.T) {
+	// Path of cliques {0,1}-{1,2}-{2,3}; vertex 1 lives on a contiguous
+	// prefix of the clique path from its first to last occurrence.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	ct, _ := NewCliqueTree(g)
+	// Identify the two end cliques (containing 0 and 3).
+	var end0, end3 int = -1, -1
+	for i := range ct.Cliques {
+		if ct.Contains(i, 0) {
+			end0 = i
+		}
+		if ct.Contains(i, 3) {
+			end3 = i
+		}
+	}
+	path, ok := ct.Path(end0, end3)
+	if !ok || len(path) != 3 {
+		t.Fatalf("path=%v", path)
+	}
+	lo, hi, ok := ct.VertexPathInterval(path, 1)
+	if !ok || lo != 0 || hi != 1 {
+		t.Fatalf("interval of vertex 1 = [%d,%d],%v, want [0,1]", lo, hi, ok)
+	}
+	if _, _, ok := ct.VertexPathInterval(path[2:], 0); ok {
+		t.Fatal("vertex 0 not on trimmed path")
+	}
+}
+
+// Property: clique trees of random chordal graphs satisfy the induced
+// subtree property and enumerate cliques covering all edges; subtree ∩ path
+// is always contiguous.
+func TestQuickCliqueTreeJunctionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%25) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomChordal(rng, n, 12, 4)
+		ct, ok := NewCliqueTree(g)
+		if !ok {
+			return false
+		}
+		if ct.SubtreeConnected() != nil {
+			return false
+		}
+		// Contiguity of subtree ∩ path for random clique pairs.
+		if ct.NumNodes() >= 2 {
+			for trial := 0; trial < 5; trial++ {
+				a := rng.Intn(ct.NumNodes())
+				b := rng.Intn(ct.NumNodes())
+				path, ok := ct.Path(a, b)
+				if !ok {
+					continue
+				}
+				for v := 0; v < g.N(); v++ {
+					lo, hi, ok := ct.VertexPathInterval(path, graph.V(v))
+					if !ok {
+						continue
+					}
+					for i := lo; i <= hi; i++ {
+						if !ct.Contains(path[i], graph.V(v)) {
+							return false // gap: not an interval
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ω computed from the clique tree must match Omega from the PEO.
+func TestCliqueTreeOmegaConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.RandomChordal(rng, 20, 12, 4)
+		peo, _ := PEO(g)
+		want := Omega(g, peo)
+		ct, _ := NewCliqueTree(g)
+		got := 0
+		for _, c := range ct.Cliques {
+			if len(c) > got {
+				got = len(c)
+			}
+		}
+		if got != want {
+			t.Fatalf("max clique size %d != ω %d", got, want)
+		}
+	}
+}

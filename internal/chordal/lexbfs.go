@@ -1,0 +1,73 @@
+package chordal
+
+import (
+	"regcoal/internal/graph"
+)
+
+// LexBFSOrder runs lexicographic breadth-first search and returns the
+// vertex order in elimination order (order[0] eliminated first): like MCS,
+// the reverse of a LexBFS visit order is a perfect elimination order iff
+// the graph is chordal (Rose, Tarjan & Lueker). Having two independent
+// recognition orders lets tests cross-check the chordality machinery.
+//
+// Implementation: partition refinement over an ordered list of vertex
+// groups; visiting a vertex splits each group into (neighbors,
+// non-neighbors), keeping neighbors first.
+func LexBFSOrder(g *graph.Graph) []graph.V {
+	n := g.N()
+	type group struct {
+		members []graph.V
+	}
+	groups := []*group{{members: g.Vertices()}}
+	visited := make([]bool, n)
+	visit := make([]graph.V, 0, n)
+	for len(visit) < n {
+		// First non-empty group's first member.
+		for len(groups) > 0 && len(groups[0].members) == 0 {
+			groups = groups[1:]
+		}
+		if len(groups) == 0 {
+			break
+		}
+		v := groups[0].members[0]
+		groups[0].members = groups[0].members[1:]
+		visited[v] = true
+		visit = append(visit, v)
+		isNeighbor := make(map[graph.V]bool)
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if !visited[w] {
+				isNeighbor[w] = true
+			}
+		})
+		// Split every group into neighbors-first halves.
+		var next []*group
+		for _, gr := range groups {
+			var in, out []graph.V
+			for _, w := range gr.members {
+				if isNeighbor[w] {
+					in = append(in, w)
+				} else {
+					out = append(out, w)
+				}
+			}
+			if len(in) > 0 {
+				next = append(next, &group{members: in})
+			}
+			if len(out) > 0 {
+				next = append(next, &group{members: out})
+			}
+		}
+		groups = next
+	}
+	peo := make([]graph.V, n)
+	for i, v := range visit {
+		peo[n-1-i] = v
+	}
+	return peo
+}
+
+// IsChordalLexBFS recognizes chordality via LexBFS (an independent check
+// against the MCS-based IsChordal).
+func IsChordalLexBFS(g *graph.Graph) bool {
+	return IsPEO(g, LexBFSOrder(g))
+}

@@ -1,0 +1,77 @@
+package chordal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+)
+
+func TestLexBFSOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomER(rng, 30, 0.2)
+	order := LexBFSOrder(g)
+	if len(order) != g.N() {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := make([]bool, g.N())
+	for _, v := range order {
+		if seen[v] {
+			t.Fatal("duplicate vertex")
+		}
+		seen[v] = true
+	}
+}
+
+// LexBFS and MCS agree on chordality for both chordal and non-chordal
+// inputs.
+func TestQuickLexBFSAgreesWithMCS(t *testing.T) {
+	f := func(seed int64, nRaw uint8, useChordal bool) bool {
+		n := int(nRaw%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		if useChordal {
+			g = graph.RandomChordal(rng, n, 10, 4)
+		} else {
+			g = graph.RandomER(rng, n, 0.3)
+		}
+		return IsChordalLexBFS(g) == IsChordal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexBFSKnownCases(t *testing.T) {
+	if !IsChordalLexBFS(complete(5)) {
+		t.Fatal("K5 is chordal")
+	}
+	if IsChordalLexBFS(cycle(4)) {
+		t.Fatal("C4 is not chordal")
+	}
+	if !IsChordalLexBFS(graph.New(7)) {
+		t.Fatal("edgeless is chordal")
+	}
+}
+
+// On chordal graphs, the LexBFS order is a valid PEO usable by Omega and
+// the coloring.
+func TestLexBFSPEOUsable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomChordal(rng, 20, 12, 4)
+		lex := LexBFSOrder(g)
+		if !IsPEO(g, lex) {
+			t.Fatal("LexBFS order not a PEO on a chordal graph")
+		}
+		mcs := MCSOrder(g)
+		if Omega(g, lex) != Omega(g, mcs) {
+			t.Fatal("ω disagrees between PEOs")
+		}
+		col := ColorWithPEO(g, lex)
+		if !col.Proper(g) || col.NumColors() != Omega(g, lex) {
+			t.Fatal("LexBFS coloring not optimal")
+		}
+	}
+}

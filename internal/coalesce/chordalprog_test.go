@@ -1,0 +1,113 @@
+package coalesce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/chordal"
+	"regcoal/internal/exact"
+	"regcoal/internal/graph"
+)
+
+func TestChordalProgressiveSimple(t *testing.T) {
+	// x - long - y with disjoint short ranges: both moves coalescible.
+	ivs := []graph.Interval{
+		{Lo: 0, Hi: 1}, // x
+		{Lo: 3, Hi: 4}, // m
+		{Lo: 6, Hi: 7}, // y
+		{Lo: 0, Hi: 7}, // long
+	}
+	g := graph.IntervalGraph(ivs)
+	g.AddAffinity(0, 2, 5) // x => y
+	g.AddAffinity(0, 1, 1) // x => m
+	res, err := ChordalProgressive(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemainingWeight != 0 {
+		t.Fatalf("both moves should coalesce: %+v", res)
+	}
+	if !res.Colorable {
+		t.Fatal("result must stay k-colorable")
+	}
+}
+
+func TestChordalProgressiveRejectsNonChordal(t *testing.T) {
+	c4 := graph.New(4)
+	c4.AddEdge(0, 1)
+	c4.AddEdge(1, 2)
+	c4.AddEdge(2, 3)
+	c4.AddEdge(3, 0)
+	if _, err := ChordalProgressive(c4, 3); err != ErrNotChordal {
+		t.Fatalf("want ErrNotChordal, got %v", err)
+	}
+}
+
+// Soundness on random chordal instances: the final coalescing is
+// compatible, the quotient of the ORIGINAL graph is k-colorable, and every
+// coalesced affinity is genuinely identified.
+func TestQuickChordalProgressiveSound(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 4
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomChordal(rng, n, 8, 3)
+		graph.SprinkleAffinities(rng, g, n/2+1, 5)
+		peo, ok := chordal.PEO(g)
+		if !ok {
+			return false
+		}
+		k := chordal.Omega(g, peo)
+		if k == 0 {
+			k = 1
+		}
+		res, err := ChordalProgressive(g, k)
+		if err != nil {
+			return false
+		}
+		if !res.P.CompatibleWith(g) {
+			return false
+		}
+		q, _, err := graph.Quotient(g, res.P)
+		if err != nil {
+			return false
+		}
+		if _, colorable := exact.KColorable(q, k); !colorable {
+			return false
+		}
+		return res.Colorable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's caveat measured: progressive chordal coalescing does not
+// dominate the brute-force driver (artificial merges can block later
+// moves), but it must be competitive and it never breaks k-colorability.
+func TestChordalProgressiveVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var prog, brute int64
+	for trial := 0; trial < 25; trial++ {
+		g := graph.RandomInterval(rng, 15, 18, 5)
+		graph.SprinkleAffinities(rng, g, 8, 6)
+		peo, ok := chordal.PEO(g)
+		if !ok {
+			t.Fatal("interval graph must be chordal")
+		}
+		k := chordal.Omega(g, peo)
+		if k < 2 {
+			continue
+		}
+		res, err := ChordalProgressive(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog += res.CoalescedWeight
+		brute += Conservative(g, k, TestBrute).CoalescedWeight
+	}
+	if prog == 0 && brute > 0 {
+		t.Fatalf("progressive coalesced nothing (brute got %d)", brute)
+	}
+	t.Logf("progressive=%d brute=%d", prog, brute)
+}

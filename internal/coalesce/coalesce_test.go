@@ -1,0 +1,173 @@
+package coalesce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/exact"
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+)
+
+func TestAggressiveCoalescesEverythingPossible(t *testing.T) {
+	// Independent affinities all coalesce.
+	g := graph.New(6)
+	g.AddAffinity(0, 1, 3)
+	g.AddAffinity(2, 3, 1)
+	g.AddAffinity(4, 5, 2)
+	res := Aggressive(g, 0)
+	if len(res.Remaining) != 0 || res.CoalescedWeight != 6 {
+		t.Fatalf("remaining=%v, weight=%d", res.Remaining, res.CoalescedWeight)
+	}
+}
+
+func TestAggressivePrefersHeavyMoves(t *testing.T) {
+	// x conflicts with coalescing both (a, x) and (b, x) because a-b
+	// interfere: the heavier affinity must win.
+	g := graph.NewNamed("a", "b", "x")
+	g.AddEdge(0, 1)
+	g.AddAffinity(0, 2, 1)  // light
+	g.AddAffinity(1, 2, 10) // heavy
+	res := Aggressive(g, 0)
+	if !res.P.Same(1, 2) {
+		t.Fatal("heavy move (b,x) should be coalesced")
+	}
+	if res.P.Same(0, 2) {
+		t.Fatal("light move cannot also be coalesced")
+	}
+	if res.RemainingWeight != 1 {
+		t.Fatalf("remaining weight=%d, want 1", res.RemainingWeight)
+	}
+}
+
+func TestAggressiveRespectsInterference(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.3)
+		graph.SprinkleAffinities(rng, g, n, 5)
+		res := Aggressive(g, 0)
+		return res.P.CompatibleWith(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggressiveReportsColorability(t *testing.T) {
+	// Coalescing the permutation gadget's moves yields a p-clique: with
+	// k = p it stays colorable, with k = p-1 it does not.
+	g, _, _ := graph.Permutation(3)
+	if res := Aggressive(g, 3); !res.Colorable {
+		t.Fatal("perm(3) coalesced is a K3: greedy-3-colorable")
+	}
+	// The original gadget needs 3 colors already (sources form K3), and
+	// the coalesced K3 is not 2-colorable.
+	if res := Aggressive(g, 2); res.Colorable {
+		t.Fatal("coalesced K3 reported greedy-2-colorable")
+	}
+}
+
+// Aggressive heuristic never beats the exact optimum, and matches it on
+// conflict-free instances.
+func TestQuickAggressiveVsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, 8, 0.3)
+		graph.SprinkleAffinities(rng, g, 6, 4)
+		res := Aggressive(g, 0)
+		opt := exact.OptimalAggressive(g, exact.MinimizeWeight)
+		return res.RemainingWeight >= opt.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeSplitsWeights(t *testing.T) {
+	g := graph.New(4)
+	g.AddAffinity(0, 1, 5)
+	g.AddAffinity(2, 3, 7)
+	p := graph.NewPartition(4)
+	p.Union(0, 1)
+	res := summarize(g, p, 0, 1)
+	if res.CoalescedWeight != 5 || res.RemainingWeight != 7 {
+		t.Fatalf("weights %d/%d, want 5/7", res.CoalescedWeight, res.RemainingWeight)
+	}
+	if len(res.Coalesced) != 1 || len(res.Remaining) != 1 {
+		t.Fatalf("split %d/%d", len(res.Coalesced), len(res.Remaining))
+	}
+}
+
+func TestStateMergeRefreshesQuotient(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddAffinity(1, 2, 1)
+	s := newState(g)
+	if s.cur.N() != 4 {
+		t.Fatalf("initial quotient n=%d", s.cur.N())
+	}
+	s.merge(1, 2)
+	if s.cur.N() != 3 {
+		t.Fatalf("after merge quotient n=%d", s.cur.N())
+	}
+	cx, cy := s.mapped(graph.Affinity{X: 1, Y: 2})
+	if cx != cy {
+		t.Fatal("mapped endpoints should coincide after merge")
+	}
+}
+
+// All strategies on all-coalescible instances agree: zero remaining weight.
+func TestStrategiesOnIndependentMoves(t *testing.T) {
+	g := graph.New(8)
+	for i := 0; i < 8; i += 2 {
+		g.AddAffinity(graph.V(i), graph.V(i+1), int64(i+1))
+	}
+	k := 2
+	for _, res := range []*Result{
+		Aggressive(g, k),
+		Conservative(g, k, TestBriggs),
+		Conservative(g, k, TestGeorge),
+		Conservative(g, k, TestBriggsGeorge),
+		Conservative(g, k, TestExtendedGeorge),
+		Conservative(g, k, TestBrute),
+		Optimistic(g, k),
+	} {
+		if res.RemainingWeight != 0 {
+			t.Fatalf("remaining weight %d on trivially coalescible instance", res.RemainingWeight)
+		}
+		if !res.Colorable {
+			t.Fatal("result should stay colorable")
+		}
+	}
+}
+
+// greedy-colorable quotient invariant: conservative results always quotient
+// to a valid graph.
+func TestQuickResultsQuotientValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 3
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.25)
+		graph.SprinkleAffinities(rng, g, n, 4)
+		k := greedy.ColoringNumber(g)
+		for _, res := range []*Result{
+			Aggressive(g, k),
+			Conservative(g, k, TestBriggsGeorge),
+			Conservative(g, k, TestBrute),
+			Optimistic(g, k),
+		} {
+			if !res.P.CompatibleWith(g) {
+				return false
+			}
+			if _, _, err := graph.Quotient(g, res.P); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+package coalesce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+)
+
+// Soundness: a merge accepted by any conservative test preserves
+// greedy-k-colorability. This is the defining property of "conservative".
+func TestQuickConservativeTestsAreSound(t *testing.T) {
+	f := func(seed int64, nRaw uint8, kRaw uint8) bool {
+		n := int(nRaw%14) + 4
+		k := int(kRaw%4) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.3)
+		if !greedy.IsGreedyKColorable(g, k) {
+			return true // premise not met; nothing to check
+		}
+		// Try every non-interfering pair as a candidate merge.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				x, y := graph.V(u), graph.V(v)
+				if g.HasEdge(x, y) {
+					continue
+				}
+				passBriggs := BriggsOK(g, x, y, k)
+				passGeorge := GeorgeOK(g, x, y, k) || GeorgeOK(g, y, x, k)
+				passExt := ExtendedGeorgeOK(g, x, y, k) || ExtendedGeorgeOK(g, y, x, k)
+				if !passBriggs && !passGeorge && !passExt {
+					continue
+				}
+				p := graph.NewPartition(n)
+				p.Union(x, y)
+				q, _, err := graph.Quotient(g, p)
+				if err != nil {
+					return false
+				}
+				if !greedy.IsGreedyKColorable(q, k) {
+					return false // an accepted merge broke colorability
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBriggsBasic(t *testing.T) {
+	// Disjoint edge pairs: merging two degree-1 vertices is always safe for
+	// k >= 2.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if !BriggsOK(g, 0, 2, 2) {
+		t.Fatal("Briggs should accept a low-degree merge")
+	}
+	// Interfering endpoints always rejected.
+	if BriggsOK(g, 0, 1, 4) {
+		t.Fatal("Briggs must reject interfering endpoints")
+	}
+}
+
+func TestBriggsCountsMergedDegrees(t *testing.T) {
+	// k=2. Candidates x=0, y=1, common neighbor c=2 with one extra edge
+	// (2,3): after merging, c's degree drops from 2 to 1 < k, so c is not
+	// significant and Briggs accepts.
+	g := graph.New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if !BriggsOK(g, 0, 1, 2) {
+		t.Fatal("common neighbor degree must be evaluated post-merge")
+	}
+}
+
+func TestGeorgeAsymmetry(t *testing.T) {
+	// u's only significant neighbor is also v's neighbor, but not
+	// conversely: George passes u->v and fails v->u.
+	// Build: k=2. u-a, v-a, v-b, b-c (so b significant: deg 2), a-c.
+	g := graph.NewNamed("u", "v", "a", "b", "c")
+	u, v, a, b, c := graph.V(0), graph.V(1), graph.V(2), graph.V(3), graph.V(4)
+	g.AddEdge(u, a)
+	g.AddEdge(v, a)
+	g.AddEdge(v, b)
+	g.AddEdge(b, c)
+	g.AddEdge(a, c)
+	k := 2
+	// N(u)={a}, a has degree 3 >= 2: significant, and a in N(v): u->v OK.
+	if !GeorgeOK(g, u, v, k) {
+		t.Fatal("George u->v should pass")
+	}
+	// N(v)={a,b}: b significant (deg 2), b not in N(u): v->u fails.
+	if GeorgeOK(g, v, u, k) {
+		t.Fatal("George v->u should fail")
+	}
+}
+
+func TestGeorgePrecoloredSignificant(t *testing.T) {
+	// A precolored neighbor is significant regardless of degree.
+	g := graph.New(3)
+	g.AddEdge(0, 2) // candidate u=0 has neighbor r=2
+	g.SetPrecolored(2, 0)
+	// r has degree 1 < k, but being precolored it is significant, and it is
+	// not a neighbor of v=1.
+	if GeorgeOK(g, 0, 1, 3) {
+		t.Fatal("precolored neighbor must block George")
+	}
+}
+
+func TestExtendedGeorgeMoreAggressive(t *testing.T) {
+	// A neighbor t of u with degree >= k but fewer than k significant
+	// neighbors blocks plain George yet passes the extended rule.
+	// k=2: u-t, t-l1, t-l2 (t degree 3 >= 2 significant; its neighbors are
+	// u and two leaves, all degree < 2 except... make them leaves).
+	g := graph.NewNamed("u", "v", "t", "l1", "l2")
+	u, v, tt, l1, l2 := graph.V(0), graph.V(1), graph.V(2), graph.V(3), graph.V(4)
+	g.AddEdge(u, tt)
+	g.AddEdge(tt, l1)
+	g.AddEdge(tt, l2)
+	k := 2
+	if GeorgeOK(g, u, v, k) {
+		t.Fatal("plain George must fail: t significant and not neighbor of v")
+	}
+	// t's neighbors: u (deg 1), l1, l2 (deg 1): zero significant neighbors
+	// < k, so extended George ignores t.
+	if !ExtendedGeorgeOK(g, u, v, k) {
+		t.Fatal("extended George should pass")
+	}
+	_, _ = l1, l2
+}
+
+func TestConservativeTransitivityRounds(t *testing.T) {
+	// Chain of affinities a=b, b=c where coalescing (a,b) first is needed
+	// before (b,c) becomes attractive is hard to stage; instead check the
+	// driver reaches a fixpoint and reports rounds >= 1.
+	g := graph.New(6)
+	g.AddAffinity(0, 1, 2)
+	g.AddAffinity(1, 2, 1)
+	res := Conservative(g, 2, TestBriggsGeorge)
+	if res.Rounds < 1 {
+		t.Fatal("driver must run at least one round")
+	}
+	if res.RemainingWeight != 0 {
+		t.Fatalf("chain should fully coalesce, remaining=%d", res.RemainingWeight)
+	}
+	// All three vertices in one class.
+	if !res.P.Same(0, 2) {
+		t.Fatal("transitive coalescing failed")
+	}
+}
+
+func TestConservativeConstrainedMove(t *testing.T) {
+	// Affinity between interfering vertices can never be coalesced.
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.AddAffinity(0, 1, 9)
+	for _, test := range []Test{TestBriggs, TestGeorge, TestBriggsGeorge, TestExtendedGeorge, TestBrute} {
+		res := Conservative(g, 4, test)
+		if len(res.Coalesced) != 0 {
+			t.Fatalf("%v coalesced a constrained move", test)
+		}
+	}
+}
+
+// Figure 3, left/middle: local rules reject every move of the boosted
+// permutation gadget, while the simultaneous set coalescing is safe, and
+// even the per-move brute-force test accepts.
+func TestFig3PermutationLocalRulesFail(t *testing.T) {
+	g, k, moves := Fig3Permutation(4)
+	for _, a := range moves {
+		if BriggsOK(g, a.X, a.Y, k) {
+			t.Fatalf("Briggs accepted move %v; Figure 3 expects rejection", a)
+		}
+		if GeorgeOK(g, a.X, a.Y, k) || GeorgeOK(g, a.Y, a.X, k) {
+			t.Fatalf("George accepted move %v; Figure 3 expects rejection", a)
+		}
+	}
+	p := graph.NewPartition(g.N())
+	if !BruteSetOK(g, p, moves, k) {
+		t.Fatal("coalescing all moves simultaneously must be safe")
+	}
+	// The conservative driver with local rules coalesces nothing...
+	res := Conservative(g, k, TestBriggsGeorge)
+	if len(res.Coalesced) != 0 {
+		t.Fatalf("local-rule driver coalesced %d moves", len(res.Coalesced))
+	}
+	// ...while the brute-force driver gets all of them (one at a time each
+	// merge stays greedy-k-colorable here).
+	resBrute := Conservative(g, k, TestBrute)
+	if len(resBrute.Remaining) != 0 {
+		t.Fatalf("brute driver left %d moves", len(resBrute.Remaining))
+	}
+}
+
+// Figure 3, right: the frozen triangle gadget. Both moves together are
+// safe; each alone is not — even the exact per-move test must reject each
+// single move, so incremental conservative coalescing is stuck.
+func TestFig3TriangleIncrementalTrap(t *testing.T) {
+	g, k, moves := Fig3Triangle()
+	if !greedy.IsGreedyKColorable(g, k) {
+		t.Fatal("gadget must be greedy-3-colorable")
+	}
+	p := graph.NewPartition(g.N())
+	for _, a := range moves {
+		if BruteOK(g, p, a.X, a.Y, k) {
+			t.Fatalf("single move %v must break greedy-%d-colorability", a, k)
+		}
+	}
+	if !BruteSetOK(g, p, moves, k) {
+		t.Fatal("coalescing both moves together must be safe")
+	}
+	// Consequently the incremental brute-force driver coalesces nothing.
+	res := Conservative(g, k, TestBrute)
+	if len(res.Coalesced) != 0 {
+		t.Fatalf("incremental driver coalesced %v; the trap should hold", res.Coalesced)
+	}
+}
+
+// Brute subsumes the local rules per state: any merge Briggs or George
+// accepts on a greedy-k-colorable graph, the brute-force merge-and-check
+// test also accepts. (The whole-run totals can still differ in either
+// direction — greedy drivers are myopic — which is exactly why optimal
+// conservative coalescing is NP-complete, Theorem 3.)
+func TestQuickBruteSubsumesLocalRulesPerState(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 4
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.25)
+		graph.SprinkleAffinities(rng, g, n, 4)
+		k := greedy.ColoringNumber(g)
+		p := graph.NewPartition(g.N())
+		for _, a := range g.Affinities() {
+			if g.HasEdge(a.X, a.Y) {
+				continue
+			}
+			local := BriggsOK(g, a.X, a.Y, k) ||
+				GeorgeOK(g, a.X, a.Y, k) || GeorgeOK(g, a.Y, a.X, k)
+			if local && !BruteOK(g, p, a.X, a.Y, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Conservative drivers keep greedy-k-colorable graphs greedy-k-colorable.
+func TestQuickConservativeDriversSound(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%14) + 4
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.25)
+		graph.SprinkleAffinities(rng, g, n, 4)
+		k := greedy.ColoringNumber(g) + int(kRaw%2)
+		for _, test := range []Test{TestBriggs, TestGeorge, TestBriggsGeorge, TestExtendedGeorge, TestBrute} {
+			res := Conservative(g, k, test)
+			if !res.Colorable {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalOne(t *testing.T) {
+	g, k, moves := Fig3Triangle()
+	if IncrementalOne(g, moves[0].X, moves[0].Y, k) {
+		t.Fatal("trap gadget: single move must be rejected")
+	}
+	free := graph.New(2)
+	if !IncrementalOne(free, 0, 1, 1) {
+		t.Fatal("merging isolated vertices is always safe")
+	}
+}
+
+func TestTestString(t *testing.T) {
+	names := map[Test]string{
+		TestBriggs: "briggs", TestGeorge: "george", TestBriggsGeorge: "briggs+george",
+		TestExtendedGeorge: "ext-george", TestBrute: "brute",
+	}
+	for test, want := range names {
+		if test.String() != want {
+			t.Fatalf("%d renders %q, want %q", int(test), test.String(), want)
+		}
+	}
+}

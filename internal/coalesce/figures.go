@@ -1,0 +1,102 @@
+package coalesce
+
+import (
+	"fmt"
+
+	"regcoal/internal/graph"
+)
+
+// This file constructs the two "local rules are not enough" examples of the
+// paper's Figure 3 as concrete, machine-checkable instances.
+
+// Fig3Permutation builds the left/middle example of Figure 3: a permutation
+// of p values (see graph.Permutation) augmented with the "other vertices
+// not shown" the caption appeals to — one degree booster per gadget vertex
+// so that the move endpoints' neighbors remain significant after a merge.
+// Each booster is a vertex adjacent to its gadget vertex and to k-1 fresh
+// leaves, where k = 2(p-1) is the register count of the scenario.
+//
+// With this instance and k = 2(p-1):
+//   - Briggs' and George's tests reject every single move (u_i, v_i): the
+//     merged vertex has 2(p-1)+2 significant neighbors, and each side owns
+//     a significant booster the other side does not know;
+//   - yet coalescing all p moves simultaneously collapses the gadget to a
+//     p-clique and the graph is greedy-k-colorable (BruteSetOK accepts).
+//
+// It returns the graph, k, and the p moves.
+func Fig3Permutation(p int) (*graph.Graph, int, []graph.Affinity) {
+	if p < 2 {
+		panic("coalesce: Fig3Permutation needs p >= 2")
+	}
+	g, sources, dests := graph.Permutation(p)
+	k := 2 * (p - 1)
+	boost := func(w graph.V, tag string) {
+		e := g.AddNamedVertex("boost_" + tag)
+		g.AddEdge(e, w)
+		for i := 0; i < k-1; i++ {
+			leaf := g.AddNamedVertex(fmt.Sprintf("leaf_%s_%d", tag, i))
+			g.AddEdge(e, leaf)
+		}
+	}
+	for i := 0; i < p; i++ {
+		boost(sources[i], fmt.Sprintf("u%d", i+1))
+		boost(dests[i], fmt.Sprintf("v%d", i+1))
+	}
+	moves := make([]graph.Affinity, p)
+	for i := range moves {
+		moves[i] = graph.Affinity{X: sources[i], Y: dests[i], Weight: 1}.Canon()
+	}
+	return g, k, moves
+}
+
+// Fig5Gap returns a frozen chordal instance (found by randomized search)
+// exhibiting the subtlety the paper discusses after Theorem 5: with k = 3,
+// the vertices x and y CAN share a color (the Theorem 5 decision is yes),
+// but merging only {x, y} leaves a graph that is not greedy-3-colorable —
+// the merge of the whole interval class (and the artificial padding
+// merges) is what keeps the strategy going, at the price the paper warns
+// about. It returns the graph, k, and the affinity endpoints.
+func Fig5Gap() (*graph.Graph, int, graph.V, graph.V) {
+	g := graph.New(8)
+	for _, e := range [][2]graph.V{
+		{0, 1}, {0, 3}, {1, 3}, {1, 4}, {3, 4}, {3, 6}, {4, 6}, {5, 6}, {6, 7},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.AddAffinity(7, 0, 1)
+	return g, 3, 7, 0
+}
+
+// Fig3Triangle builds the right example of Figure 3: a greedy-3-colorable
+// graph with affinities (a, b) and (a, c) such that coalescing both
+// simultaneously keeps the graph greedy-3-colorable, while coalescing
+// either one alone does not. It demonstrates that incremental conservative
+// coalescing, even with the exact per-move test, can be trapped by move
+// ordering — one must consider affinities "obtained by transitivity".
+//
+// The instance (found by exhaustive search over 7-vertex graphs, then
+// frozen) uses vertices a, b, c and four auxiliaries d, e, f, g:
+//
+//	a-f, a-g, b-d, b-e, b-g, c-d, c-e, c-f, d-e, d-f, d-g
+//
+// It returns the graph, k = 3, and the two affinities, with a, b, c as
+// vertices 0, 1, 2.
+func Fig3Triangle() (*graph.Graph, int, []graph.Affinity) {
+	g := graph.NewNamed("a", "b", "c", "d", "e", "f", "g")
+	edges := [][2]graph.V{
+		{0, 5}, {0, 6},
+		{1, 3}, {1, 4}, {1, 6},
+		{2, 3}, {2, 4}, {2, 5},
+		{3, 4}, {3, 5}, {3, 6},
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	g.AddAffinity(0, 1, 1)
+	g.AddAffinity(0, 2, 1)
+	moves := []graph.Affinity{
+		{X: 0, Y: 1, Weight: 1},
+		{X: 0, Y: 2, Weight: 1},
+	}
+	return g, 3, moves
+}

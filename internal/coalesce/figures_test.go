@@ -1,0 +1,82 @@
+package coalesce
+
+import (
+	"testing"
+
+	"regcoal/internal/chordal"
+	"regcoal/internal/exact"
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+)
+
+func TestFig5GapProperties(t *testing.T) {
+	g, k, x, y := Fig5Gap()
+	if !chordal.IsChordal(g) {
+		t.Fatal("gap fixture must be chordal")
+	}
+	peo, _ := chordal.PEO(g)
+	if omega := chordal.Omega(g, peo); omega != k {
+		t.Fatalf("ω=%d, fixture expects k=%d=ω", omega, k)
+	}
+	// Theorem 5 (and the exact oracle) say yes.
+	dec, err := ChordalIncremental(g, x, y, k)
+	if err != nil || !dec.OK {
+		t.Fatalf("Thm5 decision: %v %v", dec, err)
+	}
+	if _, ok := exact.KColorableIdentified(g, x, y, k); !ok {
+		t.Fatal("exact oracle must agree: identifiable")
+	}
+	// But the bare {x, y} merge is NOT greedy-k-colorable.
+	if IncrementalOne(g, x, y, k) {
+		t.Fatal("bare merge should break greedy-k-colorability (that is the gap)")
+	}
+	p := graph.NewPartition(g.N())
+	p.Union(x, y)
+	q, _, err := graph.Quotient(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.IsGreedyKColorable(q, k) {
+		t.Fatal("quotient unexpectedly greedy-colorable")
+	}
+	// The class merge from the decision IS k-colorable (and realizes the
+	// identification).
+	col, ok, err := ChordalIncrementalColoring(g, x, y, k)
+	if err != nil || !ok || !col.Proper(g) || col[x] != col[y] {
+		t.Fatalf("class-merge coloring failed: %v %v %v", col, ok, err)
+	}
+}
+
+func TestFig3PermutationShape(t *testing.T) {
+	g, k, moves := Fig3Permutation(4)
+	if k != 6 || len(moves) != 4 {
+		t.Fatalf("k=%d moves=%d", k, len(moves))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Boosters: each gadget vertex has exactly one booster neighbor of
+	// degree k.
+	for _, m := range moves {
+		for _, end := range []graph.V{m.X, m.Y} {
+			boosters := 0
+			g.ForEachNeighbor(end, func(w graph.V) {
+				if g.Degree(w) == k {
+					boosters++
+				}
+			})
+			if boosters != 1 {
+				t.Fatalf("vertex %d has %d boosters", int(end), boosters)
+			}
+		}
+	}
+}
+
+func TestFig3PermutationPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1 should panic")
+		}
+	}()
+	Fig3Permutation(1)
+}

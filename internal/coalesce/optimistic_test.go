@@ -1,0 +1,139 @@
+package coalesce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/exact"
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+)
+
+func TestOptimisticStaysColorable(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%14) + 4
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.25)
+		graph.SprinkleAffinities(rng, g, n, 4)
+		k := greedy.ColoringNumber(g)
+		for _, ord := range []DecoalesceOrder{DecoalesceWitnessMinWeight, DecoalesceGlobalMinWeight} {
+			res := OptimisticOrdered(g, k, ord)
+			if !res.Colorable {
+				return false
+			}
+			if !res.P.CompatibleWith(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimisticBeatsLocalRulesOnFig3(t *testing.T) {
+	// The permutation trap: local conservative rules coalesce nothing;
+	// optimistic coalesces everything (aggressive phase succeeds, nothing
+	// needs de-coalescing).
+	g, k, _ := Fig3Permutation(4)
+	local := Conservative(g, k, TestBriggsGeorge)
+	opti := Optimistic(g, k)
+	if local.CoalescedWeight != 0 {
+		t.Fatalf("premise: local rules should coalesce nothing, got %d", local.CoalescedWeight)
+	}
+	if len(opti.Remaining) != 0 {
+		t.Fatalf("optimistic left %d moves on the table", len(opti.Remaining))
+	}
+	if !opti.Colorable {
+		t.Fatal("optimistic result must stay colorable")
+	}
+	// Same on the triangle trap.
+	g2, k2, _ := Fig3Triangle()
+	opti2 := Optimistic(g2, k2)
+	if len(opti2.Remaining) != 0 || !opti2.Colorable {
+		t.Fatalf("optimistic on triangle trap: remaining=%d colorable=%v",
+			len(opti2.Remaining), opti2.Colorable)
+	}
+}
+
+func TestOptimisticDecoalescesWhenForced(t *testing.T) {
+	// Permutation gadget with k = p-1: the coalesced K_p needs p colors,
+	// so at least one move must be given up; the original sources clique
+	// already needs p colors, hence k = p means feasible. With k = p-1 the
+	// input graph itself is not colorable: the phase-2 loop must terminate
+	// with everything given up and Colorable=false.
+	g, _, _ := graph.Permutation(3)
+	res := Optimistic(g, 2)
+	if res.Colorable {
+		t.Fatal("K3 sources cannot be 2-colorable; result must admit failure")
+	}
+	// k = 3: feasible, everything coalesces into K3.
+	res3 := Optimistic(g, 3)
+	if !res3.Colorable || len(res3.Remaining) != 0 {
+		t.Fatalf("perm(3) with k=3: colorable=%v remaining=%d", res3.Colorable, len(res3.Remaining))
+	}
+}
+
+func TestOptimisticNeverWorseThanGivingUpAll(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 4
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.3)
+		graph.SprinkleAffinities(rng, g, n, 3)
+		k := greedy.ColoringNumber(g)
+		res := Optimistic(g, k)
+		// Trivially, remaining weight cannot exceed the total.
+		return res.RemainingWeight <= g.TotalAffinityWeight() && res.Colorable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Optimistic heuristic vs the exact de-coalescing optimum on tiny
+// instances: it must be feasible (colorable) and within the trivial bound;
+// measure how often it is exactly optimal (it need not always be, but on
+// these sizes it should never be unsound).
+func TestQuickOptimisticVsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, 8, 0.3)
+		graph.SprinkleAffinities(rng, g, 5, 3)
+		k := greedy.ColoringNumber(g)
+		res := Optimistic(g, k)
+		opt := exact.OptimalDecoalesce(g, k, exact.MinimizeWeight)
+		// Heuristic can only do worse or equal.
+		return res.RemainingWeight >= opt.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoalesceOrderString(t *testing.T) {
+	if DecoalesceWitnessMinWeight.String() == DecoalesceGlobalMinWeight.String() {
+		t.Fatal("orders must render distinctly")
+	}
+}
+
+// The re-coalescing pass matters: construct a case where de-coalescing in
+// weight order gives up a move that can be re-coalesced after another class
+// breaks. At minimum, verify phase 3 never makes the result uncolorable.
+func TestOptimisticRecoalescePreservesSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.RandomER(rng, 12, 0.3)
+		graph.SprinkleAffinities(rng, g, 10, 5)
+		k := greedy.ColoringNumber(g)
+		res := Optimistic(g, k)
+		q, _, err := graph.Quotient(g, res.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !greedy.IsGreedyKColorable(q, k) {
+			t.Fatal("re-coalescing broke colorability")
+		}
+	}
+}

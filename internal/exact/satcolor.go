@@ -1,0 +1,86 @@
+package exact
+
+import (
+	"regcoal/internal/graph"
+	"regcoal/internal/sat"
+)
+
+// KColorableSAT decides k-colorability by encoding to CNF and running the
+// DPLL solver — an independent second verifier for the backtracking
+// KColorable (diversity of oracles keeps the reduction verifications
+// honest). The encoding uses one variable per (vertex, color):
+//
+//   - at least one color per vertex: (x_{v,0} ∨ … ∨ x_{v,k-1});
+//   - no interfering pair shares a color: (¬x_{u,c} ∨ ¬x_{v,c});
+//   - precolored vertices contribute unit clauses.
+//
+// At-most-one-color clauses are unnecessary: any model picks the lowest
+// set color per vertex, which already satisfies the edge clauses.
+func KColorableSAT(g *graph.Graph, k int) (graph.Coloring, bool) {
+	n := g.N()
+	if k <= 0 {
+		return nil, n == 0
+	}
+	varOf := func(v graph.V, c int) sat.Lit { return sat.Lit(int(v)*k + c + 1) }
+	f := &sat.Formula{NumVars: n * k}
+	for v := 0; v < n; v++ {
+		clause := make(sat.Clause, k)
+		for c := 0; c < k; c++ {
+			clause[c] = varOf(graph.V(v), c)
+		}
+		f.Clauses = append(f.Clauses, clause)
+		if pin, ok := g.Precolored(graph.V(v)); ok {
+			if pin >= k {
+				return nil, false
+			}
+			f.Clauses = append(f.Clauses, sat.Clause{varOf(graph.V(v), pin)})
+			for c := 0; c < k; c++ {
+				if c != pin {
+					f.Clauses = append(f.Clauses, sat.Clause{varOf(graph.V(v), c).Neg()})
+				}
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		for c := 0; c < k; c++ {
+			f.Clauses = append(f.Clauses, sat.Clause{
+				varOf(e[0], c).Neg(), varOf(e[1], c).Neg(),
+			})
+		}
+	}
+	model, ok := f.Solve()
+	if !ok {
+		return nil, false
+	}
+	col := graph.NewColoring(n)
+	for v := 0; v < n; v++ {
+		for c := 0; c < k; c++ {
+			if model[varOf(graph.V(v), c).Var()] {
+				col[v] = c
+				break
+			}
+		}
+	}
+	return col, true
+}
+
+// KColorableIdentifiedSAT is KColorableIdentified with the SAT oracle.
+func KColorableIdentifiedSAT(g *graph.Graph, x, y graph.V, k int) (graph.Coloring, bool) {
+	if x == y {
+		return KColorableSAT(g, k)
+	}
+	if g.HasEdge(x, y) {
+		return nil, false
+	}
+	p := graph.NewPartition(g.N())
+	p.Union(x, y)
+	q, old2new, err := graph.Quotient(g, p)
+	if err != nil {
+		return nil, false
+	}
+	col, ok := KColorableSAT(q, k)
+	if !ok {
+		return nil, false
+	}
+	return col.Lift(old2new), true
+}

@@ -1,0 +1,94 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+)
+
+func TestKColorableSATBasics(t *testing.T) {
+	if _, ok := KColorableSAT(complete(4), 3); ok {
+		t.Fatal("K4 is not 3-colorable")
+	}
+	col, ok := KColorableSAT(complete(4), 4)
+	if !ok || !col.Proper(complete(4)) {
+		t.Fatal("K4 is 4-colorable")
+	}
+	if _, ok := KColorableSAT(cycle(5), 2); ok {
+		t.Fatal("C5 is not 2-colorable")
+	}
+	if _, ok := KColorableSAT(graph.New(0), 0); !ok {
+		t.Fatal("empty graph is 0-colorable")
+	}
+	if _, ok := KColorableSAT(graph.New(1), 0); ok {
+		t.Fatal("nonempty graph is not 0-colorable")
+	}
+}
+
+func TestKColorableSATPrecolored(t *testing.T) {
+	tri := complete(3)
+	tri.SetPrecolored(0, 0)
+	tri.SetPrecolored(1, 1)
+	col, ok := KColorableSAT(tri, 3)
+	if !ok || col[2] != 2 {
+		t.Fatalf("pin propagation failed: %v %v", col, ok)
+	}
+	solo := graph.New(1)
+	solo.SetPrecolored(0, 9)
+	if _, ok := KColorableSAT(solo, 3); ok {
+		t.Fatal("pin beyond k accepted")
+	}
+}
+
+// The two independent oracles (backtracking and SAT encoding) agree, and
+// both witnesses are proper.
+func TestQuickSATOracleAgreesWithBacktracking(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		k := int(kRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.4)
+		colA, okA := KColorable(g, k)
+		colB, okB := KColorableSAT(g, k)
+		if okA != okB {
+			return false
+		}
+		if okA && (!colA.Proper(g) || !colB.Proper(g)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSATIdentifiedAgrees(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.35)
+		x := graph.V(rng.Intn(n))
+		y := graph.V(rng.Intn(n))
+		k := 3
+		colA, okA := KColorableIdentified(g, x, y, k)
+		colB, okB := KColorableIdentifiedSAT(g, x, y, k)
+		if okA != okB {
+			return false
+		}
+		if okA {
+			if !colA.Proper(g) || !colB.Proper(g) {
+				return false
+			}
+			if colB[x] != colB[y] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

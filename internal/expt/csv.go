@@ -1,0 +1,50 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderCSV writes the table as RFC-4180 CSV, with the title and note as
+// `#`-prefixed comment lines. Spreadsheet-friendly companion to Render.
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			if _, err := fmt.Fprintf(w, "# %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RunAndRenderCSV runs one experiment and renders its tables as CSV.
+func RunAndRenderCSV(w io.Writer, e Experiment, cfg Config) error {
+	fmt.Fprintf(w, "# experiment %s: %s\n", e.ID, e.Title)
+	tables, err := e.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	for _, t := range tables {
+		if err := t.RenderCSV(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderCSV(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Note:   "line1\nline2",
+		Header: []string{"a", "b"},
+	}
+	tab.Add("x,with comma", 2)
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# demo", "# line1", "# line2", "a,b", `"x,with comma",2`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAndRenderCSV(t *testing.T) {
+	e, _ := Lookup("F3")
+	var buf bytes.Buffer
+	if err := RunAndRenderCSV(&buf, e, Config{Seed: 1, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# experiment F3") {
+		t.Fatal("CSV header missing")
+	}
+}

@@ -1,0 +1,155 @@
+// Package expt implements the experiment harness: every theorem and figure
+// of the paper maps to a registered experiment that regenerates its
+// machine-checked table (see DESIGN.md §3 for the index). The same runners
+// back cmd/experiments and the root-level benchmarks.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// Quick shrinks sweeps to test/bench-friendly sizes.
+	Quick bool
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one registered experiment.
+type Experiment struct {
+	// ID is the DESIGN.md experiment id, e.g. "T1" or "F3".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Run produces the result tables. It must be deterministic for a given
+	// Config.
+	Run func(cfg Config) ([]*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment; duplicate ids panic (registration happens in
+// package init functions).
+func Register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("expt: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns the experiments sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunAndRender runs one experiment and renders its tables.
+func RunAndRender(w io.Writer, e Experiment, cfg Config) error {
+	fmt.Fprintf(w, "### %s — %s\n\n", e.ID, e.Title)
+	tables, err := e.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	for _, t := range tables {
+		t.Render(w)
+	}
+	return nil
+}
+
+// ratio formats a/b defensively.
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", float64(a)/float64(b))
+}
+
+// pct formats a percentage.
+func pct(part, total int64) string {
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}

@@ -1,0 +1,141 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ABL", "CH", "F3", "IRC", "P1", "P2", "T1", "T2", "T3", "T4", "T5", "T5G", "T6"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("experiment %d is %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Lookup("T1"); !ok {
+		t.Fatal("Lookup(T1) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup(nope) succeeded")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Note:   "note",
+		Header: []string{"a", "bbbb"},
+	}
+	tab.Add("x", 12)
+	tab.Add("yyyy", 3.14159)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "note", "bbbb", "yyyy", "3.14"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Every experiment runs clean in quick mode and produces at least one
+// non-empty table. This doubles as the integration test of the whole
+// repository: each experiment exercises reductions, exact solvers,
+// heuristics and the SSA pipeline together.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Seed: 20060408, Quick: true} // the paper's date
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("table %q empty", tab.Title)
+				}
+				var buf bytes.Buffer
+				tab.Render(&buf)
+				if buf.Len() == 0 {
+					t.Fatal("render produced nothing")
+				}
+			}
+		})
+	}
+}
+
+// The verification experiments must report full agreement — their tables
+// encode "x/y" cells that should all be "y/y".
+func TestEquivalenceExperimentsFullyAgree(t *testing.T) {
+	cfg := Config{Seed: 7, Quick: true}
+	for _, id := range []string{"T2", "T3", "T4", "T6"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tables, err := e.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tab := range tables {
+			for _, row := range tab.Rows {
+				for ci, cell := range row {
+					if ci == 0 || !strings.Contains(cell, "/") {
+						continue
+					}
+					if tab.Header[ci] != "equivalent" && tab.Header[ci] != "agree" {
+						continue
+					}
+					parts := strings.SplitN(cell, "/", 2)
+					if parts[0] != parts[1] {
+						t.Fatalf("%s: row %v cell %q disagrees", id, row, cell)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunAndRender(t *testing.T) {
+	e, _ := Lookup("F3")
+	var buf bytes.Buffer
+	if err := RunAndRender(&buf, e, Config{Seed: 1, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "F3") {
+		t.Fatal("render missing experiment id")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if ratio(1, 0) != "n/a" || pct(1, 0) != "n/a" {
+		t.Fatal("zero denominators must render n/a")
+	}
+	if ratio(1, 2) != "0.50" {
+		t.Fatalf("ratio=%s", ratio(1, 2))
+	}
+	if pct(1, 4) != "25.0%" {
+		t.Fatalf("pct=%s", pct(1, 4))
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	Register(Experiment{ID: "T1"})
+}

@@ -1,0 +1,104 @@
+package graph
+
+import "fmt"
+
+// Coloring assigns a color (register) to each vertex: entry v holds the
+// color of vertex v, or NoColor when unassigned.
+type Coloring []int
+
+// NewColoring returns an all-unassigned coloring for n vertices.
+func NewColoring(n int) Coloring {
+	c := make(Coloring, n)
+	for i := range c {
+		c[i] = NoColor
+	}
+	return c
+}
+
+// Complete reports whether every vertex has a color.
+func (c Coloring) Complete() bool {
+	for _, col := range c {
+		if col == NoColor {
+			return false
+		}
+	}
+	return true
+}
+
+// NumColors reports the number of distinct colors used (NoColor excluded).
+func (c Coloring) NumColors() int {
+	seen := make(map[int]bool)
+	for _, col := range c {
+		if col != NoColor {
+			seen[col] = true
+		}
+	}
+	return len(seen)
+}
+
+// MaxColor reports the largest color used, or NoColor if none.
+func (c Coloring) MaxColor() int {
+	m := NoColor
+	for _, col := range c {
+		if col > m {
+			m = col
+		}
+	}
+	return m
+}
+
+// Proper reports whether c is a proper coloring of g: every vertex colored,
+// no interfering pair sharing a color, and all precolored vertices holding
+// their pinned color.
+func (c Coloring) Proper(g *Graph) bool {
+	return c.Check(g) == nil
+}
+
+// Check explains why c is not a proper coloring of g, or returns nil.
+func (c Coloring) Check(g *Graph) error {
+	if len(c) != g.N() {
+		return fmt.Errorf("coloring: length %d does not match %d vertices", len(c), g.N())
+	}
+	for v, col := range c {
+		if col == NoColor {
+			return fmt.Errorf("coloring: vertex %s uncolored", g.Name(V(v)))
+		}
+	}
+	for _, e := range g.Edges() {
+		if c[e[0]] == c[e[1]] {
+			return fmt.Errorf("coloring: interfering vertices %s and %s share color %d",
+				g.Name(e[0]), g.Name(e[1]), c[e[0]])
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if pin, ok := g.Precolored(V(v)); ok && c[v] != pin {
+			return fmt.Errorf("coloring: precolored vertex %s has color %d, want %d",
+				g.Name(V(v)), c[v], pin)
+		}
+	}
+	return nil
+}
+
+// CoalescedMoves reports how many affinities of g the coloring satisfies
+// (same color at both endpoints) and their total weight. A coloring that
+// identifies affinity endpoints is exactly the paper's notion of a
+// coalescing realized by register assignment.
+func (c Coloring) CoalescedMoves(g *Graph) (count int, weight int64) {
+	for _, a := range g.Affinities() {
+		if c[a.X] != NoColor && c[a.X] == c[a.Y] {
+			count++
+			weight += a.Weight
+		}
+	}
+	return count, weight
+}
+
+// Lift translates a coloring of the quotient graph back to the original
+// graph, given the old-to-new vertex mapping returned by Quotient.
+func (c Coloring) Lift(old2new []V) Coloring {
+	out := NewColoring(len(old2new))
+	for v, nv := range old2new {
+		out[v] = c[nv]
+	}
+	return out
+}

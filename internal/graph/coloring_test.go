@@ -1,0 +1,64 @@
+package graph
+
+import "testing"
+
+func TestColoringProper(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	col := Coloring{0, 1, 0}
+	if !col.Proper(g) {
+		t.Fatalf("coloring should be proper: %v", col.Check(g))
+	}
+	bad := Coloring{0, 0, 1}
+	if bad.Proper(g) {
+		t.Fatal("interfering same-color pair accepted")
+	}
+	incomplete := Coloring{0, NoColor, 1}
+	if incomplete.Proper(g) {
+		t.Fatal("incomplete coloring accepted")
+	}
+	short := Coloring{0, 1}
+	if short.Proper(g) {
+		t.Fatal("wrong-length coloring accepted")
+	}
+}
+
+func TestColoringPrecolored(t *testing.T) {
+	g := New(2)
+	g.SetPrecolored(0, 3)
+	col := Coloring{3, 0}
+	if !col.Proper(g) {
+		t.Fatalf("should respect precolor: %v", col.Check(g))
+	}
+	col[0] = 1
+	if col.Proper(g) {
+		t.Fatal("violated precolor accepted")
+	}
+}
+
+func TestColoringStats(t *testing.T) {
+	col := Coloring{0, 2, 2, NoColor}
+	if col.NumColors() != 2 {
+		t.Fatalf("NumColors=%d, want 2", col.NumColors())
+	}
+	if col.MaxColor() != 2 {
+		t.Fatalf("MaxColor=%d, want 2", col.MaxColor())
+	}
+	if col.Complete() {
+		t.Fatal("incomplete coloring reported complete")
+	}
+	if NewColoring(3).NumColors() != 0 {
+		t.Fatal("fresh coloring should use no colors")
+	}
+}
+
+func TestCoalescedMoves(t *testing.T) {
+	g := New(4)
+	g.AddAffinity(0, 1, 5)
+	g.AddAffinity(2, 3, 7)
+	col := Coloring{1, 1, 0, 2}
+	n, w := col.CoalescedMoves(g)
+	if n != 1 || w != 5 {
+		t.Fatalf("coalesced=%d weight=%d, want 1, 5", n, w)
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadDIMACS(t *testing.T) {
+	src := `c a comment
+p edge 4 3
+e 1 2
+e 2 3
+e 3 4
+c regcoal move 1 3 7
+`
+	g, err := ReadDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.E() != 3 {
+		t.Fatalf("n=%d e=%d", g.N(), g.E())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Fatal("edges wrong")
+	}
+	if g.NumAffinities() != 1 || g.Affinities()[0].Weight != 7 {
+		t.Fatalf("moves wrong: %v", g.Affinities())
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomER(rng, 15, 0.3)
+	SprinkleAffinities(rng, g, 8, 9)
+	var b strings.Builder
+	if err := WriteDIMACS(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDIMACS(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.E() != g.E() || back.NumAffinities() != g.NumAffinities() {
+		t.Fatalf("round trip changed shape: %d/%d, %d/%d, %d/%d",
+			back.N(), g.N(), back.E(), g.E(), back.NumAffinities(), g.NumAffinities())
+	}
+	for _, e := range g.Edges() {
+		if !back.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+	if back.TotalAffinityWeight() != g.TotalAffinityWeight() {
+		t.Fatal("weights lost")
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"e 1 2\n",                            // edge before p
+		"p edge 2 1\np edge 2 1\n",           // duplicate p
+		"p edge x 1\n",                       // bad count
+		"p edge 2 1\ne 1\n",                  // short edge
+		"p edge 2 1\ne 1 3\n",                // out of range
+		"p edge 2 1\ne 1 1\n",                // self loop
+		"p edge 2 0\nc regcoal move 1 5 2\n", // bad move target
+		"q foo\n",                            // unknown record
+		"",                                   // no p line
+	}
+	for _, c := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadDIMACS(%q) should fail", c)
+		}
+	}
+}

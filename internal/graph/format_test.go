@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const sampleFile = `
+# A tiny instance with a precolored register.
+k 3
+node a
+node b
+node r0 :0
+edge a b
+edge a r0
+move b r0 5
+move a b        ; constrained move, default weight
+`
+
+func TestReadFrom(t *testing.T) {
+	f, err := ParseString(sampleFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.K != 3 {
+		t.Fatalf("k=%d, want 3", f.K)
+	}
+	g := f.G
+	if g.N() != 3 || g.E() != 2 || g.NumAffinities() != 2 {
+		t.Fatalf("n=%d e=%d moves=%d", g.N(), g.E(), g.NumAffinities())
+	}
+	r0, ok := g.VertexByName("r0")
+	if !ok {
+		t.Fatal("r0 missing")
+	}
+	if c, ok := g.Precolored(r0); !ok || c != 0 {
+		t.Fatalf("r0 precolor=%d,%v", c, ok)
+	}
+	a, _ := g.VertexByName("a")
+	b, _ := g.VertexByName("b")
+	if !g.HasEdge(a, b) || !g.HasEdge(a, r0) {
+		t.Fatal("edges missing")
+	}
+	// The weightless move defaults to 1.
+	var w1 int64 = -1
+	for _, af := range g.Affinities() {
+		if (af.X == a && af.Y == b) || (af.X == b && af.Y == a) {
+			w1 = af.Weight
+		}
+	}
+	if w1 != 1 {
+		t.Fatalf("default move weight=%d, want 1", w1)
+	}
+}
+
+func TestImplicitNodeCreation(t *testing.T) {
+	f, err := ParseString("edge x y\nmove y z 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.G.N() != 3 {
+		t.Fatalf("implicit nodes: n=%d, want 3", f.G.N())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := RandomER(rng, 20, 0.25)
+	SprinkleAffinities(rng, g, 15, 8)
+	g.SetPrecolored(3, 2)
+	g.NormalizeAffinities()
+	orig := &File{G: g, K: 4}
+
+	text := orig.FormatString()
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if back.K != orig.K || back.G.N() != g.N() || back.G.E() != g.E() {
+		t.Fatalf("round trip changed shape: k=%d n=%d e=%d", back.K, back.G.N(), back.G.E())
+	}
+	if back.G.NumAffinities() != g.NumAffinities() {
+		t.Fatalf("round trip changed moves: %d vs %d", back.G.NumAffinities(), g.NumAffinities())
+	}
+	if back.FormatString() != text {
+		t.Fatal("second round trip not identical")
+	}
+	if c, ok := back.G.Precolored(3); !ok || c != 2 {
+		t.Fatal("precolor lost in round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"k\n",            // missing value
+		"k -1\n",         // negative k
+		"k x\n",          // non-numeric k
+		"node\n",         // missing name
+		"node a b c\n",   // too many fields
+		"node a 3\n",     // precolor without colon
+		"node a :-1\n",   // negative precolor
+		"edge a\n",       // missing endpoint
+		"edge a a\n",     // self-loop
+		"move a\n",       // missing endpoint
+		"move a b -3\n",  // negative weight
+		"move a b x\n",   // non-numeric weight
+		"frobnicate a\n", // unknown directive
+		"edge a b c d\n", // too many fields
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("ParseString(%q) should fail", c)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	f, err := ParseString("\n\n# only comments\n; and semicolons\n\nnode a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.G.N() != 1 {
+		t.Fatalf("n=%d, want 1", f.G.N())
+	}
+}
+
+func TestWriteIncludesIsolatedVertices(t *testing.T) {
+	g := NewNamed("alone", "also")
+	f := &File{G: g}
+	text := f.FormatString()
+	if !strings.Contains(text, "node alone") || !strings.Contains(text, "node also") {
+		t.Fatalf("isolated vertices missing from %q", text)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.G.N() != 2 {
+		t.Fatal("isolated vertices lost")
+	}
+}

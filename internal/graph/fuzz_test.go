@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the two parsers must never panic and, when they accept an
+// input, must produce a graph that validates and survives a round trip.
+// Run with `go test -fuzz FuzzReadFrom ./internal/graph` for active
+// fuzzing; under plain `go test` the seed corpus runs as unit tests.
+
+func FuzzReadFrom(f *testing.F) {
+	f.Add("k 3\nnode a\nedge a b\nmove a b 2\n")
+	f.Add("node x :1\nmove x y\n")
+	f.Add("# comment only\n")
+	f.Add("edge a a\n")
+	f.Add("k -1\n")
+	f.Add("move a b 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		if verr := file.G.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails validation: %v", verr)
+		}
+		// Round trip must re-parse.
+		text := file.FormatString()
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, text)
+		}
+		if back.G.N() != file.G.N() || back.G.E() != file.G.E() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("p edge 3 2\ne 1 2\ne 2 3\n")
+	f.Add("c regcoal move 1 2 5\n")
+	f.Add("p edge 0 0\n")
+	f.Add("p edge 2 1\ne 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted DIMACS graph fails validation: %v", verr)
+		}
+		var b strings.Builder
+		if werr := WriteDIMACS(&b, g); werr != nil {
+			t.Fatalf("write failed: %v", werr)
+		}
+		back, err := ReadDIMACS(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.E() != g.E() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,523 @@
+// Package graph implements the interference-graph substrate used throughout
+// the reproduction of Bouchez, Darte and Rastello, "On the Complexity of
+// Register Coalescing" (LIP RR-2006-15 / CGO 2007).
+//
+// A Graph is an undirected interference graph: vertices are program
+// variables (live ranges), edges are interferences (the two endpoints cannot
+// share a register). On top of the interference structure the graph carries
+// affinities: weighted move edges (u, v) recording that assigning u and v
+// the same color removes one register-to-register move of the given weight.
+//
+// The package also provides the quotient construction that formalizes
+// coalescing in the paper: a coalescing is a partition of the vertices such
+// that no two vertices of a class interfere, and the coalesced graph G_f is
+// the quotient of G by that partition (see Partition and Quotient).
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// V identifies a vertex. Vertices of a graph with n vertices are the dense
+// range 0..n-1.
+type V int
+
+// NoColor is the color value of an uncolored or non-precolored vertex.
+const NoColor = -1
+
+// Affinity is a move edge between two vertices: coalescing X and Y (giving
+// them the same color) saves a move instruction whose dynamic execution
+// count is Weight. Affinities never constrain a coloring; they only reward
+// identification of colors.
+type Affinity struct {
+	X, Y   V
+	Weight int64
+}
+
+// Canon returns the affinity with endpoints ordered X <= Y, so that
+// affinities can be compared and deduplicated independently of endpoint
+// order.
+func (a Affinity) Canon() Affinity {
+	if a.X > a.Y {
+		a.X, a.Y = a.Y, a.X
+	}
+	return a
+}
+
+// Graph is a mutable undirected interference graph with affinities and
+// optional precolored vertices (machine registers). The zero value is an
+// empty graph; use New or NewNamed for a graph with vertices.
+type Graph struct {
+	adj        []map[V]bool
+	names      []string
+	precolored []int
+	affinities []Affinity
+	edges      int
+}
+
+// New returns a graph with n vertices (0..n-1) and no edges, affinities, or
+// precoloring.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	g := &Graph{
+		adj:        make([]map[V]bool, n),
+		names:      make([]string, n),
+		precolored: make([]int, n),
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[V]bool)
+		g.precolored[i] = NoColor
+	}
+	return g
+}
+
+// NewNamed returns a graph with one vertex per name, in order.
+func NewNamed(names ...string) *Graph {
+	g := New(len(names))
+	copy(g.names, names)
+	return g
+}
+
+// N reports the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// E reports the number of interference edges.
+func (g *Graph) E() int { return g.edges }
+
+// Vertices returns all vertex ids in increasing order.
+func (g *Graph) Vertices() []V {
+	vs := make([]V, g.N())
+	for i := range vs {
+		vs[i] = V(i)
+	}
+	return vs
+}
+
+// AddVertex appends a fresh isolated vertex and returns its id.
+func (g *Graph) AddVertex() V {
+	g.adj = append(g.adj, make(map[V]bool))
+	g.names = append(g.names, "")
+	g.precolored = append(g.precolored, NoColor)
+	return V(len(g.adj) - 1)
+}
+
+// AddNamedVertex appends a fresh isolated vertex with the given name.
+func (g *Graph) AddNamedVertex(name string) V {
+	v := g.AddVertex()
+	g.names[v] = name
+	return v
+}
+
+// Name returns the vertex name, or "v<i>" when the vertex is unnamed.
+func (g *Graph) Name(v V) string {
+	g.check(v)
+	if g.names[v] == "" {
+		return fmt.Sprintf("v%d", int(v))
+	}
+	return g.names[v]
+}
+
+// SetName sets the vertex name.
+func (g *Graph) SetName(v V, name string) {
+	g.check(v)
+	g.names[v] = name
+}
+
+// VertexByName returns the first vertex with the given name.
+func (g *Graph) VertexByName(name string) (V, bool) {
+	for i, n := range g.names {
+		if n == name {
+			return V(i), true
+		}
+	}
+	return -1, false
+}
+
+func (g *Graph) check(v V) {
+	if v < 0 || int(v) >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", int(v), len(g.adj)))
+	}
+}
+
+// AddEdge adds the interference edge (u, v). Adding an existing edge is a
+// no-op. Self-loops are rejected: a variable trivially shares a register
+// with itself.
+func (g *Graph) AddEdge(u, v V) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", int(u)))
+	}
+	if g.adj[u][v] {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+	g.edges++
+}
+
+// RemoveEdge removes the interference edge (u, v) if present.
+func (g *Graph) RemoveEdge(u, v V) {
+	g.check(u)
+	g.check(v)
+	if !g.adj[u][v] {
+		return
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.edges--
+}
+
+// HasEdge reports whether u and v interfere.
+func (g *Graph) HasEdge(u, v V) bool {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// Degree reports the number of interference neighbors of v.
+func (g *Graph) Degree(v V) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Neighbors returns the interference neighbors of v in increasing order.
+// The slice is freshly allocated; callers may keep or modify it.
+func (g *Graph) Neighbors(v V) []V {
+	g.check(v)
+	ns := make([]V, 0, len(g.adj[v]))
+	for w := range g.adj[v] {
+		ns = append(ns, w)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}
+
+// ForEachNeighbor calls fn for every interference neighbor of v, in
+// unspecified order. It avoids the allocation and sort of Neighbors and is
+// the right call on hot paths whose result does not depend on order.
+func (g *Graph) ForEachNeighbor(v V, fn func(w V)) {
+	g.check(v)
+	for w := range g.adj[v] {
+		fn(w)
+	}
+}
+
+// Edges returns all interference edges with u < v, sorted lexicographically.
+func (g *Graph) Edges() [][2]V {
+	es := make([][2]V, 0, g.edges)
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if V(u) < v {
+				es = append(es, [2]V{V(u), v})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// AddAffinity records a move edge between u and v with the given weight.
+// Parallel affinities are allowed and count separately (they correspond to
+// distinct move instructions); use NormalizeAffinities to merge them.
+// An affinity between interfering vertices is permitted — it is a
+// "constrained" move that no coalescing can remove — as is a self-affinity
+// (already coalesced; always satisfied).
+func (g *Graph) AddAffinity(u, v V, weight int64) {
+	g.check(u)
+	g.check(v)
+	if weight < 0 {
+		panic(fmt.Sprintf("graph: negative affinity weight %d", weight))
+	}
+	g.affinities = append(g.affinities, Affinity{X: u, Y: v, Weight: weight}.Canon())
+}
+
+// Affinities returns the affinity list. The returned slice is shared with
+// the graph; callers must not modify it.
+func (g *Graph) Affinities() []Affinity { return g.affinities }
+
+// NumAffinities reports the number of affinities.
+func (g *Graph) NumAffinities() int { return len(g.affinities) }
+
+// TotalAffinityWeight reports the sum of all affinity weights.
+func (g *Graph) TotalAffinityWeight() int64 {
+	var t int64
+	for _, a := range g.affinities {
+		t += a.Weight
+	}
+	return t
+}
+
+// NormalizeAffinities merges parallel affinities (same endpoint pair) by
+// summing weights, drops self-affinities, and sorts the affinity list.
+func (g *Graph) NormalizeAffinities() {
+	merged := make(map[[2]V]int64)
+	for _, a := range g.affinities {
+		a = a.Canon()
+		if a.X == a.Y {
+			continue
+		}
+		merged[[2]V{a.X, a.Y}] += a.Weight
+	}
+	g.affinities = g.affinities[:0]
+	for pair, w := range merged {
+		g.affinities = append(g.affinities, Affinity{X: pair[0], Y: pair[1], Weight: w})
+	}
+	SortAffinities(g.affinities)
+}
+
+// SortAffinities sorts affinities by endpoints, then weight.
+func SortAffinities(as []Affinity) {
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].X != as[j].X {
+			return as[i].X < as[j].X
+		}
+		if as[i].Y != as[j].Y {
+			return as[i].Y < as[j].Y
+		}
+		return as[i].Weight < as[j].Weight
+	})
+}
+
+// SetPrecolored pins v to the given color (machine register). Precolored
+// vertices model physical registers in Chaitin-style allocators.
+func (g *Graph) SetPrecolored(v V, color int) {
+	g.check(v)
+	if color < 0 {
+		panic(fmt.Sprintf("graph: invalid precolor %d", color))
+	}
+	g.precolored[v] = color
+}
+
+// ClearPrecolored removes the precoloring of v.
+func (g *Graph) ClearPrecolored(v V) {
+	g.check(v)
+	g.precolored[v] = NoColor
+}
+
+// Precolored reports the pinned color of v, if any.
+func (g *Graph) Precolored(v V) (int, bool) {
+	g.check(v)
+	c := g.precolored[v]
+	return c, c != NoColor
+}
+
+// HasPrecolored reports whether any vertex is precolored.
+func (g *Graph) HasPrecolored() bool {
+	for _, c := range g.precolored {
+		if c != NoColor {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	h := &Graph{
+		adj:        make([]map[V]bool, len(g.adj)),
+		names:      append([]string(nil), g.names...),
+		precolored: append([]int(nil), g.precolored...),
+		affinities: append([]Affinity(nil), g.affinities...),
+		edges:      g.edges,
+	}
+	for i, m := range g.adj {
+		h.adj[i] = make(map[V]bool, len(m))
+		for w := range m {
+			h.adj[i][w] = true
+		}
+	}
+	return h
+}
+
+// InducedSubgraph returns the subgraph induced by keep, together with the
+// mapping from old vertex ids to new ids (length g.N(), -1 for dropped
+// vertices). Affinities with a dropped endpoint are dropped.
+func (g *Graph) InducedSubgraph(keep []V) (*Graph, []V) {
+	old2new := make([]V, g.N())
+	for i := range old2new {
+		old2new[i] = -1
+	}
+	sub := New(len(keep))
+	for i, v := range keep {
+		g.check(v)
+		if old2new[v] != -1 {
+			panic(fmt.Sprintf("graph: duplicate vertex %d in InducedSubgraph", int(v)))
+		}
+		old2new[v] = V(i)
+		sub.names[i] = g.names[v]
+		sub.precolored[i] = g.precolored[v]
+	}
+	for _, v := range keep {
+		for w := range g.adj[v] {
+			if v < w && old2new[w] != -1 {
+				sub.AddEdge(old2new[v], old2new[w])
+			}
+		}
+	}
+	for _, a := range g.affinities {
+		x, y := old2new[a.X], old2new[a.Y]
+		if x != -1 && y != -1 {
+			sub.affinities = append(sub.affinities, Affinity{X: x, Y: y, Weight: a.Weight}.Canon())
+		}
+	}
+	return sub, old2new
+}
+
+// AddClique adds all pairwise interference edges among vs.
+func (g *Graph) AddClique(vs ...V) {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			g.AddEdge(vs[i], vs[j])
+		}
+	}
+}
+
+// IsClique reports whether vs are pairwise interfering.
+func (g *Graph) IsClique(vs []V) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxDegree reports the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MinDegree reports the minimum vertex degree (0 for an empty graph).
+func (g *Graph) MinDegree() int {
+	if g.N() == 0 {
+		return 0
+	}
+	m := g.N()
+	for v := range g.adj {
+		if d := len(g.adj[v]); d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// CliqueLift implements Property 2 of the paper: it returns a new graph G'
+// built from g by adding a clique of p new vertices, each connected to every
+// original vertex. G is k-colorable iff G' is (k+p)-colorable, G is chordal
+// iff G' is chordal, and G is greedy-k-colorable iff G' is
+// greedy-(k+p)-colorable. The ids of the p new vertices are returned.
+// Affinities and precoloring of g are preserved on the original vertices.
+func (g *Graph) CliqueLift(p int) (*Graph, []V) {
+	if p < 0 {
+		panic(fmt.Sprintf("graph: negative clique-lift size %d", p))
+	}
+	h := g.Clone()
+	added := make([]V, p)
+	for i := 0; i < p; i++ {
+		added[i] = h.AddNamedVertex(fmt.Sprintf("lift%d", i))
+	}
+	h.AddClique(added...)
+	for _, c := range added {
+		for v := 0; v < g.N(); v++ {
+			h.AddEdge(c, V(v))
+		}
+	}
+	return h, added
+}
+
+// ConnectedComponents returns the vertex sets of the connected components of
+// the interference structure (affinities are ignored), each sorted, in order
+// of smallest contained vertex.
+func (g *Graph) ConnectedComponents() [][]V {
+	seen := make([]bool, g.N())
+	var comps [][]V
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []V
+		stack := []V{V(s)}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Validate checks internal consistency: adjacency symmetry, edge count,
+// affinity endpoints in range and non-negative weights. It returns the
+// first inconsistency found, or nil. A healthy graph built through the
+// public API always validates; Validate exists to catch corruption in code
+// that manipulates internals (tests, fuzzing).
+func (g *Graph) Validate() error {
+	count := 0
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if int(v) < 0 || int(v) >= len(g.adj) {
+				return fmt.Errorf("graph: edge (%d,%d) endpoint out of range", u, int(v))
+			}
+			if V(u) == v {
+				return fmt.Errorf("graph: self-loop on %d", u)
+			}
+			if !g.adj[v][V(u)] {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", u, int(v))
+			}
+			count++
+		}
+	}
+	if count != 2*g.edges {
+		return fmt.Errorf("graph: edge count %d does not match adjacency size %d", g.edges, count)
+	}
+	for _, a := range g.affinities {
+		if int(a.X) < 0 || int(a.X) >= len(g.adj) || int(a.Y) < 0 || int(a.Y) >= len(g.adj) {
+			return fmt.Errorf("graph: affinity %v endpoint out of range", a)
+		}
+		if a.Weight < 0 {
+			return fmt.Errorf("graph: affinity %v has negative weight", a)
+		}
+	}
+	return nil
+}
+
+// String renders a compact human-readable description: vertex count, edges,
+// and affinities, using vertex names.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph n=%d e=%d moves=%d\n", g.N(), g.E(), len(g.affinities))
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %s -- %s\n", g.Name(e[0]), g.Name(e[1]))
+	}
+	for _, a := range g.affinities {
+		fmt.Fprintf(&b, "  %s => %s (w=%d)\n", g.Name(a.X), g.Name(a.Y), a.Weight)
+	}
+	return b.String()
+}

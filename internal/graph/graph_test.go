@@ -1,0 +1,306 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndBasicOps(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 || g.E() != 0 {
+		t.Fatalf("got n=%d e=%d, want 4, 0", g.N(), g.E())
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1) // duplicate: no-op
+	if g.E() != 2 {
+		t.Fatalf("E=%d, want 2", g.E())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) should exist symmetrically")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("edge (0,2) should not exist")
+	}
+	if d := g.Degree(1); d != 2 {
+		t.Fatalf("Degree(1)=%d, want 2", d)
+	}
+	ns := g.Neighbors(1)
+	if len(ns) != 2 || ns[0] != 0 || ns[1] != 2 {
+		t.Fatalf("Neighbors(1)=%v, want [0 2]", ns)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) || g.E() != 1 {
+		t.Fatalf("edge (0,1) should be gone, E=%d", g.E())
+	}
+	g.RemoveEdge(0, 1) // no-op
+	if g.E() != 1 {
+		t.Fatalf("E=%d after removing absent edge, want 1", g.E())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge(v, v) should panic")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HasEdge out of range should panic")
+		}
+	}()
+	New(2).HasEdge(0, 5)
+}
+
+func TestNames(t *testing.T) {
+	g := NewNamed("a", "b")
+	if g.Name(0) != "a" || g.Name(1) != "b" {
+		t.Fatalf("names wrong: %q %q", g.Name(0), g.Name(1))
+	}
+	v := g.AddVertex()
+	if got := g.Name(v); got != "v2" {
+		t.Fatalf("unnamed vertex renders as %q, want v2", got)
+	}
+	g.SetName(v, "c")
+	if got, ok := g.VertexByName("c"); !ok || got != v {
+		t.Fatalf("VertexByName(c)=%d,%v", got, ok)
+	}
+	if _, ok := g.VertexByName("zz"); ok {
+		t.Fatal("VertexByName should miss")
+	}
+}
+
+func TestAffinities(t *testing.T) {
+	g := New(4)
+	g.AddAffinity(2, 1, 5)
+	g.AddAffinity(1, 2, 3)
+	g.AddAffinity(0, 3, 1)
+	if g.NumAffinities() != 3 {
+		t.Fatalf("NumAffinities=%d", g.NumAffinities())
+	}
+	if w := g.TotalAffinityWeight(); w != 9 {
+		t.Fatalf("TotalAffinityWeight=%d, want 9", w)
+	}
+	// Canonical endpoint order.
+	for _, a := range g.Affinities() {
+		if a.X > a.Y {
+			t.Fatalf("affinity %v not canonical", a)
+		}
+	}
+	g.NormalizeAffinities()
+	if g.NumAffinities() != 2 {
+		t.Fatalf("after normalize NumAffinities=%d, want 2", g.NumAffinities())
+	}
+	if w := g.TotalAffinityWeight(); w != 9 {
+		t.Fatalf("normalize lost weight: %d", w)
+	}
+}
+
+func TestNormalizeDropsSelfAffinity(t *testing.T) {
+	g := New(2)
+	g.AddAffinity(1, 1, 7)
+	g.AddAffinity(0, 1, 2)
+	g.NormalizeAffinities()
+	if g.NumAffinities() != 1 {
+		t.Fatalf("self-affinity survived: %v", g.Affinities())
+	}
+}
+
+func TestPrecolored(t *testing.T) {
+	g := New(3)
+	if g.HasPrecolored() {
+		t.Fatal("fresh graph should have no precoloring")
+	}
+	g.SetPrecolored(1, 2)
+	if c, ok := g.Precolored(1); !ok || c != 2 {
+		t.Fatalf("Precolored(1)=%d,%v", c, ok)
+	}
+	if !g.HasPrecolored() {
+		t.Fatal("HasPrecolored should be true")
+	}
+	g.ClearPrecolored(1)
+	if _, ok := g.Precolored(1); ok {
+		t.Fatal("ClearPrecolored failed")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddAffinity(1, 2, 4)
+	g.SetPrecolored(0, 1)
+	h := g.Clone()
+	h.AddEdge(1, 2)
+	h.AddAffinity(0, 1, 1)
+	h.SetPrecolored(2, 0)
+	if g.HasEdge(1, 2) || g.NumAffinities() != 1 {
+		t.Fatal("clone mutated original")
+	}
+	if _, ok := g.Precolored(2); ok {
+		t.Fatal("clone precoloring leaked")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := NewNamed("a", "b", "c", "d")
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddAffinity(0, 2, 5)
+	g.AddAffinity(1, 3, 2)
+	g.SetPrecolored(2, 1)
+
+	sub, old2new := g.InducedSubgraph([]V{0, 1, 2})
+	if sub.N() != 3 || sub.E() != 2 {
+		t.Fatalf("sub n=%d e=%d, want 3, 2", sub.N(), sub.E())
+	}
+	if old2new[3] != -1 {
+		t.Fatal("dropped vertex should map to -1")
+	}
+	if sub.NumAffinities() != 1 {
+		t.Fatalf("affinity filtering wrong: %v", sub.Affinities())
+	}
+	if c, ok := sub.Precolored(old2new[2]); !ok || c != 1 {
+		t.Fatal("precoloring not carried to subgraph")
+	}
+	if sub.Name(old2new[2]) != "c" {
+		t.Fatal("names not carried to subgraph")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueOps(t *testing.T) {
+	g := New(5)
+	g.AddClique(0, 1, 2, 3)
+	if g.E() != 6 {
+		t.Fatalf("K4 has %d edges, want 6", g.E())
+	}
+	if !g.IsClique([]V{0, 1, 2, 3}) {
+		t.Fatal("IsClique(K4) = false")
+	}
+	if g.IsClique([]V{0, 1, 4}) {
+		t.Fatal("IsClique with isolated vertex = true")
+	}
+}
+
+func TestDegreesAndComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components=%v, want 3 of them", comps)
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes wrong: %v", comps)
+	}
+	if g.MaxDegree() != 2 || g.MinDegree() != 0 {
+		t.Fatalf("degrees: max=%d min=%d", g.MaxDegree(), g.MinDegree())
+	}
+}
+
+func TestCliqueLiftProperty2Structure(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	h, added := g.CliqueLift(2)
+	if h.N() != 5 || len(added) != 2 {
+		t.Fatalf("lift sizes wrong: n=%d added=%d", h.N(), len(added))
+	}
+	if !h.IsClique(added) {
+		t.Fatal("added vertices must form a clique")
+	}
+	for _, c := range added {
+		for v := 0; v < g.N(); v++ {
+			if !h.HasEdge(c, V(v)) {
+				t.Fatalf("lift vertex %d not connected to original %d", int(c), v)
+			}
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomER(rng, 30, 0.2)
+	es := g.Edges()
+	if len(es) != g.E() {
+		t.Fatalf("Edges() length %d != E() %d", len(es), g.E())
+	}
+	for i := 1; i < len(es); i++ {
+		a, b := es[i-1], es[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Fatalf("edges not strictly sorted at %d: %v %v", i, a, b)
+		}
+	}
+	for _, e := range es {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not canonical", e)
+		}
+	}
+}
+
+// Property test: Validate always passes on randomly built graphs, and edge
+// count matches a recount.
+func TestQuickValidate(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		p := float64(pRaw) / 255
+		g := RandomER(rng, n, p)
+		SprinkleAffinities(rng, g, n/2, 10)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := NewNamed("a", "b")
+	g.AddEdge(0, 1)
+	g.AddAffinity(0, 1, 3)
+	s := g.String()
+	if s == "" {
+		t.Fatal("String() empty")
+	}
+	for _, want := range []string{"a -- b", "a => b (w=3)"} {
+		if !contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

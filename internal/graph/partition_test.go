@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionBasics(t *testing.T) {
+	p := NewPartition(5)
+	if p.NumClasses() != 5 {
+		t.Fatalf("fresh partition has %d classes", p.NumClasses())
+	}
+	p.Union(0, 1)
+	p.Union(1, 2)
+	if !p.Same(0, 2) {
+		t.Fatal("0 and 2 should be merged transitively")
+	}
+	if p.Same(0, 3) {
+		t.Fatal("0 and 3 should be separate")
+	}
+	if p.NumClasses() != 3 {
+		t.Fatalf("classes=%d, want 3", p.NumClasses())
+	}
+	p.Union(0, 2) // no-op
+	if p.NumClasses() != 3 {
+		t.Fatal("no-op union changed class count")
+	}
+	classes := p.Classes()
+	if len(classes) != 3 {
+		t.Fatalf("Classes()=%v", classes)
+	}
+	if len(classes[0]) != 3 || classes[0][0] != 0 {
+		t.Fatalf("first class wrong: %v", classes[0])
+	}
+}
+
+func TestPartitionClone(t *testing.T) {
+	p := NewPartition(4)
+	p.Union(0, 1)
+	q := p.Clone()
+	q.Union(2, 3)
+	if p.Same(2, 3) {
+		t.Fatal("clone mutated original")
+	}
+	if !q.Same(0, 1) {
+		t.Fatal("clone lost state")
+	}
+}
+
+func TestRefines(t *testing.T) {
+	fine := NewPartition(4)
+	coarse := NewPartition(4)
+	coarse.Union(0, 1)
+	coarse.Union(2, 3)
+	if !fine.Refines(coarse) {
+		t.Fatal("discrete partition refines everything")
+	}
+	fine.Union(0, 1)
+	if !fine.Refines(coarse) {
+		t.Fatal("{01}{2}{3} refines {01}{23}")
+	}
+	fine.Union(1, 2)
+	if fine.Refines(coarse) {
+		t.Fatal("{012}{3} does not refine {01}{23}")
+	}
+	if coarse.Refines(NewPartition(5)) {
+		t.Fatal("different sizes cannot refine")
+	}
+}
+
+func TestCompatibleWith(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	p := NewPartition(4)
+	p.Union(2, 3)
+	if !p.CompatibleWith(g) {
+		t.Fatal("merging non-interfering vertices should be compatible")
+	}
+	p.Union(0, 1)
+	if p.CompatibleWith(g) {
+		t.Fatal("merging interfering vertices should be incompatible")
+	}
+
+	// Precoloring conflicts.
+	h := New(3)
+	h.SetPrecolored(0, 1)
+	h.SetPrecolored(1, 2)
+	q := NewPartition(3)
+	q.Union(0, 2)
+	if !q.CompatibleWith(h) {
+		t.Fatal("merging precolored with plain vertex is fine")
+	}
+	q.Union(0, 1)
+	if q.CompatibleWith(h) {
+		t.Fatal("merging differently precolored vertices must fail")
+	}
+}
+
+func TestCoalescedAffinities(t *testing.T) {
+	g := New(4)
+	g.AddAffinity(0, 1, 5)
+	g.AddAffinity(2, 3, 7)
+	p := NewPartition(4)
+	p.Union(0, 1)
+	co, rem := p.CoalescedAffinities(g)
+	if len(co) != 1 || len(rem) != 1 {
+		t.Fatalf("co=%v rem=%v", co, rem)
+	}
+	n, w := p.UncoalescedCount(g)
+	if n != 1 || w != 7 {
+		t.Fatalf("uncoalesced count=%d weight=%d, want 1, 7", n, w)
+	}
+}
+
+func TestFromColoring(t *testing.T) {
+	col := Coloring{0, 1, 0, NoColor, 1}
+	p := FromColoring(col)
+	if !p.Same(0, 2) || !p.Same(1, 4) {
+		t.Fatal("same-colored vertices should be merged")
+	}
+	if p.Same(0, 1) {
+		t.Fatal("differently colored vertices merged")
+	}
+	if p.Same(3, 0) || p.Same(3, 1) {
+		t.Fatal("uncolored vertex must stay alone")
+	}
+}
+
+// Property: Union is commutative/associative with respect to resulting class
+// structure — merging a random pair list in any rotation yields the same
+// classes.
+func TestQuickUnionOrderIndependence(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := int(mRaw % 24)
+		rng := rand.New(rand.NewSource(seed))
+		pairs := make([][2]V, m)
+		for i := range pairs {
+			pairs[i] = [2]V{V(rng.Intn(n)), V(rng.Intn(n))}
+		}
+		p1 := NewPartition(n)
+		for _, pr := range pairs {
+			p1.Union(pr[0], pr[1])
+		}
+		p2 := NewPartition(n)
+		for i := len(pairs) - 1; i >= 0; i-- {
+			p2.Union(pairs[i][0], pairs[i][1])
+		}
+		if p1.NumClasses() != p2.NumClasses() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if p1.Same(V(u), V(v)) != p2.Same(V(u), V(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

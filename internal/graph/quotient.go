@@ -1,0 +1,124 @@
+package graph
+
+import "fmt"
+
+// Quotient builds the coalesced graph G_f of the paper: the quotient of g by
+// the partition p. Each class of p becomes a single vertex; there is an
+// interference edge between two classes iff some pair of their members
+// interferes in g.
+//
+// Quotient returns an error if p is not a coalescing of g, i.e. if some
+// class contains two interfering vertices (the quotient would have a
+// self-loop) or two vertices precolored differently.
+//
+// The second result maps each vertex of g to its vertex in the quotient.
+// Affinities are carried over: an affinity internal to a class disappears
+// (it is coalesced); the others are re-attached to the class vertices, with
+// parallel affinities merged by weight. Precoloring is carried to the class
+// vertex. Class vertices are named after their smallest member's name.
+func Quotient(g *Graph, p *Partition) (*Graph, []V, error) {
+	if p.N() != g.N() {
+		return nil, nil, fmt.Errorf("graph: partition over %d vertices does not match graph with %d vertices", p.N(), g.N())
+	}
+	classes := p.Classes()
+	old2new := make([]V, g.N())
+	q := New(len(classes))
+	for i, class := range classes {
+		for _, v := range class {
+			old2new[v] = V(i)
+		}
+		q.names[i] = g.names[class[0]]
+		for _, v := range class {
+			c, ok := g.Precolored(v)
+			if !ok {
+				continue
+			}
+			if prev, seen := q.Precolored(V(i)); seen && prev != c {
+				return nil, nil, fmt.Errorf("graph: class %v merges precolors %d and %d", class, prev, c)
+			}
+			q.SetPrecolored(V(i), c)
+		}
+	}
+	for _, e := range g.Edges() {
+		a, b := old2new[e[0]], old2new[e[1]]
+		if a == b {
+			return nil, nil, fmt.Errorf("graph: vertices %d and %d interfere but share a class", int(e[0]), int(e[1]))
+		}
+		q.AddEdge(a, b)
+	}
+	merged := make(map[[2]V]int64)
+	for _, a := range g.affinities {
+		x, y := old2new[a.X], old2new[a.Y]
+		if x == y {
+			continue // coalesced
+		}
+		if x > y {
+			x, y = y, x
+		}
+		merged[[2]V{x, y}] += a.Weight
+	}
+	for pair, w := range merged {
+		q.affinities = append(q.affinities, Affinity{X: pair[0], Y: pair[1], Weight: w})
+	}
+	SortAffinities(q.affinities)
+	return q, old2new, nil
+}
+
+// CanMerge reports whether u and v can be put in the same class of a
+// coalescing of g extending p: their classes must contain no interfering
+// pair and no conflicting precoloring. It does not modify p.
+func CanMerge(g *Graph, p *Partition, u, v V) bool {
+	ru, rv := p.Find(u), p.Find(v)
+	if ru == rv {
+		return true
+	}
+	// Collect both classes. Classes() is O(n); instead walk all vertices
+	// once — callers on hot paths should maintain class membership
+	// themselves, but correctness here is what matters.
+	var cu, cv []V
+	for i := 0; i < g.N(); i++ {
+		switch p.Find(V(i)) {
+		case ru:
+			cu = append(cu, V(i))
+		case rv:
+			cv = append(cv, V(i))
+		}
+	}
+	var colorU, colorV = NoColor, NoColor
+	for _, x := range cu {
+		if c, ok := g.Precolored(x); ok {
+			colorU = c
+		}
+	}
+	for _, y := range cv {
+		if c, ok := g.Precolored(y); ok {
+			colorV = c
+		}
+	}
+	if colorU != NoColor && colorV != NoColor && colorU != colorV {
+		return false
+	}
+	for _, x := range cu {
+		for _, y := range cv {
+			if g.HasEdge(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MergeAll unions, in order, every affinity pair of g that CanMerge accepts,
+// and returns the resulting partition. This is the classic aggressive
+// coalescing sweep (Chaitin); it is a heuristic for the paper's
+// NP-complete aggressive coalescing problem — the order of the affinity list
+// determines which moves survive when interferences conflict.
+func MergeAll(g *Graph) *Partition {
+	p := NewPartition(g.N())
+	for _, a := range g.Affinities() {
+		if CanMerge(g, p, a.X, a.Y) {
+			p.Union(a.X, a.Y)
+		}
+	}
+	return p
+}

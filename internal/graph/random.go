@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for the graph classes the paper's complexity results are
+// parameterized by: arbitrary graphs, chordal graphs (as subtree-of-a-tree
+// intersection graphs, Golumbic Thm 4.8 — the representation the paper's
+// Theorem 5 relies on), interval graphs, and the permutation gadget of
+// Figure 3. All generators take an explicit *rand.Rand so experiments are
+// reproducible from a seed.
+
+// RandomER returns an Erdős–Rényi graph G(n, p): each of the n·(n-1)/2
+// possible interference edges is present independently with probability p.
+func RandomER(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(V(u), V(v))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns the edges (parent links) of a uniformly random labelled
+// tree on n nodes: parent[i] for i >= 1 is a uniform node among 0..i-1.
+// (Not Prüfer-uniform, but unbiased enough for test instances.)
+func RandomTree(rng *rand.Rand, n int) []int {
+	parent := make([]int, n)
+	parent[0] = -1
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+	}
+	return parent
+}
+
+// RandomChordal returns a random chordal graph on n vertices, built as the
+// intersection graph of n random subtrees of a random tree with treeNodes
+// nodes. Each subtree is grown from a random root by BFS to a random size in
+// [1, maxSub]. Chordality is guaranteed by construction (Golumbic Thm 4.8).
+func RandomChordal(rng *rand.Rand, n, treeNodes, maxSub int) *Graph {
+	if treeNodes < 1 {
+		panic("graph: RandomChordal needs treeNodes >= 1")
+	}
+	if maxSub < 1 {
+		maxSub = 1
+	}
+	parent := RandomTree(rng, treeNodes)
+	adj := make([][]int, treeNodes)
+	for i := 1; i < treeNodes; i++ {
+		adj[i] = append(adj[i], parent[i])
+		adj[parent[i]] = append(adj[parent[i]], i)
+	}
+	// Grow each subtree.
+	subtrees := make([][]bool, n)
+	for i := range subtrees {
+		in := make([]bool, treeNodes)
+		size := 1 + rng.Intn(maxSub)
+		root := rng.Intn(treeNodes)
+		in[root] = true
+		frontier := []int{root}
+		for count := 1; count < size && len(frontier) > 0; {
+			// Pick a random frontier node and a random unvisited tree
+			// neighbor of it.
+			fi := rng.Intn(len(frontier))
+			node := frontier[fi]
+			var cand []int
+			for _, w := range adj[node] {
+				if !in[w] {
+					cand = append(cand, w)
+				}
+			}
+			if len(cand) == 0 {
+				frontier[fi] = frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				continue
+			}
+			next := cand[rng.Intn(len(cand))]
+			in[next] = true
+			frontier = append(frontier, next)
+			count++
+		}
+		subtrees[i] = in
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			for t := 0; t < treeNodes; t++ {
+				if subtrees[u][t] && subtrees[v][t] {
+					g.AddEdge(V(u), V(v))
+					break
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Interval describes a closed integer interval [Lo, Hi].
+type Interval struct{ Lo, Hi int }
+
+// Intersects reports whether two intervals overlap.
+func (iv Interval) Intersects(other Interval) bool {
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// IntervalGraph returns the intersection graph of the given intervals —
+// vertices interfere iff their intervals overlap. Interval graphs are
+// chordal; they model straight-line-code live ranges.
+func IntervalGraph(intervals []Interval) *Graph {
+	g := New(len(intervals))
+	for u := range intervals {
+		for v := u + 1; v < len(intervals); v++ {
+			if intervals[u].Intersects(intervals[v]) {
+				g.AddEdge(V(u), V(v))
+			}
+		}
+	}
+	return g
+}
+
+// RandomIntervals returns n random intervals over positions [0, span) with
+// lengths in [1, maxLen].
+func RandomIntervals(rng *rand.Rand, n, span, maxLen int) []Interval {
+	if span < 1 {
+		panic("graph: RandomIntervals needs span >= 1")
+	}
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		lo := rng.Intn(span)
+		length := 1 + rng.Intn(maxLen)
+		hi := lo + length - 1
+		if hi >= span {
+			hi = span - 1
+		}
+		ivs[i] = Interval{Lo: lo, Hi: hi}
+	}
+	return ivs
+}
+
+// RandomInterval returns a random interval graph (see RandomIntervals).
+func RandomInterval(rng *rand.Rand, n, span, maxLen int) *Graph {
+	return IntervalGraph(RandomIntervals(rng, n, span, maxLen))
+}
+
+// Permutation builds the Figure 3 gadget: a parallel copy (permutation) of p
+// values. Vertices u_1..u_p are the sources (pairwise interfering: all
+// simultaneously live before the copy), v_1..v_p the destinations (pairwise
+// interfering after the copy), u_i interferes with v_j for i != j (source j
+// is still live when destination i is written), and there is an affinity
+// (u_i, v_i) of weight 1 for each move of the permutation.
+//
+// The returned slices hold the source and destination vertex ids. Merging
+// any single pair {u_i, v_i} yields a vertex of degree 2(p-1), which is why
+// local conservative rules reject each move when k <= 2(p-1), even though
+// coalescing all p moves at once collapses the gadget into a p-clique
+// (greedy-p-colorable).
+func Permutation(p int) (g *Graph, sources, dests []V) {
+	g = New(2 * p)
+	sources = make([]V, p)
+	dests = make([]V, p)
+	for i := 0; i < p; i++ {
+		sources[i] = V(i)
+		dests[i] = V(p + i)
+		g.SetName(sources[i], fmt.Sprintf("u%d", i+1))
+		g.SetName(dests[i], fmt.Sprintf("v%d", i+1))
+	}
+	g.AddClique(sources...)
+	g.AddClique(dests...)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				g.AddEdge(sources[i], dests[j])
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		g.AddAffinity(sources[i], dests[i], 1)
+	}
+	return g, sources, dests
+}
+
+// SprinkleAffinities adds count random affinities between non-interfering
+// vertex pairs, each with a weight in [1, maxWeight]. It gives up after too
+// many failed draws on dense graphs; the number actually added is returned.
+func SprinkleAffinities(rng *rand.Rand, g *Graph, count, maxWeight int) int {
+	if maxWeight < 1 {
+		maxWeight = 1
+	}
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	added := 0
+	for attempts := 0; added < count && attempts < 50*count+100; attempts++ {
+		u := V(rng.Intn(n))
+		v := V(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.AddAffinity(u, v, int64(1+rng.Intn(maxWeight)))
+		added++
+	}
+	return added
+}
+
+// RandomKColorable returns a graph guaranteed k-colorable: vertices are
+// assigned hidden classes 0..k-1 and only cross-class edges are drawn, each
+// with probability p. The hidden coloring is also returned.
+func RandomKColorable(rng *rand.Rand, n, k int, p float64) (*Graph, Coloring) {
+	if k < 1 {
+		panic("graph: RandomKColorable needs k >= 1")
+	}
+	hidden := make(Coloring, n)
+	for i := range hidden {
+		hidden[i] = rng.Intn(k)
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if hidden[u] != hidden[v] && rng.Float64() < p {
+				g.AddEdge(V(u), V(v))
+			}
+		}
+	}
+	return g, hidden
+}

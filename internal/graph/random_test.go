@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomERBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomER(rng, 20, 0)
+	if g.E() != 0 {
+		t.Fatal("p=0 should give no edges")
+	}
+	g = RandomER(rng, 20, 1)
+	if g.E() != 20*19/2 {
+		t.Fatalf("p=1 should give complete graph, got %d edges", g.E())
+	}
+}
+
+func TestRandomERDeterministic(t *testing.T) {
+	a := RandomER(rand.New(rand.NewSource(42)), 25, 0.3)
+	b := RandomER(rand.New(rand.NewSource(42)), 25, 0.3)
+	if a.E() != b.E() {
+		t.Fatal("same seed should give same graph")
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e[0], e[1]) {
+			t.Fatal("same seed should give same edges")
+		}
+	}
+}
+
+func TestIntervalGraph(t *testing.T) {
+	// [0,2] [1,3] [4,5]: first two overlap, third is disjoint.
+	g := IntervalGraph([]Interval{{0, 2}, {1, 3}, {4, 5}})
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) || g.HasEdge(1, 2) {
+		t.Fatalf("interval graph wrong: %v", g.Edges())
+	}
+}
+
+func TestIntervalIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Interval{0, 2}, Interval{2, 4}, true},  // touching endpoints overlap
+		{Interval{0, 2}, Interval{3, 4}, false}, // disjoint
+		{Interval{1, 5}, Interval{2, 3}, true},  // containment
+	}
+	for _, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("intersection not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestPermutationGadget(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 6} {
+		g, sources, dests := Permutation(p)
+		if g.N() != 2*p {
+			t.Fatalf("p=%d: n=%d", p, g.N())
+		}
+		if g.NumAffinities() != p {
+			t.Fatalf("p=%d: %d affinities", p, g.NumAffinities())
+		}
+		if !g.IsClique(sources) || !g.IsClique(dests) {
+			t.Fatalf("p=%d: sources/dests must be cliques", p)
+		}
+		for i := range sources {
+			if g.HasEdge(sources[i], dests[i]) {
+				t.Fatalf("p=%d: move pair %d must not interfere", p, i)
+			}
+			for j := range dests {
+				if i != j && !g.HasEdge(sources[i], dests[j]) {
+					t.Fatalf("p=%d: u%d must interfere with v%d", p, i, j)
+				}
+			}
+		}
+		// Every vertex has degree 2(p-1): p-1 within its side's clique and
+		// p-1 across.
+		for v := 0; v < g.N(); v++ {
+			if d := g.Degree(V(v)); d != 2*(p-1) {
+				t.Fatalf("p=%d: degree(%d)=%d, want %d", p, v, d, 2*(p-1))
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSprinkleAffinities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomER(rng, 15, 0.2)
+	added := SprinkleAffinities(rng, g, 10, 4)
+	if added != 10 {
+		t.Fatalf("added=%d, want 10 on a sparse graph", added)
+	}
+	for _, a := range g.Affinities() {
+		if g.HasEdge(a.X, a.Y) {
+			t.Fatal("sprinkled affinity between interfering vertices")
+		}
+		if a.Weight < 1 || a.Weight > 4 {
+			t.Fatalf("weight %d out of range", a.Weight)
+		}
+	}
+	// On a complete graph no affinity can be placed.
+	k := RandomER(rng, 6, 1)
+	if SprinkleAffinities(rng, k, 5, 1) != 0 {
+		t.Fatal("complete graph admits no affinities")
+	}
+}
+
+func TestRandomKColorable(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%25) + 1
+		k := int(kRaw%4) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g, hidden := RandomKColorable(rng, n, k, 0.5)
+		return Coloring(hidden).Proper(g) || !hidden.Complete()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomTreeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	parent := RandomTree(rng, 10)
+	if parent[0] != -1 {
+		t.Fatal("root parent must be -1")
+	}
+	for i := 1; i < 10; i++ {
+		if parent[i] < 0 || parent[i] >= i {
+			t.Fatalf("parent[%d]=%d violates ordering", i, parent[i])
+		}
+	}
+}
+
+func TestRandomChordalValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := RandomChordal(rng, 20, 12, 4)
+		if g.N() != 20 {
+			t.Fatalf("n=%d", g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Chordality itself is asserted in package chordal's tests, which own
+	// the recognition algorithm.
+}

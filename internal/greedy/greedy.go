@@ -1,0 +1,402 @@
+// Package greedy implements greedy-k-colorability, the graph class at the
+// center of the paper's complexity map.
+//
+// A graph is greedy-k-colorable iff repeatedly removing some vertex of
+// degree < k (Chaitin's simplification scheme) empties the graph. The order
+// of removals does not matter. The smallest k for which a graph is
+// greedy-k-colorable is the coloring number col(G) (also known as
+// 1 + degeneracy); G is NOT greedy-k-colorable iff it has a subgraph whose
+// minimum degree is at least k (Jensen & Toft, Thm 12 — quoted as the
+// "classical result" in §2.2 of the paper). Witness extracts that subgraph.
+//
+// Precolored vertices (machine registers) are never simplified; they are
+// assigned their pinned colors first during Select. This matches how
+// Chaitin-style allocators treat physical registers.
+package greedy
+
+import (
+	"regcoal/internal/graph"
+)
+
+// Eliminate runs Chaitin's simplification scheme: while some non-precolored
+// vertex has degree < k in the current graph, remove it. It returns the
+// removal order and the vertices that could not be removed (excluding
+// precolored vertices, which are never candidates).
+//
+// The graph is greedy-k-colorable iff remaining is empty and the graph has
+// no precolored vertices blocking it (see IsGreedyKColorable). Eliminate
+// runs in O(V + E).
+func Eliminate(g *graph.Graph, k int) (order, remaining []graph.V) {
+	n := g.N()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	pinned := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(graph.V(v))
+		_, pinned[v] = g.Precolored(graph.V(v))
+	}
+	var work []graph.V
+	inWork := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if !pinned[v] && deg[v] < k {
+			work = append(work, graph.V(v))
+			inWork[v] = true
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[v] = false
+		if removed[v] || pinned[v] || deg[v] >= k {
+			continue
+		}
+		removed[v] = true
+		order = append(order, v)
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if removed[w] {
+				return
+			}
+			deg[w]--
+			if !pinned[w] && deg[w] < k && !inWork[w] {
+				work = append(work, w)
+				inWork[w] = true
+			}
+		})
+	}
+	for v := 0; v < n; v++ {
+		if !removed[v] && !pinned[v] {
+			remaining = append(remaining, graph.V(v))
+		}
+	}
+	return order, remaining
+}
+
+// IsGreedyKColorable reports whether g is greedy-k-colorable: the
+// simplification scheme removes every non-precolored vertex, and the
+// precolored vertices themselves are consistently colored with colors < k.
+// For graphs without precoloring this is exactly the paper's definition.
+func IsGreedyKColorable(g *graph.Graph, k int) bool {
+	if k <= 0 {
+		return g.N() == 0
+	}
+	for v := 0; v < g.N(); v++ {
+		c, ok := g.Precolored(graph.V(v))
+		if !ok {
+			continue
+		}
+		if c >= k {
+			return false
+		}
+		bad := false
+		g.ForEachNeighbor(graph.V(v), func(w graph.V) {
+			if cw, okw := g.Precolored(w); okw && cw == c {
+				bad = true
+			}
+		})
+		if bad {
+			return false
+		}
+	}
+	_, remaining := Eliminate(g, k)
+	return len(remaining) == 0
+}
+
+// Witness returns a certificate that g is not greedy-k-colorable: a vertex
+// set inducing a subgraph in which every vertex has degree >= k (within the
+// set, counting precolored vertices as permanent). It returns nil when g is
+// greedy-k-colorable. This is the subgraph G' with δ(G') >= k from the
+// classical characterization.
+func Witness(g *graph.Graph, k int) []graph.V {
+	_, remaining := Eliminate(g, k)
+	if len(remaining) == 0 {
+		return nil
+	}
+	// remaining plus the precolored vertices they lean on: every vertex in
+	// `remaining` has >= k live neighbors among remaining ∪ precolored.
+	keep := make(map[graph.V]bool, len(remaining))
+	for _, v := range remaining {
+		keep[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if _, ok := g.Precolored(graph.V(v)); ok {
+			keep[graph.V(v)] = true
+		}
+	}
+	out := make([]graph.V, 0, len(keep))
+	for v := 0; v < g.N(); v++ {
+		if keep[graph.V(v)] {
+			out = append(out, graph.V(v))
+		}
+	}
+	return out
+}
+
+// SmallestLastOrder returns a smallest-last vertex order: x_i is a vertex of
+// minimum degree in the subgraph induced by the not-yet-chosen vertices,
+// and the returned slice lists removals first-to-last. Precoloring is
+// ignored — this is a pure graph-theoretic order. Runs in O(V + E) using
+// degree buckets.
+func SmallestLastOrder(g *graph.Graph) []graph.V {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(graph.V(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]graph.V, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], graph.V(v))
+	}
+	removed := make([]bool, n)
+	order := make([]graph.V, 0, n)
+	cur := 0
+	for len(order) < n {
+		if cur > maxDeg {
+			break
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			// Stale entry: the vertex moved to a lower bucket.
+			continue
+		}
+		removed[v] = true
+		order = append(order, v)
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if removed[w] {
+				return
+			}
+			deg[w]--
+			buckets[deg[w]] = append(buckets[deg[w]], w)
+			if deg[w] < cur {
+				cur = deg[w]
+			}
+		})
+	}
+	return order
+}
+
+// ColoringNumber computes col(G) = 1 + max over the smallest-last order of
+// the degree at removal time = the smallest k such that G is
+// greedy-k-colorable. col of the empty graph is 0.
+func ColoringNumber(g *graph.Graph) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(graph.V(v))
+	}
+	order := SmallestLastOrder(g)
+	// Recompute degrees at removal time by replaying the order.
+	removed := make([]bool, n)
+	cur := make([]int, n)
+	copy(cur, deg)
+	maxMin := 0
+	for _, v := range order {
+		if cur[v] > maxMin {
+			maxMin = cur[v]
+		}
+		removed[v] = true
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if !removed[w] {
+				cur[w]--
+			}
+		})
+	}
+	return maxMin + 1
+}
+
+// Select colors the vertices of order in reverse (Chaitin's select phase),
+// assuming order came from Eliminate(g, k) with no remaining vertices.
+// Precolored vertices are assigned their pinned colors first. When biased
+// is true, each vertex prefers a color already given to one of its affinity
+// partners (biased coloring, §1 of the paper) as long as that color is
+// available; otherwise the lowest available color is used.
+//
+// It returns ok=false if some pinned color is >= k or two interfering
+// precolored vertices share a color; given a complete elimination order,
+// non-precolored vertices always find a color.
+func Select(g *graph.Graph, k int, order []graph.V, biased bool) (graph.Coloring, bool) {
+	col := graph.NewColoring(g.N())
+	for v := 0; v < g.N(); v++ {
+		if c, ok := g.Precolored(graph.V(v)); ok {
+			if c >= k {
+				return nil, false
+			}
+			col[v] = c
+		}
+	}
+	// Verify the precolored skeleton is proper.
+	for v := 0; v < g.N(); v++ {
+		if col[v] == graph.NoColor {
+			continue
+		}
+		conflict := false
+		g.ForEachNeighbor(graph.V(v), func(w graph.V) {
+			if col[w] != graph.NoColor && col[w] == col[v] && w != graph.V(v) {
+				conflict = true
+			}
+		})
+		if conflict {
+			return nil, false
+		}
+	}
+	used := make([]bool, k)
+	affinityPartners := make(map[graph.V][]graph.V)
+	if biased {
+		for _, a := range g.Affinities() {
+			affinityPartners[a.X] = append(affinityPartners[a.X], a.Y)
+			affinityPartners[a.Y] = append(affinityPartners[a.Y], a.X)
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for c := range used {
+			used[c] = false
+		}
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if col[w] != graph.NoColor && col[w] < k {
+				used[col[w]] = true
+			}
+		})
+		chosen := -1
+		if biased {
+			for _, p := range affinityPartners[v] {
+				if col[p] != graph.NoColor && col[p] < k && !used[col[p]] {
+					chosen = col[p]
+					break
+				}
+			}
+		}
+		if chosen == -1 {
+			for c := 0; c < k; c++ {
+				if !used[c] {
+					chosen = c
+					break
+				}
+			}
+		}
+		if chosen == -1 {
+			// Impossible when order is a complete elimination order; guard
+			// anyway for callers that pass optimistic orders.
+			return nil, false
+		}
+		col[v] = chosen
+	}
+	return col, true
+}
+
+// Color runs the full greedy pipeline (Eliminate + Select) and returns a
+// proper k-coloring, or ok=false when g is not greedy-k-colorable.
+func Color(g *graph.Graph, k int) (graph.Coloring, bool) {
+	return color(g, k, false)
+}
+
+// ColorBiased is Color with biased selection: affinity partners try to share
+// colors, so the resulting coloring coalesces more moves at no cost in
+// colorability.
+func ColorBiased(g *graph.Graph, k int) (graph.Coloring, bool) {
+	return color(g, k, true)
+}
+
+func color(g *graph.Graph, k int, biased bool) (graph.Coloring, bool) {
+	if k <= 0 {
+		if g.N() == 0 {
+			return graph.Coloring{}, true
+		}
+		return nil, false
+	}
+	order, remaining := Eliminate(g, k)
+	if len(remaining) > 0 {
+		return nil, false
+	}
+	return Select(g, k, order, biased)
+}
+
+// OptimisticColor implements the Briggs optimistic variant of the select
+// phase: vertices of degree >= k are pushed anyway (as potential spills) and
+// colored if, at select time, their neighbors happen to leave a color free.
+// It returns the partial coloring and the vertices left uncolored (the
+// actual spills). Precolored vertices keep their pins.
+func OptimisticColor(g *graph.Graph, k int) (graph.Coloring, []graph.V) {
+	n := g.N()
+	if k <= 0 {
+		return graph.NewColoring(n), g.Vertices()
+	}
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	pinned := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(graph.V(v))
+		_, pinned[v] = g.Precolored(graph.V(v))
+	}
+	order := make([]graph.V, 0, n)
+	for len(order) < n {
+		// Prefer a low-degree non-pinned vertex; otherwise pick the
+		// max-degree one as a potential spill (cheapest heuristic).
+		best := graph.V(-1)
+		bestDeg := -1
+		for v := 0; v < n; v++ {
+			if removed[v] || pinned[v] {
+				continue
+			}
+			if deg[v] < k {
+				best = graph.V(v)
+				break
+			}
+			if deg[v] > bestDeg {
+				best, bestDeg = graph.V(v), deg[v]
+			}
+		}
+		if best == graph.V(-1) {
+			break // only pinned vertices left
+		}
+		removed[best] = true
+		order = append(order, best)
+		g.ForEachNeighbor(best, func(w graph.V) {
+			if !removed[w] {
+				deg[w]--
+			}
+		})
+	}
+	col := graph.NewColoring(n)
+	for v := 0; v < n; v++ {
+		if c, ok := g.Precolored(graph.V(v)); ok && c < k {
+			col[v] = c
+		}
+	}
+	var spilled []graph.V
+	used := make([]bool, k)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for c := range used {
+			used[c] = false
+		}
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if col[w] != graph.NoColor && col[w] < k {
+				used[col[w]] = true
+			}
+		})
+		assigned := false
+		for c := 0; c < k; c++ {
+			if !used[c] {
+				col[v] = c
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			spilled = append(spilled, v)
+		}
+	}
+	return col, spilled
+}

@@ -1,0 +1,340 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+)
+
+func cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.V(i), graph.V((i+1)%n))
+	}
+	return g
+}
+
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	g.AddClique(g.Vertices()...)
+	return g
+}
+
+func TestIsGreedyKColorableBasics(t *testing.T) {
+	empty := graph.New(0)
+	if !IsGreedyKColorable(empty, 0) || !IsGreedyKColorable(empty, 3) {
+		t.Fatal("empty graph is greedy-k-colorable for all k")
+	}
+	single := graph.New(1)
+	if IsGreedyKColorable(single, 0) {
+		t.Fatal("nonempty graph is not greedy-0-colorable")
+	}
+	if !IsGreedyKColorable(single, 1) {
+		t.Fatal("isolated vertex is greedy-1-colorable")
+	}
+
+	// K4: greedy-4-colorable, not greedy-3-colorable.
+	k4 := complete(4)
+	if IsGreedyKColorable(k4, 3) {
+		t.Fatal("K4 greedy-3-colorable")
+	}
+	if !IsGreedyKColorable(k4, 4) {
+		t.Fatal("K4 not greedy-4-colorable")
+	}
+
+	// C5: every vertex has degree 2, so greedy-3-colorable but not
+	// greedy-2-colorable (even though it needs 3 colors anyway). C4 is
+	// 2-colorable but NOT greedy-2-colorable — the classic gap between
+	// χ and col.
+	c5 := cycle(5)
+	if IsGreedyKColorable(c5, 2) {
+		t.Fatal("C5 greedy-2-colorable")
+	}
+	if !IsGreedyKColorable(c5, 3) {
+		t.Fatal("C5 not greedy-3-colorable")
+	}
+	c4 := cycle(4)
+	if IsGreedyKColorable(c4, 2) {
+		t.Fatal("C4 is 2-colorable but must not be greedy-2-colorable")
+	}
+}
+
+func TestEliminateOrderComplete(t *testing.T) {
+	// A path a-b-c: eliminate with k=2 removes everything.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	order, remaining := Eliminate(g, 2)
+	if len(remaining) != 0 {
+		t.Fatalf("remaining=%v", remaining)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order=%v", order)
+	}
+	seen := map[graph.V]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatal("vertex removed twice")
+		}
+		seen[v] = true
+	}
+}
+
+func TestWitness(t *testing.T) {
+	// K4 plus a pendant: witness for k=3 must be exactly the K4.
+	g := complete(4)
+	p := g.AddVertex()
+	g.AddEdge(p, 0)
+	w := Witness(g, 3)
+	if len(w) != 4 {
+		t.Fatalf("witness=%v, want the K4", w)
+	}
+	for _, v := range w {
+		if v == p {
+			t.Fatal("pendant vertex in witness")
+		}
+	}
+	// Witness property: every vertex has >= k neighbors inside the witness.
+	inW := map[graph.V]bool{}
+	for _, v := range w {
+		inW[v] = true
+	}
+	for _, v := range w {
+		count := 0
+		for _, u := range g.Neighbors(v) {
+			if inW[u] {
+				count++
+			}
+		}
+		if count < 3 {
+			t.Fatalf("witness vertex %d has only %d internal neighbors", int(v), count)
+		}
+	}
+	if Witness(g, 4) != nil {
+		t.Fatal("witness should be nil when greedy-k-colorable")
+	}
+}
+
+func TestColoringNumber(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{graph.New(0), 0},
+		{graph.New(3), 1},
+		{complete(4), 4},
+		{cycle(5), 3},
+		{cycle(4), 3}, // col(C4)=3 although χ(C4)=2
+	}
+	for i, c := range cases {
+		if got := ColoringNumber(c.g); got != c.want {
+			t.Errorf("case %d: col=%d, want %d", i, got, c.want)
+		}
+	}
+	// Path: col = 2.
+	path := graph.New(5)
+	for i := 0; i < 4; i++ {
+		path.AddEdge(graph.V(i), graph.V(i+1))
+	}
+	if got := ColoringNumber(path); got != 2 {
+		t.Errorf("col(P5)=%d, want 2", got)
+	}
+}
+
+// col(G) is exactly the threshold of greedy-k-colorability.
+func TestQuickColThreshold(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%25) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.3)
+		col := ColoringNumber(g)
+		if !IsGreedyKColorable(g, col) {
+			return false
+		}
+		if col > 1 && IsGreedyKColorable(g, col-1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// col is monotone under adding edges.
+func TestQuickColMonotone(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.2)
+		before := ColoringNumber(g)
+		// Add one random absent edge, if any.
+		for tries := 0; tries < 40; tries++ {
+			u := graph.V(rng.Intn(n))
+			v := graph.V(rng.Intn(n))
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+				break
+			}
+		}
+		return ColoringNumber(g) >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorProducesProperColoring(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.25)
+		k := ColoringNumber(g)
+		col, ok := Color(g, k)
+		if !ok {
+			return false
+		}
+		return col.Proper(g) && col.MaxColor() < k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorFailsBelowCol(t *testing.T) {
+	k4 := complete(4)
+	if _, ok := Color(k4, 3); ok {
+		t.Fatal("coloring K4 with 3 colors should fail")
+	}
+	if _, ok := Color(k4, 0); ok {
+		t.Fatal("k=0 with vertices should fail")
+	}
+}
+
+func TestColorRespectsPrecoloring(t *testing.T) {
+	// Triangle with two precolored corners.
+	g := complete(3)
+	g.SetPrecolored(0, 0)
+	g.SetPrecolored(1, 2)
+	col, ok := Color(g, 3)
+	if !ok {
+		t.Fatal("3-coloring a triangle with consistent pins should work")
+	}
+	if col[0] != 0 || col[1] != 2 || col[2] != 1 {
+		t.Fatalf("coloring %v violates pins", col)
+	}
+	// Pin out of range of k.
+	g2 := graph.New(1)
+	g2.SetPrecolored(0, 5)
+	if _, ok := Color(g2, 3); ok {
+		t.Fatal("pin >= k must fail")
+	}
+	// Conflicting pins on interfering vertices.
+	g3 := complete(2)
+	g3.SetPrecolored(0, 1)
+	g3.SetPrecolored(1, 1)
+	if _, ok := Color(g3, 3); ok {
+		t.Fatal("conflicting pins must fail")
+	}
+	if IsGreedyKColorable(g3, 3) {
+		t.Fatal("conflicting pins: not greedy-colorable")
+	}
+}
+
+func TestBiasedColoringCoalescesMore(t *testing.T) {
+	// Path u - x - v with affinity (u, v): unbiased lowest-color select
+	// may separate u and v; biased select gives them the same color.
+	g := graph.NewNamed("u", "x", "v")
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddAffinity(0, 2, 10)
+
+	biased, ok := ColorBiased(g, 2)
+	if !ok {
+		t.Fatal("path is greedy-2-colorable")
+	}
+	n, w := biased.CoalescedMoves(g)
+	if n != 1 || w != 10 {
+		t.Fatalf("biased coloring should coalesce the move, got n=%d w=%d (coloring %v)", n, w, biased)
+	}
+}
+
+func TestSmallestLastOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.RandomER(rng, 40, 0.15)
+	order := SmallestLastOrder(g)
+	if len(order) != g.N() {
+		t.Fatalf("order has %d vertices, want %d", len(order), g.N())
+	}
+	seen := make([]bool, g.N())
+	for _, v := range order {
+		if seen[v] {
+			t.Fatal("duplicate in order")
+		}
+		seen[v] = true
+	}
+}
+
+func TestOptimisticColor(t *testing.T) {
+	// K4 with k=3: exactly one vertex must spill.
+	k4 := complete(4)
+	col, spilled := OptimisticColor(k4, 3)
+	if len(spilled) != 1 {
+		t.Fatalf("spilled=%v, want one vertex", spilled)
+	}
+	colored := 0
+	for _, c := range col {
+		if c != graph.NoColor {
+			colored++
+		}
+	}
+	if colored != 3 {
+		t.Fatalf("colored %d vertices, want 3", colored)
+	}
+	// A greedy-k-colorable graph must spill nothing.
+	c5 := cycle(5)
+	if _, spilled := OptimisticColor(c5, 3); len(spilled) != 0 {
+		t.Fatalf("C5 with k=3 spilled %v", spilled)
+	}
+	// Optimism can win where pessimism spills: C4 with k=2 is 2-colorable
+	// though not greedy-2-colorable; optimistic select colors it fully.
+	c4 := cycle(4)
+	if col, spilled := OptimisticColor(c4, 2); len(spilled) != 0 || !col.Proper(c4) {
+		t.Fatalf("optimistic coloring of C4 with k=2 failed: %v spilled %v", col, spilled)
+	}
+}
+
+// Property 2 of the paper, greedy part: G greedy-k-colorable iff CliqueLift
+// by p is greedy-(k+p)-colorable.
+func TestQuickProperty2Greedy(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw uint8) bool {
+		n := int(nRaw%15) + 1
+		p := int(pRaw % 4)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.35)
+		lifted, _ := g.CliqueLift(p)
+		for k := 1; k <= n+1; k++ {
+			if IsGreedyKColorable(g, k) != IsGreedyKColorable(lifted, k+p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEliminateDoesNotMutateGraph(t *testing.T) {
+	g := cycle(6)
+	edgesBefore := g.E()
+	Eliminate(g, 3)
+	if g.E() != edgesBefore {
+		t.Fatal("Eliminate mutated the graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+)
+
+func TestSelectColorsReverseOrder(t *testing.T) {
+	// Path 0-1-2 with elimination order [0, 1, 2]: select colors 2 first.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	order, remaining := Eliminate(g, 2)
+	if len(remaining) != 0 {
+		t.Fatal("path must fully eliminate at k=2")
+	}
+	col, ok := Select(g, 2, order, false)
+	if !ok || !col.Proper(g) {
+		t.Fatalf("select failed: %v %v", col, ok)
+	}
+}
+
+func TestSelectRejectsBadPins(t *testing.T) {
+	g := graph.New(2)
+	g.SetPrecolored(0, 5)
+	if _, ok := Select(g, 3, nil, false); ok {
+		t.Fatal("pin >= k must fail")
+	}
+	h := graph.New(2)
+	h.AddEdge(0, 1)
+	h.SetPrecolored(0, 1)
+	h.SetPrecolored(1, 1)
+	if _, ok := Select(h, 3, nil, false); ok {
+		t.Fatal("conflicting pinned skeleton must fail")
+	}
+}
+
+func TestSelectPartialOrderGuard(t *testing.T) {
+	// Select with an order that is NOT a complete elimination order: the
+	// guard must return false rather than panic when a vertex runs out of
+	// colors. K3 with k=2 and all three vertices in the order.
+	g := graph.New(3)
+	g.AddClique(0, 1, 2)
+	_, ok := Select(g, 2, []graph.V{0, 1, 2}, false)
+	if ok {
+		t.Fatal("K3 cannot be 2-colored")
+	}
+}
+
+// Biased select never produces an improper coloring and never coalesces
+// less than... it CAN coalesce less in principle, but must stay proper and
+// within k colors.
+func TestQuickBiasedSelectProper(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.3)
+		graph.SprinkleAffinities(rng, g, n, 5)
+		k := ColoringNumber(g)
+		col, ok := ColorBiased(g, k)
+		if !ok {
+			return false
+		}
+		return col.Proper(g) && col.MaxColor() < k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Witness is consistent with Eliminate across random graphs: the witness
+// is empty exactly when elimination completes.
+func TestQuickWitnessIff(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%18) + 1
+		k := int(kRaw%5) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.3)
+		_, remaining := Eliminate(g, k)
+		w := Witness(g, k)
+		return (len(remaining) == 0) == (w == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

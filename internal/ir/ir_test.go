@@ -1,0 +1,130 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	f := NewFunc("t")
+	a := f.NewNamedReg("a")
+	b := f.NewReg()
+	f.Entry().Def(a)
+	f.Entry().Move(b, a)
+	blk := f.NewBlock("next")
+	f.AddEdge(f.Entry(), blk)
+	blk.Use(b)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if f.CountMoves() != 1 {
+		t.Fatalf("moves=%d", f.CountMoves())
+	}
+	if f.RegName(a) != "a" || f.RegName(b) != "v1" || f.RegName(NoReg) != "_" {
+		t.Fatalf("names: %q %q %q", f.RegName(a), f.RegName(b), f.RegName(NoReg))
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	f := NewFunc("t")
+	b := f.NewBlock("b")
+	f.AddEdge(f.Entry(), b)
+	f.AddEdge(f.Entry(), b)
+	if len(f.Entry().Succs) != 1 || len(b.Preds) != 1 {
+		t.Fatal("duplicate edge added")
+	}
+}
+
+func TestVerifyCatchesMalformed(t *testing.T) {
+	// φ after non-φ.
+	f := NewFunc("t")
+	r := f.NewReg()
+	f.Entry().Def(r)
+	f.Entry().Phi(r, r)
+	if f.Verify() == nil {
+		t.Fatal("φ after non-φ accepted")
+	}
+	// φ arg count mismatch.
+	f2 := NewFunc("t")
+	r2 := f2.NewReg()
+	f2.Entry().Phi(r2, r2, r2) // entry has no preds
+	if f2.Verify() == nil {
+		t.Fatal("φ arity mismatch accepted")
+	}
+	// Out-of-range register.
+	f3 := NewFunc("t")
+	f3.Entry().Def(Reg(7))
+	if f3.Verify() == nil {
+		t.Fatal("out-of-range register accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := NewFunc("t")
+	r := f.NewReg()
+	f.Entry().Def(r)
+	g := f.Clone()
+	g.Entry().Use(r)
+	g.NewReg()
+	if len(f.Entry().Instrs) != 1 || f.NumRegs != 1 {
+		t.Fatal("clone mutated original")
+	}
+}
+
+func TestStringListing(t *testing.T) {
+	f := Diamond()
+	s := f.String()
+	for _, want := range []string{"func diamond", "entry:", "join:", "use(c)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("listing missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFixtureShapes(t *testing.T) {
+	for _, f := range []*Func{Diamond(), Loop(), Swap()} {
+		if err := f.Verify(); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+	}
+	if Swap().CountMoves() != 3 {
+		t.Fatal("swap fixture should contain 3 moves")
+	}
+}
+
+func TestQuickRandomProgramsVerify(t *testing.T) {
+	f := func(seed int64, varsRaw, blocksRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := DefaultRandomParams()
+		p.Vars = int(varsRaw%10) + 1
+		p.Blocks = int(blocksRaw%10) + 1
+		fn := Random(rng, p)
+		return fn.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	p := DefaultRandomParams()
+	a := Random(rand.New(rand.NewSource(5)), p)
+	b := Random(rand.New(rand.NewSource(5)), p)
+	if a.String() != b.String() {
+		t.Fatal("same seed should give same program")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := []Op{OpDef, OpMove, OpPhi, OpUse, OpLoad, OpStore}
+	seen := map[string]bool{}
+	for _, o := range ops {
+		s := o.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad op name %q", s)
+		}
+		seen[s] = true
+	}
+}

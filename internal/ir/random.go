@@ -1,0 +1,179 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomParams controls random program generation.
+type RandomParams struct {
+	// Vars is the number of source-level variables; all are defined in the
+	// entry block, so every program is strict.
+	Vars int
+	// Blocks is the approximate number of basic blocks.
+	Blocks int
+	// InstrsPerBlock is the expected straight-line length per block.
+	InstrsPerBlock int
+	// BranchProb is the probability that a block ends in a two-way branch
+	// (otherwise it falls through); back edges appear with probability
+	// BackProb per branch target.
+	BranchProb, BackProb float64
+}
+
+// DefaultRandomParams returns a reasonable mid-size program shape.
+func DefaultRandomParams() RandomParams {
+	return RandomParams{
+		Vars:           8,
+		Blocks:         8,
+		InstrsPerBlock: 5,
+		BranchProb:     0.5,
+		BackProb:       0.25,
+	}
+}
+
+// Random generates a random strict (non-SSA) function: every variable is
+// defined in the entry block, then blocks mutate and use variables at
+// random. The CFG is a chain with random forward branch targets and
+// occasional back edges, so it contains joins and loops — the shapes that
+// make SSA φs and out-of-SSA moves appear. A final block uses every
+// variable so that live ranges extend across the CFG.
+func Random(rng *rand.Rand, p RandomParams) *Func {
+	if p.Vars < 1 || p.Blocks < 1 {
+		panic("ir: RandomParams need at least one variable and block")
+	}
+	f := NewFunc("random")
+	vars := make([]Reg, p.Vars)
+	for i := range vars {
+		vars[i] = f.NewNamedReg(fmt.Sprintf("x%d", i))
+		f.Entry().Def(vars[i])
+	}
+	// Body blocks in a chain; each may also jump forward to a random later
+	// block or back to a random earlier one.
+	blocks := []*Block{f.Entry()}
+	for i := 1; i < p.Blocks; i++ {
+		blocks = append(blocks, f.NewBlock(fmt.Sprintf("b%d", i)))
+	}
+	exit := f.NewBlock("exit")
+	for i, b := range blocks {
+		// Straight-line body: random defs/moves/uses over the variables.
+		n := 1 + rng.Intn(2*p.InstrsPerBlock)
+		for j := 0; j < n; j++ {
+			switch rng.Intn(4) {
+			case 0: // redefinition from two operands
+				dst := vars[rng.Intn(len(vars))]
+				a := vars[rng.Intn(len(vars))]
+				c := vars[rng.Intn(len(vars))]
+				b.Def(dst, a, c)
+			case 1: // move
+				dst := vars[rng.Intn(len(vars))]
+				src := vars[rng.Intn(len(vars))]
+				if dst != src {
+					b.Move(dst, src)
+				}
+			case 2: // pure def
+				b.Def(vars[rng.Intn(len(vars))])
+			default: // use
+				b.Use(vars[rng.Intn(len(vars))])
+			}
+		}
+		// Wire control flow.
+		next := exit
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		f.AddEdge(b, next)
+		if rng.Float64() < p.BranchProb {
+			if rng.Float64() < p.BackProb && i > 0 {
+				// Back edge to a random earlier block: a loop.
+				f.AddEdge(b, blocks[rng.Intn(i+1)])
+			} else if i+2 < len(blocks) {
+				// Forward skip: a join at the target.
+				target := blocks[i+2+rng.Intn(len(blocks)-i-2)]
+				f.AddEdge(b, target)
+			} else {
+				f.AddEdge(b, exit)
+			}
+		}
+	}
+	for _, v := range vars {
+		exit.Use(v)
+	}
+	return f
+}
+
+// Diamond builds the canonical if-then-else join: entry defines a and b,
+// the two arms redefine c differently, and the join uses everything. Its
+// SSA form needs a φ for c, and going out of SSA inserts the moves the
+// paper's coalescing problems start from.
+func Diamond() *Func {
+	f := NewFunc("diamond")
+	a := f.NewNamedReg("a")
+	b := f.NewNamedReg("b")
+	c := f.NewNamedReg("c")
+	f.Entry().Def(a)
+	f.Entry().Def(b)
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	join := f.NewBlock("join")
+	f.AddEdge(f.Entry(), left)
+	f.AddEdge(f.Entry(), right)
+	f.AddEdge(left, join)
+	f.AddEdge(right, join)
+	left.Def(c, a)
+	right.Def(c, b)
+	join.Use(c)
+	join.Use(a)
+	return f
+}
+
+// Loop builds a counted-loop shape: entry defines i and s, the body
+// redefines both (s = s + i, i = i + 1), and the exit uses s. Its SSA form
+// needs φs at the loop header.
+func Loop() *Func {
+	f := NewFunc("loop")
+	i := f.NewNamedReg("i")
+	s := f.NewNamedReg("s")
+	f.Entry().Def(i)
+	f.Entry().Def(s)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	f.AddEdge(f.Entry(), head)
+	f.AddEdge(head, body)
+	f.AddEdge(head, exit)
+	f.AddEdge(body, head)
+	head.Use(i)
+	body.Def(s, s, i)
+	body.Def(i, i)
+	exit.Use(s)
+	return f
+}
+
+// Swap builds the classic swap loop that exhibits the φ-cyclic "swap
+// problem" of out-of-SSA translation: a loop whose body exchanges two
+// variables. Its lowering requires a cycle-breaking temporary in the
+// parallel copy.
+func Swap() *Func {
+	f := NewFunc("swap")
+	a := f.NewNamedReg("a")
+	b := f.NewNamedReg("b")
+	f.Entry().Def(a)
+	f.Entry().Def(b)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	f.AddEdge(f.Entry(), head)
+	f.AddEdge(head, body)
+	f.AddEdge(head, exit)
+	f.AddEdge(body, head)
+	head.Use(a)
+	head.Use(b)
+	// Exchange a and b through a temp at source level.
+	t := f.NewNamedReg("t")
+	body.Move(t, a)
+	body.Move(a, b)
+	body.Move(b, t)
+	exit.Use(a)
+	exit.Use(b)
+	return f
+}

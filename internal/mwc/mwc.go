@@ -1,0 +1,171 @@
+// Package mwc implements the multiway cut problem, the NP-complete source
+// of the paper's Theorem 2 reduction to aggressive coalescing: given a
+// graph and k terminals, remove as few edges as possible so that every
+// terminal ends in a different connected component. Multiway cut is
+// NP-complete even unweighted and even for k = 3 (Dahlhaus et al.).
+package mwc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regcoal/internal/graph"
+)
+
+// Instance is a multiway cut instance: the graph's interference edges are
+// the edges to cut (affinities are ignored) and Terminals are the vertices
+// to separate.
+type Instance struct {
+	G         *graph.Graph
+	Terminals []graph.V
+}
+
+// Validate reports structural problems: out-of-range or duplicate terminals.
+func (in *Instance) Validate() error {
+	seen := make(map[graph.V]bool)
+	for _, t := range in.Terminals {
+		if t < 0 || int(t) >= in.G.N() {
+			return fmt.Errorf("mwc: terminal %d out of range", int(t))
+		}
+		if seen[t] {
+			return fmt.Errorf("mwc: duplicate terminal %d", int(t))
+		}
+		seen[t] = true
+	}
+	return nil
+}
+
+// CutSize evaluates an assignment of every vertex to a terminal group
+// (values 0..len(Terminals)-1): the cut is the number of edges whose
+// endpoints land in different groups. Assignments must give terminal i the
+// group i; CutSize does not check that.
+func (in *Instance) CutSize(group []int) int {
+	cut := 0
+	for _, e := range in.G.Edges() {
+		if group[e[0]] != group[e[1]] {
+			cut++
+		}
+	}
+	return cut
+}
+
+// Separates reports whether removing the given edge set disconnects every
+// pair of terminals.
+func (in *Instance) Separates(removed map[[2]graph.V]bool) bool {
+	// BFS from each terminal avoiding removed edges.
+	id := make([]int, in.G.N())
+	for i := range id {
+		id[i] = -1
+	}
+	for ti, t := range in.Terminals {
+		if id[t] != -1 {
+			return false // two terminals already connected
+		}
+		queue := []graph.V{t}
+		id[t] = ti
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			bad := false
+			in.G.ForEachNeighbor(v, func(w graph.V) {
+				e := [2]graph.V{v, w}
+				if v > w {
+					e = [2]graph.V{w, v}
+				}
+				if removed[e] {
+					return
+				}
+				if id[w] == -1 {
+					id[w] = ti
+					queue = append(queue, w)
+				} else if id[w] != ti {
+					bad = true
+				}
+			})
+			if bad {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SolveExact computes the minimum multiway cut by branch and bound over
+// vertex-to-group assignments: each non-terminal vertex is assigned to one
+// of the k terminal groups, terminals are fixed, and the cut is the number
+// of cross-group edges. Exponential (k^(n-k)); intended for the small
+// instances used to verify the Theorem 2 reduction.
+//
+// It returns the minimum cut size and one optimal group assignment.
+func (in *Instance) SolveExact() (int, []int) {
+	n := in.G.N()
+	k := len(in.Terminals)
+	if k == 0 {
+		return 0, make([]int, n)
+	}
+	group := make([]int, n)
+	for i := range group {
+		group[i] = -1
+	}
+	for ti, t := range in.Terminals {
+		group[t] = ti
+	}
+	// Order the free vertices so that neighbors of assigned vertices come
+	// early — improves the bound. Simple heuristic: descending degree.
+	var free []graph.V
+	for v := 0; v < n; v++ {
+		if group[v] == -1 {
+			free = append(free, graph.V(v))
+		}
+	}
+	best := in.G.E() + 1
+	bestGroup := make([]int, n)
+	var rec func(i, cut int)
+	rec = func(i, cut int) {
+		if cut >= best {
+			return
+		}
+		if i == len(free) {
+			best = cut
+			copy(bestGroup, group)
+			return
+		}
+		v := free[i]
+		for gi := 0; gi < k; gi++ {
+			extra := 0
+			in.G.ForEachNeighbor(v, func(w graph.V) {
+				if group[w] != -1 && group[w] != gi {
+					extra++
+				}
+			})
+			group[v] = gi
+			rec(i+1, cut+extra)
+			group[v] = -1
+		}
+	}
+	// Initial cut among terminals themselves.
+	baseCut := 0
+	for _, e := range in.G.Edges() {
+		if group[e[0]] != -1 && group[e[1]] != -1 && group[e[0]] != group[e[1]] {
+			baseCut++
+		}
+	}
+	rec(0, baseCut)
+	copy(group, bestGroup)
+	return best, bestGroup
+}
+
+// Random returns a random instance: an Erdős–Rényi graph with k random
+// distinct terminals.
+func Random(rng *rand.Rand, n int, p float64, k int) *Instance {
+	if k > n {
+		panic("mwc: more terminals than vertices")
+	}
+	g := graph.RandomER(rng, n, p)
+	perm := rng.Perm(n)
+	terms := make([]graph.V, k)
+	for i := 0; i < k; i++ {
+		terms[i] = graph.V(perm[i])
+	}
+	return &Instance{G: g, Terminals: terms}
+}

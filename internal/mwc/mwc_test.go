@@ -1,0 +1,152 @@
+package mwc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+)
+
+func TestValidate(t *testing.T) {
+	g := graph.New(3)
+	if err := (&Instance{G: g, Terminals: []graph.V{0, 1}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Instance{G: g, Terminals: []graph.V{0, 0}}).Validate(); err == nil {
+		t.Fatal("duplicate terminal accepted")
+	}
+	if err := (&Instance{G: g, Terminals: []graph.V{5}}).Validate(); err == nil {
+		t.Fatal("out-of-range terminal accepted")
+	}
+}
+
+func TestSolveExactPath(t *testing.T) {
+	// Path s1 - a - s2: cutting one edge separates the terminals.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	in := &Instance{G: g, Terminals: []graph.V{0, 2}}
+	cut, group := in.SolveExact()
+	if cut != 1 {
+		t.Fatalf("cut=%d, want 1", cut)
+	}
+	if in.CutSize(group) != 1 {
+		t.Fatal("reported assignment does not realize the cut")
+	}
+}
+
+func TestSolveExactTriangleTerminals(t *testing.T) {
+	// Triangle of terminals: all 3 edges must go.
+	g := graph.New(3)
+	g.AddClique(0, 1, 2)
+	in := &Instance{G: g, Terminals: []graph.V{0, 1, 2}}
+	cut, _ := in.SolveExact()
+	if cut != 3 {
+		t.Fatalf("cut=%d, want 3", cut)
+	}
+}
+
+func TestSolveExactStar(t *testing.T) {
+	// Star: center c adjacent to terminals s1,s2,s3. Min cut = 2 (keep the
+	// center with one terminal).
+	g := graph.New(4)
+	g.AddEdge(3, 0)
+	g.AddEdge(3, 1)
+	g.AddEdge(3, 2)
+	in := &Instance{G: g, Terminals: []graph.V{0, 1, 2}}
+	cut, group := in.SolveExact()
+	if cut != 2 {
+		t.Fatalf("cut=%d, want 2", cut)
+	}
+	// Terminals keep their groups.
+	for ti, term := range in.Terminals {
+		if group[term] != ti {
+			t.Fatal("terminal moved out of its group")
+		}
+	}
+}
+
+func TestSolveExactDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	in := &Instance{G: g, Terminals: []graph.V{0, 2}}
+	cut, _ := in.SolveExact()
+	if cut != 0 {
+		t.Fatalf("already separated, cut=%d", cut)
+	}
+}
+
+func TestSeparates(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	in := &Instance{G: g, Terminals: []graph.V{0, 2}}
+	if in.Separates(map[[2]graph.V]bool{}) {
+		t.Fatal("no removal should not separate")
+	}
+	if !in.Separates(map[[2]graph.V]bool{{0, 1}: true}) {
+		t.Fatal("removing (0,1) separates the path")
+	}
+}
+
+// The exact solver's assignment always separates the terminals when its
+// crossing edges are removed, and no smaller edge set does (checked by
+// enumeration on tiny instances).
+func TestQuickExactOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Random(rng, 7, 0.4, 3)
+		if in.Validate() != nil {
+			return false
+		}
+		cut, group := in.SolveExact()
+		if in.CutSize(group) != cut {
+			return false
+		}
+		// The crossing edges separate.
+		removed := map[[2]graph.V]bool{}
+		for _, e := range in.G.Edges() {
+			if group[e[0]] != group[e[1]] {
+				removed[e] = true
+			}
+		}
+		if !in.Separates(removed) {
+			return false
+		}
+		// No strictly smaller edge subset separates (enumerate subsets of
+		// size < cut — fine for tiny graphs).
+		edges := in.G.Edges()
+		if len(edges) > 16 {
+			return true // skip enumeration when too big
+		}
+		for mask := 0; mask < 1<<len(edges); mask++ {
+			if popcount(mask) >= cut {
+				continue
+			}
+			rm := map[[2]graph.V]bool{}
+			for i, e := range edges {
+				if mask&(1<<i) != 0 {
+					rm[e] = true
+				}
+			}
+			if in.Separates(rm) {
+				return false // found smaller cut: solver not optimal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

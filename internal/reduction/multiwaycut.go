@@ -1,0 +1,113 @@
+// Package reduction implements, as executable instance transformers, the
+// four NP-completeness reductions of the paper:
+//
+//   - Theorem 2: multiway cut → aggressive coalescing (Figure 1),
+//   - Theorem 3: graph k-colorability → conservative coalescing (Figure 2),
+//   - Theorem 4: 3SAT → (4SAT →) incremental conservative coalescing on
+//     3-colorable graphs (Figure 4),
+//   - Theorem 6: vertex cover → optimistic coalescing / de-coalescing on
+//     chordal greedy-4-colorable graphs (Figures 6 and 7).
+//
+// Each reduction ships with a Verify function that checks the defining
+// equivalence on a concrete instance using the exact solvers — reproducing
+// a complexity theorem here means mechanically confirming that the optimum
+// of the source instance equals the optimum of the produced coalescing
+// instance.
+package reduction
+
+import (
+	"fmt"
+
+	"regcoal/internal/exact"
+	"regcoal/internal/graph"
+	"regcoal/internal/mwc"
+)
+
+// AggressiveInstance is the output of the Theorem 2 reduction: an
+// interference graph whose affinities encode a multiway cut instance. The
+// minimum number of affinities left uncoalesced by an optimal aggressive
+// coalescing equals the minimum multiway cut.
+type AggressiveInstance struct {
+	G *graph.Graph
+	// Terminals are the clique vertices s_1..s_k of the construction.
+	Terminals []graph.V
+	// VertexOf maps each source-instance vertex to its vertex in G.
+	VertexOf []graph.V
+	// SubdivisionOf maps each source edge (by index in the source graph's
+	// Edges() order) to its subdivision vertex x_e.
+	SubdivisionOf []graph.V
+}
+
+// FromMultiwayCut builds the Theorem 2 instance from a multiway cut
+// instance, following Figure 1:
+//
+//   - every source vertex becomes a vertex of the interference graph;
+//   - the terminals form an interference clique (a triangle for k = 3);
+//   - every source edge e = (u, v) is subdivided by a fresh vertex x_e, and
+//     the two halves become affinities (u, x_e) and (x_e, v) of weight 1;
+//   - there are no other interferences.
+//
+// Removing at most K edges of the (subdivided) source graph so that the
+// terminals fall apart is exactly leaving at most K affinities uncoalesced:
+// each connected component of kept affinities collapses onto one vertex,
+// and the terminal clique forces components of distinct terminals apart.
+func FromMultiwayCut(in *mwc.Instance) *AggressiveInstance {
+	src := in.G
+	out := &AggressiveInstance{
+		G:        graph.New(0),
+		VertexOf: make([]graph.V, src.N()),
+	}
+	for v := 0; v < src.N(); v++ {
+		out.VertexOf[v] = out.G.AddNamedVertex(src.Name(graph.V(v)))
+	}
+	out.Terminals = make([]graph.V, len(in.Terminals))
+	for i, t := range in.Terminals {
+		out.Terminals[i] = out.VertexOf[t]
+	}
+	out.G.AddClique(out.Terminals...)
+	edges := src.Edges()
+	out.SubdivisionOf = make([]graph.V, len(edges))
+	for i, e := range edges {
+		xe := out.G.AddNamedVertex(fmt.Sprintf("x_%s_%s", src.Name(e[0]), src.Name(e[1])))
+		out.SubdivisionOf[i] = xe
+		out.G.AddAffinity(out.VertexOf[e[0]], xe, 1)
+		out.G.AddAffinity(xe, out.VertexOf[e[1]], 1)
+	}
+	return out
+}
+
+// VerifyMultiwayCut checks the Theorem 2 equivalence on a concrete
+// instance with both exact solvers: the minimum multiway cut equals the
+// minimum number of uncoalesced affinities over all aggressive coalescings.
+// Exponential; use small instances.
+func VerifyMultiwayCut(in *mwc.Instance) error {
+	cut, _ := in.SolveExact()
+	red := FromMultiwayCut(in)
+	res := exact.OptimalAggressive(red.G, exact.MinimizeCount)
+	if int64(cut) != res.Cost {
+		return fmt.Errorf("reduction: multiway cut optimum %d != aggressive coalescing optimum %d", cut, res.Cost)
+	}
+	return nil
+}
+
+// CutFromCoalescing translates an aggressive coalescing of the reduced
+// instance back to a vertex-to-terminal assignment of the source instance:
+// a source vertex joins terminal i when it is coalesced into terminal i's
+// class, and defaults to terminal 0 otherwise. The induced cut size is at
+// most the number of uncoalesced affinities.
+func (ai *AggressiveInstance) CutFromCoalescing(in *mwc.Instance, p *graph.Partition) []int {
+	group := make([]int, in.G.N())
+	for v := range group {
+		group[v] = 0
+		for ti, t := range ai.Terminals {
+			if p.Same(ai.VertexOf[v], t) {
+				group[v] = ti
+				break
+			}
+		}
+	}
+	for ti, t := range in.Terminals {
+		group[t] = ti
+	}
+	return group
+}

@@ -1,0 +1,82 @@
+package reduction
+
+import (
+	"fmt"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/ir"
+	"regcoal/internal/mwc"
+)
+
+// BuildProgram emits the actual code of the Theorem 2 proof (Figure 1,
+// right): a mini-IR function whose Chaitin interference graph is exactly
+// the terminal clique and whose moves are exactly the subdivided-edge
+// affinities.
+//
+// Following the paper: one block B defines all terminals together (a use
+// block on a private branch keeps them simultaneously live, hence an
+// interference clique); one block B_v per other vertex defines v; and for
+// each source edge e = (u, v), a join block C_e uses a variable x_e that
+// both predecessors define by a move — "x_e = u" on a path below u's
+// definition and "x_e = v" below v's. Paths for different vertices never
+// overlap, so no other interference appears.
+//
+// It returns the function and the register of each source vertex.
+func BuildProgram(in *mwc.Instance) (*ir.Func, []ir.Reg) {
+	src := in.G
+	f := ir.NewFunc("mwc")
+	regOf := make([]ir.Reg, src.N())
+	for v := 0; v < src.N(); v++ {
+		regOf[v] = f.NewNamedReg(src.Name(graph.V(v)))
+	}
+	isTerminal := make([]bool, src.N())
+	for _, t := range in.Terminals {
+		isTerminal[t] = true
+	}
+	exit := f.NewBlock("exit")
+
+	// Block B: all terminals defined together; a private branch uses them
+	// all so they stay live together.
+	blockB := f.NewBlock("B")
+	f.AddEdge(f.Entry(), blockB)
+	useS := f.NewBlock("useS")
+	f.AddEdge(blockB, useS)
+	f.AddEdge(useS, exit)
+	for _, t := range in.Terminals {
+		blockB.Def(regOf[t])
+	}
+	termRegs := make([]ir.Reg, len(in.Terminals))
+	for i, t := range in.Terminals {
+		termRegs[i] = regOf[t]
+	}
+	useS.Use(termRegs...)
+
+	// Definition blocks for the other vertices.
+	defBlock := make([]*ir.Block, src.N())
+	for v := 0; v < src.N(); v++ {
+		if isTerminal[v] {
+			defBlock[v] = blockB
+			continue
+		}
+		b := f.NewBlock("B_" + src.Name(graph.V(v)))
+		f.AddEdge(f.Entry(), b)
+		b.Def(regOf[v])
+		defBlock[v] = b
+	}
+
+	// Edge gadgets.
+	for _, e := range src.Edges() {
+		u, v := e[0], e[1]
+		xe := f.NewNamedReg(fmt.Sprintf("x_%s_%s", src.Name(u), src.Name(v)))
+		ce := f.NewBlock(fmt.Sprintf("C_%s_%s", src.Name(u), src.Name(v)))
+		for _, end := range []graph.V{u, v} {
+			p := f.NewBlock(fmt.Sprintf("P_%s_%s_%s", src.Name(u), src.Name(v), src.Name(end)))
+			f.AddEdge(defBlock[end], p)
+			p.Move(xe, regOf[end])
+			f.AddEdge(p, ce)
+		}
+		ce.Use(xe)
+		f.AddEdge(ce, exit)
+	}
+	return f, regOf
+}

@@ -1,0 +1,312 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/exact"
+	"regcoal/internal/graph"
+	"regcoal/internal/mwc"
+	"regcoal/internal/sat"
+	"regcoal/internal/vcover"
+)
+
+// --- Theorem 2: multiway cut → aggressive coalescing -----------------------
+
+// Figure 1's concrete instance: vertices u, v, w and terminals s1, s2, s3;
+// edges e1=(s1,u), e2=(v,s3)... The figure's exact topology is not fully
+// recoverable, so we use a triangle of terminals with a small web, which is
+// the shape the figure depicts, and rely on the random sweep for the
+// general equivalence.
+func TestFigure1Instance(t *testing.T) {
+	src := graph.NewNamed("s1", "s2", "s3", "u", "v", "w")
+	src.AddEdge(0, 3) // s1 - u
+	src.AddEdge(3, 4) // u - v
+	src.AddEdge(4, 1) // v - s2
+	src.AddEdge(4, 2) // v - s3
+	src.AddEdge(3, 5) // u - w
+	in := &mwc.Instance{G: src, Terminals: []graph.V{0, 1, 2}}
+	if err := VerifyMultiwayCut(in); err != nil {
+		t.Fatal(err)
+	}
+	red := FromMultiwayCut(in)
+	// Interference structure: exactly the terminal triangle.
+	if red.G.E() != 3 {
+		t.Fatalf("reduced instance has %d interferences, want 3 (the terminal clique)", red.G.E())
+	}
+	// Two affinities per source edge.
+	if red.G.NumAffinities() != 2*src.E() {
+		t.Fatalf("affinities=%d, want %d", red.G.NumAffinities(), 2*src.E())
+	}
+}
+
+func TestQuickMultiwayCutEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 4
+		rng := rand.New(rand.NewSource(seed))
+		in := mwc.Random(rng, n, 0.4, 3)
+		return VerifyMultiwayCut(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutFromCoalescing(t *testing.T) {
+	src := graph.NewNamed("s1", "s2", "a")
+	src.AddEdge(0, 2)
+	src.AddEdge(2, 1)
+	in := &mwc.Instance{G: src, Terminals: []graph.V{0, 1}}
+	red := FromMultiwayCut(in)
+	res := exact.OptimalAggressive(red.G, exact.MinimizeCount)
+	group := red.CutFromCoalescing(in, res.P)
+	if in.CutSize(group) > int(res.Cost) {
+		t.Fatalf("cut %d exceeds uncoalesced count %d", in.CutSize(group), res.Cost)
+	}
+	// Terminals keep their own groups.
+	if group[0] != 0 || group[1] != 1 {
+		t.Fatalf("terminal groups %v", group)
+	}
+}
+
+// --- Theorem 3: k-colorability → conservative coalescing --------------------
+
+// Figure 2's instance: the 5-vertex source graph with edges e1..e5 drawn in
+// the paper (a 5-cycle-like web on s,t,u,v,w).
+func TestFigure2Instance(t *testing.T) {
+	src := graph.NewNamed("u", "v", "w", "s", "t")
+	src.AddEdge(0, 1) // e1-ish; exact figure edges unrecoverable, shape preserved
+	src.AddEdge(1, 2)
+	src.AddEdge(2, 3)
+	src.AddEdge(3, 4)
+	src.AddEdge(4, 0)
+	red := FromColorability(src, 3)
+	// Interferences are disjoint edges: greedy-2-colorable.
+	if red.G.E() != src.E() {
+		t.Fatalf("one interference pair per source edge, got %d", red.G.E())
+	}
+	if err := VerifyColorability(src, 3); err != nil {
+		t.Fatal(err)
+	}
+	// C5 is not 2-colorable: with k=2 the zero-cost question flips.
+	if err := VerifyColorability(src, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickColorabilityEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%6) + 3
+		k := int(kRaw%2) + 2 // k in {2, 3}
+		rng := rand.New(rand.NewSource(seed))
+		src := graph.RandomER(rng, n, 0.45)
+		return VerifyColorability(src, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueForcedInstance(t *testing.T) {
+	// 3-colorable source: the intended coalescing exists and stays greedy.
+	src := graph.New(4)
+	src.AddEdge(0, 1)
+	src.AddEdge(1, 2)
+	src.AddEdge(2, 3)
+	if err := VerifyCliqueForced(src, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Non-3-colorable source (K4): zero-cost coalescing impossible.
+	k4 := graph.New(4)
+	k4.AddClique(0, 1, 2, 3)
+	if err := VerifyCliqueForced(k4, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCliqueForced(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 3
+		rng := rand.New(rand.NewSource(seed))
+		src := graph.RandomER(rng, n, 0.4)
+		return VerifyCliqueForced(src, 3) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Theorem 4: 3SAT → incremental conservative coalescing ------------------
+
+func TestFigure4SmallFormulas(t *testing.T) {
+	// Satisfiable: (x1 | x2 | x3).
+	f1 := &sat.Formula{NumVars: 3, Clauses: []sat.Clause{{1, 2, 3}}}
+	if err := VerifySAT(f1); err != nil {
+		t.Fatal(err)
+	}
+	// Unsatisfiable: all eight sign patterns over three variables.
+	f2 := &sat.Formula{NumVars: 3}
+	for mask := 0; mask < 8; mask++ {
+		c := sat.Clause{}
+		for v := 0; v < 3; v++ {
+			l := sat.Lit(v + 1)
+			if mask&(1<<v) != 0 {
+				l = l.Neg()
+			}
+			c = append(c, l)
+		}
+		f2.Clauses = append(f2.Clauses, c)
+	}
+	if _, ok := f2.Solve(); ok {
+		t.Fatal("premise: formula must be UNSAT")
+	}
+	if err := VerifySAT(f2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSATConstructiveColoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		f := sat.Random3SAT(rng, 4, 6)
+		ii, err := FromSAT(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The padded formula is always satisfiable (x0 = true).
+		padded, _ := sat.To4SAT(f)
+		assign, ok := padded.Solve()
+		if !ok {
+			t.Fatal("padded formula must be satisfiable")
+		}
+		col, err := ii.ColoringFromAssignment(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !col.Proper(ii.G) {
+			t.Fatalf("constructive coloring improper: %v", col.Check(ii.G))
+		}
+		// If the assignment sets x0 false, the coloring realizes the
+		// coalescing.
+		if !assign[len(assign)-1] && col[ii.X0] != col[ii.F] {
+			t.Fatal("x0=false assignment must color x0 like F")
+		}
+	}
+}
+
+func TestQuickSATEquivalence(t *testing.T) {
+	f := func(seed int64, ncRaw uint8) bool {
+		nc := int(ncRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		form := sat.Random3SAT(rng, 4, nc)
+		return VerifySAT(form) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSATRejectsNon3SAT(t *testing.T) {
+	bad := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{{1, 2}}}
+	if _, err := FromSAT(bad); err == nil {
+		t.Fatal("2-literal clause must be rejected")
+	}
+}
+
+// --- Theorem 6: vertex cover → optimistic coalescing ------------------------
+
+func TestVertexCoverSingleEdge(t *testing.T) {
+	src := graph.New(2)
+	src.AddEdge(0, 1)
+	if err := VerifyVertexCover(src, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexCoverPathAndTriangle(t *testing.T) {
+	path := graph.New(3)
+	path.AddEdge(0, 1)
+	path.AddEdge(1, 2)
+	if err := VerifyVertexCover(path, true); err != nil {
+		t.Fatal(err)
+	}
+	tri := graph.New(3)
+	tri.AddClique(0, 1, 2)
+	if err := VerifyVertexCover(tri, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexCoverEdgeless(t *testing.T) {
+	// No edges: zero de-coalescings needed.
+	src := graph.New(3)
+	oi, err := FromVertexCover(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, _, err := oi.MinHeartDecoalescings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 0 {
+		t.Fatalf("edgeless source needs %d de-coalescings, want 0", min)
+	}
+}
+
+func TestVertexCoverRejectsHighDegree(t *testing.T) {
+	star := graph.New(5)
+	for i := 1; i < 5; i++ {
+		star.AddEdge(0, graph.V(i))
+	}
+	if _, err := FromVertexCover(star); err == nil {
+		t.Fatal("degree-4 source must be rejected")
+	}
+}
+
+func TestQuickVertexCoverEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%4) + 3 // 3..6 source vertices
+		rng := rand.New(rand.NewSource(seed))
+		src := vcover.RandomMaxDeg3(rng, n, n)
+		return VerifyVertexCover(src, false) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The full-affinity exact search agrees with the heart-only optimum on a
+// tiny instance, confirming arm de-coalescings never beat hearts.
+func TestVertexCoverFullSearchTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		src := vcover.RandomMaxDeg3(rng, 3, 3)
+		if err := VerifyVertexCover(src, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Uncovered edges leave a stuck subgraph: dropping one vertex from a
+// minimum cover must break colorability (checked inside VerifyVertexCover),
+// and with NO de-coalescing a source with edges is stuck.
+func TestVertexCoverNoDecoalescingStuck(t *testing.T) {
+	src := graph.New(2)
+	src.AddEdge(0, 1)
+	oi, err := FromVertexCover(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := oi.CoalesceAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := oi.GreedyColorableAfter(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("fully coalesced H must be stuck when the source has an edge")
+	}
+}

@@ -1,0 +1,448 @@
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"regcoal/internal/graph"
+)
+
+// IRC implements iterated register coalescing (George & Appel, TOPLAS
+// 1996) — the allocator framework the paper's introduction describes:
+// simplification, conservative coalescing (Briggs' test between two
+// temporaries, George's test against precolored nodes), freezing, and
+// optimistic potential spills, driven by interleaved worklists over a
+// mutable interference graph.
+//
+// This is the classical formulation with explicit worklists and move sets,
+// operating on a graph.Graph input; it returns the coloring of the
+// original vertices (spilled vertices get NoColor), the coalescing
+// partition, and per-move outcomes.
+type IRC struct {
+	k int
+	g *graph.Graph
+
+	// adjacency of the evolving graph (indexed by original vertex; merged
+	// vertices alias to their representative).
+	adj    []map[graph.V]bool
+	degree []int
+
+	precolored map[graph.V]bool
+	alias      map[graph.V]graph.V
+
+	// node worklists; a vertex is in exactly one of these sets (or on the
+	// select stack / coalesced).
+	simplifyWorklist map[graph.V]bool
+	freezeWorklist   map[graph.V]bool
+	spillWorklist    map[graph.V]bool
+	coalescedNodes   map[graph.V]bool
+	selectStack      []graph.V
+	onStack          map[graph.V]bool
+
+	// move management. Moves are indices into moves[].
+	moves            []graph.Affinity
+	moveList         map[graph.V][]int
+	worklistMoves    map[int]bool
+	activeMoves      map[int]bool
+	coalescedMoves   map[int]bool
+	constrainedMoves map[int]bool
+	frozenMoves      map[int]bool
+}
+
+// IRCResult is the outcome of an IRC run.
+type IRCResult struct {
+	// Coloring of the original vertices (NoColor = spilled).
+	Coloring graph.Coloring
+	// Spilled lists actual spills.
+	Spilled []graph.V
+	// P is the coalescing partition realized by the run.
+	P *graph.Partition
+	// CoalescedMoves, ConstrainedMoves, FrozenMoves count move outcomes.
+	CoalescedMoves, ConstrainedMoves, FrozenMoves int
+	// CoalescedWeight is the weight of moves whose endpoints merged.
+	CoalescedWeight int64
+}
+
+// NewIRC prepares an IRC run over g with k colors. The graph is not
+// modified.
+func NewIRC(g *graph.Graph, k int) *IRC {
+	n := g.N()
+	a := &IRC{
+		k:                k,
+		g:                g,
+		adj:              make([]map[graph.V]bool, n),
+		degree:           make([]int, n),
+		precolored:       make(map[graph.V]bool),
+		alias:            make(map[graph.V]graph.V),
+		simplifyWorklist: make(map[graph.V]bool),
+		freezeWorklist:   make(map[graph.V]bool),
+		spillWorklist:    make(map[graph.V]bool),
+		coalescedNodes:   make(map[graph.V]bool),
+		onStack:          make(map[graph.V]bool),
+		moveList:         make(map[graph.V][]int),
+		worklistMoves:    make(map[int]bool),
+		activeMoves:      make(map[int]bool),
+		coalescedMoves:   make(map[int]bool),
+		constrainedMoves: make(map[int]bool),
+		frozenMoves:      make(map[int]bool),
+	}
+	for v := 0; v < n; v++ {
+		a.adj[v] = make(map[graph.V]bool)
+		if _, ok := g.Precolored(graph.V(v)); ok {
+			a.precolored[graph.V(v)] = true
+		}
+	}
+	for _, e := range g.Edges() {
+		a.adj[e[0]][e[1]] = true
+		a.adj[e[1]][e[0]] = true
+		a.degree[e[0]]++
+		a.degree[e[1]]++
+	}
+	a.moves = append([]graph.Affinity(nil), g.Affinities()...)
+	graph.SortAffinities(a.moves)
+	for i, m := range a.moves {
+		a.moveList[m.X] = append(a.moveList[m.X], i)
+		a.moveList[m.Y] = append(a.moveList[m.Y], i)
+		a.worklistMoves[i] = true
+	}
+	return a
+}
+
+func (a *IRC) find(v graph.V) graph.V {
+	for {
+		next, ok := a.alias[v]
+		if !ok {
+			return v
+		}
+		v = next
+	}
+}
+
+func (a *IRC) moveRelated(v graph.V) bool {
+	for _, m := range a.moveList[v] {
+		if a.worklistMoves[m] || a.activeMoves[m] {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *IRC) removed(v graph.V) bool {
+	return a.onStack[v] || a.coalescedNodes[v]
+}
+
+// adjacent iterates over the live neighbors of v.
+func (a *IRC) adjacent(v graph.V, fn func(w graph.V)) {
+	for w := range a.adj[v] {
+		if !a.removed(w) {
+			fn(w)
+		}
+	}
+}
+
+// makeWorklists distributes the non-precolored vertices.
+func (a *IRC) makeWorklists() {
+	for v := 0; v < a.g.N(); v++ {
+		u := graph.V(v)
+		if a.precolored[u] {
+			continue
+		}
+		switch {
+		case a.degree[u] >= a.k:
+			a.spillWorklist[u] = true
+		case a.moveRelated(u):
+			a.freezeWorklist[u] = true
+		default:
+			a.simplifyWorklist[u] = true
+		}
+	}
+}
+
+func (a *IRC) enableMoves(v graph.V) {
+	consider := func(u graph.V) {
+		for _, m := range a.moveList[u] {
+			if a.activeMoves[m] {
+				delete(a.activeMoves, m)
+				a.worklistMoves[m] = true
+			}
+		}
+	}
+	consider(v)
+	a.adjacent(v, consider)
+}
+
+func (a *IRC) decrementDegree(v graph.V) {
+	a.degree[v]--
+	if a.degree[v] == a.k-1 && !a.precolored[v] {
+		a.enableMoves(v)
+		delete(a.spillWorklist, v)
+		if a.moveRelated(v) {
+			a.freezeWorklist[v] = true
+		} else {
+			a.simplifyWorklist[v] = true
+		}
+	}
+}
+
+func (a *IRC) simplify() {
+	v := anyVertex(a.simplifyWorklist)
+	delete(a.simplifyWorklist, v)
+	a.selectStack = append(a.selectStack, v)
+	a.onStack[v] = true
+	a.adjacent(v, a.decrementDegree)
+}
+
+func (a *IRC) addEdge(u, v graph.V) {
+	if u == v || a.adj[u][v] {
+		return
+	}
+	a.adj[u][v] = true
+	a.adj[v][u] = true
+	a.degree[u]++
+	a.degree[v]++
+}
+
+// conservative is Briggs' test on representatives u, v.
+func (a *IRC) briggsOK(u, v graph.V) bool {
+	significant := 0
+	seen := map[graph.V]bool{}
+	count := func(w graph.V) {
+		if seen[w] {
+			return
+		}
+		seen[w] = true
+		deg := a.degree[w]
+		if a.adj[w][u] && a.adj[w][v] {
+			deg--
+		}
+		if a.precolored[w] || deg >= a.k {
+			significant++
+		}
+	}
+	a.adjacent(u, count)
+	a.adjacent(v, count)
+	return significant < a.k
+}
+
+// georgeOK is George's test for merging u into the (typically precolored)
+// node v.
+func (a *IRC) georgeOK(u, v graph.V) bool {
+	ok := true
+	a.adjacent(u, func(t graph.V) {
+		if !ok {
+			return
+		}
+		if a.degree[t] >= a.k && !a.precolored[t] && !a.adj[t][v] {
+			ok = false
+		}
+		if a.precolored[t] && !a.adj[t][v] && t != v {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func (a *IRC) addWorklist(v graph.V) {
+	if !a.precolored[v] && !a.moveRelated(v) && a.degree[v] < a.k {
+		delete(a.freezeWorklist, v)
+		a.simplifyWorklist[v] = true
+	}
+}
+
+func (a *IRC) combine(u, v graph.V) {
+	delete(a.freezeWorklist, v)
+	delete(a.spillWorklist, v)
+	a.coalescedNodes[v] = true
+	a.alias[v] = u
+	a.moveList[u] = append(a.moveList[u], a.moveList[v]...)
+	a.adjacent(v, func(t graph.V) {
+		a.addEdge(t, u)
+		a.decrementDegree(t)
+	})
+	if a.degree[u] >= a.k && a.freezeWorklist[u] {
+		delete(a.freezeWorklist, u)
+		a.spillWorklist[u] = true
+	}
+}
+
+func (a *IRC) coalesce() {
+	m := anyMove(a.worklistMoves)
+	delete(a.worklistMoves, m)
+	x := a.find(a.moves[m].X)
+	y := a.find(a.moves[m].Y)
+	u, v := x, y
+	if a.precolored[y] {
+		u, v = y, x
+	}
+	switch {
+	case u == v:
+		a.coalescedMoves[m] = true
+		a.addWorklist(u)
+	case a.precolored[v] || a.adj[u][v]:
+		a.constrainedMoves[m] = true
+		a.addWorklist(u)
+		a.addWorklist(v)
+	case (a.precolored[u] && a.georgeOK(v, u)) ||
+		(!a.precolored[u] && a.briggsOK(u, v)):
+		a.coalescedMoves[m] = true
+		a.combine(u, v)
+		a.addWorklist(u)
+	default:
+		a.activeMoves[m] = true
+	}
+}
+
+func (a *IRC) freezeMoves(u graph.V) {
+	for _, m := range a.moveList[u] {
+		if !a.activeMoves[m] && !a.worklistMoves[m] {
+			continue
+		}
+		delete(a.activeMoves, m)
+		delete(a.worklistMoves, m)
+		a.frozenMoves[m] = true
+		x := a.find(a.moves[m].X)
+		y := a.find(a.moves[m].Y)
+		other := y
+		if y == u {
+			other = x
+		}
+		if !a.moveRelated(other) && a.degree[other] < a.k && !a.precolored[other] {
+			delete(a.freezeWorklist, other)
+			a.simplifyWorklist[other] = true
+		}
+	}
+}
+
+func (a *IRC) freeze() {
+	v := anyVertex(a.freezeWorklist)
+	delete(a.freezeWorklist, v)
+	a.simplifyWorklist[v] = true
+	a.freezeMoves(v)
+}
+
+func (a *IRC) selectSpill() {
+	// Cheapest heuristic: highest current degree (most constraining).
+	var best graph.V = -1
+	for v := range a.spillWorklist {
+		if best == -1 || a.degree[v] > a.degree[best] ||
+			(a.degree[v] == a.degree[best] && v < best) {
+			best = v
+		}
+	}
+	delete(a.spillWorklist, best)
+	a.simplifyWorklist[best] = true
+	a.freezeMoves(best)
+}
+
+// Run executes the IRC main loop and the final color assignment.
+func (a *IRC) Run() *IRCResult {
+	a.makeWorklists()
+	for len(a.simplifyWorklist)+len(a.worklistMoves)+
+		len(a.freezeWorklist)+len(a.spillWorklist) > 0 {
+		switch {
+		case len(a.simplifyWorklist) > 0:
+			a.simplify()
+		case len(a.worklistMoves) > 0:
+			a.coalesce()
+		case len(a.freezeWorklist) > 0:
+			a.freeze()
+		default:
+			a.selectSpill()
+		}
+	}
+	// Assign colors: precolored first, then pop the select stack.
+	col := graph.NewColoring(a.g.N())
+	for v := range a.precolored {
+		c, _ := a.g.Precolored(v)
+		col[v] = c
+	}
+	var spilled []graph.V
+	for i := len(a.selectStack) - 1; i >= 0; i-- {
+		v := a.selectStack[i]
+		used := make([]bool, a.k)
+		for w := range a.adj[v] {
+			rw := a.find(w)
+			if col[rw] != graph.NoColor && col[rw] < a.k {
+				used[col[rw]] = true
+			}
+		}
+		assigned := false
+		for c := 0; c < a.k; c++ {
+			if !used[c] {
+				col[v] = c
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			spilled = append(spilled, v)
+		}
+	}
+	// Coalesced nodes take their representative's color.
+	p := graph.NewPartition(a.g.N())
+	for v := range a.coalescedNodes {
+		p.Union(a.find(v), v)
+		col[v] = col[a.find(v)]
+	}
+	sort.Slice(spilled, func(i, j int) bool { return spilled[i] < spilled[j] })
+	res := &IRCResult{Coloring: col, Spilled: spilled, P: p,
+		CoalescedMoves: len(a.coalescedMoves), ConstrainedMoves: len(a.constrainedMoves),
+		FrozenMoves: len(a.frozenMoves)}
+	for m := range a.coalescedMoves {
+		res.CoalescedWeight += a.moves[m].Weight
+	}
+	// A spilled representative invalidates its class's colors.
+	for _, s := range spilled {
+		for v := 0; v < a.g.N(); v++ {
+			if p.Same(graph.V(v), s) {
+				col[v] = graph.NoColor
+			}
+		}
+	}
+	return res
+}
+
+// Check validates the result against the original graph: interfering
+// vertices that both got colors must differ, coalesced classes agree, and
+// precolored vertices keep their pins.
+func (r *IRCResult) Check(g *graph.Graph, k int) error {
+	for _, e := range g.Edges() {
+		a, b := r.Coloring[e[0]], r.Coloring[e[1]]
+		if a != graph.NoColor && a == b {
+			return fmt.Errorf("irc: interfering %d and %d share color %d", int(e[0]), int(e[1]), a)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if c, ok := g.Precolored(graph.V(v)); ok && r.Coloring[v] != c {
+			return fmt.Errorf("irc: precolored %d lost its pin", v)
+		}
+		if r.Coloring[v] >= k {
+			return fmt.Errorf("irc: color %d out of range", r.Coloring[v])
+		}
+	}
+	if !r.P.CompatibleWith(g) {
+		return fmt.Errorf("irc: coalescing partition incompatible")
+	}
+	return nil
+}
+
+// anyVertex pops a deterministic element (smallest id) from a set.
+func anyVertex(set map[graph.V]bool) graph.V {
+	best := graph.V(-1)
+	for v := range set {
+		if best == -1 || v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func anyMove(set map[int]bool) int {
+	best := -1
+	for m := range set {
+		if best == -1 || m < best {
+			best = m
+		}
+	}
+	return best
+}

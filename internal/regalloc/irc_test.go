@@ -1,0 +1,211 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+	"regcoal/internal/ir"
+	"regcoal/internal/ssa"
+)
+
+func TestIRCSimpleCoalesce(t *testing.T) {
+	// a--b, move (b,c): IRC should coalesce b and c and color with 2.
+	g := graph.NewNamed("a", "b", "c")
+	g.AddEdge(0, 1)
+	g.AddAffinity(1, 2, 5)
+	res := NewIRC(g, 2).Run()
+	if err := res.Check(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spilled) != 0 {
+		t.Fatalf("spilled %v", res.Spilled)
+	}
+	if res.CoalescedMoves != 1 || res.CoalescedWeight != 5 {
+		t.Fatalf("coalesced=%d weight=%d", res.CoalescedMoves, res.CoalescedWeight)
+	}
+	if res.Coloring[1] != res.Coloring[2] {
+		t.Fatal("coalesced endpoints must share a color")
+	}
+}
+
+func TestIRCConstrainedMove(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.AddAffinity(0, 1, 3)
+	res := NewIRC(g, 2).Run()
+	if err := res.Check(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if res.ConstrainedMoves != 1 || res.CoalescedMoves != 0 {
+		t.Fatalf("constrained=%d coalesced=%d", res.ConstrainedMoves, res.CoalescedMoves)
+	}
+}
+
+func TestIRCPrecoloredGeorge(t *testing.T) {
+	// A temporary move-related to a machine register: George's test
+	// against the precolored node should coalesce it when safe.
+	g := graph.NewNamed("r0", "t", "u")
+	g.SetPrecolored(0, 0)
+	g.AddEdge(1, 2) // t interferes with u
+	g.AddEdge(0, 2) // r0 interferes with u too (so George's condition holds)
+	g.AddAffinity(0, 1, 7)
+	res := NewIRC(g, 2).Run()
+	if err := res.Check(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if res.CoalescedWeight != 7 {
+		t.Fatalf("move to precolored not coalesced: %+v", res)
+	}
+	if res.Coloring[1] != 0 {
+		t.Fatalf("t should land in r0, got %d", res.Coloring[1])
+	}
+}
+
+func TestIRCSpillsWhenForced(t *testing.T) {
+	k5 := graph.New(5)
+	k5.AddClique(k5.Vertices()...)
+	res := NewIRC(k5, 3).Run()
+	if len(res.Spilled) == 0 {
+		t.Fatal("K5 with 3 colors must spill")
+	}
+	if err := res.Check(k5, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIRCFreeze(t *testing.T) {
+	// A move that can never be coalesced conservatively (merging would
+	// create a high-degree node) must eventually freeze, not deadlock.
+	g, k, _ := ircFig3()
+	res := NewIRC(g, k).Run()
+	if err := res.Check(g, k); err != nil {
+		t.Fatal(err)
+	}
+	// IRC with local rules coalesces nothing on the Figure 3 gadget; the
+	// moves end frozen or constrained, never lost.
+	total := res.CoalescedMoves + res.ConstrainedMoves + res.FrozenMoves
+	if total != g.NumAffinities() {
+		t.Fatalf("moves unaccounted: %d of %d", total, g.NumAffinities())
+	}
+}
+
+func ircFig3() (*graph.Graph, int, []graph.Affinity) {
+	g, sources, dests := graph.Permutation(4)
+	k := 6
+	// Degree boosters as in coalesce.Fig3Permutation, inlined to avoid an
+	// import cycle in tests.
+	boost := func(w graph.V) {
+		e := g.AddVertex()
+		g.AddEdge(e, w)
+		for i := 0; i < k-1; i++ {
+			g.AddEdge(e, g.AddVertex())
+		}
+	}
+	for i := range sources {
+		boost(sources[i])
+		boost(dests[i])
+	}
+	return g, k, g.Affinities()
+}
+
+// IRC is sound: on random graphs its outcome always validates, and when
+// the graph is greedy-k-colorable nothing spills.
+func TestQuickIRCSound(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%15) + 3
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.3)
+		graph.SprinkleAffinities(rng, g, n, 5)
+		k := greedy.ColoringNumber(g)
+		res := NewIRC(g, k).Run()
+		if res.Check(g, k) != nil {
+			return false
+		}
+		return len(res.Spilled) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// IRC with precolored vertices stays sound.
+func TestQuickIRCPrecolored(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 4
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.25)
+		graph.SprinkleAffinities(rng, g, n/2, 5)
+		k := greedy.ColoringNumber(g) + 1
+		// Pin up to two non-adjacent vertices.
+		g.SetPrecolored(0, 0)
+		if !g.HasEdge(0, 1) {
+			g.SetPrecolored(1, 0)
+		} else {
+			g.SetPrecolored(1, 1)
+		}
+		res := NewIRC(g, k).Run()
+		return res.Check(g, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end: IRC on SSA-lowered programs coalesces most φ-induced moves.
+func TestIRCOnLoweredPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	totalMoves, coalesced := 0, 0
+	for trial := 0; trial < 15; trial++ {
+		p := ir.DefaultRandomParams()
+		p.Vars, p.Blocks = 6, 6
+		fn := ir.Random(rng, p)
+		_, low, err := ssa.Pipeline(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := ssa.BuildInterference(low)
+		k := 8
+		res := NewIRC(g, k).Run()
+		if err := res.Check(g, k); err != nil {
+			t.Fatal(err)
+		}
+		totalMoves += g.NumAffinities()
+		coalesced += res.CoalescedMoves
+	}
+	if totalMoves == 0 {
+		t.Fatal("no moves generated")
+	}
+	if coalesced*2 < totalMoves {
+		t.Fatalf("IRC coalesced only %d of %d moves", coalesced, totalMoves)
+	}
+}
+
+// IRC and the state-based Conservative driver implement the same local
+// rules; their coalesced weights should be in the same ballpark (IRC
+// interleaves simplification, so small differences both ways are fine —
+// here we only require IRC to find at least half of the driver's weight).
+func TestIRCComparableToDriver(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var ircW, driverW int64
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomChordal(rng, 30, 16, 4)
+		graph.SprinkleAffinities(rng, g, 20, 6)
+		k := greedy.ColoringNumber(g)
+		res := NewIRC(g, k).Run()
+		if err := res.Check(g, k); err != nil {
+			t.Fatal(err)
+		}
+		ircW += res.CoalescedWeight
+		alloc, err := Allocate(g, k, ModeConservative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driverW += alloc.CoalescedWeight
+	}
+	if ircW*2 < driverW {
+		t.Fatalf("IRC weight %d too far below driver weight %d", ircW, driverW)
+	}
+}

@@ -1,0 +1,220 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+	"regcoal/internal/ir"
+	"regcoal/internal/ssa"
+)
+
+func TestAllocateSimpleGraph(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddAffinity(1, 2, 5)
+	res, err := Allocate(g, 2, ModeConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spilled) != 0 {
+		t.Fatalf("spilled %v on a trivial graph", res.Spilled)
+	}
+	if res.CoalescedWeight != 5 {
+		t.Fatalf("move not coalesced: %+v", res)
+	}
+}
+
+func TestAllocateSpillsWhenForced(t *testing.T) {
+	k5 := graph.New(5)
+	k5.AddClique(k5.Vertices()...)
+	res, err := Allocate(k5, 3, ModeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spilled) != 2 {
+		t.Fatalf("K5 with k=3 must spill 2, got %v", res.Spilled)
+	}
+}
+
+func TestAllocateAggressiveCanSpillMore(t *testing.T) {
+	// The permutation gadget with k = p: aggressive coalescing builds a
+	// p-clique (fine), but with extra interference the merged classes can
+	// become uncolorable while conservative stays safe. At minimum verify
+	// both modes produce valid results.
+	g, _, _ := graph.Permutation(3)
+	for _, mode := range []Mode{ModeNone, ModeConservative, ModeBrute, ModeOptimistic, ModeAggressive} {
+		res, err := Allocate(g, 3, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		// k=3 fits the fully coalesced K3 and the original gadget.
+		if len(res.Spilled) != 0 {
+			t.Fatalf("%v spilled %v", mode, res.Spilled)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range []Mode{ModeNone, ModeConservative, ModeBrute, ModeOptimistic, ModeAggressive} {
+		s := m.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad mode name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestFunctionEndToEnd(t *testing.T) {
+	for _, src := range []*ir.Func{ir.Diamond(), ir.Loop(), ir.Swap()} {
+		_, low, err := ssa.Pipeline(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		res, err := Function(low, 4, ModeConservative)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		if res.Rounds < 1 {
+			t.Fatalf("%s: rounds=%d", src.Name, res.Rounds)
+		}
+	}
+}
+
+func TestFunctionCoalescingRemovesMoves(t *testing.T) {
+	// The swap loop lowers to several moves; with enough registers the
+	// allocator should remove most of them.
+	_, low, err := ssa.Pipeline(ir.Swap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := Function(low, 6, ModeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := Function(low, 6, ModeConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.MovesRemoved < none.MovesRemoved {
+		t.Fatalf("conservative removed %d moves, baseline %d", cons.MovesRemoved, none.MovesRemoved)
+	}
+	if cons.MovesKept+cons.MovesRemoved == 0 {
+		t.Fatal("swap lowering should contain moves")
+	}
+}
+
+// End-to-end on random programs across modes: allocation always terminates
+// with a proper assignment (checkAssignment runs inside Function), for a
+// k comfortably above the arity-induced floor.
+func TestQuickFunctionAllModes(t *testing.T) {
+	f := func(seed int64, varsRaw uint8, modeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := ir.DefaultRandomParams()
+		p.Vars = int(varsRaw%5) + 2
+		p.Blocks = 5
+		fn := ir.Random(rng, p)
+		_, low, err := ssa.Pipeline(fn)
+		if err != nil {
+			return false
+		}
+		mode := Mode(int(modeRaw) % 5)
+		res, err := Function(low, 8, mode)
+		if err != nil {
+			return false
+		}
+		return res.F.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two-phase pipeline: reduce pressure to k first (paper's §1 two-phase
+// allocation), then allocation with k registers must not spill at all when
+// the graph is chordal... the lowered graph is not chordal in general, but
+// pressure <= k keeps optimistic select from spilling in practice on these
+// sizes; we assert only validity plus no-crash, and that pressure-reduced
+// instances spill no more than raw ones.
+func TestTwoPhaseReducesSpills(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := ir.DefaultRandomParams()
+	p.Vars = 8
+	p.Blocks = 6
+	k := 4
+	better, worse := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		fn := ir.Random(rng, p)
+		_, low, err := ssa.Pipeline(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := Function(low, k, ModeConservative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reduced := low.Clone()
+		if _, ok := ssa.ReduceMaxlive(reduced, k); !ok {
+			continue
+		}
+		pre, err := Function(reduced, k, ModeConservative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The pre-spilled function should converge in fewer rebuild rounds.
+		if pre.Rounds <= raw.Rounds {
+			better++
+		} else {
+			worse++
+		}
+	}
+	if better < worse {
+		t.Fatalf("pressure-first pipeline converged slower: better=%d worse=%d", better, worse)
+	}
+}
+
+func TestCheckAssignmentCatchesConflicts(t *testing.T) {
+	f := ir.NewFunc("t")
+	a, b := f.NewReg(), f.NewReg()
+	e := f.Entry()
+	e.Def(a)
+	e.Def(b)
+	e.Use(a)
+	e.Use(b)
+	col := graph.Coloring{0, 0}
+	if err := checkAssignment(f, col, 2); err == nil {
+		t.Fatal("conflicting assignment accepted")
+	}
+	col = graph.Coloring{0, 1}
+	if err := checkAssignment(f, col, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkAssignment(f, graph.Coloring{0, 5}, 2); err == nil {
+		t.Fatal("out-of-range color accepted")
+	}
+}
+
+// Colorability sanity: when the interference graph is greedy-k-colorable
+// up front, allocation with any conservative mode never spills.
+func TestQuickNoSpillWhenColorable(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 3
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomER(rng, n, 0.25)
+		graph.SprinkleAffinities(rng, g, n/2, 4)
+		k := greedy.ColoringNumber(g)
+		for _, mode := range []Mode{ModeNone, ModeConservative, ModeBrute, ModeOptimistic} {
+			res, err := Allocate(g, k, mode)
+			if err != nil || len(res.Spilled) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package sat implements CNF formulas and a DPLL solver. It is the source
+// problem of the paper's Theorem 4, which reduces 3SAT (through 4SAT) to
+// incremental conservative coalescing on 3-colorable graphs.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Lit is a literal in DIMACS convention: +v means variable v (1-based)
+// positive, -v means its negation. Zero is invalid.
+type Lit int
+
+// Var returns the 0-based variable index of the literal.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l) - 1
+	}
+	return int(l) - 1
+}
+
+// Positive reports whether the literal is the positive occurrence.
+func (l Lit) Positive() bool { return l > 0 }
+
+// Neg returns the negated literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a CNF formula over NumVars variables (0-based indices,
+// literals 1-based per DIMACS).
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate reports the first structural problem: zero literal or variable
+// out of range.
+func (f *Formula) Validate() error {
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			if l == 0 {
+				return fmt.Errorf("sat: clause %d has zero literal", i)
+			}
+			if l.Var() >= f.NumVars {
+				return fmt.Errorf("sat: clause %d references variable %d beyond %d", i, l.Var()+1, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval reports whether the assignment (one bool per variable) satisfies the
+// formula.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if assign[l.Var()] == l.Positive() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the formula in a compact human form.
+func (f *Formula) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cnf vars=%d clauses=%d:", f.NumVars, len(f.Clauses))
+	for _, c := range f.Clauses {
+		b.WriteString(" (")
+		for i, l := range c {
+			if i > 0 {
+				b.WriteString("|")
+			}
+			if l < 0 {
+				fmt.Fprintf(&b, "!x%d", l.Var()+1)
+			} else {
+				fmt.Fprintf(&b, "x%d", l.Var()+1)
+			}
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// value of a variable during search.
+type value int8
+
+const (
+	unset value = iota
+	vTrue
+	vFalse
+)
+
+// Solve decides satisfiability with DPLL (unit propagation + first-unset
+// branching). It returns a satisfying assignment when one exists.
+func (f *Formula) Solve() ([]bool, bool) {
+	return f.SolveAssuming(nil)
+}
+
+// SolveAssuming decides satisfiability under the given forced values:
+// assume maps variable index to required truth value. Theorem 4's question
+// "is C satisfiable with x0 false" is SolveAssuming(map[int]bool{x0:false}).
+func (f *Formula) SolveAssuming(assume map[int]bool) ([]bool, bool) {
+	assign := make([]value, f.NumVars)
+	for v, b := range assume {
+		want := vFalse
+		if b {
+			want = vTrue
+		}
+		if assign[v] != unset && assign[v] != want {
+			return nil, false
+		}
+		assign[v] = want
+	}
+	if !f.dpll(assign) {
+		return nil, false
+	}
+	out := make([]bool, f.NumVars)
+	for v, val := range assign {
+		out[v] = val == vTrue // unset variables default to false
+	}
+	return out, true
+}
+
+func (f *Formula) dpll(assign []value) bool {
+	// Unit propagation to fixpoint.
+	trail := []int{} // variables set by propagation at this level
+	undo := func() {
+		for _, v := range trail {
+			assign[v] = unset
+		}
+	}
+	for {
+		progress := false
+		for _, c := range f.Clauses {
+			unassigned := Lit(0)
+			count := 0
+			satisfied := false
+			for _, l := range c {
+				switch assign[l.Var()] {
+				case unset:
+					unassigned = l
+					count++
+				case vTrue:
+					if l.Positive() {
+						satisfied = true
+					}
+				case vFalse:
+					if !l.Positive() {
+						satisfied = true
+					}
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if count == 0 {
+				undo()
+				return false // conflict
+			}
+			if count == 1 {
+				v := unassigned.Var()
+				if unassigned.Positive() {
+					assign[v] = vTrue
+				} else {
+					assign[v] = vFalse
+				}
+				trail = append(trail, v)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Find a branching variable.
+	branch := -1
+	for v, val := range assign {
+		if val == unset {
+			branch = v
+			break
+		}
+	}
+	if branch == -1 {
+		// Fully assigned and no conflicting clause: check all satisfied.
+		for _, c := range f.Clauses {
+			sat := false
+			for _, l := range c {
+				if (assign[l.Var()] == vTrue) == l.Positive() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				undo()
+				return false
+			}
+		}
+		return true
+	}
+	for _, try := range []value{vTrue, vFalse} {
+		assign[branch] = try
+		if f.dpll(assign) {
+			return true
+		}
+		assign[branch] = unset
+	}
+	undo()
+	return false
+}
+
+// Random3SAT returns a uniform random 3-CNF with nVars variables and
+// nClauses clauses of three distinct variables each.
+func Random3SAT(rng *rand.Rand, nVars, nClauses int) *Formula {
+	if nVars < 3 {
+		panic("sat: Random3SAT needs at least 3 variables")
+	}
+	f := &Formula{NumVars: nVars}
+	for i := 0; i < nClauses; i++ {
+		vars := rng.Perm(nVars)[:3]
+		c := make(Clause, 3)
+		for j, v := range vars {
+			l := Lit(v + 1)
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			c[j] = l
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// To4SAT implements the padding step of the paper's Theorem 4: given a
+// 3-CNF C over x1..xn, add a fresh variable x0 (index NumVars in the result)
+// and extend every clause with the positive literal x0. The result C' is
+// always satisfiable (set x0 true), and C is satisfiable iff C' is
+// satisfiable with x0 false. The returned int is the index of x0.
+func To4SAT(f *Formula) (*Formula, int) {
+	x0 := f.NumVars
+	out := &Formula{NumVars: f.NumVars + 1}
+	for _, c := range f.Clauses {
+		nc := make(Clause, len(c), len(c)+1)
+		copy(nc, c)
+		nc = append(nc, Lit(x0+1))
+		out.Clauses = append(out.Clauses, nc)
+	}
+	return out, x0
+}

@@ -1,0 +1,194 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLit(t *testing.T) {
+	l := Lit(3)
+	if l.Var() != 2 || !l.Positive() {
+		t.Fatalf("Lit(3): var=%d pos=%v", l.Var(), l.Positive())
+	}
+	n := l.Neg()
+	if n.Var() != 2 || n.Positive() {
+		t.Fatalf("Neg: var=%d pos=%v", n.Var(), n.Positive())
+	}
+}
+
+func TestSolveTrivial(t *testing.T) {
+	// (x1) & (!x1) unsatisfiable.
+	f := &Formula{NumVars: 1, Clauses: []Clause{{1}, {-1}}}
+	if _, ok := f.Solve(); ok {
+		t.Fatal("x & !x should be UNSAT")
+	}
+	// (x1 | x2) & (!x1 | x2): satisfiable with x2 true.
+	f2 := &Formula{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, 2}}}
+	assign, ok := f2.Solve()
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	if !f2.Eval(assign) {
+		t.Fatalf("returned assignment %v does not satisfy", assign)
+	}
+	// Empty formula is satisfiable.
+	if _, ok := (&Formula{NumVars: 0}).Solve(); !ok {
+		t.Fatal("empty formula is SAT")
+	}
+	// Empty clause is unsatisfiable.
+	if _, ok := (&Formula{NumVars: 1, Clauses: []Clause{{}}}).Solve(); ok {
+		t.Fatal("empty clause is UNSAT")
+	}
+}
+
+func TestSolveAssuming(t *testing.T) {
+	// (x1 | x2): SAT with x1=false (forces x2), UNSAT with both false.
+	f := &Formula{NumVars: 2, Clauses: []Clause{{1, 2}}}
+	assign, ok := f.SolveAssuming(map[int]bool{0: false})
+	if !ok || assign[0] != false || assign[1] != true {
+		t.Fatalf("assuming x1=false: %v, %v", assign, ok)
+	}
+	if _, ok := f.SolveAssuming(map[int]bool{0: false, 1: false}); ok {
+		t.Fatal("both false should be UNSAT")
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	// 3 pigeons, 2 holes: var p_{i,h} = pigeon i in hole h.
+	// Variables 1..6: pigeon i hole h -> 2*i + h + 1.
+	v := func(i, h int) Lit { return Lit(2*i + h + 1) }
+	f := &Formula{NumVars: 6}
+	for i := 0; i < 3; i++ {
+		f.Clauses = append(f.Clauses, Clause{v(i, 0), v(i, 1)})
+	}
+	for h := 0; h < 2; h++ {
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				f.Clauses = append(f.Clauses, Clause{v(i, h).Neg(), v(j, h).Neg()})
+			}
+		}
+	}
+	if _, ok := f.Solve(); ok {
+		t.Fatal("pigeonhole 3-into-2 should be UNSAT")
+	}
+}
+
+// Brute-force satisfiability for cross-checking DPLL.
+func bruteSat(f *Formula, assume map[int]bool) bool {
+	n := f.NumVars
+	if n > 20 {
+		panic("bruteSat too large")
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		assign := make([]bool, n)
+		for v := 0; v < n; v++ {
+			assign[v] = mask&(1<<v) != 0
+		}
+		good := true
+		for v, b := range assume {
+			if assign[v] != b {
+				good = false
+				break
+			}
+		}
+		if good && f.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickDPLLMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nvRaw, ncRaw uint8) bool {
+		nv := int(nvRaw%6) + 3
+		nc := int(ncRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		form := Random3SAT(rng, nv, nc)
+		if form.Validate() != nil {
+			return false
+		}
+		assign, ok := form.Solve()
+		want := bruteSat(form, nil)
+		if ok != want {
+			return false
+		}
+		if ok && !form.Eval(assign) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSolveAssumingMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nvRaw, ncRaw uint8, fixTrue bool) bool {
+		nv := int(nvRaw%5) + 3
+		nc := int(ncRaw%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		form := Random3SAT(rng, nv, nc)
+		assume := map[int]bool{0: fixTrue}
+		assign, ok := form.SolveAssuming(assume)
+		want := bruteSat(form, assume)
+		if ok != want {
+			return false
+		}
+		if ok && (assign[0] != fixTrue || !form.Eval(assign)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTo4SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		f3 := Random3SAT(rng, 5, 12)
+		f4, x0 := To4SAT(f3)
+		if x0 != 5 || f4.NumVars != 6 {
+			t.Fatalf("x0=%d vars=%d", x0, f4.NumVars)
+		}
+		for i, c := range f4.Clauses {
+			if len(c) != 4 {
+				t.Fatalf("clause %d has %d literals", i, len(c))
+			}
+			if c[3] != Lit(x0+1) {
+				t.Fatalf("clause %d last literal %d, want +x0", i, c[3])
+			}
+		}
+		// C' always satisfiable.
+		if _, ok := f4.Solve(); !ok {
+			t.Fatal("4SAT padding must be satisfiable with x0=true")
+		}
+		// C satisfiable iff C' satisfiable with x0 false.
+		_, sat3 := f3.Solve()
+		_, sat4f := f4.SolveAssuming(map[int]bool{x0: false})
+		if sat3 != sat4f {
+			t.Fatalf("equivalence broken: 3SAT=%v, 4SAT|x0=false=%v", sat3, sat4f)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Formula{NumVars: 2, Clauses: []Clause{{0}}}
+	if bad.Validate() == nil {
+		t.Fatal("zero literal must fail validation")
+	}
+	oob := &Formula{NumVars: 2, Clauses: []Clause{{3}}}
+	if oob.Validate() == nil {
+		t.Fatal("out-of-range literal must fail validation")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{{1, -2}}}
+	s := f.String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}

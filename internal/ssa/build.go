@@ -1,0 +1,233 @@
+package ssa
+
+import (
+	"fmt"
+
+	"regcoal/internal/ir"
+)
+
+// Build converts a strict function to pruned SSA form (Cytron et al.): φs
+// are placed at iterated dominance frontiers of definition sites, but only
+// where the variable is live-in (pruning: dead φs would otherwise demand
+// definitions on paths that never use the variable), and a dominator-tree
+// walk renames every definition to a fresh register. The input must be
+// strict: every use of a variable is dominated by a definition (functions
+// from ir.Random are strict by construction). The result is a new
+// function; the original is untouched.
+func Build(f *ir.Func) (*ir.Func, error) {
+	if err := f.Verify(); err != nil {
+		return nil, err
+	}
+	for _, b := range f.Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi {
+				return nil, fmt.Errorf("ssa: input already contains φ")
+			}
+		}
+	}
+	out := f.Clone()
+	dom := NewDominance(out)
+	liveness := NewLiveness(out)
+	n := len(out.Blocks)
+	origRegs := out.NumRegs
+
+	// Definition sites per variable.
+	defSites := make([][]int, origRegs)
+	for _, b := range out.Blocks {
+		if !dom.Reachable(b.ID) {
+			continue
+		}
+		for _, ins := range b.Instrs {
+			if ins.Dst != ir.NoReg {
+				defSites[ins.Dst] = appendUnique(defSites[ins.Dst], b.ID)
+			}
+		}
+	}
+	// φ placement via iterated dominance frontier.
+	hasPhi := make([][]bool, n) // hasPhi[block][var]
+	for i := range hasPhi {
+		hasPhi[i] = make([]bool, origRegs)
+	}
+	for v := 0; v < origRegs; v++ {
+		work := append([]int(nil), defSites[v]...)
+		inWork := make([]bool, n)
+		for _, b := range work {
+			inWork[b] = true
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fb := range dom.Frontier[b] {
+				if hasPhi[fb][v] || !liveness.LiveIn[fb].Has(ir.Reg(v)) {
+					continue
+				}
+				hasPhi[fb][v] = true
+				if !inWork[fb] {
+					work = append(work, fb)
+					inWork[fb] = true
+				}
+			}
+		}
+	}
+	// Insert φ placeholders (args filled during renaming).
+	for _, b := range out.Blocks {
+		var phis []ir.Instr
+		for v := 0; v < origRegs; v++ {
+			if hasPhi[b.ID][v] {
+				phis = append(phis, ir.Instr{
+					Op:   ir.OpPhi,
+					Dst:  ir.Reg(v),
+					Args: make([]ir.Reg, len(b.Preds)),
+				})
+				for i := range phis[len(phis)-1].Args {
+					phis[len(phis)-1].Args[i] = ir.Reg(v) // placeholder: old name
+				}
+			}
+		}
+		b.Instrs = append(phis, b.Instrs...)
+	}
+	// Renaming along the dominator tree.
+	stacks := make([][]ir.Reg, origRegs)
+	versionOf := func(v ir.Reg) (ir.Reg, error) {
+		s := stacks[v]
+		if len(s) == 0 {
+			return ir.NoReg, fmt.Errorf("ssa: use of %s before any definition (non-strict input)", out.RegName(v))
+		}
+		return s[len(s)-1], nil
+	}
+	var renameErr error
+	counter := make([]int, origRegs)
+	var rename func(b int)
+	rename = func(b int) {
+		pushed := make([]ir.Reg, 0, 8)
+		blk := out.Blocks[b]
+		for i := range blk.Instrs {
+			ins := &blk.Instrs[i]
+			if ins.Op != ir.OpPhi {
+				for j, a := range ins.Args {
+					na, err := versionOf(a)
+					if err != nil {
+						renameErr = err
+						return
+					}
+					ins.Args[j] = na
+				}
+			}
+			if ins.Dst != ir.NoReg {
+				old := ins.Dst
+				fresh := out.NewNamedReg(fmt.Sprintf("%s.%d", f.RegName(old), counter[old]))
+				counter[old]++
+				stacks[old] = append(stacks[old], fresh)
+				pushed = append(pushed, old)
+				ins.Dst = fresh
+			}
+		}
+		// Fill φ args in successors.
+		for _, s := range blk.Succs {
+			predIndex := -1
+			for i, p := range out.Blocks[s].Preds {
+				if p == b {
+					predIndex = i
+					break
+				}
+			}
+			for i := range out.Blocks[s].Instrs {
+				ins := &out.Blocks[s].Instrs[i]
+				if ins.Op != ir.OpPhi {
+					break
+				}
+				old := ins.Args[predIndex] // still the old variable name
+				na, err := versionOf(old)
+				if err != nil {
+					renameErr = err
+					return
+				}
+				ins.Args[predIndex] = na
+			}
+		}
+		for _, c := range dom.Children[b] {
+			rename(c)
+			if renameErr != nil {
+				return
+			}
+		}
+		for i := len(pushed) - 1; i >= 0; i-- {
+			old := pushed[i]
+			stacks[old] = stacks[old][:len(stacks[old])-1]
+		}
+	}
+	rename(0)
+	if renameErr != nil {
+		return nil, renameErr
+	}
+	// Drop unreachable blocks' instructions to keep later passes honest
+	// (they were never renamed).
+	for _, b := range out.Blocks {
+		if !dom.Reachable(b.ID) {
+			b.Instrs = nil
+		}
+	}
+	if err := VerifySSA(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifySSA checks the strict-SSA invariants: every register has at most
+// one definition, and every use is dominated by its definition (φ uses are
+// checked at the end of the corresponding predecessor).
+func VerifySSA(f *ir.Func) error {
+	if err := f.Verify(); err != nil {
+		return err
+	}
+	dom := NewDominance(f)
+	defBlock := make([]int, f.NumRegs)
+	defIndex := make([]int, f.NumRegs)
+	for i := range defBlock {
+		defBlock[i] = -1
+	}
+	for _, b := range f.Blocks {
+		for i, ins := range b.Instrs {
+			if ins.Dst == ir.NoReg {
+				continue
+			}
+			if defBlock[ins.Dst] != -1 {
+				return fmt.Errorf("ssa: %s defined twice", f.RegName(ins.Dst))
+			}
+			defBlock[ins.Dst] = b.ID
+			defIndex[ins.Dst] = i
+		}
+	}
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b.ID) {
+			continue
+		}
+		for i, ins := range b.Instrs {
+			for j, a := range ins.Args {
+				db := defBlock[a]
+				if db == -1 {
+					return fmt.Errorf("ssa: %s used but never defined", f.RegName(a))
+				}
+				useBlock := b.ID
+				if ins.Op == ir.OpPhi {
+					useBlock = b.Preds[j] // φ use happens at the end of the pred
+					if !dom.Dominates(db, useBlock) {
+						return fmt.Errorf("ssa: φ use of %s in %s not dominated by its def", f.RegName(a), b.Name)
+					}
+					continue
+				}
+				if db == useBlock {
+					if defIndex[a] >= i {
+						return fmt.Errorf("ssa: %s used at %s[%d] before its def", f.RegName(a), b.Name, i)
+					}
+					continue
+				}
+				if !dom.Dominates(db, useBlock) {
+					return fmt.Errorf("ssa: use of %s in %s not dominated by def in %s",
+						f.RegName(a), b.Name, f.Blocks[db].Name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Package ssa implements the SSA machinery the paper's Theorem 1 rests on:
+// dominators and dominance frontiers (Cooper–Harvey–Kennedy), SSA
+// construction (Cytron et al.), per-point liveness and Maxlive,
+// interference graph construction with move affinities, critical edge
+// splitting, out-of-SSA translation through sequentialized parallel copies,
+// and a spill-everywhere pass for the two-phase allocation discussion.
+package ssa
+
+import (
+	"regcoal/internal/ir"
+)
+
+// Dominance holds the dominator tree and dominance frontiers of a function.
+type Dominance struct {
+	// Idom maps each block to its immediate dominator (-1 for the entry
+	// and for unreachable blocks).
+	Idom []int
+	// Children lists the dominator-tree children of each block.
+	Children [][]int
+	// Frontier is the dominance frontier DF(b) of each block.
+	Frontier [][]int
+	// RPO is a reverse postorder of the reachable blocks.
+	RPO []int
+	// rpoIndex[b] is b's position in RPO, -1 if unreachable.
+	rpoIndex []int
+}
+
+// NewDominance computes dominators with the Cooper–Harvey–Kennedy
+// iterative algorithm and dominance frontiers in the standard way.
+func NewDominance(f *ir.Func) *Dominance {
+	n := len(f.Blocks)
+	d := &Dominance{
+		Idom:     make([]int, n),
+		Children: make([][]int, n),
+		Frontier: make([][]int, n),
+		rpoIndex: make([]int, n),
+	}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+		d.rpoIndex[i] = -1
+	}
+	// Postorder DFS from the entry.
+	var post []int
+	seen := make([]bool, n)
+	var dfs func(b int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range f.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	for i := len(post) - 1; i >= 0; i-- {
+		d.rpoIndex[post[i]] = len(d.RPO)
+		d.RPO = append(d.RPO, post[i])
+	}
+	// Iterate to fixpoint.
+	intersect := func(a, b int) int {
+		for a != b {
+			for d.rpoIndex[a] > d.rpoIndex[b] {
+				a = d.Idom[a]
+			}
+			for d.rpoIndex[b] > d.rpoIndex[a] {
+				b = d.Idom[b]
+			}
+		}
+		return a
+	}
+	d.Idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range f.Blocks[b].Preds {
+				if d.rpoIndex[p] == -1 || d.Idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.Idom[0] = -1
+	for b := 0; b < n; b++ {
+		if d.Idom[b] != -1 {
+			d.Children[d.Idom[b]] = append(d.Children[d.Idom[b]], b)
+		}
+	}
+	// Dominance frontiers.
+	for _, b := range d.RPO {
+		if len(f.Blocks[b].Preds) < 2 {
+			continue
+		}
+		for _, p := range f.Blocks[b].Preds {
+			if d.rpoIndex[p] == -1 {
+				continue
+			}
+			runner := p
+			for runner != d.Idom[b] && runner != -1 {
+				d.Frontier[runner] = appendUnique(d.Frontier[runner], b)
+				runner = d.Idom[runner]
+			}
+		}
+	}
+	return d
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (d *Dominance) Dominates(a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 || d.Idom[b] == -1 {
+			return false
+		}
+		b = d.Idom[b]
+	}
+}
+
+// Reachable reports whether the block is reachable from the entry.
+func (d *Dominance) Reachable(b int) bool { return d.rpoIndex[b] != -1 }

@@ -1,0 +1,96 @@
+package ssa
+
+import (
+	"regcoal/internal/graph"
+	"regcoal/internal/ir"
+)
+
+// BuildInterference constructs the interference graph of a function
+// (SSA or lowered), Chaitin-style: walking each block backward with the
+// live set, every definition interferes with everything live across it.
+// Moves get the classic refinement — a move's destination does not
+// interfere with its source just because of the move — and each move
+// contributes an affinity of weight 1 between its endpoints (parallel
+// moves accumulate weight via NormalizeAffinities).
+//
+// φ destinations of a block are mutually interfering (all live at block
+// entry) and interfere with the block's live-ins; φ arguments are uses at
+// predecessor ends and are handled by liveness. A φ is morally a parallel
+// move, so it also contributes affinities between its destination and each
+// of its arguments — coalescing those is exactly the out-of-SSA problem.
+func BuildInterference(f *ir.Func) (*graph.Graph, *Liveness) {
+	return buildInterference(f, true)
+}
+
+// BuildIntersection constructs the pure live-range intersection graph: two
+// registers interfere iff their live ranges intersect, with no move
+// refinement. For a strict SSA program this is the graph of Theorem 1 —
+// chordal with ω = Maxlive. Affinities are attached as in
+// BuildInterference.
+func BuildIntersection(f *ir.Func) (*graph.Graph, *Liveness) {
+	return buildInterference(f, false)
+}
+
+func buildInterference(f *ir.Func, moveRefinement bool) (*graph.Graph, *Liveness) {
+	lv := NewLiveness(f)
+	g := graph.New(f.NumRegs)
+	for r := 0; r < f.NumRegs; r++ {
+		g.SetName(graph.V(r), f.RegName(ir.Reg(r)))
+	}
+	addDefEdges := func(dst ir.Reg, live Bitset, skip ir.Reg) {
+		for _, w := range live.Members() {
+			if w == dst || w == skip {
+				continue
+			}
+			g.AddEdge(graph.V(dst), graph.V(w))
+		}
+	}
+	for bi, b := range f.Blocks {
+		live := lv.LiveOut[bi].Copy()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			ins := b.Instrs[i]
+			if ins.Op == ir.OpPhi {
+				// Process the whole φ zone at once: dsts pairwise interfere
+				// and interfere with the live set at entry.
+				var dsts []ir.Reg
+				for j := 0; j <= i; j++ {
+					if b.Instrs[j].Op == ir.OpPhi {
+						dsts = append(dsts, b.Instrs[j].Dst)
+						for _, a := range b.Instrs[j].Args {
+							if a != b.Instrs[j].Dst {
+								g.AddAffinity(graph.V(b.Instrs[j].Dst), graph.V(a), 1)
+							}
+						}
+					}
+				}
+				for x := 0; x < len(dsts); x++ {
+					for y := x + 1; y < len(dsts); y++ {
+						if dsts[x] != dsts[y] {
+							g.AddEdge(graph.V(dsts[x]), graph.V(dsts[y]))
+						}
+					}
+					addDefEdges(dsts[x], live, ir.NoReg)
+				}
+				break
+			}
+			if ins.Dst != ir.NoReg {
+				skip := ir.NoReg
+				if ins.Op == ir.OpMove {
+					if moveRefinement {
+						skip = ins.Args[0]
+					}
+					if ins.Args[0] != ins.Dst {
+						g.AddAffinity(graph.V(ins.Dst), graph.V(ins.Args[0]), 1)
+					}
+				}
+				addDefEdges(ins.Dst, live, skip)
+				live.Clear(ins.Dst)
+			}
+			for _, a := range ins.Args {
+				live.Set(a)
+			}
+		}
+	}
+	g.NormalizeAffinities()
+	return g, lv
+}

@@ -1,0 +1,181 @@
+package ssa
+
+import (
+	"regcoal/internal/ir"
+)
+
+// Liveness holds per-block live-in/live-out sets as bitsets over registers.
+// The φ convention is the standard one: a φ's arguments are uses at the end
+// of the corresponding predecessors, and a φ's destination is defined at
+// the entry of its block (φ destinations are therefore not in LiveIn).
+type Liveness struct {
+	LiveIn, LiveOut []Bitset
+	f               *ir.Func
+}
+
+// Bitset is a fixed-size bitset over register ids.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Has reports whether bit i is set.
+func (b Bitset) Has(i ir.Reg) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+// Set sets bit i.
+func (b Bitset) Set(i ir.Reg) { b[i/64] |= 1 << uint(i%64) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i ir.Reg) { b[i/64] &^= 1 << uint(i%64) }
+
+// Or merges other into b, reporting whether b changed.
+func (b Bitset) Or(other Bitset) bool {
+	changed := false
+	for i := range b {
+		old := b[i]
+		b[i] |= other[i]
+		if b[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy clones the bitset.
+func (b Bitset) Copy() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// Count reports the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Members lists the set bits in increasing order.
+func (b Bitset) Members() []ir.Reg {
+	var out []ir.Reg
+	for i := range b {
+		w := b[i]
+		for w != 0 {
+			bit := w & (-w)
+			pos := 0
+			for w2 := bit; w2 > 1; w2 >>= 1 {
+				pos++
+			}
+			out = append(out, ir.Reg(i*64+pos))
+			w &^= bit
+		}
+	}
+	return out
+}
+
+// NewLiveness computes liveness by iterating backward dataflow to a
+// fixpoint. It works both on SSA functions (φ arguments count as uses at
+// predecessor ends) and on lowered functions without φs.
+func NewLiveness(f *ir.Func) *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{
+		LiveIn:  make([]Bitset, n),
+		LiveOut: make([]Bitset, n),
+		f:       f,
+	}
+	for i := 0; i < n; i++ {
+		lv.LiveIn[i] = NewBitset(f.NumRegs)
+		lv.LiveOut[i] = NewBitset(f.NumRegs)
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			b := f.Blocks[bi]
+			out := NewBitset(f.NumRegs)
+			for _, s := range b.Succs {
+				out.Or(lv.LiveIn[s])
+				// φ args flowing along this edge are uses at our end.
+				predIndex := -1
+				for i, p := range f.Blocks[s].Preds {
+					if p == bi {
+						predIndex = i
+						break
+					}
+				}
+				for _, ins := range f.Blocks[s].Instrs {
+					if ins.Op != ir.OpPhi {
+						break
+					}
+					out.Set(ins.Args[predIndex])
+				}
+			}
+			in := out.Copy()
+			// Walk instructions backward: kill defs, gen uses. φs define at
+			// entry and their args are not local uses.
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				ins := b.Instrs[i]
+				if ins.Dst != ir.NoReg {
+					in.Clear(ins.Dst)
+				}
+				if ins.Op != ir.OpPhi {
+					for _, a := range ins.Args {
+						in.Set(a)
+					}
+				}
+			}
+			if lv.LiveOut[bi].Or(out) {
+				changed = true
+			}
+			if lv.LiveIn[bi].Or(in) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// Maxlive computes the maximum number of simultaneously live registers over
+// all program points: between any two instructions, at block boundaries,
+// and just after the φ block (where all φ destinations are live together
+// with the live-ins). For a strict SSA program this equals ω of the
+// interference graph (Theorem 1).
+func (lv *Liveness) Maxlive() int {
+	max := 0
+	note := func(c int) {
+		if c > max {
+			max = c
+		}
+	}
+	for bi, b := range lv.f.Blocks {
+		live := lv.LiveOut[bi].Copy()
+		note(live.Count())
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			ins := b.Instrs[i]
+			if ins.Op == ir.OpPhi {
+				// The φ zone: all φ dsts are simultaneously live at block
+				// entry (conceptually defined together). Count them with
+				// the current live set, then stop: the remaining entries
+				// are φs whose dsts we add below.
+				for j := 0; j <= i; j++ {
+					if b.Instrs[j].Op == ir.OpPhi && b.Instrs[j].Dst != ir.NoReg {
+						live.Set(b.Instrs[j].Dst)
+					}
+				}
+				note(live.Count())
+				break
+			}
+			if ins.Dst != ir.NoReg {
+				live.Clear(ins.Dst)
+			}
+			for _, a := range ins.Args {
+				live.Set(a)
+			}
+			note(live.Count())
+		}
+	}
+	return max
+}

@@ -1,0 +1,105 @@
+package ssa
+
+import (
+	"regcoal/internal/graph"
+	"regcoal/internal/ir"
+)
+
+// LoopDepths computes the natural-loop nesting depth of every block: a
+// back edge is an edge b -> h where h dominates b; the natural loop of the
+// back edge is h plus every block that reaches b without passing through
+// h. Depth is the number of distinct loop headers whose loop contains the
+// block. Move weights scale with depth (a move in a doubly nested loop
+// runs ~100× more often), which is how real allocators weigh affinities.
+func LoopDepths(f *ir.Func) []int {
+	dom := NewDominance(f)
+	depth := make([]int, len(f.Blocks))
+	// Collect loop bodies per header.
+	loops := make(map[int]map[int]bool)
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b.ID) {
+			continue
+		}
+		for _, h := range b.Succs {
+			if !dom.Dominates(h, b.ID) {
+				continue // not a back edge
+			}
+			body := loops[h]
+			if body == nil {
+				body = map[int]bool{h: true}
+				loops[h] = body
+			}
+			// Walk predecessors from b up to h.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				for _, p := range f.Blocks[x].Preds {
+					if dom.Reachable(p) {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	for _, body := range loops {
+		for blk := range body {
+			depth[blk]++
+		}
+	}
+	return depth
+}
+
+// moveWeight scales a move's weight by 10^depth, capped to keep weights
+// sane on pathological nests.
+func moveWeight(depth int) int64 {
+	w := int64(1)
+	for i := 0; i < depth && i < 6; i++ {
+		w *= 10
+	}
+	return w
+}
+
+// BuildInterferenceWeighted is BuildInterference with loop-depth-scaled
+// affinity weights: a move at loop depth d contributes weight 10^d. This
+// is the realistic priority signal for coalescing heuristics ("moves in
+// inner loops are coalesced first", §4).
+func BuildInterferenceWeighted(f *ir.Func) (*graph.Graph, *Liveness) {
+	g, lv := BuildInterference(f)
+	// Rebuild the affinities with weights; BuildInterference gave weight 1
+	// per move and normalized. Recompute from the code directly.
+	depths := LoopDepths(f)
+	weighted := graph.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		weighted.SetName(graph.V(v), g.Name(graph.V(v)))
+		if c, ok := g.Precolored(graph.V(v)); ok {
+			weighted.SetPrecolored(graph.V(v), c)
+		}
+	}
+	for _, e := range g.Edges() {
+		weighted.AddEdge(e[0], e[1])
+	}
+	for _, b := range f.Blocks {
+		w := moveWeight(depths[b.ID])
+		for _, ins := range b.Instrs {
+			switch ins.Op {
+			case ir.OpMove:
+				if ins.Dst != ins.Args[0] {
+					weighted.AddAffinity(graph.V(ins.Dst), graph.V(ins.Args[0]), w)
+				}
+			case ir.OpPhi:
+				for _, a := range ins.Args {
+					if a != ins.Dst {
+						weighted.AddAffinity(graph.V(ins.Dst), graph.V(a), w)
+					}
+				}
+			}
+		}
+	}
+	weighted.NormalizeAffinities()
+	return weighted, lv
+}

@@ -1,0 +1,107 @@
+package ssa
+
+import (
+	"math/rand"
+	"testing"
+
+	"regcoal/internal/ir"
+)
+
+func TestLoopDepthsFixtures(t *testing.T) {
+	// Straight-line diamond: depth 0 everywhere.
+	for _, d := range LoopDepths(ir.Diamond()) {
+		if d != 0 {
+			t.Fatal("diamond has no loops")
+		}
+	}
+	// Loop fixture: head and body at depth 1, entry and exit at 0.
+	f := ir.Loop()
+	depths := LoopDepths(f)
+	if depths[0] != 0 || depths[3] != 0 {
+		t.Fatalf("entry/exit depths: %v", depths)
+	}
+	if depths[1] != 1 || depths[2] != 1 {
+		t.Fatalf("head/body depths: %v", depths)
+	}
+}
+
+func TestLoopDepthsNested(t *testing.T) {
+	// entry -> outerHead -> innerHead -> innerBody -> innerHead;
+	// innerHead -> outerLatch -> outerHead; outerHead -> exit.
+	f := ir.NewFunc("nest")
+	outer := f.NewBlock("outer")
+	inner := f.NewBlock("inner")
+	body := f.NewBlock("body")
+	latch := f.NewBlock("latch")
+	exit := f.NewBlock("exit")
+	f.AddEdge(f.Entry(), outer)
+	f.AddEdge(outer, inner)
+	f.AddEdge(inner, body)
+	f.AddEdge(body, inner) // inner back edge
+	f.AddEdge(inner, latch)
+	f.AddEdge(latch, outer) // outer back edge
+	f.AddEdge(outer, exit)
+	depths := LoopDepths(f)
+	if depths[body.ID] != 2 {
+		t.Fatalf("inner body depth=%d, want 2 (depths %v)", depths[body.ID], depths)
+	}
+	if depths[outer.ID] != 1 {
+		t.Fatalf("outer head depth=%d, want 1", depths[outer.ID])
+	}
+	if depths[exit.ID] != 0 {
+		t.Fatalf("exit depth=%d, want 0", depths[exit.ID])
+	}
+}
+
+func TestWeightedInterference(t *testing.T) {
+	// The swap loop's φ/copy moves sit at depth 1: their affinities must
+	// outweigh depth-0 moves tenfold.
+	ssaF, err := Build(ir.Swap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Lower(ssaF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := BuildInterferenceWeighted(low)
+	if g.NumAffinities() == 0 {
+		t.Fatal("no affinities")
+	}
+	foundHeavy := false
+	for _, a := range g.Affinities() {
+		if a.Weight >= 10 {
+			foundHeavy = true
+		}
+	}
+	if !foundHeavy {
+		t.Fatalf("no loop-weighted affinity found: %v", g.Affinities())
+	}
+	// The interference structure matches the unweighted builder.
+	plain, _ := BuildInterference(low)
+	if g.E() != plain.E() || g.N() != plain.N() {
+		t.Fatal("weighted builder changed the interference structure")
+	}
+}
+
+func TestWeightedInterferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		p := ir.DefaultRandomParams()
+		p.Vars, p.Blocks = 6, 8
+		fn := ir.Random(rng, p)
+		_, low, err := Pipeline(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := BuildInterferenceWeighted(low)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range g.Affinities() {
+			if a.Weight < 1 {
+				t.Fatalf("bad weight %d", a.Weight)
+			}
+		}
+	}
+}

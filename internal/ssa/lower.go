@@ -1,0 +1,187 @@
+package ssa
+
+import (
+	"fmt"
+
+	"regcoal/internal/ir"
+)
+
+// SplitCriticalEdges inserts an empty block on every critical edge (an
+// edge from a block with several successors to a block with several
+// predecessors). Out-of-SSA copy insertion requires this: copies for a φ's
+// predecessor edge must execute on that edge only.
+func SplitCriticalEdges(f *ir.Func) int {
+	split := 0
+	// Collect first: we mutate the block list while iterating otherwise.
+	type edge struct{ from, to int }
+	var critical []edge
+	for _, b := range f.Blocks {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for _, s := range b.Succs {
+			if len(f.Blocks[s].Preds) >= 2 {
+				critical = append(critical, edge{from: b.ID, to: s})
+			}
+		}
+	}
+	for _, e := range critical {
+		mid := f.NewBlock(fmt.Sprintf("crit%d", split))
+		split++
+		from, to := f.Blocks[e.from], f.Blocks[e.to]
+		// Rewire from -> mid -> to in place, preserving predecessor order
+		// in `to` (φ argument order depends on it).
+		for i, s := range from.Succs {
+			if s == e.to {
+				from.Succs[i] = mid.ID
+				break
+			}
+		}
+		for i, p := range to.Preds {
+			if p == e.from {
+				to.Preds[i] = mid.ID
+				break
+			}
+		}
+		mid.Preds = []int{e.from}
+		mid.Succs = []int{e.to}
+	}
+	return split
+}
+
+// copyPair is one slot of a parallel copy.
+type copyPair struct{ dst, src ir.Reg }
+
+// sequentializeParallelCopy emits ordinary moves realizing the parallel
+// assignment (all sources read before any destination is written), using a
+// fresh temporary per value cycle. Destinations must be pairwise distinct.
+// This is the standard "windmill" algorithm: emit leaf moves (destinations
+// nobody still reads) until only permutation cycles remain, then break each
+// cycle with one temporary.
+func sequentializeParallelCopy(pairs []copyPair, freshTemp func() ir.Reg, emit func(dst, src ir.Reg)) {
+	pending := make([]copyPair, 0, len(pairs))
+	for _, p := range pairs {
+		if p.dst != p.src {
+			pending = append(pending, p)
+		}
+	}
+	readers := make(map[ir.Reg]int) // how many pending pairs read this reg
+	for _, p := range pending {
+		readers[p.src]++
+	}
+	for len(pending) > 0 {
+		emitted := false
+		for i := 0; i < len(pending); i++ {
+			p := pending[i]
+			if readers[p.dst] > 0 {
+				continue
+			}
+			emit(p.dst, p.src)
+			readers[p.src]--
+			pending[i] = pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+			emitted = true
+			i--
+		}
+		if emitted {
+			continue
+		}
+		// Only cycles remain: every pending dst is read exactly once.
+		// Break one cycle with a temp.
+		start := pending[0]
+		t := freshTemp()
+		emit(t, start.dst)
+		readers[start.dst]--
+		// Now start.dst is free to overwrite; walk the cycle.
+		cur := start
+		for {
+			src := cur.src
+			if src == start.dst {
+				emit(cur.dst, t)
+			} else {
+				emit(cur.dst, src)
+				readers[src]--
+			}
+			// Remove cur from pending.
+			for i := range pending {
+				if pending[i] == cur {
+					pending[i] = pending[len(pending)-1]
+					pending = pending[:len(pending)-1]
+					break
+				}
+			}
+			if src == start.dst {
+				break
+			}
+			// Find the pair writing src (it exists: src is a pending dst).
+			found := false
+			for _, q := range pending {
+				if q.dst == src {
+					cur = q
+					found = true
+					break
+				}
+			}
+			if !found {
+				panic("ssa: broken parallel copy cycle")
+			}
+		}
+	}
+}
+
+// Lower translates an SSA function out of SSA: critical edges are split,
+// every φ block's incoming values are materialized as sequentialized
+// parallel copies at the end of each predecessor, and the φs are deleted.
+// The returned function has no φs and typically many move instructions —
+// the affinities of the register coalescing problem. The input is not
+// modified.
+func Lower(f *ir.Func) (*ir.Func, error) {
+	if err := VerifySSA(f); err != nil {
+		return nil, err
+	}
+	out := f.Clone()
+	SplitCriticalEdges(out)
+	// For each block with φs, gather the parallel copy per predecessor.
+	for _, b := range out.Blocks {
+		var phis []ir.Instr
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi {
+				phis = append(phis, ins)
+			} else {
+				break
+			}
+		}
+		if len(phis) == 0 {
+			continue
+		}
+		for pi, p := range b.Preds {
+			pred := out.Blocks[p]
+			pairs := make([]copyPair, 0, len(phis))
+			for _, phi := range phis {
+				pairs = append(pairs, copyPair{dst: phi.Dst, src: phi.Args[pi]})
+			}
+			sequentializeParallelCopy(pairs,
+				func() ir.Reg { return out.NewNamedReg("pc") },
+				func(dst, src ir.Reg) { pred.Move(dst, src) })
+		}
+		b.Instrs = b.Instrs[len(phis):]
+	}
+	if err := out.Verify(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Pipeline runs the full front half of the paper's setting: build SSA,
+// then lower out of SSA. It returns both forms.
+func Pipeline(src *ir.Func) (ssaForm, lowered *ir.Func, err error) {
+	ssaForm, err = Build(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	lowered, err = Lower(ssaForm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ssaForm, lowered, nil
+}

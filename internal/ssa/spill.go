@@ -1,0 +1,115 @@
+package ssa
+
+import (
+	"regcoal/internal/ir"
+)
+
+// SpillEverywhere rewrites a φ-free function so that register r lives in a
+// stack slot: every definition of r stores to the slot through a fresh
+// temporary, and every use reloads into a fresh temporary just before the
+// instruction. The temporaries have point live ranges, so the register
+// pressure contributed by r drops to (at most) one at each touching
+// instruction. Returns the slot id used.
+func SpillEverywhere(f *ir.Func, r ir.Reg, slot int) {
+	for _, b := range f.Blocks {
+		var out []ir.Instr
+		for _, ins := range b.Instrs {
+			uses := false
+			for _, a := range ins.Args {
+				if a == r {
+					uses = true
+				}
+			}
+			if uses {
+				t := f.NewNamedReg("rl") // reload temp
+				out = append(out, ir.Instr{Op: ir.OpLoad, Dst: t, Slot: slot})
+				args := append([]ir.Reg(nil), ins.Args...)
+				for i, a := range args {
+					if a == r {
+						args[i] = t
+					}
+				}
+				ins.Args = args
+			}
+			if ins.Dst == r {
+				t := f.NewNamedReg("sp") // spill temp
+				ins.Dst = t
+				out = append(out, ins)
+				out = append(out, ir.Instr{Op: ir.OpStore, Dst: ir.NoReg, Args: []ir.Reg{t}, Slot: slot})
+				continue
+			}
+			out = append(out, ins)
+		}
+		b.Instrs = out
+	}
+}
+
+// ReduceMaxlive spills registers (spill-everywhere) until the function's
+// Maxlive is at most k, choosing at each round the register that is live
+// at the most program points of maximal pressure. This is the aggressive
+// first phase of the two-phase (spill then color/coalesce) register
+// allocation the paper's introduction describes: after it, the
+// interference graph of the SSA form is k-colorable.
+//
+// It returns the spilled registers in order. It gives up (returns ok =
+// false) if pressure cannot be reduced further — which happens only when
+// more than k temporaries collide at a single instruction.
+func ReduceMaxlive(f *ir.Func, k int) (spilled []ir.Reg, ok bool) {
+	slot := 0
+	// Only original registers are spill candidates: spilling a one-point
+	// reload/spill temporary can never reduce pressure.
+	limit := ir.Reg(f.NumRegs)
+	done := make(map[ir.Reg]bool)
+	for {
+		lv := NewLiveness(f)
+		maxlive := lv.Maxlive()
+		if maxlive <= k {
+			return spilled, true
+		}
+		// Count, for each register, at how many maximal-pressure points it
+		// is live.
+		score := make([]int, f.NumRegs)
+		for bi, b := range f.Blocks {
+			live := lv.LiveOut[bi].Copy()
+			note := func() {
+				if live.Count() == maxlive {
+					for _, r := range live.Members() {
+						score[r]++
+					}
+				}
+			}
+			note()
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				ins := b.Instrs[i]
+				if ins.Op == ir.OpPhi {
+					break
+				}
+				if ins.Dst != ir.NoReg {
+					live.Clear(ins.Dst)
+				}
+				for _, a := range ins.Args {
+					live.Set(a)
+				}
+				note()
+			}
+		}
+		best := ir.NoReg
+		for r := ir.Reg(0); r < limit; r++ {
+			if score[r] == 0 || done[r] {
+				continue
+			}
+			if best == ir.NoReg || score[r] > score[best] {
+				best = r
+			}
+		}
+		if best == ir.NoReg {
+			// Pressure comes from temporaries alone: more than k values
+			// collide at one instruction; spill-everywhere cannot help.
+			return spilled, false
+		}
+		SpillEverywhere(f, best, slot)
+		slot++
+		done[best] = true
+		spilled = append(spilled, best)
+	}
+}

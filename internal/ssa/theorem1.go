@@ -1,0 +1,45 @@
+package ssa
+
+import (
+	"fmt"
+
+	"regcoal/internal/chordal"
+	"regcoal/internal/ir"
+)
+
+// Theorem1Report is the machine-checked content of the paper's Theorem 1
+// for one SSA function: the interference graph (live-range intersection,
+// ignoring φ functions) is chordal and its clique number equals Maxlive.
+type Theorem1Report struct {
+	Vertices, Edges int
+	Maxlive         int
+	Omega           int
+	Chordal         bool
+}
+
+// CheckTheorem1 builds the intersection interference graph of an SSA
+// function and verifies chordality and ω = Maxlive. A non-nil error means
+// the theorem's claim failed on this function, which would indicate a bug
+// in the SSA construction or liveness (the theorem is, after all, a
+// theorem).
+func CheckTheorem1(f *ir.Func) (*Theorem1Report, error) {
+	if err := VerifySSA(f); err != nil {
+		return nil, fmt.Errorf("ssa: not strict SSA: %w", err)
+	}
+	g, lv := BuildIntersection(f)
+	rep := &Theorem1Report{
+		Vertices: g.N(),
+		Edges:    g.E(),
+		Maxlive:  lv.Maxlive(),
+	}
+	peo, ok := chordal.PEO(g)
+	rep.Chordal = ok
+	if !ok {
+		return rep, fmt.Errorf("ssa: interference graph of SSA form is not chordal")
+	}
+	rep.Omega = chordal.Omega(g, peo)
+	if rep.Omega != rep.Maxlive {
+		return rep, fmt.Errorf("ssa: ω=%d but Maxlive=%d", rep.Omega, rep.Maxlive)
+	}
+	return rep, nil
+}

@@ -1,0 +1,205 @@
+package ssa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/chordal"
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+	"regcoal/internal/ir"
+)
+
+func TestTheorem1Fixtures(t *testing.T) {
+	for _, src := range []*ir.Func{ir.Diamond(), ir.Loop(), ir.Swap()} {
+		ssaF, err := Build(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		rep, err := CheckTheorem1(ssaF)
+		if err != nil {
+			t.Fatalf("%s: %v (report %+v)", src.Name, err, rep)
+		}
+		if !rep.Chordal || rep.Omega != rep.Maxlive {
+			t.Fatalf("%s: report %+v", src.Name, rep)
+		}
+	}
+}
+
+// Theorem 1 on random programs: the SSA interference graph is chordal with
+// ω = Maxlive — and therefore (Property 1) greedy-Maxlive-colorable.
+func TestQuickTheorem1(t *testing.T) {
+	f := func(seed int64, varsRaw, blocksRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := ir.DefaultRandomParams()
+		p.Vars = int(varsRaw%8) + 1
+		p.Blocks = int(blocksRaw%8) + 1
+		fn := ir.Random(rng, p)
+		ssaF, err := Build(fn)
+		if err != nil {
+			return false
+		}
+		rep, err := CheckTheorem1(ssaF)
+		if err != nil {
+			return false
+		}
+		g, _ := BuildIntersection(ssaF)
+		return greedy.IsGreedyKColorable(g, rep.Maxlive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Contrast: the interference graph of a NON-SSA program can be non-chordal
+// — that's why the paper's SSA-based results matter. Live ranges wrapping
+// around a loop's back edge behave like circular arcs, and C4 is a
+// circular-arc graph: the fixture staggers four ranges around one loop
+// block so that exactly the cycle a-b, b-c, c-d, d-a appears.
+func TestNonSSANotNecessarilyChordal(t *testing.T) {
+	f := ir.NewFunc("c4loop")
+	a := f.NewNamedReg("a")
+	b := f.NewNamedReg("b")
+	c := f.NewNamedReg("c")
+	d := f.NewNamedReg("d")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	f.AddEdge(f.Entry(), body)
+	f.AddEdge(body, body)
+	f.AddEdge(body, exit)
+	f.Entry().Def(a)
+	f.Entry().Def(d)
+	body.Use(d) // d: def(prev iter) -> here
+	body.Def(b)
+	body.Use(a) // a: def(prev iter) -> here, overlapping b
+	body.Def(c) // c overlaps b
+	body.Use(b)
+	body.Def(d) // d overlaps c
+	body.Use(c)
+	body.Def(a) // a overlaps d via the back edge
+	g, _ := BuildIntersection(f)
+	if g.HasEdge(graph.V(a), graph.V(c)) || g.HasEdge(graph.V(b), graph.V(d)) {
+		t.Fatalf("unexpected chord: edges %v", g.Edges())
+	}
+	for _, e := range [][2]graph.V{{graph.V(a), graph.V(b)}, {graph.V(b), graph.V(c)}, {graph.V(c), graph.V(d)}, {graph.V(a), graph.V(d)}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing cycle edge %v: edges %v", e, g.Edges())
+		}
+	}
+	if chordal.IsChordal(g) {
+		t.Fatalf("expected a chordless 4-cycle, got edges %v", g.Edges())
+	}
+	// After SSA construction the same program's graph IS chordal (Thm 1).
+	ssaF, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckTheorem1(ssaF); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckTheorem1RejectsNonSSA(t *testing.T) {
+	f := ir.Diamond() // two defs of c: not SSA
+	if _, err := CheckTheorem1(f); err == nil {
+		t.Fatal("non-SSA input accepted")
+	}
+}
+
+func TestSpillEverywhere(t *testing.T) {
+	f := ir.NewFunc("t")
+	a, b := f.NewReg(), f.NewReg()
+	e := f.Entry()
+	e.Def(a)
+	e.Def(b)
+	e.Def(b, a, b) // uses a and b
+	e.Use(a)
+	SpillEverywhere(f, a, 0)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// a must no longer appear as a direct operand or destination.
+	for _, blk := range f.Blocks {
+		for _, ins := range blk.Instrs {
+			if ins.Dst == a {
+				t.Fatal("spilled register still defined")
+			}
+			for _, arg := range ins.Args {
+				if arg == a && ins.Op != ir.OpStore {
+					t.Fatal("spilled register still used directly")
+				}
+			}
+		}
+	}
+	loads, stores := 0, 0
+	for _, blk := range f.Blocks {
+		for _, ins := range blk.Instrs {
+			switch ins.Op {
+			case ir.OpLoad:
+				loads++
+			case ir.OpStore:
+				stores++
+			}
+		}
+	}
+	if loads != 2 || stores != 1 {
+		t.Fatalf("loads=%d stores=%d, want 2 and 1", loads, stores)
+	}
+}
+
+func TestReduceMaxlive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := ir.DefaultRandomParams()
+	p.Vars = 8
+	p.Blocks = 6
+	fn := ir.Random(rng, p)
+	_, low, err := Pipeline(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := NewLiveness(low).Maxlive()
+	k := 4
+	if before <= k {
+		t.Skipf("instance already below pressure %d", k)
+	}
+	spilled, ok := ReduceMaxlive(low, k)
+	if !ok {
+		t.Fatalf("could not reduce pressure to %d", k)
+	}
+	after := NewLiveness(low).Maxlive()
+	if after > k {
+		t.Fatalf("Maxlive=%d after spilling, want <= %d", after, k)
+	}
+	if len(spilled) == 0 {
+		t.Fatal("no spills reported despite pressure drop")
+	}
+	if err := low.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Pressure reduction works across random instances (or fails only by
+// reporting ok=false, never by looping or corrupting the function).
+func TestQuickReduceMaxlive(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := ir.DefaultRandomParams()
+		p.Vars = 7
+		p.Blocks = 5
+		fn := ir.Random(rng, p)
+		_, low, err := Pipeline(fn)
+		if err != nil {
+			return false
+		}
+		k := int(kRaw%4) + 3
+		_, ok := ReduceMaxlive(low, k)
+		if !ok {
+			return true // honest failure is acceptable
+		}
+		return NewLiveness(low).Maxlive() <= k && low.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package vcover implements the vertex cover problem, the NP-complete
+// source of the paper's Theorem 6 reduction to optimistic coalescing.
+// Vertex cover is NP-complete even when every vertex has degree at most 3
+// (Garey, Johnson & Stockmeyer), which is exactly the restriction the
+// Theorem 6 gadget relies on (each vertex structure has 3 connector arms).
+package vcover
+
+import (
+	"math/rand"
+
+	"regcoal/internal/graph"
+)
+
+// IsCover reports whether the vertex set covers every edge of g.
+func IsCover(g *graph.Graph, cover []graph.V) bool {
+	in := make(map[graph.V]bool, len(cover))
+	for _, v := range cover {
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if !in[e[0]] && !in[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveExact computes a minimum vertex cover by branch and bound: pick an
+// uncovered edge, branch on covering it with either endpoint. Runs in
+// O(2^cover) time; fine for the small reduction-verification instances.
+func SolveExact(g *graph.Graph) []graph.V {
+	edges := g.Edges()
+	best := g.Vertices() // the full vertex set always covers
+	inCover := make([]bool, g.N())
+	var rec func(count int)
+	rec = func(count int) {
+		if count >= len(best) {
+			return // cannot improve
+		}
+		// Find an uncovered edge.
+		var pick [2]graph.V
+		found := false
+		for _, e := range edges {
+			if !inCover[e[0]] && !inCover[e[1]] {
+				pick = e
+				found = true
+				break
+			}
+		}
+		if !found {
+			cur := make([]graph.V, 0, count)
+			for v, in := range inCover {
+				if in {
+					cur = append(cur, graph.V(v))
+				}
+			}
+			best = cur
+			return
+		}
+		for _, v := range pick {
+			inCover[v] = true
+			rec(count + 1)
+			inCover[v] = false
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Approx2 returns a vertex cover at most twice the optimum via maximal
+// matching: repeatedly pick an uncovered edge and take both endpoints.
+func Approx2(g *graph.Graph) []graph.V {
+	in := make([]bool, g.N())
+	var cover []graph.V
+	for _, e := range g.Edges() {
+		if !in[e[0]] && !in[e[1]] {
+			in[e[0]] = true
+			in[e[1]] = true
+			cover = append(cover, e[0], e[1])
+		}
+	}
+	return cover
+}
+
+// RandomMaxDeg3 returns a random graph in which every vertex has degree at
+// most 3, with up to m edges — the graph class of the Theorem 6 reduction.
+func RandomMaxDeg3(rng *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New(n)
+	for attempts := 0; g.E() < m && attempts < 40*m+100; attempts++ {
+		u := graph.V(rng.Intn(n))
+		v := graph.V(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) || g.Degree(u) >= 3 || g.Degree(v) >= 3 {
+			continue
+		}
+		g.AddEdge(u, v)
+	}
+	return g
+}

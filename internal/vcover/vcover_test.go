@@ -1,0 +1,116 @@
+package vcover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcoal/internal/graph"
+)
+
+func TestIsCover(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !IsCover(g, []graph.V{1}) {
+		t.Fatal("{1} covers the path")
+	}
+	if IsCover(g, []graph.V{0}) {
+		t.Fatal("{0} misses edge (1,2)")
+	}
+	if !IsCover(graph.New(4), nil) {
+		t.Fatal("empty cover covers the edgeless graph")
+	}
+}
+
+func TestSolveExactSmall(t *testing.T) {
+	// Path of 3 vertices: min cover {1}.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	cover := SolveExact(g)
+	if len(cover) != 1 || cover[0] != 1 {
+		t.Fatalf("cover=%v, want [1]", cover)
+	}
+	// Triangle: min cover size 2.
+	tri := graph.New(3)
+	tri.AddClique(0, 1, 2)
+	if got := SolveExact(tri); len(got) != 2 {
+		t.Fatalf("triangle cover=%v, want size 2", got)
+	}
+	// C5: min cover size 3.
+	c5 := graph.New(5)
+	for i := 0; i < 5; i++ {
+		c5.AddEdge(graph.V(i), graph.V((i+1)%5))
+	}
+	if got := SolveExact(c5); len(got) != 3 {
+		t.Fatalf("C5 cover=%v, want size 3", got)
+	}
+	// Edgeless graph: empty cover.
+	if got := SolveExact(graph.New(4)); len(got) != 0 {
+		t.Fatalf("edgeless cover=%v", got)
+	}
+}
+
+func bruteMinCover(g *graph.Graph) int {
+	n := g.N()
+	best := n
+	for mask := 0; mask < 1<<n; mask++ {
+		var set []graph.V
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				set = append(set, graph.V(v))
+			}
+		}
+		if len(set) < best && IsCover(g, set) {
+			best = len(set)
+		}
+	}
+	return best
+}
+
+func TestQuickExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%9) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomMaxDeg3(rng, n, n)
+		cover := SolveExact(g)
+		if !IsCover(g, cover) {
+			return false
+		}
+		return len(cover) == bruteMinCover(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApprox2(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomMaxDeg3(rng, n, n)
+		apx := Approx2(g)
+		if !IsCover(g, apx) {
+			return false
+		}
+		opt := SolveExact(g)
+		return len(apx) <= 2*len(opt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomMaxDeg3RespectsDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		g := RandomMaxDeg3(rng, 15, 20)
+		if g.MaxDegree() > 3 {
+			t.Fatalf("degree %d exceeds 3", g.MaxDegree())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package regcoal
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	// The README quickstart, as a test.
+	g := NewNamedGraph("a", "b", "c", "d")
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddAffinity(0, 2, 10)
+	g.AddAffinity(2, 3, 1)
+
+	res, ok := Run(g, 2, StrategyBriggsGeorge)
+	if !ok {
+		t.Fatal("strategy not found")
+	}
+	if res.CoalescedWeight == 0 {
+		t.Fatal("quickstart instance should coalesce something")
+	}
+	if !res.Colorable {
+		t.Fatal("conservative result must stay colorable")
+	}
+}
+
+func TestFacadeAllStrategiesRun(t *testing.T) {
+	g := NewGraph(6)
+	g.AddEdge(0, 1)
+	g.AddAffinity(1, 2, 3)
+	g.AddAffinity(3, 4, 2)
+	for _, s := range Strategies() {
+		res, ok := Run(g, 3, s)
+		if !ok || res == nil {
+			t.Fatalf("strategy %s failed to run", s)
+		}
+	}
+	if _, ok := Run(g, 3, Strategy("bogus")); ok {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestFacadeColoringHelpers(t *testing.T) {
+	g := NewGraph(4)
+	g.AddClique(0, 1, 2)
+	if ColoringNumber(g) != 3 {
+		t.Fatalf("col=%d", ColoringNumber(g))
+	}
+	if !IsGreedyKColorable(g, 3) || IsGreedyKColorable(g, 2) {
+		t.Fatal("greedy colorability wrong")
+	}
+	col, ok := GreedyColor(g, 3)
+	if !ok || !col.Proper(g) {
+		t.Fatal("greedy coloring failed")
+	}
+}
+
+func TestFacadeChordal(t *testing.T) {
+	// Path x-a-y: identifiable with 2 colors.
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	dec, err := CanCoalesceChordal(g, 0, 2, 2)
+	if err != nil || !dec.OK {
+		t.Fatalf("dec=%v err=%v", dec, err)
+	}
+	// C4 is rejected with ErrNotChordal.
+	c4 := NewGraph(4)
+	c4.AddEdge(0, 1)
+	c4.AddEdge(1, 2)
+	c4.AddEdge(2, 3)
+	c4.AddEdge(3, 0)
+	if _, err := CanCoalesceChordal(c4, 0, 2, 3); err != ErrNotChordal {
+		t.Fatalf("want ErrNotChordal, got %v", err)
+	}
+}
+
+func TestFacadeReadGraph(t *testing.T) {
+	f, err := ReadGraph(strings.NewReader("k 3\nnode a\nnode b\nmove a b 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.K != 3 || f.G.N() != 2 || f.G.NumAffinities() != 1 {
+		t.Fatalf("parsed wrong: k=%d n=%d", f.K, f.G.N())
+	}
+}
+
+func TestFacadeAllocate(t *testing.T) {
+	g := NewGraph(5)
+	g.AddClique(0, 1, 2)
+	g.AddAffinity(3, 4, 2)
+	res, err := Allocate(g, 3, AllocConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spilled) != 0 {
+		t.Fatalf("spilled %v", res.Spilled)
+	}
+	if res.CoalescedWeight != 2 {
+		t.Fatalf("coalesced weight %d", res.CoalescedWeight)
+	}
+	for _, mode := range []AllocMode{AllocNone, AllocBrute, AllocOptimistic, AllocAggressive} {
+		if _, err := Allocate(g, 3, mode); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+}
