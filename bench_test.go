@@ -6,12 +6,15 @@ package regcoal
 // special cases against the exponential exact solvers.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
 
 	"regcoal/internal/chordal"
 	"regcoal/internal/coalesce"
+	"regcoal/internal/corpus"
+	"regcoal/internal/engine"
 	"regcoal/internal/exact"
 	"regcoal/internal/expt"
 	"regcoal/internal/graph"
@@ -51,6 +54,37 @@ func BenchmarkChallengeStrategies(b *testing.B)    { benchExperiment(b, "CH") }
 func BenchmarkIRCEndToEnd(b *testing.B)            { benchExperiment(b, "IRC") }
 func BenchmarkAblations(b *testing.B)              { benchExperiment(b, "ABL") }
 func BenchmarkT5GapOpenProblem(b *testing.B)       { benchExperiment(b, "T5G") }
+
+// BenchmarkEngineMatrix runs the full strategy matrix over the quick
+// corpus on the execution engine at several worker counts — the
+// perf-trajectory backbone for cmd/bench (records are identical across
+// counts; only wall time differs).
+func BenchmarkEngineMatrix(b *testing.B) {
+	fams, err := corpus.Select("all")
+	if err != nil {
+		b.Fatal(err)
+	}
+	insts, err := corpus.BuildAll(fams, corpus.Params{Seed: 20060408, Quick: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	matrix := engine.StandardMatrix()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run("p"+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				recs, err := engine.Run(context.Background(),
+					engine.Config{Parallel: workers}, insts, matrix, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(recs) != len(insts)*len(matrix) {
+					b.Fatalf("got %d records, want %d", len(recs), len(insts)*len(matrix))
+				}
+			}
+		})
+	}
+}
 
 // Scaling benchmarks.
 

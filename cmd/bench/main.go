@@ -1,0 +1,136 @@
+// Command bench drives the full strategy matrix (every coalescing
+// strategy × the IRC allocator × the exact solver) over generated corpus
+// families on the concurrent execution engine, streaming one
+// machine-readable record per (instance, strategy) evaluation plus a
+// per-family aggregate summary.
+//
+// Usage:
+//
+//	bench -families all -parallel 8 -timeout 30s -out json > results.jsonl
+//	bench -families chordal,interval -out csv -o results.csv
+//	bench -families all -quick -timing=false        # byte-reproducible
+//	bench -list                                     # list corpus families
+//	bench -save corpus/ -families all               # persist the corpus
+//
+// Records go to stdout (or -o) as JSONL or CSV; the aggregate summary goes
+// to stderr as an aligned table (or to -summary as CSV). With -timing=false
+// and -timeout 0 the record stream and the summary are byte-identical for
+// every -parallel level and every run — the reproducibility contract the
+// perf-trajectory files (BENCH_*.json) rely on. (With a timeout set,
+// whether a borderline run times out depends on machine load.)
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"regcoal/internal/corpus"
+	"regcoal/internal/engine"
+)
+
+func main() {
+	var (
+		families = flag.String("families", "all", "comma-separated corpus families, or 'all'")
+		parallel = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-run timeout (0 = none)")
+		out      = flag.String("out", "json", "record stream format: json (JSONL) or csv")
+		output   = flag.String("o", "", "record stream destination (default stdout)")
+		summary  = flag.String("summary", "", "write aggregate summary CSV to this file (default: aligned table on stderr)")
+		seed     = flag.Int64("seed", 20060408, "base corpus seed")
+		quick    = flag.Bool("quick", false, "small per-family instance counts (CI smoke)")
+		timing   = flag.Bool("timing", true, "capture wall-clock per run (disable for byte-reproducible output)")
+		save     = flag.String("save", "", "persist the generated corpus (native + DIMACS + manifest) under this directory")
+		list     = flag.Bool("list", false, "list corpus families and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range corpus.Families() {
+			fmt.Printf("%-12s %3d instances (%d quick)  %s\n", f.Name, f.Count, f.QuickCount, f.Description)
+		}
+		return
+	}
+
+	fams, err := corpus.Select(*families)
+	if err != nil {
+		fatal(err)
+	}
+	params := corpus.Params{Seed: *seed, Quick: *quick}
+
+	var insts []*corpus.Instance
+	if *save != "" {
+		for _, f := range fams {
+			fi, m, err := corpus.WriteFamilyDir(*save, f, params)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "bench: saved %d instances of %s to %s\n", len(m.Instances), f.Name, *save)
+			insts = append(insts, fi...)
+		}
+	} else {
+		if insts, err = corpus.BuildAll(fams, params); err != nil {
+			fatal(err)
+		}
+	}
+
+	dst := os.Stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	bw := bufio.NewWriter(dst)
+	defer bw.Flush()
+
+	var sink engine.Sink
+	switch *out {
+	case "json":
+		sink = engine.JSONLSink(bw)
+	case "csv":
+		sink = engine.CSVSink(bw)
+	default:
+		fatal(fmt.Errorf("unknown -out format %q (want json or csv)", *out))
+	}
+
+	cfg := engine.Config{Parallel: *parallel, Timeout: *timeout, Timing: *timing}
+	matrix := engine.StandardMatrix()
+	recs, err := engine.Run(context.Background(), cfg, insts, matrix, sink)
+	if err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+
+	aggs := engine.Aggregates(recs)
+	if *summary != "" {
+		f, err := os.Create(*summary)
+		if err != nil {
+			fatal(err)
+		}
+		if err := engine.WriteAggregatesCSV(f, aggs); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "\nbench: %d records over %d instances × %d strategies\n\n",
+			len(recs), len(insts), len(matrix))
+		if err := engine.WriteAggregatesText(os.Stderr, aggs); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

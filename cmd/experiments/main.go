@@ -18,11 +18,12 @@ import (
 
 func main() {
 	var (
-		id    = flag.String("exp", "all", "experiment id or 'all'")
-		seed  = flag.Int64("seed", 20060408, "random seed")
-		quick = flag.Bool("quick", false, "smaller sweeps")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		asCSV = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		id       = flag.String("exp", "all", "experiment id or 'all'")
+		seed     = flag.Int64("seed", 20060408, "random seed")
+		quick    = flag.Bool("quick", false, "smaller sweeps")
+		parallel = flag.Int("parallel", 0, "worker count for engine-backed experiments (0 = GOMAXPROCS; results are identical for any value)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	flag.Parse()
 	if *list {
@@ -31,7 +32,7 @@ func main() {
 		}
 		return
 	}
-	cfg := expt.Config{Seed: *seed, Quick: *quick}
+	cfg := expt.Config{Seed: *seed, Quick: *quick, Parallel: *parallel}
 	var toRun []expt.Experiment
 	if *id == "all" {
 		toRun = expt.All()

@@ -1,0 +1,3 @@
+module regcoal
+
+go 1.24

@@ -1,0 +1,184 @@
+// Package corpus defines named, versioned families of register-coalescing
+// instances — the benchmark substrate the paper's conclusion calls for
+// (the Appel–George "coalescing challenge" at corpus scale). A Family is a
+// deterministic instance generator: given a base seed, instance i of a
+// family is always the same graph, independently of generation order or
+// parallelism, because every instance draws from its own rng seeded by
+// hashing (family, version, base seed, index). That per-shard seeding is
+// what lets the execution engine (internal/engine) generate and evaluate
+// shards concurrently while keeping results bit-reproducible.
+//
+// Families cover the instance classes the paper's complexity map is
+// parameterized by: SSA-derived programs (via internal/ir + internal/ssa),
+// chordal and interval synthetics, the Figure 3 permutation gadgets, and
+// dense/sparse random graphs. Instances persist to disk in both the native
+// graph.File format and DIMACS .col (see persist.go).
+package corpus
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"regcoal/internal/graph"
+)
+
+// Instance is one corpus instance: a coalescing problem (graph + register
+// count) with its provenance.
+type Instance struct {
+	// Family is the generating family's name; Index its shard index.
+	Family string
+	Index  int
+	// Name is unique within the family and filesystem-safe.
+	Name string
+	// File is the instance itself.
+	File *graph.File
+}
+
+// Params parameterizes corpus generation.
+type Params struct {
+	// Seed is the base seed; every (family, index) derives its own rng
+	// from it.
+	Seed int64
+	// Quick shrinks family sizes to test/CI-friendly counts.
+	Quick bool
+}
+
+// Family is a named, versioned deterministic instance generator.
+type Family struct {
+	// Name identifies the family (flag values, directory names).
+	Name string
+	// Description is a one-line summary for listings and docs.
+	Description string
+	// Version changes whenever the generator's output changes for a given
+	// seed, invalidating persisted corpora built from older versions.
+	Version int
+	// Count and QuickCount are the default instance counts.
+	Count, QuickCount int
+	// gen builds instance i from its private rng.
+	gen func(rng *rand.Rand, index int) (*graph.File, error)
+}
+
+// Size reports the instance count for the given mode.
+func (f *Family) Size(quick bool) int {
+	if quick {
+		return f.QuickCount
+	}
+	return f.Count
+}
+
+// shardSeed derives the rng seed of one shard by FNV-1a hashing the family
+// identity, base seed and index. Instances are therefore independent of
+// generation order — shard 7 is the same graph whether generated alone, in
+// sequence, or on 8 goroutines.
+func shardSeed(family string, version int, base int64, index int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d", family, version, base, index)
+	return int64(h.Sum64())
+}
+
+// Generate builds instance index of the family.
+func (f *Family) Generate(p Params, index int) (*Instance, error) {
+	rng := rand.New(rand.NewSource(shardSeed(f.Name, f.Version, p.Seed, index)))
+	file, err := f.gen(rng, index)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s[%d]: %w", f.Name, index, err)
+	}
+	file.G.NormalizeAffinities()
+	return &Instance{
+		Family: f.Name,
+		Index:  index,
+		Name:   fmt.Sprintf("%s-%04d", f.Name, index),
+		File:   file,
+	}, nil
+}
+
+// Build generates the family's full instance set for the given params.
+func (f *Family) Build(p Params) ([]*Instance, error) {
+	out := make([]*Instance, f.Size(p.Quick))
+	for i := range out {
+		inst, err := f.Generate(p, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = inst
+	}
+	return out, nil
+}
+
+var registry = map[string]*Family{}
+
+// register adds a family; duplicates panic (registration happens in this
+// package's init).
+func register(f *Family) {
+	if _, dup := registry[f.Name]; dup {
+		panic("corpus: duplicate family " + f.Name)
+	}
+	registry[f.Name] = f
+}
+
+// Families returns all registered families sorted by name.
+func Families() []*Family {
+	out := make([]*Family, 0, len(registry))
+	for _, f := range registry {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup finds a family by name.
+func Lookup(name string) (*Family, bool) {
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Select resolves a comma-separated family list ("all" for every family)
+// into families, in listed order (sorted for "all").
+func Select(spec string) ([]*Family, error) {
+	if spec == "" || spec == "all" {
+		return Families(), nil
+	}
+	var out []*Family
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		f, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("corpus: unknown family %q (have: %s)", name, strings.Join(FamilyNames(), ", "))
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("corpus: empty family selection %q", spec)
+	}
+	return out, nil
+}
+
+// FamilyNames lists registered family names in sorted order.
+func FamilyNames() []string {
+	fams := Families()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// BuildAll generates every selected family, returning instances grouped in
+// family order.
+func BuildAll(fams []*Family, p Params) ([]*Instance, error) {
+	var out []*Instance
+	for _, f := range fams {
+		insts, err := f.Build(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, insts...)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package corpus
+
+import (
+	"testing"
+
+	"regcoal/internal/coalesce"
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+)
+
+func TestFamiliesRegistered(t *testing.T) {
+	want := []string{"chordal", "er-dense", "er-sparse", "interval", "permutation", "ssa", "ssa-reduced", "tiny"}
+	got := FamilyNames()
+	if len(got) != len(want) {
+		t.Fatalf("families = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("families = %v, want %v", got, want)
+		}
+	}
+	for _, f := range Families() {
+		if f.Description == "" || f.Version < 1 || f.Count < f.QuickCount || f.QuickCount < 1 {
+			t.Errorf("family %s misconfigured: %+v", f.Name, f)
+		}
+	}
+}
+
+// Shard determinism is the property the engine's parallel reproducibility
+// rests on: the same (family, seed, index) must yield the same instance no
+// matter what else was generated before it.
+func TestShardDeterminism(t *testing.T) {
+	p := Params{Seed: 42, Quick: true}
+	for _, f := range Families() {
+		// Generate shard 2 twice: cold, and after generating shards 0..3.
+		lone, err := f.Generate(p, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		all, err := f.Build(p)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if !graph.EqualFiles(lone.File, all[2].File) {
+			t.Errorf("%s: shard 2 depends on generation order", f.Name)
+		}
+		// A different base seed must change the instance (indistinguishable
+		// generators would make seed sweeps meaningless).
+		other, err := f.Generate(Params{Seed: 43, Quick: true}, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if f.Name != "permutation" && graph.EqualFiles(lone.File, other.File) {
+			t.Errorf("%s: seed does not influence shard 2", f.Name)
+		}
+	}
+}
+
+func TestInstancesSane(t *testing.T) {
+	p := Params{Seed: 7, Quick: true}
+	for _, f := range Families() {
+		insts, err := f.Build(p)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if len(insts) != f.QuickCount {
+			t.Fatalf("%s: %d instances, want %d", f.Name, len(insts), f.QuickCount)
+		}
+		seen := map[string]bool{}
+		for _, inst := range insts {
+			if seen[inst.Name] {
+				t.Fatalf("%s: duplicate instance name %s", f.Name, inst.Name)
+			}
+			seen[inst.Name] = true
+			if err := inst.File.G.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", f.Name, inst.Name, err)
+			}
+			if inst.File.K < 2 {
+				t.Fatalf("%s/%s: k = %d", f.Name, inst.Name, inst.File.K)
+			}
+			if inst.File.G.N() == 0 {
+				t.Fatalf("%s/%s: empty graph", f.Name, inst.Name)
+			}
+		}
+	}
+	// The Figure 3 property of the boosted permutation gadgets: Briggs'
+	// local rule rejects every move, yet coalescing all moves at once is
+	// safe (the quotient stays greedy-k-colorable).
+	perm, _ := Lookup("permutation")
+	insts, err := perm.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range insts {
+		g, k := inst.File.G, inst.File.K
+		if got := coalesce.Conservative(g, k, coalesce.TestBriggs); len(got.Coalesced) != 0 {
+			t.Fatalf("%s: Briggs coalesced %d moves on the Figure 3 trap", inst.Name, len(got.Coalesced))
+		}
+		pt := graph.NewPartition(g.N())
+		for _, a := range g.Affinities() {
+			pt.Union(a.X, a.Y)
+		}
+		q, _, err := graph.Quotient(g, pt)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if !greedy.IsGreedyKColorable(q, k) {
+			t.Fatalf("%s: fully coalesced gadget not greedy-%d-colorable", inst.Name, k)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("all")
+	if err != nil || len(all) != len(Families()) {
+		t.Fatalf("Select(all) = %d families, err %v", len(all), err)
+	}
+	two, err := Select("chordal, interval")
+	if err != nil || len(two) != 2 || two[0].Name != "chordal" || two[1].Name != "interval" {
+		t.Fatalf("Select(chordal, interval) = %v, err %v", two, err)
+	}
+	if _, err := Select("nope"); err == nil {
+		t.Fatal("Select(nope) should fail")
+	}
+	if _, err := Select(" , "); err == nil {
+		t.Fatal("Select of empty spec should fail")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	p := Params{Seed: 99, Quick: true}
+	f, _ := Lookup("interval")
+	written, m, err := WriteFamilyDir(root, f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Instances) != len(written) || m.Version != f.Version || m.Seed != 99 {
+		t.Fatalf("manifest wrong: %+v", m)
+	}
+	loaded, m2, err := LoadFamilyDir(root, "interval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(written) {
+		t.Fatalf("loaded %d, want %d", len(loaded), len(written))
+	}
+	for i := range loaded {
+		if !graph.EqualFiles(loaded[i].File, written[i].File) {
+			t.Fatalf("instance %s changed across persistence", written[i].Name)
+		}
+		if loaded[i].Name != written[i].Name || loaded[i].Index != written[i].Index {
+			t.Fatalf("metadata changed: %+v vs %+v", loaded[i], written[i])
+		}
+	}
+	if m2.Family != "interval" {
+		t.Fatalf("manifest family %q", m2.Family)
+	}
+}

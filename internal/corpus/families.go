@@ -1,0 +1,153 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regcoal/internal/coalesce"
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+	"regcoal/internal/ir"
+	"regcoal/internal/ssa"
+)
+
+// The standard families. Counts are sized so the full strategy matrix over
+// "all" finishes in seconds; Quick counts keep CI smoke runs under a
+// second. Version bumps whenever a generator change alters output for a
+// fixed seed.
+
+func init() {
+	register(&Family{
+		Name:        "ssa",
+		Description: "random mini-IR programs through SSA construction and out-of-SSA lowering",
+		Version:     1,
+		Count:       24,
+		QuickCount:  4,
+		gen:         genSSA(false),
+	})
+	register(&Family{
+		Name:        "ssa-reduced",
+		Description: "SSA-derived programs with register pressure pre-reduced to k (two-phase spilling)",
+		Version:     1,
+		Count:       24,
+		QuickCount:  4,
+		gen:         genSSA(true),
+	})
+	register(&Family{
+		Name:        "chordal",
+		Description: "random chordal graphs (subtree intersection) with sprinkled affinities",
+		Version:     1,
+		Count:       24,
+		QuickCount:  4,
+		gen: func(rng *rand.Rand, index int) (*graph.File, error) {
+			// Tight pressure: k = col(G), the regime where conservative
+			// coalescing has room to act but no slack (cf. the T5G sweep).
+			n := 20 + rng.Intn(30)
+			g := graph.RandomChordal(rng, n, n/2+1, 4)
+			graph.SprinkleAffinities(rng, g, n, 8)
+			return &graph.File{G: g, K: tightK(g)}, nil
+		},
+	})
+	register(&Family{
+		Name:        "interval",
+		Description: "random interval graphs (straight-line live ranges) with sprinkled affinities",
+		Version:     1,
+		Count:       24,
+		QuickCount:  4,
+		gen: func(rng *rand.Rand, index int) (*graph.File, error) {
+			n := 20 + rng.Intn(30)
+			g := graph.RandomInterval(rng, n, 2*n, 6)
+			graph.SprinkleAffinities(rng, g, n, 8)
+			return &graph.File{G: g, K: tightK(g)}, nil
+		},
+	})
+	register(&Family{
+		Name:        "permutation",
+		Description: "boosted Figure 3 permutation gadgets: parallel copies whose moves local conservative rules reject",
+		Version:     1,
+		Count:       8,
+		QuickCount:  3,
+		gen: func(rng *rand.Rand, index int) (*graph.File, error) {
+			g, k, _ := coalesce.Fig3Permutation(3 + index%3)
+			return &graph.File{G: g, K: k}, nil
+		},
+	})
+	register(&Family{
+		Name:        "tiny",
+		Description: "small random instances inside the exact solver's envelope, for ground-truth comparisons",
+		Version:     1,
+		Count:       16,
+		QuickCount:  3,
+		gen: func(rng *rand.Rand, index int) (*graph.File, error) {
+			n := 10 + rng.Intn(8)
+			g := graph.RandomER(rng, n, 0.25)
+			graph.SprinkleAffinities(rng, g, 10, 8)
+			return &graph.File{G: g, K: tightK(g)}, nil
+		},
+	})
+	register(&Family{
+		Name:        "er-sparse",
+		Description: "sparse Erdős–Rényi graphs (p=0.08) with sprinkled affinities",
+		Version:     1,
+		Count:       16,
+		QuickCount:  3,
+		gen:         genER(0.08),
+	})
+	register(&Family{
+		Name:        "er-dense",
+		Description: "dense Erdős–Rényi graphs (p=0.30) with sprinkled affinities",
+		Version:     1,
+		Count:       16,
+		QuickCount:  3,
+		gen:         genER(0.30),
+	})
+}
+
+// genSSA derives an instance from a random program pushed through the SSA
+// pipeline. With reduce set, register pressure is first lowered to k by
+// spill-everywhere — the aggressive-spilling two-phase setting in which
+// the paper observes that conservative coalescing struggles. Pressure
+// reduction can fail for an unlucky program, so the generator retries with
+// fresh draws from the shard's own rng; the retry loop consumes only that
+// rng, keeping the shard deterministic.
+func genSSA(reduce bool) func(rng *rand.Rand, index int) (*graph.File, error) {
+	return func(rng *rand.Rand, index int) (*graph.File, error) {
+		const k = 6
+		for attempt := 0; attempt < 100; attempt++ {
+			params := ir.DefaultRandomParams()
+			params.Vars = 5 + rng.Intn(6)
+			params.Blocks = 4 + rng.Intn(6)
+			fn := ir.Random(rng, params)
+			_, low, err := ssa.Pipeline(fn)
+			if err != nil {
+				return nil, err
+			}
+			if reduce {
+				if _, ok := ssa.ReduceMaxlive(low, k); !ok {
+					continue
+				}
+			}
+			g, _ := ssa.BuildInterference(low)
+			return &graph.File{G: g, K: k}, nil
+		}
+		return nil, fmt.Errorf("pressure reduction to %d failed after 100 attempts", k)
+	}
+}
+
+// tightK is col(G) clamped to at least 2 — the tight-pressure register
+// count used by the synthetic families.
+func tightK(g *graph.Graph) int {
+	if k := greedy.ColoringNumber(g); k > 2 {
+		return k
+	}
+	return 2
+}
+
+func genER(p float64) func(rng *rand.Rand, index int) (*graph.File, error) {
+	return func(rng *rand.Rand, index int) (*graph.File, error) {
+		n := 20 + rng.Intn(25)
+		g := graph.RandomER(rng, n, p)
+		graph.SprinkleAffinities(rng, g, n, 8)
+		return &graph.File{G: g, K: 6}, nil
+	}
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Aggregate is the per-(family, strategy) roll-up of a run — the summary
+// row the per-family tables are built from. It contains no timing, so
+// aggregates over the same corpus and matrix are identical for any worker
+// count.
+type Aggregate struct {
+	Family   string
+	Strategy string
+
+	// Status counts; Instances is their sum.
+	Instances int
+	OK        int
+	Skipped   int
+	Timeouts  int
+	Panics    int
+	Errors    int
+
+	// Sums over OK runs. MovableWeight is the total affinity weight of
+	// those instances, so Share = CoalescedWeight / MovableWeight.
+	MovableWeight   int64
+	CoalescedWeight int64
+	CoalescedMoves  int
+	ResidualWeight  int64
+	ColorableAfter  int
+	Spills          int
+}
+
+// Share is the fraction of movable weight coalesced, in [0, 1].
+func (a *Aggregate) Share() float64 {
+	if a.MovableWeight == 0 {
+		return 0
+	}
+	return float64(a.CoalescedWeight) / float64(a.MovableWeight)
+}
+
+// Aggregates rolls records up per (family, strategy), ordered by first
+// appearance in the record stream — i.e. corpus family order × matrix
+// order, deterministically.
+func Aggregates(recs []Record) []*Aggregate {
+	index := map[[2]string]*Aggregate{}
+	var order []*Aggregate
+	for _, r := range recs {
+		key := [2]string{r.Family, r.Strategy}
+		a, ok := index[key]
+		if !ok {
+			a = &Aggregate{Family: r.Family, Strategy: r.Strategy}
+			index[key] = a
+			order = append(order, a)
+		}
+		a.Instances++
+		switch r.Status {
+		case StatusOK:
+			a.OK++
+			a.MovableWeight += r.MoveWeight
+			a.CoalescedWeight += r.CoalescedWeight
+			a.CoalescedMoves += r.CoalescedMoves
+			a.ResidualWeight += r.ResidualWeight
+			a.Spills += r.Spills
+			if r.GreedyAfter {
+				a.ColorableAfter++
+			}
+		case StatusSkipped:
+			a.Skipped++
+		case StatusTimeout:
+			a.Timeouts++
+		case StatusPanic:
+			a.Panics++
+		default:
+			a.Errors++
+		}
+	}
+	return order
+}
+
+var aggregateHeader = []string{
+	"family", "strategy", "instances", "ok", "skipped", "timeouts", "panics", "errors",
+	"movable_weight", "coalesced_weight", "coalesced_moves", "residual_weight",
+	"share", "colorable_after", "spills",
+}
+
+// aggregateRow renders one aggregate as strings, shared by the CSV and
+// text renderers.
+func aggregateRow(a *Aggregate) []string {
+	return []string{
+		a.Family, a.Strategy,
+		strconv.Itoa(a.Instances), strconv.Itoa(a.OK), strconv.Itoa(a.Skipped),
+		strconv.Itoa(a.Timeouts), strconv.Itoa(a.Panics), strconv.Itoa(a.Errors),
+		strconv.FormatInt(a.MovableWeight, 10),
+		strconv.FormatInt(a.CoalescedWeight, 10),
+		strconv.Itoa(a.CoalescedMoves),
+		strconv.FormatInt(a.ResidualWeight, 10),
+		fmt.Sprintf("%.4f", a.Share()),
+		strconv.Itoa(a.ColorableAfter),
+		strconv.Itoa(a.Spills),
+	}
+}
+
+// WriteAggregatesCSV renders aggregates as CSV.
+func WriteAggregatesCSV(w io.Writer, aggs []*Aggregate) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(aggregateHeader); err != nil {
+		return err
+	}
+	for _, a := range aggs {
+		if err := cw.Write(aggregateRow(a)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAggregatesText renders aggregates as an aligned table for
+// terminals.
+func WriteAggregatesText(w io.Writer, aggs []*Aggregate) error {
+	rows := make([][]string, 0, len(aggs)+1)
+	rows = append(rows, aggregateHeader)
+	for _, a := range aggs {
+		rows = append(rows, aggregateRow(a))
+	}
+	widths := make([]int, len(aggregateHeader))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

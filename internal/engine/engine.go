@@ -1,0 +1,227 @@
+// Package engine is the concurrent execution engine behind cmd/bench and
+// the experiment harness: it fans a strategy matrix (internal coalescing
+// strategies × exact solvers × the IRC allocator) out over a corpus of
+// instances (internal/corpus) on a worker pool, with per-run timeouts,
+// panic isolation, streaming machine-readable output (JSONL/CSV), and an
+// aggregator producing per-family summaries.
+//
+// Determinism contract: records are emitted in Seq order (instance order ×
+// runner order) regardless of worker count or scheduling, and every metric
+// field is a pure function of the instance, so with timing capture
+// disabled and no per-run timeout the result stream is byte-identical for
+// any -parallel level — the property the benchmark trajectory
+// (BENCH_*.json) relies on. (Whether a borderline run exceeds a timeout
+// depends on machine load, so timeout records are not reproducible.)
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"regcoal/internal/corpus"
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+)
+
+// Config parameterizes an engine run.
+type Config struct {
+	// Parallel is the worker count; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Timeout bounds each (instance, runner) evaluation; 0 disables it.
+	// Runners that honor ctx stop early; others are abandoned (the record
+	// reports the timeout, the goroutine drains in the background).
+	Timeout time.Duration
+	// Timing captures wall-clock per run. Leave false when result streams
+	// must be byte-identical across parallelism levels.
+	Timing bool
+}
+
+// outcome is what a single evaluation produced.
+type outcome struct {
+	stats    RunStats
+	err      error
+	panicked string
+}
+
+// Run evaluates every runner on every instance. Records flow to sink (may
+// be nil) in Seq order as they complete, and are also returned. The only
+// errors are infrastructural: a sink failure or outer-context
+// cancellation; per-run failures (errors, timeouts, panics) are data,
+// reported in their records.
+func Run(ctx context.Context, cfg Config, insts []*corpus.Instance, runners []Runner, sink Sink) ([]Record, error) {
+	if len(insts) == 0 || len(runners) == 0 {
+		return nil, nil
+	}
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := len(insts) * len(runners)
+	if workers > total {
+		workers = total
+	}
+
+	// Instance-shape fields are shared by every record of an instance;
+	// compute them once up front (cheap: greedy elimination is near-linear).
+	type shape struct {
+		vertices, edges, moves int
+		moveWeight             int64
+		greedyBefore           bool
+	}
+	shapes := make([]shape, len(insts))
+	for i, inst := range insts {
+		g := inst.File.G
+		shapes[i] = shape{
+			vertices:     g.N(),
+			edges:        g.E(),
+			moves:        g.NumAffinities(),
+			moveWeight:   g.TotalAffinityWeight(),
+			greedyBefore: greedy.IsGreedyKColorable(g, inst.File.K),
+		}
+	}
+
+	// feedCtx stops the feeder early on outer cancellation or a sink
+	// failure — no point evaluating a matrix whose output is discarded.
+	feedCtx, stopFeeding := context.WithCancel(ctx)
+	defer stopFeeding()
+
+	taskCh := make(chan int)
+	recCh := make(chan Record, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := range taskCh {
+				inst := insts[seq/len(runners)]
+				r := runners[seq%len(runners)]
+				sh := shapes[seq/len(runners)]
+				rec := Record{
+					Seq:          seq,
+					Family:       inst.Family,
+					Instance:     inst.Name,
+					Index:        inst.Index,
+					Vertices:     sh.vertices,
+					Edges:        sh.edges,
+					Moves:        sh.moves,
+					MoveWeight:   sh.moveWeight,
+					K:            inst.File.K,
+					GreedyBefore: sh.greedyBefore,
+					Strategy:     r.Name,
+				}
+				evaluate(ctx, cfg, r, inst.File, &rec)
+				recCh <- rec
+			}
+		}()
+	}
+
+	// Feed tasks; stop early if the outer context dies or the sink fails.
+	go func() {
+		defer close(taskCh)
+		for seq := 0; seq < total; seq++ {
+			select {
+			case taskCh <- seq:
+			case <-feedCtx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(recCh)
+	}()
+
+	// Reorder: emit records strictly by Seq as they arrive.
+	out := make([]Record, 0, total)
+	pending := make(map[int]Record)
+	next := 0
+	var sinkErr error
+	for rec := range recCh {
+		pending[rec.Seq] = rec
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			out = append(out, r)
+			if sink != nil && sinkErr == nil {
+				if sinkErr = sink(r); sinkErr != nil {
+					stopFeeding()
+				}
+			}
+		}
+	}
+	if sinkErr != nil {
+		return out, fmt.Errorf("engine: sink: %w", sinkErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// evaluate runs one (instance, runner) pair into rec, isolating panics
+// and enforcing the per-run timeout.
+func evaluate(ctx context.Context, cfg Config, r Runner, f *graph.File, rec *Record) {
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if cfg.Timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- outcome{panicked: fmt.Sprint(p)}
+			}
+		}()
+		stats, err := r.Run(runCtx, f)
+		done <- outcome{stats: stats, err: err}
+	}()
+	var o outcome
+	select {
+	case o = <-done:
+	case <-runCtx.Done():
+		// The runner ignored cancellation (or has not polled yet): abandon
+		// it. Its goroutine drains into the buffered channel when it
+		// finishes; the pool moves on.
+		o = outcome{err: runCtx.Err()}
+	}
+	if cfg.Timing {
+		rec.WallNS = time.Since(start).Nanoseconds()
+	}
+	switch {
+	case o.panicked != "":
+		rec.Status = StatusPanic
+		rec.Error = o.panicked
+	case o.err != nil:
+		// Timeout only when the per-run deadline fired; outer-context
+		// cancellation (user interrupt, sink failure) is infrastructural
+		// and must not inflate the timeout counts.
+		if cfg.Timeout > 0 && errors.Is(runCtx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+			rec.Status = StatusTimeout
+		} else {
+			rec.Status = StatusError
+		}
+		rec.Error = o.err.Error()
+	case o.stats.Skipped:
+		rec.Status = StatusSkipped
+		rec.Error = o.stats.SkipReason
+	default:
+		rec.Status = StatusOK
+		rec.CoalescedWeight = o.stats.CoalescedWeight
+		rec.CoalescedMoves = o.stats.CoalescedMoves
+		rec.ResidualWeight = o.stats.ResidualWeight
+		rec.GreedyAfter = o.stats.GreedyAfter
+		rec.Spills = o.stats.Spills
+		rec.Rounds = o.stats.Rounds
+	}
+}

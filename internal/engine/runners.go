@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"regcoal/internal/coalesce"
+	"regcoal/internal/exact"
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+	"regcoal/internal/regalloc"
+)
+
+// RunStats is what a runner reports for one instance.
+type RunStats struct {
+	// CoalescedWeight / CoalescedMoves: affinity weight and count the run
+	// eliminated. ResidualWeight is what remains.
+	CoalescedWeight int64
+	CoalescedMoves  int
+	ResidualWeight  int64
+	// GreedyAfter: the coalesced graph is greedy-k-colorable (for
+	// allocators: the run finished without spills).
+	GreedyAfter bool
+	// Spills counts spilled vertices (allocator runners only).
+	Spills int
+	// Rounds counts driver iterations, when the strategy iterates.
+	Rounds int
+	// Skipped marks an instance the runner declined (with the reason),
+	// e.g. exact search beyond its feasible envelope.
+	Skipped    bool
+	SkipReason string
+}
+
+// Runner is one column of the strategy matrix: a named evaluation of a
+// coalescing instance. Run must be deterministic for a given instance,
+// must not mutate the graph, and should honor ctx cancellation when its
+// worst case is not polynomial.
+type Runner struct {
+	Name string
+	Run  func(ctx context.Context, f *graph.File) (RunStats, error)
+}
+
+// statsFromResult converts a coalesce.Result.
+func statsFromResult(res *coalesce.Result) RunStats {
+	return RunStats{
+		CoalescedWeight: res.CoalescedWeight,
+		CoalescedMoves:  len(res.Coalesced),
+		ResidualWeight:  res.RemainingWeight,
+		GreedyAfter:     res.Colorable,
+		Rounds:          res.Rounds,
+	}
+}
+
+// strategyRunner wraps a pure coalescing strategy.
+func strategyRunner(name string, run func(g *graph.Graph, k int) *coalesce.Result) Runner {
+	return Runner{
+		Name: name,
+		Run: func(_ context.Context, f *graph.File) (RunStats, error) {
+			return statsFromResult(run(f.G, f.K)), nil
+		},
+	}
+}
+
+// StrategyRunners returns one runner per coalescing strategy of the
+// regcoal facade, with the same names and semantics as regcoal.Run (the
+// correspondence is pinned by TestMatrixMatchesFacade).
+func StrategyRunners() []Runner {
+	return []Runner{
+		strategyRunner("aggressive", coalesce.Aggressive),
+		strategyRunner("briggs", func(g *graph.Graph, k int) *coalesce.Result {
+			return coalesce.Conservative(g, k, coalesce.TestBriggs)
+		}),
+		strategyRunner("george", func(g *graph.Graph, k int) *coalesce.Result {
+			return coalesce.Conservative(g, k, coalesce.TestGeorge)
+		}),
+		strategyRunner("briggs+george", func(g *graph.Graph, k int) *coalesce.Result {
+			return coalesce.Conservative(g, k, coalesce.TestBriggsGeorge)
+		}),
+		strategyRunner("ext-george", func(g *graph.Graph, k int) *coalesce.Result {
+			return coalesce.Conservative(g, k, coalesce.TestExtendedGeorge)
+		}),
+		strategyRunner("brute", func(g *graph.Graph, k int) *coalesce.Result {
+			return coalesce.Conservative(g, k, coalesce.TestBrute)
+		}),
+		strategyRunner("brute-sets", func(g *graph.Graph, k int) *coalesce.Result {
+			return coalesce.ConservativeSets(g, k, 2)
+		}),
+		strategyRunner("optimistic", coalesce.Optimistic),
+	}
+}
+
+// IRCRunner evaluates the worklist-driven iterated-register-coalescing
+// allocator (George–Appel) on the instance.
+func IRCRunner() Runner {
+	return Runner{
+		Name: "irc",
+		Run: func(_ context.Context, f *graph.File) (RunStats, error) {
+			res, err := regalloc.AllocateIRC(f.G, f.K)
+			if err != nil {
+				return RunStats{}, err
+			}
+			count, _ := res.Coloring.CoalescedMoves(f.G)
+			return RunStats{
+				CoalescedWeight: res.CoalescedWeight,
+				CoalescedMoves:  count,
+				ResidualWeight:  res.RemainingWeight,
+				GreedyAfter:     len(res.Spilled) == 0,
+				Spills:          len(res.Spilled),
+				Rounds:          1,
+			}, nil
+		},
+	}
+}
+
+// Exact-search feasibility envelope: branch and bound is 2^|A| over the
+// affinities with an exact-colorability check per leaf, so the runner
+// declines instances beyond these bounds instead of hanging the pool for
+// hours (the per-run timeout still guards the admitted ones).
+const (
+	exactMaxMoves    = 14
+	exactMaxVertices = 48
+)
+
+// ExactRunner evaluates optimal conservative coalescing (minimum
+// uncoalesced weight subject to the quotient staying greedy-k-colorable —
+// the paper's Theorem 3 objective over the class heuristics maintain) by
+// branch and bound, honoring ctx cancellation.
+func ExactRunner() Runner {
+	return Runner{
+		Name: "exact",
+		Run: func(ctx context.Context, f *graph.File) (RunStats, error) {
+			g, k := f.G, f.K
+			if g.NumAffinities() > exactMaxMoves || g.N() > exactMaxVertices {
+				return RunStats{
+					Skipped: true,
+					SkipReason: fmt.Sprintf("instance outside exact envelope (moves %d > %d or vertices %d > %d)",
+						g.NumAffinities(), exactMaxMoves, g.N(), exactMaxVertices),
+				}, nil
+			}
+			res, err := exact.OptimalCoalescingCtx(ctx, g, k, exact.TargetGreedy, exact.MinimizeWeight)
+			if err != nil {
+				return RunStats{}, err
+			}
+			coalesced, _ := res.P.CoalescedAffinities(g)
+			var w int64
+			for _, a := range coalesced {
+				w += a.Weight
+			}
+			stats := RunStats{
+				CoalescedWeight: w,
+				CoalescedMoves:  len(coalesced),
+				ResidualWeight:  res.Cost,
+				Rounds:          1,
+			}
+			if q, _, qerr := graph.Quotient(g, res.P); qerr == nil {
+				stats.GreedyAfter = greedy.IsGreedyKColorable(q, k)
+			}
+			return stats, nil
+		},
+	}
+}
+
+// StandardMatrix is the full strategy matrix the ISSUE's benchmark drives:
+// every regcoal strategy, the IRC allocator, and the exact solver.
+func StandardMatrix() []Runner {
+	m := StrategyRunners()
+	m = append(m, IRCRunner(), ExactRunner())
+	return m
+}
+
+// MatrixNames lists runner names in order.
+func MatrixNames(rs []Runner) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Name
+	}
+	return out
+}

@@ -13,9 +13,38 @@
 package exact
 
 import (
+	"context"
+
 	"regcoal/internal/graph"
 	"regcoal/internal/greedy"
 )
+
+// canceler polls a context every checkEvery backtracking nodes, so that
+// the exponential searches below can be cut off by the engine's per-run
+// timeouts without busy-checking the context on every node.
+type canceler struct {
+	ctx   context.Context
+	count int
+	err   error
+}
+
+const checkEvery = 1024
+
+// stop reports whether the search should abort, latching the context
+// error on the first observation.
+func (c *canceler) stop() bool {
+	if c == nil || c.ctx == nil {
+		return false
+	}
+	if c.err != nil {
+		return true
+	}
+	c.count++
+	if c.count%checkEvery == 0 {
+		c.err = c.ctx.Err()
+	}
+	return c.err != nil
+}
 
 // KColorable decides exact k-colorability by backtracking with a
 // max-degree-first static order and symmetry breaking (a vertex may only
@@ -23,16 +52,25 @@ import (
 // precolored vertices fix colors). Precolored vertices keep their pins.
 // It returns a proper coloring when one exists.
 func KColorable(g *graph.Graph, k int) (graph.Coloring, bool) {
+	col, ok, _ := KColorableCtx(context.Background(), g, k)
+	return col, ok
+}
+
+// KColorableCtx is KColorable with cooperative cancellation: when ctx is
+// canceled or times out mid-search, it returns ctx's error and an
+// undefined verdict.
+func KColorableCtx(ctx context.Context, g *graph.Graph, k int) (graph.Coloring, bool, error) {
 	n := g.N()
 	if k < 0 {
-		return nil, false
+		return nil, false, nil
 	}
+	cancel := &canceler{ctx: ctx}
 	col := graph.NewColoring(n)
 	hasPins := false
 	for v := 0; v < n; v++ {
 		if c, ok := g.Precolored(graph.V(v)); ok {
 			if c >= k {
-				return nil, false
+				return nil, false, nil
 			}
 			col[v] = c
 			hasPins = true
@@ -41,7 +79,7 @@ func KColorable(g *graph.Graph, k int) (graph.Coloring, bool) {
 	// Check pinned skeleton.
 	for _, e := range g.Edges() {
 		if col[e[0]] != graph.NoColor && col[e[0]] == col[e[1]] {
-			return nil, false
+			return nil, false, nil
 		}
 	}
 	// Order free vertices by degree, densest first.
@@ -58,6 +96,9 @@ func KColorable(g *graph.Graph, k int) (graph.Coloring, bool) {
 	}
 	var rec func(i, maxUsed int) bool
 	rec = func(i, maxUsed int) bool {
+		if cancel.stop() {
+			return false
+		}
 		if i == len(order) {
 			return true
 		}
@@ -99,9 +140,9 @@ func KColorable(g *graph.Graph, k int) (graph.Coloring, bool) {
 		}
 	}
 	if !rec(0, maxUsed) {
-		return nil, false
+		return nil, false, cancel.err
 	}
-	return col, true
+	return col, true, nil
 }
 
 // ChromaticNumber computes χ(g) by probing KColorable for increasing k.
@@ -189,6 +230,15 @@ type Result struct {
 // Exponential in the number of affinities (2^|A| worst case); meant for
 // reduction verification on small instances.
 func OptimalCoalescing(g *graph.Graph, k int, target Target, obj Objective) Result {
+	res, _ := OptimalCoalescingCtx(context.Background(), g, k, target, obj)
+	return res
+}
+
+// OptimalCoalescingCtx is OptimalCoalescing with cooperative cancellation:
+// when ctx is canceled or times out mid-search, it returns ctx's error and
+// the best (not necessarily optimal) coalescing found so far.
+func OptimalCoalescingCtx(ctx context.Context, g *graph.Graph, k int, target Target, obj Objective) (Result, error) {
+	cancel := &canceler{ctx: ctx}
 	affs := append([]graph.Affinity(nil), g.Affinities()...)
 	graph.SortAffinities(affs)
 	// Suffix cost sums for pruning.
@@ -205,7 +255,13 @@ func OptimalCoalescing(g *graph.Graph, k int, target Target, obj Objective) Resu
 		case TargetNone:
 			return true
 		case TargetKColorable:
-			_, ok := KColorable(q, k)
+			_, ok, err := KColorableCtx(ctx, q, k)
+			if err != nil && cancel.err == nil {
+				// The per-leaf search was cut off: latch the cancellation
+				// so the caller cannot mistake an aborted run (which may
+				// have rejected feasible partitions) for a proven optimum.
+				cancel.err = err
+			}
 			return ok
 		case TargetGreedy:
 			return greedy.IsGreedyKColorable(q, k)
@@ -225,6 +281,9 @@ func OptimalCoalescing(g *graph.Graph, k int, target Target, obj Objective) Resu
 	}
 	var rec func(i int, p *graph.Partition, costSoFar int64)
 	rec = func(i int, p *graph.Partition, costSoFar int64) {
+		if cancel.stop() {
+			return
+		}
 		if costSoFar >= bestCost {
 			return
 		}
@@ -253,7 +312,7 @@ func OptimalCoalescing(g *graph.Graph, k int, target Target, obj Objective) Resu
 		bestCost = suffix[0]
 	}
 	_, unc := bestP.CoalescedAffinities(g)
-	return Result{P: bestP, Uncoalesced: unc, Cost: bestCost}
+	return Result{P: bestP, Uncoalesced: unc, Cost: bestCost}, cancel.err
 }
 
 // OptimalAggressive is OptimalCoalescing with no colorability constraint —

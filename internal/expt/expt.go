@@ -17,6 +17,9 @@ type Config struct {
 	Seed int64
 	// Quick shrinks sweeps to test/bench-friendly sizes.
 	Quick bool
+	// Parallel is the worker count for engine-backed experiments
+	// (0 = GOMAXPROCS). Results are identical for every value.
+	Parallel int
 }
 
 // Table is a rendered result table.

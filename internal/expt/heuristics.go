@@ -1,11 +1,13 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"regcoal/internal/challenge"
 	"regcoal/internal/coalesce"
+	"regcoal/internal/corpus"
+	"regcoal/internal/engine"
 	"regcoal/internal/graph"
 	"regcoal/internal/greedy"
 	"regcoal/internal/ir"
@@ -89,84 +91,100 @@ func runF3(cfg Config) ([]*Table, error) {
 	return []*Table{permTable, triTable, escape}, nil
 }
 
-// strategyRow runs every strategy on one instance and returns coalesced
-// weights.
-type strategyOutcome struct {
-	name      string
-	coalesced int64
-	colorable bool
-}
+// chCorpus builds the challenge corpus for the engine-backed experiments:
+// the fixed-k (Appel–George style) families.
+const chFamilies = "ssa,ssa-reduced,er-sparse,er-dense"
 
-func runStrategies(g *graph.Graph, k int) []strategyOutcome {
-	outs := []strategyOutcome{}
-	add := func(name string, res *coalesce.Result) {
-		outs = append(outs, strategyOutcome{name: name, coalesced: res.CoalescedWeight, colorable: res.Colorable})
-	}
-	add("aggressive", coalesce.Aggressive(g, k))
-	add("briggs", coalesce.Conservative(g, k, coalesce.TestBriggs))
-	add("george", coalesce.Conservative(g, k, coalesce.TestGeorge))
-	add("briggs+george", coalesce.Conservative(g, k, coalesce.TestBriggsGeorge))
-	add("ext-george", coalesce.Conservative(g, k, coalesce.TestExtendedGeorge))
-	add("brute", coalesce.Conservative(g, k, coalesce.TestBrute))
-	add("optimistic", coalesce.Optimistic(g, k))
-	return outs
-}
-
-func runCH(cfg Config) ([]*Table, error) {
-	count := 30
-	if cfg.Quick {
-		count = 6
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	k := 6
-	corpus, err := challenge.Corpus(rng, count, k)
+func chCorpus(cfg Config) ([]*corpus.Instance, error) {
+	fams, err := corpus.Select(chFamilies)
 	if err != nil {
 		return nil, err
 	}
-	names := []string{"aggressive", "briggs", "george", "briggs+george", "ext-george", "brute", "optimistic", "irc", "b+g & biased select"}
-	totalWeight := int64(0)
-	sums := map[string]int64{}
-	colorable := map[string]int{}
-	for _, inst := range corpus {
-		g := inst.File.G
-		totalWeight += g.TotalAffinityWeight()
-		for _, out := range runStrategies(g, k) {
-			sums[out.name] += out.coalesced
-			if out.colorable {
-				colorable[out.name]++
+	return corpus.BuildAll(fams, corpus.Params{Seed: cfg.Seed, Quick: cfg.Quick})
+}
+
+// engineConfig adapts an experiment Config for the execution engine.
+// Timing stays off so experiment tables are identical at any parallelism.
+func engineConfig(cfg Config) engine.Config {
+	return engine.Config{Parallel: cfg.Parallel}
+}
+
+// biasedRunner is biased coloring on top of local-rule coalescing (§1
+// mentions biased coloring as the cheap way to catch leftovers): moves
+// whose endpoints happen to get one color also disappear.
+func biasedRunner() engine.Runner {
+	return engine.Runner{
+		Name: "b+g & biased select",
+		Run: func(_ context.Context, f *graph.File) (engine.RunStats, error) {
+			g, k := f.G, f.K
+			cons := coalesce.Conservative(g, k, coalesce.TestBriggsGeorge)
+			stats := engine.RunStats{
+				CoalescedWeight: cons.CoalescedWeight,
+				CoalescedMoves:  len(cons.Coalesced),
+				ResidualWeight:  cons.RemainingWeight,
+				GreedyAfter:     cons.Colorable,
+				Rounds:          cons.Rounds,
 			}
+			if q, old2new, err := graph.Quotient(g, cons.P); err == nil {
+				if qcol, ok := greedy.ColorBiased(q, k); ok {
+					lifted := qcol.Lift(old2new)
+					count, w := lifted.CoalescedMoves(g)
+					stats.CoalescedWeight = w
+					stats.CoalescedMoves = count
+					stats.ResidualWeight = g.TotalAffinityWeight() - w
+					stats.GreedyAfter = true
+				}
+			}
+			return stats, nil
+		},
+	}
+}
+
+// runCH fans the full strategy matrix over the challenge corpus on the
+// execution engine (one record per instance × strategy, rolled up here),
+// replacing the old one-instance-at-a-time loop.
+func runCH(cfg Config) ([]*Table, error) {
+	insts, err := chCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	runners := append(engine.StrategyRunners(), engine.IRCRunner(), biasedRunner())
+	recs, err := engine.Run(context.Background(), engineConfig(cfg), insts, runners, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Roll up across families, preserving matrix order.
+	type sums struct {
+		weight    int64
+		colorable int
+	}
+	perStrategy := map[string]*sums{}
+	var totalWeight int64
+	for _, r := range recs {
+		s, ok := perStrategy[r.Strategy]
+		if !ok {
+			s = &sums{}
+			perStrategy[r.Strategy] = s
 		}
-		// The worklist IRC allocator, measured by its final coloring.
-		if res, err := regalloc.AllocateIRC(g, k); err == nil {
-			sums["irc"] += res.CoalescedWeight
-			if len(res.Spilled) == 0 {
-				colorable["irc"]++
-			}
+		s.weight += r.CoalescedWeight
+		if r.GreedyAfter {
+			s.colorable++
 		}
-		// Biased coloring on top of local-rule coalescing (§1 mentions
-		// biased coloring as the cheap way to catch leftovers): moves
-		// whose endpoints happen to get one color also disappear.
-		cons := coalesce.Conservative(g, k, coalesce.TestBriggsGeorge)
-		if q, old2new, err := graph.Quotient(g, cons.P); err == nil {
-			if qcol, ok := greedy.ColorBiased(q, k); ok {
-				lifted := qcol.Lift(old2new)
-				_, w := lifted.CoalescedMoves(g)
-				sums["b+g & biased select"] += w
-				colorable["b+g & biased select"]++
-			} else {
-				sums["b+g & biased select"] += cons.CoalescedWeight
-			}
+		if r.Strategy == runners[0].Name {
+			totalWeight += r.MoveWeight
 		}
 	}
 	t := &Table{
-		Title: fmt.Sprintf("Move weight coalesced over a %d-instance corpus (k=%d, total movable weight %d)", len(corpus), k, totalWeight),
+		Title: fmt.Sprintf("Move weight coalesced over a %d-instance corpus (families %s, total movable weight %d)",
+			len(insts), chFamilies, totalWeight),
 		Note: "Paper claims reproduced: aggressive coalesces the most weight but may break colorability;\n" +
 			"brute-force conservative ≥ Briggs/George local rules; optimistic competes with brute while staying colorable.",
 		Header: []string{"strategy", "weight coalesced", "share of movable", "colorable instances"},
 	}
-	for _, n := range names {
-		t.Add(n, sums[n], pct(sums[n], totalWeight),
-			fmt.Sprintf("%d/%d", colorable[n], len(corpus)))
+	for _, r := range runners {
+		s := perStrategy[r.Name]
+		t.Add(r.Name, s.weight, pct(s.weight, totalWeight),
+			fmt.Sprintf("%d/%d", s.colorable, len(insts)))
 	}
 	return []*Table{t}, nil
 }
@@ -222,37 +240,55 @@ func runIRC(cfg Config) ([]*Table, error) {
 }
 
 func runABL(cfg Config) ([]*Table, error) {
-	count := 25
-	if cfg.Quick {
-		count = 6
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	k := 6
-	corpus, err := challenge.Corpus(rng, count, k)
+	insts, err := chCorpus(cfg)
 	if err != nil {
 		return nil, err
+	}
+	// The ablation columns ride the engine as custom runners alongside the
+	// standard conservative ones.
+	ordered := func(name string, order coalesce.DecoalesceOrder) engine.Runner {
+		return engine.Runner{
+			Name: name,
+			Run: func(_ context.Context, f *graph.File) (engine.RunStats, error) {
+				res := coalesce.OptimisticOrdered(f.G, f.K, order)
+				return engine.RunStats{
+					CoalescedWeight: res.CoalescedWeight,
+					CoalescedMoves:  len(res.Coalesced),
+					ResidualWeight:  res.RemainingWeight,
+					GreedyAfter:     res.Colorable,
+					Rounds:          res.Rounds,
+				}, nil
+			},
+		}
+	}
+	var runners []engine.Runner
+	for _, r := range engine.StrategyRunners() {
+		switch r.Name {
+		case "briggs", "briggs+george", "ext-george", "brute":
+			runners = append(runners, r)
+		}
+	}
+	runners = append(runners,
+		ordered("opti-witness", coalesce.DecoalesceWitnessMinWeight),
+		ordered("opti-global", coalesce.DecoalesceGlobalMinWeight))
+	recs, err := engine.Run(context.Background(), engineConfig(cfg), insts, runners, nil)
+	if err != nil {
+		return nil, err
+	}
+	weight := map[string]int64{}
+	for _, r := range recs {
+		weight[r.Strategy] += r.CoalescedWeight
 	}
 	t := &Table{
 		Title:  "Ablations over the challenge corpus (coalesced move weight)",
 		Header: []string{"ablation", "variant", "weight coalesced"},
 	}
-	var briggsOnly, withGeorge, withExt, brute int64
-	var optiWitness, optiGlobal int64
-	for _, inst := range corpus {
-		g := inst.File.G
-		briggsOnly += coalesce.Conservative(g, k, coalesce.TestBriggs).CoalescedWeight
-		withGeorge += coalesce.Conservative(g, k, coalesce.TestBriggsGeorge).CoalescedWeight
-		withExt += coalesce.Conservative(g, k, coalesce.TestExtendedGeorge).CoalescedWeight
-		brute += coalesce.Conservative(g, k, coalesce.TestBrute).CoalescedWeight
-		optiWitness += coalesce.OptimisticOrdered(g, k, coalesce.DecoalesceWitnessMinWeight).CoalescedWeight
-		optiGlobal += coalesce.OptimisticOrdered(g, k, coalesce.DecoalesceGlobalMinWeight).CoalescedWeight
-	}
-	t.Add("george pairing (§4: use George for any pair)", "briggs only", briggsOnly)
-	t.Add("", "briggs+george", withGeorge)
-	t.Add("ext-george (§4 extension)", "ext-george", withExt)
-	t.Add("brute-force test (§4: merge and check)", "brute", brute)
-	t.Add("de-coalescing order (§5)", "witness-min-weight", optiWitness)
-	t.Add("", "global-min-weight", optiGlobal)
+	t.Add("george pairing (§4: use George for any pair)", "briggs only", weight["briggs"])
+	t.Add("", "briggs+george", weight["briggs+george"])
+	t.Add("ext-george (§4 extension)", "ext-george", weight["ext-george"])
+	t.Add("brute-force test (§4: merge and check)", "brute", weight["brute"])
+	t.Add("de-coalescing order (§5)", "witness-min-weight", weight["opti-witness"])
+	t.Add("", "global-min-weight", weight["opti-global"])
 
 	// Vegdahl node merging (§1: merging non-move-related vertices can make
 	// a graph colorable): rescue rate on stuck random instances.

@@ -121,6 +121,14 @@ func (g *Graph) Name(v V) string {
 	return g.names[v]
 }
 
+// HasName reports whether v carries an explicit name (set via NewNamed,
+// AddNamedVertex or SetName), as opposed to the synthesized "v<i>"
+// fallback that Name returns for unnamed vertices.
+func (g *Graph) HasName(v V) bool {
+	g.check(v)
+	return g.names[v] != ""
+}
+
 // SetName sets the vertex name.
 func (g *Graph) SetName(v V, name string) {
 	g.check(v)

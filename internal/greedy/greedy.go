@@ -23,9 +23,15 @@ import (
 // removal order and the vertices that could not be removed (excluding
 // precolored vertices, which are never candidates).
 //
+// The removable set is unique (greedy simplification is confluent), but
+// the order is not; Eliminate always removes the smallest eligible vertex
+// id first so that the order — and every coloring built from it by Select
+// — is deterministic. Without this, the worklist would fill in map
+// iteration order and biased-coloring weights would differ run to run.
+//
 // The graph is greedy-k-colorable iff remaining is empty and the graph has
 // no precolored vertices blocking it (see IsGreedyKColorable). Eliminate
-// runs in O(V + E).
+// runs in O(V + E log V).
 func Eliminate(g *graph.Graph, k int) (order, remaining []graph.V) {
 	n := g.N()
 	deg := make([]int, n)
@@ -35,17 +41,50 @@ func Eliminate(g *graph.Graph, k int) (order, remaining []graph.V) {
 		deg[v] = g.Degree(graph.V(v))
 		_, pinned[v] = g.Precolored(graph.V(v))
 	}
+	// Min-heap of eligible vertex ids.
 	var work []graph.V
+	push := func(v graph.V) {
+		work = append(work, v)
+		for i := len(work) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if work[parent] <= work[i] {
+				break
+			}
+			work[parent], work[i] = work[i], work[parent]
+			i = parent
+		}
+	}
+	pop := func() graph.V {
+		v := work[0]
+		last := len(work) - 1
+		work[0] = work[last]
+		work = work[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < last && work[l] < work[small] {
+				small = l
+			}
+			if r < last && work[r] < work[small] {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			work[i], work[small] = work[small], work[i]
+			i = small
+		}
+		return v
+	}
 	inWork := make([]bool, n)
 	for v := 0; v < n; v++ {
 		if !pinned[v] && deg[v] < k {
-			work = append(work, graph.V(v))
+			push(graph.V(v))
 			inWork[v] = true
 		}
 	}
 	for len(work) > 0 {
-		v := work[len(work)-1]
-		work = work[:len(work)-1]
+		v := pop()
 		inWork[v] = false
 		if removed[v] || pinned[v] || deg[v] >= k {
 			continue
@@ -58,7 +97,7 @@ func Eliminate(g *graph.Graph, k int) (order, remaining []graph.V) {
 			}
 			deg[w]--
 			if !pinned[w] && deg[w] < k && !inWork[w] {
-				work = append(work, w)
+				push(w)
 				inWork[w] = true
 			}
 		})

@@ -338,3 +338,37 @@ func TestEliminateDoesNotMutateGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEliminateDeterministic pins the deterministic-order contract of
+// Eliminate: the removal order (and hence any coloring Select builds from
+// it, biased selection included) must not depend on adjacency-map
+// iteration order. Cloning rebuilds the adjacency maps, so under the old
+// worklist-stack implementation the orders below would diverge.
+func TestEliminateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		g := graph.RandomER(rng, 30, 0.2)
+		graph.SprinkleAffinities(rng, g, 20, 9)
+		k := ColoringNumber(g)
+		order1, rem1 := Eliminate(g, k)
+		order2, rem2 := Eliminate(g.Clone(), k)
+		if len(rem1) != 0 || len(rem2) != 0 {
+			t.Fatalf("trial %d: not greedy-colorable at col(G)", trial)
+		}
+		for i := range order1 {
+			if order1[i] != order2[i] {
+				t.Fatalf("trial %d: elimination order differs at %d: %v vs %v", trial, i, order1, order2)
+			}
+		}
+		col1, ok1 := ColorBiased(g, k)
+		col2, ok2 := ColorBiased(g.Clone(), k)
+		if !ok1 || !ok2 {
+			t.Fatalf("trial %d: biased coloring failed", trial)
+		}
+		for v := range col1 {
+			if col1[v] != col2[v] {
+				t.Fatalf("trial %d: biased coloring differs at vertex %d", trial, v)
+			}
+		}
+	}
+}
