@@ -25,6 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -33,31 +34,47 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags are parsed from
+// args, records stream to stdout (unless -o), human output to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		families = flag.String("families", "all", "comma-separated corpus families, or 'all'")
-		parallel = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-run timeout (0 = none)")
-		out      = flag.String("out", "json", "record stream format: json (JSONL) or csv")
-		output   = flag.String("o", "", "record stream destination (default stdout)")
-		summary  = flag.String("summary", "", "write aggregate summary CSV to this file (default: aligned table on stderr)")
-		seed     = flag.Int64("seed", 20060408, "base corpus seed")
-		quick    = flag.Bool("quick", false, "small per-family instance counts (CI smoke)")
-		timing   = flag.Bool("timing", true, "capture wall-clock per run (disable for byte-reproducible output)")
-		save     = flag.String("save", "", "persist the generated corpus (native + DIMACS + manifest) under this directory")
-		list     = flag.Bool("list", false, "list corpus families and exit")
+		families = fs.String("families", "all", "comma-separated corpus families, or 'all'")
+		parallel = fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-run timeout (0 = none)")
+		out      = fs.String("out", "json", "record stream format: json (JSONL) or csv")
+		output   = fs.String("o", "", "record stream destination (default stdout)")
+		summary  = fs.String("summary", "", "write aggregate summary CSV to this file (default: aligned table on stderr)")
+		seed     = fs.Int64("seed", 20060408, "base corpus seed")
+		quick    = fs.Bool("quick", false, "small per-family instance counts (CI smoke)")
+		timing   = fs.Bool("timing", true, "capture wall-clock per run (disable for byte-reproducible output)")
+		save     = fs.String("save", "", "persist the generated corpus (native + DIMACS + manifest) under this directory")
+		list     = fs.Bool("list", false, "list corpus families and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 
 	if *list {
 		for _, f := range corpus.Families() {
-			fmt.Printf("%-12s %3d instances (%d quick)  %s\n", f.Name, f.Count, f.QuickCount, f.Description)
+			fmt.Fprintf(stdout, "%-12s %3d instances (%d quick)  %s\n", f.Name, f.Count, f.QuickCount, f.Description)
 		}
-		return
+		return nil
 	}
 
 	fams, err := corpus.Select(*families)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	params := corpus.Params{Seed: *seed, Quick: *quick}
 
@@ -66,22 +83,22 @@ func main() {
 		for _, f := range fams {
 			fi, m, err := corpus.WriteFamilyDir(*save, f, params)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "bench: saved %d instances of %s to %s\n", len(m.Instances), f.Name, *save)
+			fmt.Fprintf(stderr, "bench: saved %d instances of %s to %s\n", len(m.Instances), f.Name, *save)
 			insts = append(insts, fi...)
 		}
 	} else {
 		if insts, err = corpus.BuildAll(fams, params); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
-	dst := os.Stdout
+	dst := stdout
 	if *output != "" {
 		f, err := os.Create(*output)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		dst = f
@@ -96,41 +113,38 @@ func main() {
 	case "csv":
 		sink = engine.CSVSink(bw)
 	default:
-		fatal(fmt.Errorf("unknown -out format %q (want json or csv)", *out))
+		return fmt.Errorf("unknown -out format %q (want json or csv)", *out)
 	}
 
 	cfg := engine.Config{Parallel: *parallel, Timeout: *timeout, Timing: *timing}
 	matrix := engine.StandardMatrix()
 	recs, err := engine.Run(context.Background(), cfg, insts, matrix, sink)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := bw.Flush(); err != nil {
-		fatal(err)
+		return err
 	}
 
 	aggs := engine.Aggregates(recs)
 	if *summary != "" {
 		f, err := os.Create(*summary)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := engine.WriteAggregatesCSV(f, aggs); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
-		fmt.Fprintf(os.Stderr, "\nbench: %d records over %d instances × %d strategies\n\n",
+		fmt.Fprintf(stderr, "\nbench: %d records over %d instances × %d strategies\n\n",
 			len(recs), len(insts), len(matrix))
-		if err := engine.WriteAggregatesText(os.Stderr, aggs); err != nil {
-			fatal(err)
+		if err := engine.WriteAggregatesText(stderr, aggs); err != nil {
+			return err
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bench:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"regcoal/internal/engine"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"chordal", "interval", "tiny"} {
+		if !strings.Contains(out.String(), fam) {
+			t.Errorf("-list output missing family %s:\n%s", fam, out.String())
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-families", "no-such-family"},
+		{"-out", "xml"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunQuickFamilyStreamsValidRecords(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-families", "tiny", "-quick", "-parallel", "2",
+		"-timeout", "0", "-timing=false"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	matrix := len(engine.StandardMatrix())
+	if len(lines)%matrix != 0 || len(lines) == 0 {
+		t.Fatalf("%d records is not a multiple of the %d-strategy matrix", len(lines), matrix)
+	}
+	for i, line := range lines {
+		var rec engine.Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not a record: %v\n%s", i, err, line)
+		}
+		if rec.Seq != i {
+			t.Fatalf("record %d has seq %d: stream must be in Seq order", i, rec.Seq)
+		}
+		if rec.Family != "tiny" || rec.Strategy == "" {
+			t.Fatalf("bad record %+v", rec)
+		}
+		if rec.WallNS != 0 {
+			t.Fatalf("timing captured despite -timing=false: %+v", rec)
+		}
+	}
+	if !strings.Contains(errb.String(), "records over") {
+		t.Errorf("summary table missing from stderr:\n%s", errb.String())
+	}
+}
+
+func TestRunParallelByteIdentical(t *testing.T) {
+	args := func(par string) []string {
+		return []string{"-families", "tiny", "-quick", "-parallel", par,
+			"-timeout", "0", "-timing=false"}
+	}
+	var out1, out8, errb bytes.Buffer
+	if err := run(args("1"), &out1, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("8"), &out8, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out8.Bytes()) {
+		t.Fatal("record stream differs between -parallel 1 and 8")
+	}
+}

@@ -1,0 +1,91 @@
+// Command serve runs the online coalescing service: an HTTP/JSON API that
+// races a strategy portfolio under per-request deadlines over a shared
+// worker pool, with canonical-graph result caching and backpressure.
+//
+// Usage:
+//
+//	serve -addr :8080 -workers 8 -queue 64 -cache 4096 \
+//	      -deadline 2s -max-deadline 30s
+//
+// Endpoints: POST /v1/coalesce, POST /v1/allocate, GET /healthz,
+// GET /metrics (Prometheus), GET /stats (JSON). See README.md for the
+// request/response schema. SIGINT/SIGTERM shut down gracefully: the
+// listener stops accepting, in-flight requests finish (up to
+// -shutdown-grace), then the pool drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"regcoal/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "bounded submission queue; full = 429 (0 = 4×workers)")
+		cacheCap    = flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+		cacheShards = flag.Int("cache-shards", 16, "result cache shard count")
+		deadline    = flag.Duration("deadline", 2*time.Second, "default per-request strategy-race deadline")
+		maxDeadline = flag.Duration("max-deadline", 30*time.Second, "upper clamp on requested deadlines")
+		portfolio   = flag.String("portfolio", "", "comma-separated default coalescing portfolio (empty = built-in)")
+		grace       = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:         *workers,
+		QueueCap:        *queue,
+		CacheCapacity:   *cacheCap,
+		CacheShards:     *cacheShards,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+	}
+	if *portfolio != "" {
+		cfg.Portfolio = strings.Split(*portfolio, ",")
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serve: listening on %s (workers=%d queue=%d cache=%d deadline=%v)",
+		*addr, *workers, *queue, *cacheCap, *deadline)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("serve: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("serve: shutdown: %v", err)
+		}
+		svc.Close()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			svc.Close()
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"regcoal/internal/graph"
+)
+
+// Strategy registry: the single catalogue of named coalescing strategies,
+// shared by the regcoal facade, the benchmark engine's strategy matrix,
+// and the online service's deadline-raced portfolio. Every entry takes a
+// context so that expensive strategies can be raced under a deadline;
+// polynomial strategies are free to ignore it.
+
+// ErrInapplicable is returned by a strategy that declines an instance
+// (e.g. the chordal-incremental driver on a non-chordal graph, or
+// merge-to-color when no merge helps). Callers racing a portfolio treat
+// it as "no answer from this member", not as a failure.
+var ErrInapplicable = errors.New("coalesce: strategy inapplicable to this instance")
+
+// NamedStrategy is one registry entry.
+type NamedStrategy struct {
+	// Name identifies the strategy in flags, API requests and records.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Core marks the strategies of the pinned benchmark matrix
+	// (engine.StrategyRunners): their names and order are stable across
+	// releases because persisted benchmark trajectories key on them.
+	Core bool
+	// Run evaluates the strategy. It must not mutate g, must be
+	// deterministic given (g, k), and should poll ctx when its worst case
+	// is super-polynomial.
+	Run func(ctx context.Context, g *graph.Graph, k int) (*Result, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]*NamedStrategy)
+	order      []string
+)
+
+// RegisterStrategy adds a strategy; duplicate names panic (registration
+// happens at init time, where a collision is a programming error).
+func RegisterStrategy(s *NamedStrategy) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if s.Name == "" || s.Run == nil {
+		panic("coalesce: RegisterStrategy needs a name and a Run func")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("coalesce: duplicate strategy %q", s.Name))
+	}
+	registry[s.Name] = s
+	order = append(order, s.Name)
+}
+
+// LookupStrategy finds a registered strategy by name.
+func LookupStrategy(name string) (*NamedStrategy, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Strategies returns all registered strategies in registration order.
+func Strategies() []*NamedStrategy {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]*NamedStrategy, 0, len(order))
+	for _, name := range order {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// CoreStrategies returns the pinned benchmark strategies, in registration
+// order.
+func CoreStrategies() []*NamedStrategy {
+	var out []*NamedStrategy
+	for _, s := range Strategies() {
+		if s.Core {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// StrategyNames returns all registered names, sorted, for error messages
+// and flag docs.
+func StrategyNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := append([]string(nil), order...)
+	sort.Strings(names)
+	return names
+}
+
+// ResultFromPartition summarizes an externally computed coalescing (e.g.
+// the partial best of a canceled exact search) into the strategy Result
+// shape, checking colorability against k.
+func ResultFromPartition(g *graph.Graph, p *graph.Partition, k int) *Result {
+	return summarize(g, p, k, 1)
+}
+
+// pure adapts a context-free strategy function.
+func pure(run func(g *graph.Graph, k int) *Result) func(context.Context, *graph.Graph, int) (*Result, error) {
+	return func(_ context.Context, g *graph.Graph, k int) (*Result, error) {
+		return run(g, k), nil
+	}
+}
+
+func init() {
+	for _, s := range []*NamedStrategy{
+		{Name: "aggressive", Core: true,
+			Description: "merge every move the interferences allow (§3)",
+			Run:         pure(Aggressive)},
+		{Name: "briggs", Core: true,
+			Description: "conservative coalescing, Briggs' rule (§4)",
+			Run: pure(func(g *graph.Graph, k int) *Result {
+				return Conservative(g, k, TestBriggs)
+			})},
+		{Name: "george", Core: true,
+			Description: "conservative coalescing, George's rule (§4)",
+			Run: pure(func(g *graph.Graph, k int) *Result {
+				return Conservative(g, k, TestGeorge)
+			})},
+		{Name: "briggs+george", Core: true,
+			Description: "conservative coalescing, either local rule (§4)",
+			Run: pure(func(g *graph.Graph, k int) *Result {
+				return Conservative(g, k, TestBriggsGeorge)
+			})},
+		{Name: "ext-george", Core: true,
+			Description: "conservative coalescing, extended George rule (§4)",
+			Run: pure(func(g *graph.Graph, k int) *Result {
+				return Conservative(g, k, TestExtendedGeorge)
+			})},
+		{Name: "brute", Core: true,
+			Description: "conservative coalescing, merge-and-check test (§4)",
+			Run: pure(func(g *graph.Graph, k int) *Result {
+				return Conservative(g, k, TestBrute)
+			})},
+		{Name: "brute-sets", Core: true,
+			Description: "brute test with set coalescing of up to 2 moves (§4)",
+			Run: pure(func(g *graph.Graph, k int) *Result {
+				return ConservativeSets(g, k, 2)
+			})},
+		{Name: "optimistic", Core: true,
+			Description: "aggressive + de-coalescing (§5, Park–Moon)",
+			Run:         pure(Optimistic)},
+		{Name: "chordal-inc",
+			Description: "progressive chordal incremental coalescing (Thm 5); chordal inputs only",
+			Run: func(_ context.Context, g *graph.Graph, k int) (*Result, error) {
+				res, err := ChordalProgressive(g, k)
+				if errors.Is(err, ErrNotChordal) {
+					return nil, fmt.Errorf("%w: %v", ErrInapplicable, err)
+				}
+				return res, err
+			}},
+		{Name: "vegdahl",
+			Description: "merge-to-color node merging (Vegdahl/Yang), not move-driven",
+			Run: func(_ context.Context, g *graph.Graph, k int) (*Result, error) {
+				p, ok := MergeToColor(g, k)
+				if !ok {
+					return nil, fmt.Errorf("%w: merge-to-color found no helpful merge", ErrInapplicable)
+				}
+				return summarize(g, p, k, 1), nil
+			}},
+	} {
+		RegisterStrategy(s)
+	}
+}

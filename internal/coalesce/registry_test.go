@@ -1,0 +1,82 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"regcoal/internal/graph"
+)
+
+func TestRegistryCoreMatchesPinnedMatrix(t *testing.T) {
+	want := []string{
+		"aggressive", "briggs", "george", "briggs+george",
+		"ext-george", "brute", "brute-sets", "optimistic",
+	}
+	core := CoreStrategies()
+	if len(core) != len(want) {
+		t.Fatalf("core strategies: got %d, want %d", len(core), len(want))
+	}
+	for i, s := range core {
+		if s.Name != want[i] {
+			t.Errorf("core[%d] = %q, want %q (order is pinned by benchmark trajectories)", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestRegistryLookupAndRun(t *testing.T) {
+	f, err := graph.ParseString("k 2\nnode a\nnode b\nnode c\nedge a b\nedge b c\nmove a c 5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range StrategyNames() {
+		s, ok := LookupStrategy(name)
+		if !ok {
+			t.Fatalf("StrategyNames listed %q but LookupStrategy misses it", name)
+		}
+		res, err := s.Run(context.Background(), f.G, f.K)
+		if errors.Is(err, ErrInapplicable) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res == nil || res.P == nil {
+			t.Fatalf("%s: nil result", name)
+		}
+		if res.P.N() != f.G.N() {
+			t.Fatalf("%s: partition over %d vertices, want %d", name, res.P.N(), f.G.N())
+		}
+	}
+	if _, ok := LookupStrategy("no-such-strategy"); ok {
+		t.Fatal("lookup of unknown strategy succeeded")
+	}
+}
+
+// The path a–b–c with move (a,c) is the canonical coalescable instance:
+// every conservative strategy must coalesce it with k=2.
+func TestRegistryConservativeCoalescesPath(t *testing.T) {
+	f, err := graph.ParseString("k 2\nnode a\nnode b\nnode c\nedge a b\nedge b c\nmove a c 5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"briggs", "george", "brute", "optimistic"} {
+		s, _ := LookupStrategy(name)
+		res, err := s.Run(context.Background(), f.G, f.K)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.CoalescedWeight != 5 || !res.Colorable {
+			t.Errorf("%s: coalesced weight %d colorable=%v, want 5/true", name, res.CoalescedWeight, res.Colorable)
+		}
+	}
+}
+
+func TestRegisterStrategyRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterStrategy(&NamedStrategy{Name: "briggs", Run: pure(Aggressive)})
+}

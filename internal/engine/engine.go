@@ -89,14 +89,21 @@ func Run(ctx context.Context, cfg Config, insts []*corpus.Instance, runners []Ru
 	feedCtx, stopFeeding := context.WithCancel(ctx)
 	defer stopFeeding()
 
-	taskCh := make(chan int)
+	// The matrix runs on the shared pool abstraction (see pool.go); batch
+	// work blocks on Submit, so an unbuffered queue gives the same
+	// scheduling as dedicated workers.
+	pool := NewPool(workers, 0)
+	defer pool.Close()
 	recCh := make(chan Record, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for seq := range taskCh {
+	var inFlight sync.WaitGroup
+
+	// Feed tasks; stop early if the outer context dies or the sink fails.
+	go func() {
+		for seq := 0; seq < total; seq++ {
+			seq := seq
+			inFlight.Add(1)
+			err := pool.Submit(feedCtx, func() {
+				defer inFlight.Done()
 				inst := insts[seq/len(runners)]
 				r := runners[seq%len(runners)]
 				sh := shapes[seq/len(runners)]
@@ -115,23 +122,13 @@ func Run(ctx context.Context, cfg Config, insts []*corpus.Instance, runners []Ru
 				}
 				evaluate(ctx, cfg, r, inst.File, &rec)
 				recCh <- rec
-			}
-		}()
-	}
-
-	// Feed tasks; stop early if the outer context dies or the sink fails.
-	go func() {
-		defer close(taskCh)
-		for seq := 0; seq < total; seq++ {
-			select {
-			case taskCh <- seq:
-			case <-feedCtx.Done():
-				return
+			})
+			if err != nil {
+				inFlight.Done()
+				break
 			}
 		}
-	}()
-	go func() {
-		wg.Wait()
+		inFlight.Wait()
 		close(recCh)
 	}()
 

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Pool is a reusable fixed-size worker pool with a bounded submission
+// queue. It is the execution substrate shared by the batch engine (Run)
+// and the online service (internal/service): batch work blocks on Submit,
+// request-serving work uses TrySubmit so that overload surfaces as
+// ErrSaturated (backpressure, HTTP 429) instead of unbounded queueing.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// ErrPoolClosed is returned by Submit/TrySubmit after Close.
+var ErrPoolClosed = errors.New("engine: pool closed")
+
+// ErrSaturated is returned by TrySubmit when the queue is full.
+var ErrSaturated = errors.New("engine: pool saturated")
+
+// NewPool starts workers goroutines consuming a queue of capacity queue
+// (0 = unbuffered: Submit blocks until a worker is free).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		panic("engine: pool needs at least one worker")
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues fn, blocking until a queue slot frees or ctx is done.
+func (p *Pool) Submit(ctx context.Context, fn func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TrySubmit enqueues fn without blocking; a full queue is ErrSaturated.
+func (p *Pool) TrySubmit(fn func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- fn:
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// QueueDepth reports how many submitted tasks are waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// Close stops accepting work, drains the queue, and waits for in-flight
+// tasks to finish. It is safe to call once; further submits fail with
+// ErrPoolClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"regcoal/internal/coalesce"
@@ -51,42 +52,35 @@ func statsFromResult(res *coalesce.Result) RunStats {
 	}
 }
 
-// strategyRunner wraps a pure coalescing strategy.
-func strategyRunner(name string, run func(g *graph.Graph, k int) *coalesce.Result) Runner {
+// StrategyRunner adapts one registry strategy to a matrix column.
+func StrategyRunner(s *coalesce.NamedStrategy) Runner {
 	return Runner{
-		Name: name,
-		Run: func(_ context.Context, f *graph.File) (RunStats, error) {
-			return statsFromResult(run(f.G, f.K)), nil
+		Name: s.Name,
+		Run: func(ctx context.Context, f *graph.File) (RunStats, error) {
+			res, err := s.Run(ctx, f.G, f.K)
+			if errors.Is(err, coalesce.ErrInapplicable) {
+				return RunStats{Skipped: true, SkipReason: err.Error()}, nil
+			}
+			if err != nil {
+				return RunStats{}, err
+			}
+			return statsFromResult(res), nil
 		},
 	}
 }
 
-// StrategyRunners returns one runner per coalescing strategy of the
-// regcoal facade, with the same names and semantics as regcoal.Run (the
-// correspondence is pinned by TestMatrixMatchesFacade).
+// StrategyRunners returns one runner per core strategy of the coalesce
+// registry — the same names and semantics as regcoal.Run (the
+// correspondence is pinned by TestMatrixMatchesFacade). Non-core registry
+// entries (chordal-inc, vegdahl) are excluded so that persisted benchmark
+// trajectories keep comparing like with like.
 func StrategyRunners() []Runner {
-	return []Runner{
-		strategyRunner("aggressive", coalesce.Aggressive),
-		strategyRunner("briggs", func(g *graph.Graph, k int) *coalesce.Result {
-			return coalesce.Conservative(g, k, coalesce.TestBriggs)
-		}),
-		strategyRunner("george", func(g *graph.Graph, k int) *coalesce.Result {
-			return coalesce.Conservative(g, k, coalesce.TestGeorge)
-		}),
-		strategyRunner("briggs+george", func(g *graph.Graph, k int) *coalesce.Result {
-			return coalesce.Conservative(g, k, coalesce.TestBriggsGeorge)
-		}),
-		strategyRunner("ext-george", func(g *graph.Graph, k int) *coalesce.Result {
-			return coalesce.Conservative(g, k, coalesce.TestExtendedGeorge)
-		}),
-		strategyRunner("brute", func(g *graph.Graph, k int) *coalesce.Result {
-			return coalesce.Conservative(g, k, coalesce.TestBrute)
-		}),
-		strategyRunner("brute-sets", func(g *graph.Graph, k int) *coalesce.Result {
-			return coalesce.ConservativeSets(g, k, 2)
-		}),
-		strategyRunner("optimistic", coalesce.Optimistic),
+	core := coalesce.CoreStrategies()
+	out := make([]Runner, 0, len(core))
+	for _, s := range core {
+		out = append(out, StrategyRunner(s))
 	}
+	return out
 }
 
 // IRCRunner evaluates the worklist-driven iterated-register-coalescing

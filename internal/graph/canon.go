@@ -1,0 +1,239 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical graph hashing for result caching: two requests carrying the
+// same instance — possibly with renamed or renumbered vertices — should be
+// recognized as one problem, solved once, and answered from memory.
+//
+// CanonicalForm computes a label ordering by Weisfeiler–Leman color
+// refinement: vertices start with a signature built from label-independent
+// invariants (precolor, interference degree, incident affinity weights)
+// and are repeatedly re-signed with the multiset of their neighbors'
+// colors until the partition into color classes stabilizes. Vertices are
+// then ordered by their final class (classes are numbered by sorted
+// signature, which is label-independent) and the instance is serialized in
+// that order; the hash is the SHA-256 of the serialization.
+//
+// Soundness does not depend on refinement quality: equal hashes imply
+// equal canonical serializations, which fully determine the relabeled
+// instance (register count, edges, precoloring, affinity multiset).
+// Therefore two instances with the same hash are isomorphic via their
+// permutations, and any solution expressed in canonical positions maps
+// back to either instance exactly. Refinement quality only affects how
+// often two relabelings of the same abstract graph reach the same hash:
+// when refinement separates all vertices (typical for irregular
+// interference graphs) the hash is fully relabeling-invariant; highly
+// symmetric graphs may hash differently under relabeling, costing a cache
+// miss but never a wrong answer. Vertex names never enter the hash.
+
+// Canonical is a canonical relabeling of an instance.
+type Canonical struct {
+	// Hash is the hex SHA-256 of the canonical serialization.
+	Hash string
+	// Perm maps original vertex ids to canonical positions.
+	Perm []V
+}
+
+// Inverse returns the canonical-position-to-original-vertex mapping.
+func (c *Canonical) Inverse() []V {
+	inv := make([]V, len(c.Perm))
+	for v, p := range c.Perm {
+		inv[p] = V(v)
+	}
+	return inv
+}
+
+// CanonicalForm computes the canonical relabeling and hash of f. It does
+// not modify the graph. Cost is O(rounds · (V log V + E + A)) with at most
+// V refinement rounds (irregular graphs stabilize in a handful).
+func CanonicalForm(f *File) *Canonical {
+	g := f.G
+	n := g.N()
+
+	// Affinity adjacency (weights matter: they are part of the instance).
+	type affNb struct {
+		w  int64
+		nb V
+	}
+	affAdj := make([][]affNb, n)
+	for _, a := range g.Affinities() {
+		if a.X == a.Y {
+			affAdj[a.X] = append(affAdj[a.X], affNb{a.Weight, a.Y})
+			continue
+		}
+		affAdj[a.X] = append(affAdj[a.X], affNb{a.Weight, a.Y})
+		affAdj[a.Y] = append(affAdj[a.Y], affNb{a.Weight, a.X})
+	}
+
+	// Initial signatures from label-independent invariants.
+	sigs := make([]string, n)
+	var b strings.Builder
+	for v := 0; v < n; v++ {
+		b.Reset()
+		pc := NoColor
+		if c, ok := g.Precolored(V(v)); ok {
+			pc = c
+		}
+		fmt.Fprintf(&b, "p%d d%d", pc, g.Degree(V(v)))
+		ws := make([]int64, 0, len(affAdj[v]))
+		for _, an := range affAdj[v] {
+			ws = append(ws, an.w)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		for _, w := range ws {
+			fmt.Fprintf(&b, " w%d", w)
+		}
+		sigs[v] = b.String()
+	}
+	colors := rankSignatures(sigs)
+	distinct := countDistinct(colors)
+
+	for round := 0; round < n; round++ {
+		next := make([]string, n)
+		for v := 0; v < n; v++ {
+			nbColors := make([]int, 0, g.Degree(V(v)))
+			g.ForEachNeighbor(V(v), func(w V) {
+				nbColors = append(nbColors, colors[w])
+			})
+			sort.Ints(nbColors)
+			affSigs := make([]string, 0, len(affAdj[v]))
+			for _, an := range affAdj[v] {
+				affSigs = append(affSigs, fmt.Sprintf("%d:%d", an.w, colors[an.nb]))
+			}
+			sort.Strings(affSigs)
+			b.Reset()
+			fmt.Fprintf(&b, "c%d|", colors[v])
+			for _, c := range nbColors {
+				fmt.Fprintf(&b, " %d", c)
+			}
+			b.WriteString("|")
+			for _, s := range affSigs {
+				b.WriteString(" ")
+				b.WriteString(s)
+			}
+			next[v] = b.String()
+		}
+		colors = rankSignatures(next)
+		d := countDistinct(colors)
+		if d == distinct {
+			break // stable partition
+		}
+		distinct = d
+	}
+
+	// Order vertices by final class; ties (refinement could not separate)
+	// break by original index — deterministic, and sound per the package
+	// comment, at worst costing relabeling-invariance on symmetric graphs.
+	order := make([]V, n)
+	for i := range order {
+		order[i] = V(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if colors[order[i]] != colors[order[j]] {
+			return colors[order[i]] < colors[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	perm := make([]V, n)
+	for pos, v := range order {
+		perm[v] = V(pos)
+	}
+
+	return &Canonical{Hash: hashCanonical(f, perm), Perm: perm}
+}
+
+// CanonicalHash is CanonicalForm reduced to the hash.
+func CanonicalHash(f *File) string {
+	return CanonicalForm(f).Hash
+}
+
+// hashCanonical serializes the instance under perm and hashes it. The
+// serialization is injective on (k, n, edge set, precoloring, affinity
+// multiset) — names are deliberately excluded.
+func hashCanonical(f *File, perm []V) string {
+	g := f.G
+	n := g.N()
+	h := sha256.New()
+	fmt.Fprintf(h, "regcoal-canon-v1\nn %d\nk %d\n", n, f.K)
+	for pos, v := range invertPerm(perm) {
+		if c, ok := g.Precolored(v); ok {
+			fmt.Fprintf(h, "p %d %d\n", pos, c)
+		}
+	}
+	edges := make([][2]V, 0, g.E())
+	for _, e := range g.Edges() {
+		a, b := perm[e[0]], perm[e[1]]
+		if a > b {
+			a, b = b, a
+		}
+		edges = append(edges, [2]V{a, b})
+	}
+	sortPairs(edges)
+	for _, e := range edges {
+		fmt.Fprintf(h, "e %d %d\n", int(e[0]), int(e[1]))
+	}
+	affs := make([]Affinity, 0, g.NumAffinities())
+	for _, a := range g.Affinities() {
+		affs = append(affs, Affinity{X: perm[a.X], Y: perm[a.Y], Weight: a.Weight}.Canon())
+	}
+	SortAffinities(affs)
+	for _, a := range affs {
+		fmt.Fprintf(h, "a %d %d %d\n", int(a.X), int(a.Y), a.Weight)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func invertPerm(perm []V) []V {
+	inv := make([]V, len(perm))
+	for v, p := range perm {
+		inv[p] = V(v)
+	}
+	return inv
+}
+
+func sortPairs(ps [][2]V) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+// rankSignatures maps signatures to dense class ids numbered by sorted
+// signature order, which is independent of vertex labeling.
+func rankSignatures(sigs []string) []int {
+	uniq := make([]string, 0, len(sigs))
+	seen := make(map[string]bool, len(sigs))
+	for _, s := range sigs {
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	sort.Strings(uniq)
+	rank := make(map[string]int, len(uniq))
+	for i, s := range uniq {
+		rank[s] = i
+	}
+	out := make([]int, len(sigs))
+	for i, s := range sigs {
+		out[i] = rank[s]
+	}
+	return out
+}
+
+func countDistinct(xs []int) int {
+	seen := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}

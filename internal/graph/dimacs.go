@@ -28,6 +28,13 @@ import (
 // colors, moves, so that Write → Read → Write is byte-identical (the
 // corpus round-trip guarantee; see TestDIMACSFileRoundTripBytes).
 
+// MaxDIMACSVertices caps the vertex count a DIMACS p line may declare.
+// The cap exists to harden the parser against hostile input: a one-line
+// file claiming 10^9 vertices would otherwise commit gigabytes of
+// adjacency before a single edge is read. Real coloring benchmarks are
+// orders of magnitude below it.
+const MaxDIMACSVertices = 1 << 22
+
 // ReadDIMACS parses a DIMACS .col file, including regcoal move comments.
 // Other regcoal comments (k, names, precoloring) are applied to the graph
 // where they can be (names, colors); the register count is discarded — use
@@ -129,6 +136,14 @@ func ReadDIMACSFile(r io.Reader) (*File, error) {
 			n, err := strconv.Atoi(fields[2])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: dimacs line %d: bad vertex count", lineno)
+			}
+			if n > MaxDIMACSVertices {
+				return nil, fmt.Errorf("graph: dimacs line %d: vertex count %d exceeds limit %d", lineno, n, MaxDIMACSVertices)
+			}
+			// The edge count is not used (edges are counted as they are
+			// read) but a malformed one still fails the parse.
+			if m, err := strconv.Atoi(fields[3]); err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: dimacs line %d: bad edge count %q", lineno, fields[3])
 			}
 			if g != nil {
 				return nil, fmt.Errorf("graph: dimacs line %d: duplicate p line", lineno)

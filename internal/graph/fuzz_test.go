@@ -37,6 +37,54 @@ func FuzzReadFrom(f *testing.F) {
 	})
 }
 
+// FuzzReadFile targets the File-level DIMACS parser: no panic on any
+// input, and every accepted file must validate, survive a write→read
+// round trip semantically (EqualFiles), and re-serialize byte-identically
+// — the canonical-output guarantee the persisted corpus relies on.
+func FuzzReadFile(f *testing.F) {
+	f.Add("p edge 3 2\nc regcoal k 4\ne 1 2\ne 2 3\n")
+	f.Add("p edge 4 1\nc regcoal k 2\nc regcoal name 1 x\nc regcoal color 2 0\nc regcoal move 1 3 7\ne 1 2\n")
+	f.Add("p edge 2 0\nc regcoal move 1 2 5\nc regcoal move 1 2 5\n") // parallel moves
+	f.Add("p edge 0 0\n")
+	f.Add("p edge 1 0\nc regcoal name 1 a b c\n")
+	f.Add("p edge 2 1\ne 1 1\n")                // self-loop
+	f.Add("p edge 99999999 0\n")                // allocation bomb
+	f.Add("p edge 2 x\n")                       // bad edge count
+	f.Add("c regcoal k 4\np edge 1 0\n")        // comment before p
+	f.Add("p edge 2 0\nc regcoal color 1 -3\n") // bad precolor
+	f.Add("p edge 2 0\nc regcoal move 1 2 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := ReadDIMACSFile(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := file.G.Validate(); verr != nil {
+			t.Fatalf("accepted file fails validation: %v", verr)
+		}
+		var first strings.Builder
+		if werr := WriteDIMACSFile(&first, file); werr != nil {
+			// Only non-round-trippable vertex names may refuse to write,
+			// and the DIMACS reader normalizes whitespace, so a parsed
+			// file must always serialize.
+			t.Fatalf("write of parsed file failed: %v", werr)
+		}
+		back, err := ReadDIMACSFile(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, first.String())
+		}
+		if !EqualFiles(file, back) {
+			t.Fatalf("round trip changed the instance:\n%s", first.String())
+		}
+		var second strings.Builder
+		if werr := WriteDIMACSFile(&second, back); werr != nil {
+			t.Fatalf("second write failed: %v", werr)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("write→read→write not byte-identical:\n%q\n%q", first.String(), second.String())
+		}
+	})
+}
+
 func FuzzReadDIMACS(f *testing.F) {
 	f.Add("p edge 3 2\ne 1 2\ne 2 3\n")
 	f.Add("c regcoal move 1 2 5\n")

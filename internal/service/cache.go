@@ -1,0 +1,135 @@
+package service
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// Sharded LRU result cache. Keys are canonical-instance hashes prefixed
+// with the endpoint and portfolio (see cacheKey in service.go), values are
+// canonical-space solutions (entry) that render back into any vertex
+// numbering with the same canonical form. Sharding keeps lock contention
+// off the hot path under concurrent traffic; each shard is an independent
+// mutex + map + intrusive LRU list.
+
+// entry is a cached solution in canonical vertex numbering. Entries are
+// immutable once stored: readers render them without locks.
+type entry struct {
+	classes  [][]int // coalescing classes, canonical ids, sorted
+	coloring []int   // per canonical vertex, nil when absent
+	spilled  []int   // canonical ids (allocate only), sorted
+
+	strategy        string
+	coalescedMoves  int
+	coalescedWeight int64
+	remainingWeight int64
+	colorable       bool
+	spills          int
+	deadlineHit     bool
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recent; values are *cacheItem
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	val *entry
+}
+
+// Cache is the sharded LRU.
+type Cache struct {
+	shards   []*cacheShard
+	perShard int
+}
+
+// NewCache builds a cache holding roughly capacity entries across shards
+// (each shard holds capacity/shards, minimum 1). capacity <= 0 disables
+// caching: Get always misses, Put is a no-op.
+func NewCache(capacity, shards int) *Cache {
+	if capacity <= 0 {
+		return &Cache{}
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	per := capacity / shards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{shards: make([]*cacheShard, shards), perShard: per}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{ll: list.New(), items: make(map[string]*list.Element)}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	if len(c.shards) == 0 {
+		return nil
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get returns the cached solution for key, marking it most recently used.
+func (c *Cache) Get(key string) (*entry, bool) {
+	s := c.shard(key)
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// Put stores val under key, evicting the shard's least recently used
+// entry when full. An entry computed to completion (deadlineHit false)
+// replaces a deadline-truncated one, never the other way around: when two
+// identical requests miss concurrently, the tight-deadline loser must not
+// permanently shadow the complete answer.
+func (c *Cache) Put(key string, val *entry) {
+	s := c.shard(key)
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		item := el.Value.(*cacheItem)
+		if !(val.deadlineHit && !item.val.deadlineHit) {
+			item.val = val
+		}
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&cacheItem{key: key, val: val})
+	for s.ll.Len() > c.perShard {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// Len reports the total number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

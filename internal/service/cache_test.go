@@ -1,0 +1,64 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(4, 1) // one shard of 4 for deterministic eviction
+	for i := 0; i < 6; i++ {
+		c.Put(fmt.Sprintf("k%d", i), &entry{strategy: fmt.Sprintf("s%d", i)})
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache holds %d entries, want 4", c.Len())
+	}
+	for _, gone := range []string{"k0", "k1"} {
+		if _, ok := c.Get(gone); ok {
+			t.Errorf("oldest key %s survived eviction", gone)
+		}
+	}
+	for _, kept := range []string{"k2", "k3", "k4", "k5"} {
+		if _, ok := c.Get(kept); !ok {
+			t.Errorf("recent key %s evicted", kept)
+		}
+	}
+}
+
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c := NewCache(2, 1)
+	c.Put("a", &entry{})
+	c.Put("b", &entry{})
+	c.Get("a")           // a is now most recent
+	c.Put("c", &entry{}) // evicts b
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used key evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("least recently used key survived")
+	}
+}
+
+func TestCachePutReplaces(t *testing.T) {
+	c := NewCache(8, 2)
+	c.Put("k", &entry{strategy: "old"})
+	c.Put("k", &entry{strategy: "new"})
+	e, ok := c.Get("k")
+	if !ok || e.strategy != "new" {
+		t.Fatalf("got %+v, want replaced entry", e)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("replace grew the cache to %d", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1, 4)
+	c.Put("k", &entry{})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache has entries")
+	}
+}

@@ -1,0 +1,194 @@
+package service_test
+
+// Integration test for the acceptance criterion: the service under >= 64
+// concurrent loadgen requests answers every request with a valid
+// coalescing/coloring, serves repeated graphs from the cache with
+// byte-identical bodies and a cache-hit counter increment, and answers
+// deadline-exceeded requests with the best heuristic result instead of an
+// error.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"regcoal/internal/corpus"
+	"regcoal/internal/graph"
+	"regcoal/internal/service"
+	"regcoal/internal/service/loadgen"
+)
+
+func startService(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server) {
+	t.Helper()
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func quickInstances(t *testing.T) []*corpus.Instance {
+	t.Helper()
+	fams, err := corpus.Select("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := corpus.BuildAll(fams, corpus.Params{Seed: 20060408, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return insts
+}
+
+func TestServiceUnderConcurrentLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent load test")
+	}
+	s, ts := startService(t, service.Config{
+		Workers:         8,
+		QueueCap:        1024, // every request must be answered, not shed
+		DefaultDeadline: 500 * time.Millisecond,
+	})
+
+	insts := quickInstances(t)
+	jobs, err := loadgen.JobsFromInstances(insts, loadgen.JobOptions{Format: "native"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const concurrency, total = 64, 256
+	rep, err := loadgen.Run(context.Background(), loadgen.Options{
+		BaseURL:     ts.URL,
+		Endpoint:    "coalesce",
+		Concurrency: concurrency,
+		Requests:    total,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coalesce load:\n%s", rep.String())
+	if rep.Failed > 0 {
+		t.Fatalf("%d invalid or failed responses; first: %s", rep.Failed, rep.FirstFailure)
+	}
+	if rep.Rejected > 0 {
+		t.Fatalf("%d requests shed despite a queue sized for the test", rep.Rejected)
+	}
+	if rep.OK != total {
+		t.Fatalf("%d ok responses, want %d", rep.OK, total)
+	}
+	// total > len(jobs), so instances repeated and must have hit the cache.
+	if rep.CacheHits == 0 {
+		t.Fatal("no cache hits over repeated instances")
+	}
+	if s.Metrics().CacheHits.Load() == 0 {
+		t.Fatal("server cache-hit counter never incremented")
+	}
+
+	// The other endpoint under the same load, with mixed encodings.
+	dimacsJobs, err := loadgen.JobsFromInstances(insts, loadgen.JobOptions{Format: "dimacs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = loadgen.Run(context.Background(), loadgen.Options{
+		BaseURL:     ts.URL,
+		Endpoint:    "allocate",
+		Concurrency: concurrency,
+		Requests:    len(dimacsJobs),
+	}, dimacsJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("allocate load:\n%s", rep.String())
+	if rep.Failed > 0 {
+		t.Fatalf("allocate: %d invalid responses; first: %s", rep.Failed, rep.FirstFailure)
+	}
+}
+
+func TestRepeatedGraphByteIdenticalUnderLoad(t *testing.T) {
+	s, ts := startService(t, service.Config{Workers: 4, QueueCap: 256})
+	insts := quickInstances(t)
+	inst := insts[len(insts)/2]
+	jobs, err := loadgen.JobsFromInstances([]*corpus.Instance{inst}, loadgen.JobOptions{Format: "native"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := func() []byte {
+		resp, err := http.Post(ts.URL+"/v1/coalesce", "application/json", bytes.NewReader(jobs[0].Body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, buf.Bytes())
+		}
+		return buf.Bytes()
+	}
+	first := body()
+	hits := s.Metrics().CacheHits.Load()
+	for i := 0; i < 8; i++ {
+		if got := body(); !bytes.Equal(got, first) {
+			t.Fatalf("repeat %d body differs:\n%s\n%s", i, first, got)
+		}
+	}
+	if s.Metrics().CacheHits.Load() != hits+8 {
+		t.Fatalf("cache hits went %d -> %d, want +8", hits, s.Metrics().CacheHits.Load())
+	}
+}
+
+// A dense instance inside the exact envelope: branch and bound over 14
+// moves with a per-leaf colorability check takes far longer than the 1ms
+// deadline, so the race is cut off and must still answer with the best
+// heuristic result.
+func TestDeadlineExceededStillAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := graph.RandomER(rng, 48, 0.4)
+	graph.SprinkleAffinities(rng, g, 14, 100)
+	f := &graph.File{G: g, K: 6}
+	var dimacs strings.Builder
+	if err := graph.WriteDIMACSFile(&dimacs, f); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := startService(t, service.Config{Workers: 4})
+	req, err := json.Marshal(&service.Request{
+		Graph:      &service.GraphSpec{Dimacs: dimacs.String()},
+		DeadlineMS: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/coalesce", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out service.CoalesceResult
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deadline-exceeded request answered %d, want 200 with best-effort result", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.DeadlineHit {
+		t.Fatal("race was not marked deadline_hit at 1ms over a branch-and-bound instance")
+	}
+	if out.Strategy == "" {
+		t.Fatal("no winning strategy reported")
+	}
+	if err := loadgen.ValidateCoalesce(f, &out); err != nil {
+		t.Fatalf("best-effort answer invalid: %v", err)
+	}
+}

@@ -1,0 +1,396 @@
+// Package loadgen replays corpus instances as concurrent HTTP traffic
+// against the coalescing service and reports throughput, latency
+// percentiles, and response validity. It is both the engine of
+// cmd/loadgen and the driver of the service integration test: every
+// response is decoded and checked — classes must be non-interfering,
+// colorings proper and pin-respecting — so a passing run is a correctness
+// statement, not just a timing one.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"regcoal/internal/corpus"
+	"regcoal/internal/graph"
+	"regcoal/internal/service"
+)
+
+// Job is one request payload plus the instance it carries, kept for
+// validating the response.
+type Job struct {
+	Name string
+	Body []byte
+	File *graph.File
+}
+
+// JobOptions shape the requests built from corpus instances.
+type JobOptions struct {
+	// Format selects the graph encoding: native, text, or dimacs.
+	Format string
+	// DeadlineMS, Strategies and NoCache are copied into every request.
+	DeadlineMS int64
+	Strategies []string
+	NoCache    bool
+}
+
+// JobsFromInstances converts corpus instances into request payloads.
+func JobsFromInstances(insts []*corpus.Instance, opts JobOptions) ([]Job, error) {
+	jobs := make([]Job, 0, len(insts))
+	for _, inst := range insts {
+		spec, err := specFor(inst.File, opts.Format)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		req := service.Request{
+			Graph:      spec,
+			DeadlineMS: opts.DeadlineMS,
+			Strategies: opts.Strategies,
+			NoCache:    opts.NoCache,
+		}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, Job{Name: inst.Family + "/" + inst.Name, Body: body, File: inst.File})
+	}
+	return jobs, nil
+}
+
+func specFor(f *graph.File, format string) (*service.GraphSpec, error) {
+	switch format {
+	case "", "native":
+		spec := &service.GraphSpec{Vertices: f.G.N(), K: f.K}
+		for _, e := range f.G.Edges() {
+			spec.Edges = append(spec.Edges, [2]int{int(e[0]), int(e[1])})
+		}
+		for _, a := range f.G.Affinities() {
+			spec.Moves = append(spec.Moves, service.Move{X: int(a.X), Y: int(a.Y), Weight: a.Weight})
+		}
+		for v := 0; v < f.G.N(); v++ {
+			if c, ok := f.G.Precolored(graph.V(v)); ok {
+				spec.Precolored = append(spec.Precolored, service.Pin{V: v, Color: c})
+			}
+		}
+		return spec, nil
+	case "text":
+		return &service.GraphSpec{Text: f.FormatString()}, nil
+	case "dimacs":
+		var b strings.Builder
+		if err := graph.WriteDIMACSFile(&b, f); err != nil {
+			return nil, err
+		}
+		return &service.GraphSpec{Dimacs: b.String()}, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want native, text, dimacs)", format)
+	}
+}
+
+// Options parameterize a run.
+type Options struct {
+	// BaseURL is the service root, e.g. http://localhost:8080.
+	BaseURL string
+	// Endpoint is "coalesce" or "allocate".
+	Endpoint string
+	// Concurrency is the number of in-flight requests (default 16).
+	Concurrency int
+	// Requests is the total request count; jobs are replayed round-robin,
+	// so a count above len(jobs) revisits instances and exercises the
+	// cache (default: one pass over the jobs).
+	Requests int
+	// Client overrides the HTTP client (default: http.DefaultClient with
+	// a 60s timeout).
+	Client *http.Client
+}
+
+// Report aggregates a run.
+type Report struct {
+	Requests     int
+	OK           int
+	Rejected     int // 429: backpressure, not failure
+	Failed       int // any other non-200, transport error, or invalid body
+	CacheHits    int
+	DeadlineHits int
+	Wall         time.Duration
+	Latencies    Percentiles
+	FirstFailure string
+}
+
+// Percentiles summarize request latency.
+type Percentiles struct {
+	P50, P90, P99, Max time.Duration
+}
+
+// Throughput reports successful requests per second.
+func (r *Report) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Wall.Seconds()
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests %d  ok %d  rejected(429) %d  failed %d\n", r.Requests, r.OK, r.Rejected, r.Failed)
+	fmt.Fprintf(&b, "cache hits %d  deadline hits %d\n", r.CacheHits, r.DeadlineHits)
+	fmt.Fprintf(&b, "wall %v  throughput %.1f req/s\n", r.Wall.Round(time.Millisecond), r.Throughput())
+	fmt.Fprintf(&b, "latency p50 %v  p90 %v  p99 %v  max %v\n",
+		r.Latencies.P50.Round(time.Microsecond), r.Latencies.P90.Round(time.Microsecond),
+		r.Latencies.P99.Round(time.Microsecond), r.Latencies.Max.Round(time.Microsecond))
+	if r.FirstFailure != "" {
+		fmt.Fprintf(&b, "first failure: %s\n", r.FirstFailure)
+	}
+	return b.String()
+}
+
+// Run fires Requests requests over the jobs round-robin with Concurrency
+// workers, validating every 200 body against its instance.
+func Run(ctx context.Context, opts Options, jobs []Job) (*Report, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("loadgen: no jobs")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 16
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = len(jobs)
+	}
+	endpoint := opts.Endpoint
+	if endpoint == "" {
+		endpoint = "coalesce"
+	}
+	if endpoint != "coalesce" && endpoint != "allocate" {
+		return nil, fmt.Errorf("loadgen: unknown endpoint %q", endpoint)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	url := strings.TrimSuffix(opts.BaseURL, "/") + "/v1/" + endpoint
+
+	type sample struct {
+		latency     time.Duration
+		status      int
+		cacheHit    bool
+		deadlineHit bool
+		failure     string
+	}
+	samples := make([]sample, opts.Requests)
+	idxCh := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < opts.Concurrency; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range idxCh {
+				job := jobs[i%len(jobs)]
+				start := time.Now()
+				st, hit, dl, failure := fire(ctx, client, url, endpoint, job)
+				samples[i] = sample{
+					latency:     time.Since(start),
+					status:      st,
+					cacheHit:    hit,
+					deadlineHit: dl,
+					failure:     failure,
+				}
+			}
+		}()
+	}
+	start := time.Now()
+feed:
+	for i := 0; i < opts.Requests; i++ {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	for w := 0; w < opts.Concurrency; w++ {
+		<-done
+	}
+
+	rep := &Report{Requests: opts.Requests, Wall: time.Since(start)}
+	lats := make([]time.Duration, 0, opts.Requests)
+	for _, sm := range samples {
+		switch {
+		case sm.status == http.StatusOK && sm.failure == "":
+			rep.OK++
+			lats = append(lats, sm.latency)
+		case sm.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Failed++
+			if rep.FirstFailure == "" && sm.failure != "" {
+				rep.FirstFailure = sm.failure
+			}
+		}
+		if sm.cacheHit {
+			rep.CacheHits++
+		}
+		if sm.deadlineHit {
+			rep.DeadlineHits++
+		}
+	}
+	rep.Latencies = percentiles(lats)
+	return rep, nil
+}
+
+func fire(ctx context.Context, client *http.Client, url, endpoint string, job Job) (status int, cacheHit, deadlineHit bool, failure string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(job.Body))
+	if err != nil {
+		return 0, false, false, err.Error()
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false, false, fmt.Sprintf("%s: %v", job.Name, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, false, false, fmt.Sprintf("%s: reading body: %v", job.Name, err)
+	}
+	cacheHit = resp.Header.Get("X-Regcoal-Cache") == "hit"
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, cacheHit, false, fmt.Sprintf("%s: status %d: %s", job.Name, resp.StatusCode, truncate(body))
+	}
+	if endpoint == "coalesce" {
+		var out service.CoalesceResult
+		if err := json.Unmarshal(body, &out); err != nil {
+			return resp.StatusCode, cacheHit, false, fmt.Sprintf("%s: decoding: %v", job.Name, err)
+		}
+		deadlineHit = out.DeadlineHit
+		if err := ValidateCoalesce(job.File, &out); err != nil {
+			return resp.StatusCode, cacheHit, deadlineHit, fmt.Sprintf("%s: %v", job.Name, err)
+		}
+		return resp.StatusCode, cacheHit, deadlineHit, ""
+	}
+	var out service.AllocateResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		return resp.StatusCode, cacheHit, false, fmt.Sprintf("%s: decoding: %v", job.Name, err)
+	}
+	deadlineHit = out.DeadlineHit
+	if err := ValidateAllocate(job.File, &out); err != nil {
+		return resp.StatusCode, cacheHit, deadlineHit, fmt.Sprintf("%s: %v", job.Name, err)
+	}
+	return resp.StatusCode, cacheHit, deadlineHit, ""
+}
+
+func truncate(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}
+
+// ValidateCoalesce checks a coalesce response against its instance: the
+// classes must partition the vertices without internal interference, and
+// a coloring, when present, must be proper, complete, within k, respect
+// precoloring, and be constant on every class.
+func ValidateCoalesce(f *graph.File, out *service.CoalesceResult) error {
+	g := f.G
+	if out.Vertices != g.N() || out.Edges != g.E() || out.Moves != g.NumAffinities() {
+		return fmt.Errorf("shape mismatch: response %d/%d/%d, instance %d/%d/%d",
+			out.Vertices, out.Edges, out.Moves, g.N(), g.E(), g.NumAffinities())
+	}
+	seen := make([]bool, g.N())
+	for _, cls := range out.Classes {
+		for i, v := range cls {
+			if v < 0 || v >= g.N() {
+				return fmt.Errorf("class vertex %d out of range", v)
+			}
+			if seen[v] {
+				return fmt.Errorf("vertex %d appears in two classes", v)
+			}
+			seen[v] = true
+			for _, w := range cls[i+1:] {
+				if g.HasEdge(graph.V(v), graph.V(w)) {
+					return fmt.Errorf("class contains interfering pair (%d,%d)", v, w)
+				}
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			return fmt.Errorf("vertex %d missing from classes", v)
+		}
+	}
+	if out.Coloring == nil {
+		return nil
+	}
+	col := graph.Coloring(out.Coloring)
+	if err := col.Check(g); err != nil {
+		return err
+	}
+	if mc := col.MaxColor(); mc >= out.K {
+		return fmt.Errorf("coloring uses color %d with k=%d", mc, out.K)
+	}
+	for _, cls := range out.Classes {
+		for _, v := range cls[1:] {
+			if out.Coloring[v] != out.Coloring[cls[0]] {
+				return fmt.Errorf("class of %d not color-constant", cls[0])
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateAllocate checks an allocate response: spilled vertices carry
+// NoColor, every other vertex a proper in-range color matching its pin.
+func ValidateAllocate(f *graph.File, out *service.AllocateResult) error {
+	g := f.G
+	if len(out.Coloring) != g.N() {
+		return fmt.Errorf("coloring length %d, want %d", len(out.Coloring), g.N())
+	}
+	spilled := make(map[int]bool, len(out.Spilled))
+	for _, v := range out.Spilled {
+		if v < 0 || v >= g.N() {
+			return fmt.Errorf("spilled vertex %d out of range", v)
+		}
+		spilled[v] = true
+	}
+	if len(spilled) != out.Spills {
+		return fmt.Errorf("spills %d but %d spilled vertices", out.Spills, len(spilled))
+	}
+	for v, c := range out.Coloring {
+		if spilled[v] {
+			if c != graph.NoColor {
+				return fmt.Errorf("spilled vertex %d has color %d", v, c)
+			}
+			continue
+		}
+		if c < 0 || c >= out.K {
+			return fmt.Errorf("vertex %d color %d outside [0,%d)", v, c, out.K)
+		}
+		if pin, ok := g.Precolored(graph.V(v)); ok && c != pin {
+			return fmt.Errorf("precolored vertex %d colored %d, want %d", v, c, pin)
+		}
+	}
+	for _, e := range g.Edges() {
+		cu, cv := out.Coloring[e[0]], out.Coloring[e[1]]
+		if cu != graph.NoColor && cu == cv {
+			return fmt.Errorf("interfering vertices %d,%d share color %d", e[0], e[1], cu)
+		}
+	}
+	return nil
+}
+
+func percentiles(lats []time.Duration) Percentiles {
+	if len(lats) == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	return Percentiles{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: lats[len(lats)-1]}
+}

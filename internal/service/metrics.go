@@ -1,0 +1,130 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics are the service's counters, exported two ways: Prometheus text
+// on GET /metrics and a JSON snapshot on GET /stats. Everything is atomic;
+// the strategy-win map is a sync.Map of *atomic.Int64 keyed by strategy
+// name.
+type Metrics struct {
+	start time.Time
+
+	CoalesceRequests atomic.Int64
+	AllocateRequests atomic.Int64
+	BatchGraphs      atomic.Int64
+	CacheHits        atomic.Int64
+	CacheMisses      atomic.Int64
+	Rejected         atomic.Int64
+	BadRequests      atomic.Int64
+	Errors           atomic.Int64
+	DeadlineHits     atomic.Int64
+	InFlight         atomic.Int64
+
+	winsMu sync.Mutex
+	wins   map[string]*atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now(), wins: make(map[string]*atomic.Int64)}
+}
+
+// StrategyWon counts a portfolio race won by the named strategy.
+func (m *Metrics) StrategyWon(name string) {
+	m.winsMu.Lock()
+	c, ok := m.wins[name]
+	if !ok {
+		c = &atomic.Int64{}
+		m.wins[name] = c
+	}
+	m.winsMu.Unlock()
+	c.Add(1)
+}
+
+func (m *Metrics) winSnapshot() map[string]int64 {
+	m.winsMu.Lock()
+	defer m.winsMu.Unlock()
+	out := make(map[string]int64, len(m.wins))
+	for name, c := range m.wins {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Stats is the JSON snapshot served on /stats.
+type Stats struct {
+	UptimeSeconds    float64          `json:"uptime_seconds"`
+	CoalesceRequests int64            `json:"coalesce_requests"`
+	AllocateRequests int64            `json:"allocate_requests"`
+	BatchGraphs      int64            `json:"batch_graphs"`
+	CacheHits        int64            `json:"cache_hits"`
+	CacheMisses      int64            `json:"cache_misses"`
+	CacheEntries     int              `json:"cache_entries"`
+	Rejected         int64            `json:"rejected"`
+	BadRequests      int64            `json:"bad_requests"`
+	Errors           int64            `json:"errors"`
+	DeadlineHits     int64            `json:"deadline_hits"`
+	InFlight         int64            `json:"in_flight"`
+	QueueDepth       int              `json:"queue_depth"`
+	StrategyWins     map[string]int64 `json:"strategy_wins"`
+}
+
+func (m *Metrics) snapshot(cacheEntries, queueDepth int) Stats {
+	return Stats{
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		CoalesceRequests: m.CoalesceRequests.Load(),
+		AllocateRequests: m.AllocateRequests.Load(),
+		BatchGraphs:      m.BatchGraphs.Load(),
+		CacheHits:        m.CacheHits.Load(),
+		CacheMisses:      m.CacheMisses.Load(),
+		CacheEntries:     cacheEntries,
+		Rejected:         m.Rejected.Load(),
+		BadRequests:      m.BadRequests.Load(),
+		Errors:           m.Errors.Load(),
+		DeadlineHits:     m.DeadlineHits.Load(),
+		InFlight:         m.InFlight.Load(),
+		QueueDepth:       queueDepth,
+		StrategyWins:     m.winSnapshot(),
+	}
+}
+
+// writePrometheus renders the counters in Prometheus exposition format.
+func (m *Metrics) writePrometheus(w io.Writer, cacheEntries, queueDepth int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP regcoal_requests_total Requests per endpoint.\n# TYPE regcoal_requests_total counter\n")
+	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"coalesce\"} %d\n", m.CoalesceRequests.Load())
+	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"allocate\"} %d\n", m.AllocateRequests.Load())
+	counter("regcoal_batch_graphs_total", "Graphs received inside batch requests.", m.BatchGraphs.Load())
+	counter("regcoal_cache_hits_total", "Requests answered from the result cache.", m.CacheHits.Load())
+	counter("regcoal_cache_misses_total", "Requests that had to compute.", m.CacheMisses.Load())
+	counter("regcoal_rejected_total", "Requests rejected with 429 (pool saturated).", m.Rejected.Load())
+	counter("regcoal_bad_requests_total", "Requests rejected with 400.", m.BadRequests.Load())
+	counter("regcoal_errors_total", "Requests failed with 5xx.", m.Errors.Load())
+	counter("regcoal_deadline_hits_total", "Races cut off by the request deadline.", m.DeadlineHits.Load())
+	gauge("regcoal_in_flight", "Requests currently being served.", m.InFlight.Load())
+	gauge("regcoal_cache_entries", "Entries in the result cache.", int64(cacheEntries))
+	gauge("regcoal_queue_depth", "Jobs waiting for a pool worker.", int64(queueDepth))
+	gauge("regcoal_uptime_seconds", "Seconds since server start.", int64(time.Since(m.start).Seconds()))
+
+	wins := m.winSnapshot()
+	names := make([]string, 0, len(wins))
+	for n := range wins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP regcoal_strategy_wins_total Portfolio races won per strategy.\n# TYPE regcoal_strategy_wins_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "regcoal_strategy_wins_total{strategy=%q} %d\n", n, wins[n])
+	}
+}

@@ -1,0 +1,255 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"regcoal/internal/coalesce"
+	"regcoal/internal/exact"
+	"regcoal/internal/graph"
+	"regcoal/internal/regalloc"
+)
+
+// Deadline-raced strategy portfolio. Every interesting coalescing variant
+// is NP-complete (the paper's Theorems 2–6), so the service never bets a
+// request on one solver: it races a portfolio — cheap conservative
+// heuristics, optimistic coalescing, the polynomial chordal algorithm
+// where applicable, and the context-cancelable exact solver as an anytime
+// upper bound — and returns the best answer on hand when the deadline
+// fires. Pure polynomial heuristics run to completion regardless (they
+// are the "best heuristic result" a deadline-exceeded request still
+// gets); the exact search stops at the deadline and contributes the best
+// coalescing found so far.
+
+// racer is one portfolio member.
+type racer[T any] struct {
+	name string
+	run  func(ctx context.Context) (T, error)
+}
+
+// race runs every member concurrently and returns the best answer by cmp
+// (positive = first argument better; ties keep the earlier member, so a
+// completed race is deterministic). It returns as soon as either every
+// member finished, or the deadline fired and at least one answer exists.
+// Members returning coalesce.ErrInapplicable are skipped.
+func race[T any](ctx context.Context, members []racer[T], cmp func(a, b T) int) (best T, winner string, bestIdx int, deadlineHit bool, err error) {
+	type outcome struct {
+		idx int
+		val T
+		err error
+	}
+	ch := make(chan outcome, len(members))
+	for i, m := range members {
+		i, m := i, m
+		go func() {
+			v, err := m.run(ctx)
+			ch <- outcome{idx: i, val: v, err: err}
+		}()
+	}
+	bestIdx = -1
+	got := 0
+	deadline := false
+	var firstErr error
+	take := func(o outcome) {
+		got++
+		if o.err != nil {
+			if !errors.Is(o.err, coalesce.ErrInapplicable) && firstErr == nil {
+				firstErr = o.err
+			}
+			return
+		}
+		if bestIdx == -1 || cmp(o.val, best) > 0 || (cmp(o.val, best) == 0 && o.idx < bestIdx) {
+			best, bestIdx = o.val, o.idx
+		}
+	}
+	// drain consumes every already-buffered outcome without blocking, so
+	// a member that finished just before the deadline is never discarded.
+	drain := func() {
+		for got < len(members) {
+			select {
+			case o := <-ch:
+				take(o)
+			default:
+				return
+			}
+		}
+	}
+	for got < len(members) {
+		if deadline {
+			drain()
+			if bestIdx != -1 || got == len(members) {
+				break // deadline fired and we have an answer: stop waiting
+			}
+			// Deadline fired with no answer yet: block for the next
+			// finisher — the contract is best-effort, never an error.
+			take(<-ch)
+			continue
+		}
+		select {
+		case o := <-ch:
+			take(o)
+		case <-ctx.Done():
+			deadline = true
+		}
+	}
+	if bestIdx == -1 {
+		if firstErr != nil {
+			return best, "", -1, deadline, firstErr
+		}
+		return best, "", -1, deadline, fmt.Errorf("service: no portfolio member produced an answer")
+	}
+	return best, members[bestIdx].name, bestIdx, deadline, nil
+}
+
+// DefaultPortfolio is the coalescing portfolio raced when a request does
+// not pick its own: the fast guaranteed-answer heuristics first, then the
+// powerful ones, then the anytime exact solver.
+func DefaultPortfolio() []string {
+	return []string{
+		"aggressive", "briggs+george", "ext-george", "brute",
+		"optimistic", "chordal-inc", "exact",
+	}
+}
+
+// coalesceRacers resolves strategy names into portfolio members. Names
+// come from the coalesce registry; "exact" is the service's anytime
+// branch-and-bound member.
+func (s *Server) coalesceRacers(f *graph.File, names []string) ([]racer[*coalesce.Result], error) {
+	members := make([]racer[*coalesce.Result], 0, len(names))
+	for _, name := range names {
+		if name == "exact" {
+			members = append(members, s.exactRacer(f))
+			continue
+		}
+		st, ok := coalesce.LookupStrategy(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown strategy %q (have %v and \"exact\")", name, coalesce.StrategyNames())
+		}
+		members = append(members, racer[*coalesce.Result]{
+			name: st.Name,
+			run: func(ctx context.Context) (*coalesce.Result, error) {
+				return st.Run(ctx, f.G, f.K)
+			},
+		})
+	}
+	return members, nil
+}
+
+// exactRacer wraps the exact solver as an anytime member: outside its
+// feasibility envelope it declines; canceled mid-search it reports the
+// best coalescing found so far instead of an error.
+func (s *Server) exactRacer(f *graph.File) racer[*coalesce.Result] {
+	return racer[*coalesce.Result]{
+		name: "exact",
+		run: func(ctx context.Context) (*coalesce.Result, error) {
+			if f.G.NumAffinities() > s.cfg.ExactMaxMoves || f.G.N() > s.cfg.ExactMaxVertices {
+				return nil, fmt.Errorf("%w: instance outside exact envelope (moves %d > %d or vertices %d > %d)",
+					coalesce.ErrInapplicable, f.G.NumAffinities(), s.cfg.ExactMaxMoves, f.G.N(), s.cfg.ExactMaxVertices)
+			}
+			res, _ := exact.OptimalCoalescingCtx(ctx, f.G, f.K, exact.TargetGreedy, exact.MinimizeWeight)
+			if res.P == nil {
+				return nil, fmt.Errorf("%w: exact search produced no partition", coalesce.ErrInapplicable)
+			}
+			return coalesce.ResultFromPartition(f.G, res.P, f.K), nil
+		},
+	}
+}
+
+// cmpCoalesce prefers answers that keep the graph colorable, then the
+// most coalesced weight, then the fewest residual moves.
+func cmpCoalesce(a, b *coalesce.Result) int {
+	if a.Colorable != b.Colorable {
+		if a.Colorable {
+			return 1
+		}
+		return -1
+	}
+	switch {
+	case a.CoalescedWeight != b.CoalescedWeight:
+		if a.CoalescedWeight > b.CoalescedWeight {
+			return 1
+		}
+		return -1
+	case len(a.Remaining) != len(b.Remaining):
+		if len(a.Remaining) < len(b.Remaining) {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// allocNames lists the allocator portfolio member names.
+func allocNames() []string { return []string{"irc", "briggs+george", "optimistic", "none"} }
+
+// allocateRacers builds the allocator portfolio: the IRC allocator plus
+// Chaitin-style allocations over selected coalescing modes. All members
+// are polynomial; the race exists so a slow member never delays a fast
+// winning answer past the deadline.
+func allocateRacers(f *graph.File, names []string) ([]racer[*regalloc.Result], error) {
+	build := func(name string) (racer[*regalloc.Result], error) {
+		var run func() (*regalloc.Result, error)
+		switch name {
+		case "irc":
+			run = func() (*regalloc.Result, error) { return regalloc.AllocateIRC(f.G, f.K) }
+		case "briggs+george":
+			run = func() (*regalloc.Result, error) { return regalloc.Allocate(f.G, f.K, regalloc.ModeConservative) }
+		case "optimistic":
+			run = func() (*regalloc.Result, error) { return regalloc.Allocate(f.G, f.K, regalloc.ModeOptimistic) }
+		case "none":
+			run = func() (*regalloc.Result, error) { return regalloc.Allocate(f.G, f.K, regalloc.ModeNone) }
+		default:
+			return racer[*regalloc.Result]{}, fmt.Errorf("unknown allocator %q (have %v)", name, allocNames())
+		}
+		return racer[*regalloc.Result]{
+			name: name,
+			run:  func(context.Context) (*regalloc.Result, error) { return run() },
+		}, nil
+	}
+	if len(names) == 0 {
+		names = allocNames()
+	}
+	members := make([]racer[*regalloc.Result], 0, len(names))
+	for _, n := range names {
+		m, err := build(n)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	return members, nil
+}
+
+// cmpAllocate prefers the fewest spills, then the most coalesced weight.
+func cmpAllocate(a, b *regalloc.Result) int {
+	switch {
+	case len(a.Spilled) != len(b.Spilled):
+		if len(a.Spilled) < len(b.Spilled) {
+			return 1
+		}
+		return -1
+	case a.CoalescedWeight != b.CoalescedWeight:
+		if a.CoalescedWeight > b.CoalescedWeight {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// normalizeStrategies validates and canonicalizes a request's strategy
+// list for the cache key: sorted, deduplicated.
+func normalizeStrategies(names []string) []string {
+	seen := make(map[string]bool, len(names))
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"sort"
+
+	"regcoal/internal/coalesce"
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+	"regcoal/internal/regalloc"
+)
+
+// Entries live in canonical vertex numbering (internal/graph CanonicalForm)
+// so one cached solution answers every request whose instance has the same
+// canonical hash. Building an entry translates a request-space solution
+// into canonical space; rendering translates it back through the
+// requesting instance's own permutation. Every response — computed or
+// cached — is rendered through the same path, which is what makes repeated
+// requests byte-identical.
+
+// coalesceEntry converts a strategy result into a canonical-space entry.
+func coalesceEntry(f *graph.File, perm []graph.V, res *coalesce.Result, winner string, deadlineHit bool) *entry {
+	e := &entry{
+		strategy:        winner,
+		coalescedMoves:  len(res.Coalesced),
+		coalescedWeight: res.CoalescedWeight,
+		remainingWeight: res.RemainingWeight,
+		colorable:       res.Colorable,
+		deadlineHit:     deadlineHit,
+		classes:         canonClasses(res.P, perm),
+	}
+	if res.Colorable {
+		if q, old2new, err := graph.Quotient(f.G, res.P); err == nil {
+			if qcol, ok := greedy.Color(q, f.K); ok {
+				lifted := qcol.Lift(old2new)
+				e.coloring = make([]int, len(lifted))
+				for v, c := range lifted {
+					e.coloring[perm[v]] = c
+				}
+			}
+		}
+	}
+	return e
+}
+
+// allocateEntry converts an allocator result into a canonical-space entry.
+func allocateEntry(perm []graph.V, res *regalloc.Result, winner string, deadlineHit bool) *entry {
+	e := &entry{
+		strategy:        winner,
+		coalescedWeight: res.CoalescedWeight,
+		remainingWeight: res.RemainingWeight,
+		spills:          len(res.Spilled),
+		deadlineHit:     deadlineHit,
+		coloring:        make([]int, len(res.Coloring)),
+	}
+	for v, c := range res.Coloring {
+		e.coloring[perm[v]] = c
+	}
+	for _, v := range res.Spilled {
+		e.spilled = append(e.spilled, int(perm[v]))
+	}
+	sort.Ints(e.spilled)
+	return e
+}
+
+// canonClasses maps partition classes into canonical ids, each class
+// sorted, classes ordered by smallest member.
+func canonClasses(p *graph.Partition, perm []graph.V) [][]int {
+	classes := p.Classes()
+	out := make([][]int, 0, len(classes))
+	for _, cls := range classes {
+		c := make([]int, len(cls))
+		for i, v := range cls {
+			c[i] = int(perm[v])
+		}
+		sort.Ints(c)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// renderCoalesce maps a canonical-space entry back into the requesting
+// instance's numbering.
+func renderCoalesce(f *graph.File, hash string, perm []graph.V, e *entry) *CoalesceResult {
+	inv := make([]int, len(perm))
+	for v, p := range perm {
+		inv[p] = v
+	}
+	classes := make([][]int, 0, len(e.classes))
+	for _, cls := range e.classes {
+		c := make([]int, len(cls))
+		for i, cid := range cls {
+			c[i] = inv[cid]
+		}
+		sort.Ints(c)
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i][0] < classes[j][0] })
+	res := &CoalesceResult{
+		Hash:            hash,
+		Vertices:        f.G.N(),
+		Edges:           f.G.E(),
+		Moves:           f.G.NumAffinities(),
+		K:               f.K,
+		Strategy:        e.strategy,
+		CoalescedMoves:  e.coalescedMoves,
+		CoalescedWeight: e.coalescedWeight,
+		RemainingWeight: e.remainingWeight,
+		Colorable:       e.colorable,
+		DeadlineHit:     e.deadlineHit,
+		Classes:         classes,
+	}
+	if e.coloring != nil {
+		res.Coloring = make([]int, f.G.N())
+		for v := range res.Coloring {
+			res.Coloring[v] = e.coloring[perm[v]]
+		}
+	}
+	return res
+}
+
+// renderAllocate is renderCoalesce for the allocator endpoint.
+func renderAllocate(f *graph.File, hash string, perm []graph.V, e *entry) *AllocateResult {
+	inv := make([]int, len(perm))
+	for v, p := range perm {
+		inv[p] = v
+	}
+	res := &AllocateResult{
+		Hash:            hash,
+		Vertices:        f.G.N(),
+		Edges:           f.G.E(),
+		Moves:           f.G.NumAffinities(),
+		K:               f.K,
+		Strategy:        e.strategy,
+		Spills:          e.spills,
+		CoalescedWeight: e.coalescedWeight,
+		RemainingWeight: e.remainingWeight,
+		DeadlineHit:     e.deadlineHit,
+	}
+	res.Coloring = make([]int, f.G.N())
+	for v := range res.Coloring {
+		res.Coloring[v] = e.coloring[perm[v]]
+	}
+	for _, cid := range e.spilled {
+		res.Spilled = append(res.Spilled, inv[cid])
+	}
+	sort.Ints(res.Spilled)
+	return res
+}

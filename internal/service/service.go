@@ -1,0 +1,443 @@
+// Package service is the online request-serving layer over the coalescing
+// substrate: an HTTP/JSON API that accepts interference graphs (native
+// JSON, the textual challenge format, or DIMACS), dispatches them onto a
+// shared worker pool (internal/engine), races a strategy portfolio under a
+// per-request deadline (portfolio.go), and memoizes answers in a sharded
+// LRU keyed by canonical graph hash (internal/graph CanonicalForm) so that
+// repeated instances — even renumbered ones the refinement can identify —
+// are answered from memory with byte-identical bodies.
+//
+// Endpoints:
+//
+//	POST /v1/coalesce  race the coalescing portfolio; best answer wins
+//	POST /v1/allocate  race the allocators (IRC + Chaitin modes)
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus exposition
+//	GET  /stats        JSON counter snapshot
+//
+// Overload surfaces as backpressure: when the bounded submission queue is
+// full, requests are rejected with 429 instead of queueing without bound.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"regcoal/internal/engine"
+	"regcoal/internal/graph"
+)
+
+// Config parameterizes a Server. Zero values take defaults.
+type Config struct {
+	// Workers is the pool size (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds jobs waiting for a worker; a full queue rejects
+	// with 429 (default 4 × Workers).
+	QueueCap int
+	// CacheCapacity is the result cache size in entries (default 4096;
+	// negative disables caching).
+	CacheCapacity int
+	// CacheShards spreads cache locking (default 16).
+	CacheShards int
+	// DefaultDeadline applies when a request does not set deadline_ms;
+	// MaxDeadline clamps what a request may ask for (defaults 2s / 30s).
+	DefaultDeadline, MaxDeadline time.Duration
+	// Portfolio is the default coalescing strategy portfolio (default
+	// DefaultPortfolio()).
+	Portfolio []string
+	// ExactMaxMoves/ExactMaxVertices bound the instances the anytime
+	// exact member admits (defaults 14 / 48, as in the batch engine).
+	ExactMaxMoves, ExactMaxVertices int
+	// MaxVertices rejects oversized request graphs with 400 (default
+	// 200000).
+	MaxVertices int
+	// MaxBodyBytes bounds a request body (default 64 MiB).
+	MaxBodyBytes int64
+	// MaxBatch bounds the graphs one batch request may carry (default
+	// 256).
+	MaxBatch int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.Workers
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if len(c.Portfolio) == 0 {
+		c.Portfolio = DefaultPortfolio()
+	}
+	if c.ExactMaxMoves <= 0 {
+		c.ExactMaxMoves = 14
+	}
+	if c.ExactMaxVertices <= 0 {
+		c.ExactMaxVertices = 48
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 200000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+}
+
+// Server is the online coalescing service.
+type Server struct {
+	cfg     Config
+	pool    *engine.Pool
+	cache   *Cache
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+}
+
+// New builds a Server and its worker pool. Call Close to drain.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if _, err := (&Server{cfg: cfg}).coalesceRacers(&graph.File{G: graph.New(1), K: 1}, cfg.Portfolio); err != nil {
+		return nil, fmt.Errorf("service: bad portfolio: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		pool:      engine.NewPool(cfg.Workers, cfg.QueueCap),
+		cache:     NewCache(cfg.CacheCapacity, cfg.CacheShards),
+		metrics:   newMetrics(),
+		mux:       http.NewServeMux(),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	s.mux.HandleFunc("/v1/coalesce", s.handleSolve(kindCoalesce))
+	s.mux.HandleFunc("/v1/allocate", s.handleSolve(kindAllocate))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close cancels in-flight computations and drains the worker pool. Call
+// after the HTTP listener has stopped accepting requests.
+func (s *Server) Close() {
+	s.cancelAll()
+	s.pool.Close()
+}
+
+type solveKind int
+
+const (
+	kindCoalesce solveKind = iota
+	kindAllocate
+)
+
+func (k solveKind) String() string {
+	if k == kindAllocate {
+		return "allocate"
+	}
+	return "coalesce"
+}
+
+// httpError carries a status code through the solve path.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handleSolve(kind solveKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			s.writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"})
+			return
+		}
+		if kind == kindCoalesce {
+			s.metrics.CoalesceRequests.Add(1)
+		} else {
+			s.metrics.AllocateRequests.Add(1)
+		}
+		s.metrics.InFlight.Add(1)
+		defer s.metrics.InFlight.Add(-1)
+
+		var req Request
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.writeError(w, badRequest("decoding request: %v", err))
+			return
+		}
+
+		if len(req.Batch) > 0 {
+			s.solveBatch(w, kind, &req)
+			return
+		}
+		out, cached, err := s.solveOne(kind, &req)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		disposition := "miss"
+		if cached {
+			disposition = "hit"
+		}
+		w.Header().Set("X-Regcoal-Cache", disposition)
+		s.writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// solveBatch fans the batch's graphs out onto the pool and collects all
+// results in order. Per-element failures (including 429 saturation) are
+// reported in place; the batch itself answers 200.
+func (s *Server) solveBatch(w http.ResponseWriter, kind solveKind, req *Request) {
+	if req.Graph != nil {
+		s.writeError(w, badRequest("use either graph or batch, not both"))
+		return
+	}
+	if len(req.Batch) > s.cfg.MaxBatch {
+		s.writeError(w, badRequest("batch carries %d graphs, limit %d", len(req.Batch), s.cfg.MaxBatch))
+		return
+	}
+	s.metrics.BatchGraphs.Add(int64(len(req.Batch)))
+	resp := BatchResponse{Results: make([]BatchEntry, len(req.Batch))}
+	// Fan out with bounded concurrency: canonicalization and parsing run
+	// on these goroutines before the pool's own bound applies, so a batch
+	// must not spawn one goroutine per element.
+	fanout := s.cfg.Workers * 2
+	if fanout > len(req.Batch) {
+		fanout = len(req.Batch)
+	}
+	idxCh := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < fanout; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range idxCh {
+				sub := req.Batch[i]
+				if len(sub.Batch) > 0 {
+					resp.Results[i].Error = "batch elements must not nest batches"
+					continue
+				}
+				out, _, err := s.solveOne(kind, &sub)
+				if err != nil {
+					resp.Results[i].Error = err.Error()
+					continue
+				}
+				switch v := out.(type) {
+				case *CoalesceResult:
+					resp.Results[i].Coalesce = v
+				case *AllocateResult:
+					resp.Results[i].Allocate = v
+				}
+			}
+		}()
+	}
+	for i := range req.Batch {
+		idxCh <- i
+	}
+	close(idxCh)
+	for w := 0; w < fanout; w++ {
+		<-done
+	}
+	s.writeJSON(w, http.StatusOK, &resp)
+}
+
+// solveOne answers a single-graph request: parse, canonicalize, consult
+// the cache, or compute on the pool under the request deadline.
+func (s *Server) solveOne(kind solveKind, req *Request) (out any, cached bool, err error) {
+	if req.Graph == nil {
+		return nil, false, s.countBad(badRequest("missing graph"))
+	}
+	f, ferr := req.Graph.ToFile()
+	if ferr != nil {
+		return nil, false, s.countBad(badRequest("%v", ferr))
+	}
+	k := f.K
+	if req.K > 0 {
+		k = req.K
+	}
+	if k <= 0 {
+		return nil, false, s.countBad(badRequest("no register count: set k in the request or the graph payload"))
+	}
+	if f.G.N() > s.cfg.MaxVertices {
+		return nil, false, s.countBad(badRequest("graph has %d vertices, limit %d", f.G.N(), s.cfg.MaxVertices))
+	}
+	inst := &graph.File{G: f.G, K: k}
+
+	strategies := req.Strategies
+	if len(strategies) == 0 && kind == kindCoalesce {
+		strategies = s.cfg.Portfolio
+	}
+	strategies = normalizeStrategies(strategies)
+	// Validate up front so bad names are 400s, not queued work.
+	if kind == kindCoalesce {
+		if _, err := s.coalesceRacers(inst, strategies); err != nil {
+			return nil, false, s.countBad(badRequest("%v", err))
+		}
+	} else {
+		if _, err := allocateRacers(inst, strategies); err != nil {
+			return nil, false, s.countBad(badRequest("%v", err))
+		}
+	}
+
+	canon := graph.CanonicalForm(inst)
+	key := kind.String() + "|" + strings.Join(strategies, ",") + "|" + canon.Hash
+	if !req.NoCache {
+		if e, ok := s.cache.Get(key); ok {
+			s.metrics.CacheHits.Add(1)
+			return s.render(kind, inst, canon, e), true, nil
+		}
+		// Misses count only consulted lookups: no_cache requests never
+		// touch the cache and must not skew the hit rate.
+		s.metrics.CacheMisses.Add(1)
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+
+	type computed struct {
+		e   *entry
+		err error
+	}
+	ch := make(chan computed, 1)
+	job := func() {
+		e, jerr := s.compute(kind, inst, canon, strategies, deadline)
+		ch <- computed{e: e, err: jerr}
+	}
+	if serr := s.pool.TrySubmit(job); serr != nil {
+		if errors.Is(serr, engine.ErrSaturated) {
+			s.metrics.Rejected.Add(1)
+			return nil, false, &httpError{status: http.StatusTooManyRequests, msg: "server saturated, retry later"}
+		}
+		s.metrics.Errors.Add(1)
+		return nil, false, &httpError{status: http.StatusServiceUnavailable, msg: "server shutting down"}
+	}
+	res := <-ch
+	if res.err != nil {
+		s.metrics.Errors.Add(1)
+		return nil, false, &httpError{status: http.StatusInternalServerError, msg: res.err.Error()}
+	}
+	if res.e.deadlineHit {
+		s.metrics.DeadlineHits.Add(1)
+	}
+	s.metrics.StrategyWon(res.e.strategy)
+	if !req.NoCache {
+		s.cache.Put(key, res.e)
+	}
+	return s.render(kind, inst, canon, res.e), false, nil
+}
+
+// compute runs the portfolio race for the instance under the deadline and
+// packages the winner as a canonical-space cache entry. The race context
+// descends from the server context, not the client connection, so a
+// disconnecting client cannot poison the cache with a truncated answer.
+func (s *Server) compute(kind solveKind, inst *graph.File, canon *graph.Canonical, strategies []string, deadline time.Duration) (*entry, error) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
+	defer cancel()
+	if kind == kindAllocate {
+		members, err := allocateRacers(inst, strategies)
+		if err != nil {
+			return nil, err
+		}
+		best, winner, _, hit, err := race(ctx, members, cmpAllocate)
+		if err != nil {
+			return nil, err
+		}
+		return allocateEntry(canon.Perm, best, winner, hit), nil
+	}
+	members, err := s.coalesceRacers(inst, strategies)
+	if err != nil {
+		return nil, err
+	}
+	best, winner, _, hit, err := race(ctx, members, cmpCoalesce)
+	if err != nil {
+		return nil, err
+	}
+	return coalesceEntry(inst, canon.Perm, best, winner, hit), nil
+}
+
+func (s *Server) render(kind solveKind, inst *graph.File, canon *graph.Canonical, e *entry) any {
+	if kind == kindAllocate {
+		return renderAllocate(inst, canon.Hash, canon.Perm, e)
+	}
+	return renderCoalesce(inst, canon.Hash, canon.Perm, e)
+}
+
+func (s *Server) countBad(e *httpError) *httpError {
+	s.metrics.BadRequests.Add(1)
+	return e
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w, s.cache.Len(), s.pool.QueueDepth())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Len(), s.pool.QueueDepth()))
+}
+
+// writeJSON marshals once and writes the exact bytes: the body of a
+// repeated request must be byte-identical, so nothing non-deterministic
+// may enter here.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.metrics.Errors.Add(1)
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	he := &httpError{}
+	if !errors.As(err, &he) {
+		he = &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+	s.writeJSON(w, he.status, ErrorResponse{Error: he.msg})
+}

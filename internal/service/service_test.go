@@ -1,0 +1,310 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// The canonical coalescable instance: path a-b-c, move (a,c), k=2.
+const pathInstance = `{"graph":{"text":"k 2\nnode a\nnode b\nnode c\nedge a b\nedge b c\nmove a c 5\n"}}`
+
+func TestCoalesceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/coalesce", pathInstance)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out CoalesceResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.CoalescedWeight != 5 || !out.Colorable {
+		t.Fatalf("got %+v, want the move coalesced", out)
+	}
+	if len(out.Classes) != 2 {
+		t.Fatalf("classes %v, want a and c merged", out.Classes)
+	}
+	if out.Coloring == nil {
+		t.Fatal("colorable result carries no coloring")
+	}
+	if out.Coloring[0] != out.Coloring[2] || out.Coloring[0] == out.Coloring[1] {
+		t.Fatalf("coloring %v does not realize the coalescing", out.Coloring)
+	}
+}
+
+func TestAllocateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/allocate", pathInstance)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out AllocateResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Spills != 0 || len(out.Coloring) != 3 {
+		t.Fatalf("got %+v", out)
+	}
+	if out.Coloring[0] == out.Coloring[1] || out.Coloring[1] == out.Coloring[2] {
+		t.Fatalf("improper coloring %v", out.Coloring)
+	}
+}
+
+func TestRepeatedRequestIsCachedByteIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp1, body1 := post(t, ts.URL+"/v1/coalesce", pathInstance)
+	if got := resp1.Header.Get("X-Regcoal-Cache"); got != "miss" {
+		t.Fatalf("first request cache header %q, want miss", got)
+	}
+	hitsBefore := s.Metrics().CacheHits.Load()
+	resp2, body2 := post(t, ts.URL+"/v1/coalesce", pathInstance)
+	if got := resp2.Header.Get("X-Regcoal-Cache"); got != "hit" {
+		t.Fatalf("repeat cache header %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("repeat body differs:\n%s\n%s", body1, body2)
+	}
+	if s.Metrics().CacheHits.Load() != hitsBefore+1 {
+		t.Fatal("cache hit counter did not increment")
+	}
+}
+
+func TestIsomorphicRelabelingHitsCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// The same path instance with vertices declared in a different order
+	// and different names: an isomorphic relabeling the refinement can
+	// identify (the middle vertex has degree 2, the ends degree 1... and
+	// the ends are distinguished by the move endpoints' weights equally,
+	// but tie-broken consistently because they are automorphic).
+	relabeled := `{"graph":{"text":"k 2\nnode mid\nnode left\nnode right\nedge left mid\nedge mid right\nmove left right 5\n"}}`
+	post(t, ts.URL+"/v1/coalesce", pathInstance)
+	resp, body := post(t, ts.URL+"/v1/coalesce", relabeled)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Regcoal-Cache"); got != "hit" {
+		t.Fatalf("relabeled instance cache header %q, want hit", got)
+	}
+	var out CoalesceResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	// In the relabeled numbering, vertices 1 (left) and 2 (right) merge.
+	if out.CoalescedWeight != 5 {
+		t.Fatalf("relabeled answer %+v", out)
+	}
+	found := false
+	for _, cls := range out.Classes {
+		if len(cls) == 2 && cls[0] == 1 && cls[1] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("classes %v, want {1,2} merged in the relabeled numbering", out.Classes)
+	}
+	if s.Metrics().CacheHits.Load() == 0 {
+		t.Fatal("no cache hit recorded")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := map[string]string{
+		"missing graph":    `{}`,
+		"no k":             `{"graph":{"text":"node a\nnode b\nedge a b\n"}}`,
+		"unknown strategy": `{"graph":{"text":"k 2\nnode a\n"},"strategies":["nope"]}`,
+		"bad payload":      `{"graph":{"text":"wat 1 2\n"}}`,
+		"two encodings":    `{"graph":{"text":"k 2\nnode a\n","dimacs":"p edge 1 0\n"}}`,
+		"graph and batch":  `{"graph":{"text":"k 2\nnode a\n"},"batch":[{}]}`,
+		"nested batch":     `{"batch":[{"batch":[{}]}]}`,
+		"unknown field":    `{"graf":{}}`,
+	}
+	for name, body := range cases {
+		resp, out := post(t, ts.URL+"/v1/coalesce", body)
+		want := http.StatusBadRequest
+		if name == "nested batch" {
+			want = http.StatusOK // reported per element
+		}
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d (%s), want %d", name, resp.StatusCode, out, want)
+		}
+		if name == "nested batch" && !bytes.Contains(out, []byte("must not nest")) {
+			t.Errorf("nested batch: %s", out)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/coalesce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on solve endpoint: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"batch":[%s,{"graph":{"text":"k 1\nnode a\n"}},{"graph":{"text":"edge a a\n"}}]}`,
+		pathInstance)
+	resp, out := post(t, ts.URL+"/v1/coalesce", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal(out, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(batch.Results))
+	}
+	if batch.Results[0].Coalesce == nil || batch.Results[0].Coalesce.CoalescedWeight != 5 {
+		t.Errorf("result 0: %+v", batch.Results[0])
+	}
+	if batch.Results[1].Coalesce == nil {
+		t.Errorf("result 1: %+v", batch.Results[1])
+	}
+	if batch.Results[2].Error == "" {
+		t.Errorf("result 2 should carry the self-loop error, got %+v", batch.Results[2])
+	}
+}
+
+func TestBatchSizeLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 2})
+	body := fmt.Sprintf(`{"batch":[%s,%s,%s]}`, pathInstance, pathInstance, pathInstance)
+	resp, out := post(t, ts.URL+"/v1/coalesce", body)
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(out, []byte("limit 2")) {
+		t.Fatalf("oversized batch: %d %s", resp.StatusCode, out)
+	}
+}
+
+func TestMixedEncodingsRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"graph":{"dimacs":"p edge 2 1\nc regcoal k 2\ne 1 2\n","precolored":[{"v":0,"color":1}]}}`
+	resp, out := post(t, ts.URL+"/v1/coalesce", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("native pins beside a dimacs payload accepted: %d %s", resp.StatusCode, out)
+	}
+}
+
+func TestSaturationBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	// Occupy the single worker and the single queue slot with blocking
+	// tasks, submitted straight to the pool.
+	block := make(chan struct{})
+	defer close(block)
+	for i := 0; i < 2; i++ {
+		if err := s.pool.Submit(context.Background(), func() { <-block }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until one task is running and one is queued, so TrySubmit in
+	// the handler reliably sees a full queue.
+	deadline := time.Now().Add(time.Second)
+	for s.pool.QueueDepth() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, body := post(t, ts.URL+"/v1/coalesce", pathInstance)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if s.Metrics().Rejected.Load() != 1 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+func TestObservabilityEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/coalesce", pathInstance)
+	post(t, ts.URL+"/v1/coalesce", pathInstance)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.CoalesceRequests != 2 || stats.CacheHits != 1 || stats.CacheMisses != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.CacheEntries != 1 {
+		t.Fatalf("cache entries %d, want 1", stats.CacheEntries)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`regcoal_requests_total{endpoint="coalesce"} 2`,
+		"regcoal_cache_hits_total 1",
+		"regcoal_strategy_wins_total",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestGracefulCloseRejectsNewWork(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+	resp, body := post(t, ts.URL+"/v1/coalesce", `{"graph":{"text":"k 2\nnode a\nnode b\nedge a b\nmove a b 1\n"},"no_cache":true}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503 after Close", resp.StatusCode, body)
+	}
+}
