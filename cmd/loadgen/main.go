@@ -1,12 +1,14 @@
 // Command loadgen replays corpus families as concurrent traffic against a
 // running coalescing service (cmd/serve) and reports throughput, latency
 // percentiles, and validity: every response body is decoded and checked
-// against the instance it answers.
+// against the instance it answers. All logic lives in
+// internal/service/loadgen; this command only parses flags.
 //
 // Usage:
 //
 //	loadgen -addr http://localhost:8080 -families chordal,interval \
 //	        -concurrency 64 -n 1024 -deadline-ms 100
+//	loadgen -endpoint spill -families ssa-pressure,interval-pressure
 //
 // With -n larger than the instance count, instances repeat round-robin,
 // which exercises the server's canonical-graph cache; the report counts
@@ -15,21 +17,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"strings"
 
-	"regcoal/internal/corpus"
 	"regcoal/internal/service/loadgen"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", "http://localhost:8080", "service base URL")
-		endpoint    = flag.String("endpoint", "coalesce", "endpoint: coalesce or allocate")
+		endpoint    = flag.String("endpoint", "coalesce", "endpoint: coalesce, allocate, or spill")
 		families    = flag.String("families", "all", "comma-separated corpus families, or 'all'")
 		quick       = flag.Bool("quick", false, "small per-family instance counts")
 		seed        = flag.Int64("seed", 20060408, "base corpus seed")
@@ -43,19 +43,11 @@ func main() {
 	)
 	flag.Parse()
 
-	fams, err := corpus.Select(*families)
-	if err != nil {
-		fatal(err)
-	}
-	insts, err := corpus.BuildAll(fams, corpus.Params{Seed: *seed, Quick: *quick})
-	if err != nil {
-		fatal(err)
-	}
 	jobOpts := loadgen.JobOptions{Format: *format, DeadlineMS: *deadlineMS, NoCache: *noCache}
 	if *strategies != "" {
 		jobOpts.Strategies = strings.Split(*strategies, ",")
 	}
-	jobs, err := loadgen.JobsFromInstances(insts, jobOpts)
+	jobs, err := loadgen.BuildJobs(*families, *seed, *quick, jobOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -74,10 +66,8 @@ func main() {
 	fmt.Print(rep.String())
 
 	if *stats {
-		resp, err := http.Get(strings.TrimSuffix(*addr, "/") + "/stats")
-		if err == nil {
-			defer resp.Body.Close()
-			body, _ := io.ReadAll(resp.Body)
+		if snapshot, err := loadgen.FetchStats(context.Background(), nil, *addr); err == nil {
+			body, _ := json.Marshal(snapshot)
 			fmt.Printf("server stats: %s\n", body)
 		}
 	}

@@ -1,15 +1,17 @@
 package corpus
 
 import (
+	"math/rand"
 	"testing"
 
 	"regcoal/internal/coalesce"
 	"regcoal/internal/graph"
 	"regcoal/internal/greedy"
+	"regcoal/internal/spill"
 )
 
 func TestFamiliesRegistered(t *testing.T) {
-	want := []string{"chordal", "er-dense", "er-sparse", "interval", "permutation", "ssa", "ssa-reduced", "tiny"}
+	want := []string{"chordal", "er-dense", "er-sparse", "interval", "interval-pressure", "permutation", "ssa", "ssa-pressure", "ssa-reduced", "tiny"}
 	got := FamilyNames()
 	if len(got) != len(want) {
 		t.Fatalf("families = %v, want %v", got, want)
@@ -155,5 +157,57 @@ func TestPersistRoundTrip(t *testing.T) {
 	}
 	if m2.Family != "interval" {
 		t.Fatalf("manifest family %q", m2.Family)
+	}
+}
+
+// The high-pressure families must actually be infeasible before spilling:
+// pressure above k is their reason to exist.
+func TestPressureFamiliesExceedK(t *testing.T) {
+	p := Params{Seed: 20060408, Quick: true}
+	for _, name := range []string{"ssa-pressure", "interval-pressure"} {
+		f, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing family %s", name)
+		}
+		insts, err := f.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range insts {
+			if greedy.IsGreedyKColorable(inst.File.G, inst.File.K) {
+				t.Fatalf("%s is greedy-%d-colorable; pressure families must exceed k",
+					inst.Name, inst.File.K)
+			}
+		}
+	}
+}
+
+// Acceptance criterion: on the interval-pressure family — the polynomial
+// basic-block case of the spill-everywhere report — the greedy
+// (furthest-first) and exact spillers agree on the optimal spill count.
+// The family's ranges are regenerated from the same shard rng that built
+// each instance.
+func TestIntervalPressureGreedyMatchesExact(t *testing.T) {
+	f, _ := Lookup("interval-pressure")
+	p := Params{Seed: 20060408, Quick: true}
+	for i := 0; i < f.Size(true); i++ {
+		rng := rand.New(rand.NewSource(shardSeed(f.Name, f.Version, p.Seed, i)))
+		ranges, k := intervalPressureProgram(rng)
+		beladySpills := spill.GreedyIntervals(ranges, k)
+		exactSpills, err := spill.ExactIntervals(ranges, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(beladySpills) != len(exactSpills) {
+			t.Fatalf("instance %d (k=%d): belady spills %d, exact %d", i, k, len(beladySpills), len(exactSpills))
+		}
+		// And the instance really was built from these ranges.
+		inst, err := f.Generate(p, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.File.K != k || inst.File.G.N() != len(ranges) {
+			t.Fatalf("instance %d does not match its regenerated ranges", i)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"regcoal/internal/graph"
 	"regcoal/internal/greedy"
 	"regcoal/internal/ir"
+	"regcoal/internal/spill"
 	"regcoal/internal/ssa"
 )
 
@@ -73,6 +74,27 @@ func init() {
 		},
 	})
 	register(&Family{
+		Name:        "ssa-pressure",
+		Description: "MAXLIVE-boosted SSA programs whose pressure exceeds k: infeasible until spilled",
+		Version:     1,
+		Count:       16,
+		QuickCount:  3,
+		gen:         genSSAPressure,
+	})
+	register(&Family{
+		Name:        "interval-pressure",
+		Description: "interval programs with pressure above k: the polynomial spill-everywhere case",
+		Version:     1,
+		Count:       16,
+		QuickCount:  3,
+		gen: func(rng *rand.Rand, index int) (*graph.File, error) {
+			ranges, k := intervalPressureProgram(rng)
+			g := spill.IntervalGraph(ranges)
+			graph.SprinkleAffinities(rng, g, len(ranges)/2, 6)
+			return &graph.File{G: g, K: k}, nil
+		},
+	})
+	register(&Family{
 		Name:        "tiny",
 		Description: "small random instances inside the exact solver's envelope, for ground-truth comparisons",
 		Version:     1,
@@ -131,6 +153,57 @@ func genSSA(reduce bool) func(rng *rand.Rand, index int) (*graph.File, error) {
 			return &graph.File{G: g, K: k}, nil
 		}
 		return nil, fmt.Errorf("pressure reduction to %d failed after 100 attempts", k)
+	}
+}
+
+// genSSAPressure derives a high-pressure instance: a variable-rich random
+// program pushed through the SSA pipeline whose interference graph is NOT
+// greedy-k-colorable at the family's k — the MAXLIVE > k regime that is
+// infeasible for every pure coalescing strategy and exists to exercise
+// the spill subsystem (internal/spill). The generator retries from the
+// shard's own rng until pressure genuinely exceeds k, so the instance
+// stays deterministic per shard.
+func genSSAPressure(rng *rand.Rand, index int) (*graph.File, error) {
+	const k = 4
+	for attempt := 0; attempt < 100; attempt++ {
+		params := ir.DefaultRandomParams()
+		params.Vars = 12 + rng.Intn(7)
+		params.Blocks = 5 + rng.Intn(5)
+		fn := ir.Random(rng, params)
+		_, low, err := ssa.Pipeline(fn)
+		if err != nil {
+			return nil, err
+		}
+		g, _ := ssa.BuildInterference(low)
+		if greedy.IsGreedyKColorable(g, k) {
+			continue // not enough pressure; redraw
+		}
+		return &graph.File{G: g, K: k}, nil
+	}
+	return nil, fmt.Errorf("no instance with pressure above %d after 100 attempts", k)
+}
+
+// intervalPressureProgram draws an interval program whose maximum
+// pressure strictly exceeds the returned k. Exported to the package's
+// tests through this helper so the exact-vs-greedy spill-count agreement
+// can be checked against the very ranges each corpus instance was built
+// from.
+func intervalPressureProgram(rng *rand.Rand) ([]spill.Range, int) {
+	for {
+		n := 14 + rng.Intn(10)
+		span := 2 * n
+		ranges := make([]spill.Range, n)
+		for i := range ranges {
+			s := rng.Intn(span - 1)
+			e := s + 1 + rng.Intn(span-s-1)
+			ranges[i] = spill.Range{ID: i, Start: s, End: e, Cost: 1}
+		}
+		pressure := spill.MaxPressure(ranges)
+		if pressure < 4 {
+			continue // too flat to be interesting; redraw
+		}
+		k := 2 + rng.Intn(pressure-3) // 2 <= k <= pressure-2
+		return ranges, k
 	}
 }
 

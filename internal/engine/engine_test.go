@@ -41,8 +41,14 @@ func TestMatrixMatchesFacade(t *testing.T) {
 		}
 	}
 	full := MatrixNames(StandardMatrix())
-	if full[len(full)-2] != "irc" || full[len(full)-1] != "exact" {
-		t.Fatalf("standard matrix tail = %v, want [... irc exact]", full)
+	wantTail := []string{"irc", "exact", "spill-greedy", "spill-inc", "spill-exact", "spill+briggs+george", "spill+optimistic"}
+	if len(full) != len(names)+len(wantTail) {
+		t.Fatalf("standard matrix = %v, want strategies + %v", full, wantTail)
+	}
+	for i, w := range wantTail {
+		if full[len(names)+i] != w {
+			t.Fatalf("standard matrix tail = %v, want %v", full[len(names):], wantTail)
+		}
 	}
 }
 
@@ -236,5 +242,44 @@ func TestOuterCancellation(t *testing.T) {
 	}
 	if len(recs) == len(insts)*len(StandardMatrix()) {
 		t.Fatal("canceled run completed everything")
+	}
+}
+
+// The spill columns over the high-pressure families: greedy and
+// incremental must agree record for record (confluence), exact must
+// never spill more than greedy inside its envelope, and the
+// spill-then-coalesce pipeline must report zero unfeasibility (every
+// record GreedyAfter) where the pure coalescing strategies cannot.
+func TestSpillMatrixOnPressureFamilies(t *testing.T) {
+	insts := quickCorpus(t, "ssa-pressure,interval-pressure")
+	runners := append(SpillRunners(), SpillAllocRunners()...)
+	recs, err := Run(context.Background(), Config{Parallel: 4}, insts, runners, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStrategy := map[string]map[string]Record{}
+	for _, r := range recs {
+		if byStrategy[r.Strategy] == nil {
+			byStrategy[r.Strategy] = map[string]Record{}
+		}
+		byStrategy[r.Strategy][r.Instance] = r
+	}
+	for name, g := range byStrategy[string("spill-greedy")] {
+		if g.Status != StatusOK || g.Spills == 0 {
+			t.Fatalf("spill-greedy on %s: status %s spills %d (pressure families must spill)", name, g.Status, g.Spills)
+		}
+		inc := byStrategy["spill-inc"][name]
+		if inc.Spills != g.Spills {
+			t.Fatalf("%s: spill-inc spilled %d, spill-greedy %d", name, inc.Spills, g.Spills)
+		}
+		if ex := byStrategy["spill-exact"][name]; ex.Status == StatusOK && ex.Spills > g.Spills {
+			t.Fatalf("%s: spill-exact spilled %d > greedy %d", name, ex.Spills, g.Spills)
+		}
+		for _, alloc := range []string{"spill+briggs+george", "spill+optimistic"} {
+			a := byStrategy[alloc][name]
+			if a.Status != StatusOK || !a.GreedyAfter {
+				t.Fatalf("%s on %s: status %s, greedy_after %v", alloc, name, a.Status, a.GreedyAfter)
+			}
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"regcoal/internal/graph"
 	"regcoal/internal/greedy"
 	"regcoal/internal/regalloc"
+	"regcoal/internal/spill"
 )
 
 // RunStats is what a runner reports for one instance.
@@ -154,11 +155,103 @@ func ExactRunner() Runner {
 	}
 }
 
-// StandardMatrix is the full strategy matrix the ISSUE's benchmark drives:
-// every regcoal strategy, the IRC allocator, and the exact solver.
+// SpillRunners evaluates the spill-everywhere subsystem as matrix
+// columns: the greedy and incremental graph spillers (which must agree),
+// and the exact branch-and-bound spiller inside its envelope. Spills and
+// Rounds carry the plan shape; CoalescedWeight stays zero (spilling
+// removes no moves by itself).
+func SpillRunners() []Runner {
+	plan := func(name string, run func(ctx context.Context, f *graph.File) (*spill.Plan, error)) Runner {
+		return Runner{
+			Name: name,
+			Run: func(ctx context.Context, f *graph.File) (RunStats, error) {
+				p, err := run(ctx, f)
+				if err != nil {
+					return RunStats{}, err
+				}
+				return RunStats{
+					ResidualWeight: f.G.TotalAffinityWeight(),
+					GreedyAfter:    true,
+					Spills:         len(p.Spilled),
+					Rounds:         p.Rounds,
+				}, nil
+			},
+		}
+	}
+	return []Runner{
+		plan("spill-greedy", func(_ context.Context, f *graph.File) (*spill.Plan, error) {
+			return spill.Greedy(f, nil)
+		}),
+		plan("spill-inc", func(_ context.Context, f *graph.File) (*spill.Plan, error) {
+			return spill.Incremental(f, nil)
+		}),
+		{
+			Name: "spill-exact",
+			Run: func(ctx context.Context, f *graph.File) (RunStats, error) {
+				p, err := spill.Exact(ctx, f, nil)
+				if err == spill.ErrEnvelope {
+					return RunStats{Skipped: true, SkipReason: err.Error()}, nil
+				}
+				if err != nil {
+					return RunStats{}, err
+				}
+				return RunStats{
+					ResidualWeight: f.G.TotalAffinityWeight(),
+					GreedyAfter:    true,
+					Spills:         len(p.Spilled),
+					Rounds:         p.Rounds,
+				}, nil
+			},
+		},
+	}
+}
+
+// SpillAllocRunners evaluates the spill-then-coalesce pipeline
+// (regalloc.AllocateSpillFirst): pressure is lowered to k up front, then
+// the residual is coalesced with the named mode — the spill × coalesce
+// half of the matrix. The allocation is k-feasible by construction, so
+// GreedyAfter is always true and Spills counts the phase-one evictions.
+func SpillAllocRunners() []Runner {
+	modes := []struct {
+		name string
+		mode regalloc.Mode
+	}{
+		{"spill+briggs+george", regalloc.ModeConservative},
+		{"spill+optimistic", regalloc.ModeOptimistic},
+	}
+	out := make([]Runner, 0, len(modes))
+	for _, m := range modes {
+		m := m
+		out = append(out, Runner{
+			Name: m.name,
+			Run: func(_ context.Context, f *graph.File) (RunStats, error) {
+				res, err := regalloc.AllocateSpillFirst(f.G, f.K, m.mode)
+				if err != nil {
+					return RunStats{}, err
+				}
+				count, _ := res.Coloring.CoalescedMoves(f.G)
+				return RunStats{
+					CoalescedWeight: res.CoalescedWeight,
+					CoalescedMoves:  count,
+					ResidualWeight:  res.RemainingWeight,
+					GreedyAfter:     true,
+					Spills:          len(res.Spilled),
+					Rounds:          1,
+				}, nil
+			},
+		})
+	}
+	return out
+}
+
+// StandardMatrix is the full strategy matrix the benchmark drives: every
+// regcoal strategy, the IRC allocator, the exact solver, and the spill ×
+// coalesce columns (spillers plus the spill-then-coalesce pipeline).
 func StandardMatrix() []Runner {
 	m := StrategyRunners()
 	m = append(m, IRCRunner(), ExactRunner())
+	m = append(m, SpillRunners()...)
+	m = append(m, SpillAllocRunners()...)
 	return m
 }
 

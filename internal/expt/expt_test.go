@@ -2,8 +2,12 @@ package expt
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"strings"
 	"testing"
+
+	"regcoal/internal/engine"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -138,4 +142,100 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 		}
 	}()
 	Register(Experiment{ID: "T1"})
+}
+
+// The CH experiment's per-strategy roll-up must agree with the engine's
+// own aggregation over the same corpus and runners: summed coalesced
+// weight per strategy is the number the table's second column renders.
+// This pins the experiment's aggregation path to engine.Aggregates.
+func TestCHAggregationConsistentWithEngine(t *testing.T) {
+	cfg := Config{Seed: 20060408, Quick: true}
+	e, ok := Lookup("CH")
+	if !ok {
+		t.Fatal("missing CH")
+	}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := chCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := append(engine.StrategyRunners(), engine.IRCRunner(), biasedRunner())
+	recs, err := engine.Run(context.Background(), engineConfig(cfg), insts, runners, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWeight := map[string]int64{}
+	for _, a := range engine.Aggregates(recs) {
+		wantWeight[a.Strategy] += a.CoalescedWeight
+	}
+	tab := tables[0]
+	if len(tab.Rows) != len(runners) {
+		t.Fatalf("CH table has %d rows, want one per runner (%d)", len(tab.Rows), len(runners))
+	}
+	for _, row := range tab.Rows {
+		strategy, weight := row[0], row[1]
+		if got := fmt.Sprint(wantWeight[strategy]); got != weight {
+			t.Errorf("CH row %q reports weight %s, engine aggregates say %s", strategy, weight, got)
+		}
+	}
+}
+
+// T5G's "consistent" columns are soundness tallies (a brute-force yes
+// must imply a Theorem 5 yes): every x/y cell must be full agreement,
+// and the frozen gap witness must report the gap.
+func TestT5GConsistencyAndGapWitness(t *testing.T) {
+	e, ok := Lookup("T5G")
+	if !ok {
+		t.Fatal("missing T5G")
+	}
+	tables, err := e.Run(Config{Seed: 20060408, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := tables[0]
+	ci := -1
+	for i, h := range verdicts.Header {
+		if h == "consistent" {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("no consistent column in %v", verdicts.Header)
+	}
+	for _, row := range verdicts.Rows {
+		parts := strings.SplitN(row[ci], "/", 2)
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Errorf("T5G row %v: consistency cell %q disagrees", row, row[ci])
+		}
+	}
+	witness := tables[1]
+	if len(witness.Rows) != 1 || witness.Rows[0][2] != "true" {
+		t.Fatalf("gap witness table %v does not exhibit the gap", witness.Rows)
+	}
+}
+
+// The CSV rendering path must carry exactly the text table's cells —
+// same rows, same order — so downstream tooling can trust either form.
+func TestRunAndRenderCSVMatchesTables(t *testing.T) {
+	e, _ := Lookup("F3")
+	cfg := Config{Seed: 1, Quick: true}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunAndRenderCSV(&buf, e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			if !strings.Contains(out, row[0]) {
+				t.Errorf("CSV output missing row head %q", row[0])
+			}
+		}
+	}
 }

@@ -1,0 +1,109 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/ir"
+	"regcoal/internal/ssa"
+)
+
+// checkAllocation asserts a Result is a k-feasible allocation of g.
+func checkAllocation(t *testing.T, g *graph.Graph, k int, res *Result) {
+	t.Helper()
+	spilled := make(map[graph.V]bool)
+	for _, v := range res.Spilled {
+		spilled[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		c := res.Coloring[v]
+		if spilled[graph.V(v)] {
+			if c != graph.NoColor {
+				t.Fatalf("spilled vertex %d colored %d", v, c)
+			}
+			continue
+		}
+		if c != graph.NoColor && c >= k {
+			t.Fatalf("vertex %d color %d >= k=%d", v, c, k)
+		}
+	}
+	for _, e := range g.Edges() {
+		cu, cv := res.Coloring[e[0]], res.Coloring[e[1]]
+		if cu != graph.NoColor && cu == cv {
+			t.Fatalf("interfering %d,%d share color %d", e[0], e[1], cu)
+		}
+	}
+}
+
+// High-pressure graphs must come out k-feasible from the spill-first
+// pipeline, with every mode.
+func TestAllocateSpillFirstHighPressure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomER(rng, 20+rng.Intn(15), 0.35)
+		graph.SprinkleAffinities(rng, g, 12, 6)
+		k := 3
+		for _, mode := range []Mode{ModeNone, ModeConservative, ModeOptimistic, ModeAggressive} {
+			res, err := AllocateSpillFirst(g, k, mode)
+			if err != nil {
+				t.Fatalf("trial %d mode %v: %v", trial, mode, err)
+			}
+			checkAllocation(t, g, k, res)
+			if got, want := res.CoalescedWeight+res.RemainingWeight, g.TotalAffinityWeight(); got != want {
+				t.Fatalf("trial %d mode %v: weights %d, want %d", trial, mode, got, want)
+			}
+		}
+	}
+}
+
+func TestAllocateSpillFirstNoPressureSpillsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomChordal(rng, 24, 12, 4)
+	k := g.N() // absurdly many registers
+	res, err := AllocateSpillFirst(g, k, ModeConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spilled) != 0 {
+		t.Fatalf("spilled %v with k=n", res.Spilled)
+	}
+	checkAllocation(t, g, k, res)
+}
+
+// The two-phase pipeline must produce verified allocations on lowered
+// random programs at low k, and should usually need exactly one
+// build–color round after pressure reduction.
+func TestFunctionSpillFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	oneRound := 0
+	trials := 12
+	for trial := 0; trial < trials; trial++ {
+		params := ir.DefaultRandomParams()
+		params.Vars = 9 + rng.Intn(5)
+		params.Blocks = 4 + rng.Intn(4)
+		fn := ir.Random(rng, params)
+		_, low, err := ssa.Pipeline(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 3
+		res, err := FunctionSpillFirst(low, k, ModeConservative)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Function verified the assignment internally; check the shape.
+		if res.F == nil || len(res.Coloring) == 0 {
+			t.Fatalf("trial %d: empty result", trial)
+		}
+		if ml := ssa.NewLiveness(res.F).Maxlive(); ml > k {
+			t.Fatalf("trial %d: final Maxlive %d > k=%d", trial, ml, k)
+		}
+		if res.SpilledRegs > 0 && res.Rounds == res.SpilledRegs+1 {
+			oneRound++
+		}
+	}
+	if oneRound == 0 {
+		t.Log("note: no trial finished in a single post-spill round")
+	}
+}

@@ -26,6 +26,8 @@ type entry struct {
 	remainingWeight int64
 	colorable       bool
 	spills          int
+	spillCost       int64 // spill endpoint only
+	optimal         bool  // spill endpoint only
 	deadlineHit     bool
 }
 

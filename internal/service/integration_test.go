@@ -192,3 +192,50 @@ func TestDeadlineExceededStillAnswers(t *testing.T) {
 		t.Fatalf("best-effort answer invalid: %v", err)
 	}
 }
+
+// Acceptance criterion: POST /v1/spill and the spill-aware /v1/allocate
+// return k-feasible allocations on both high-pressure corpus families.
+// Every response is validated by the loadgen checkers: spilled vertices
+// uncolored, survivors properly colored within k.
+func TestSpillAndAllocateOnPressureFamilies(t *testing.T) {
+	_, ts := startService(t, service.Config{Workers: 4, QueueCap: 256})
+	jobs, err := loadgen.BuildJobs("ssa-pressure,interval-pressure", 20060408, true, loadgen.JobOptions{Format: "native"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, endpoint := range []string{"spill", "allocate"} {
+		rep, err := loadgen.Run(context.Background(), loadgen.Options{
+			BaseURL:     ts.URL,
+			Endpoint:    endpoint,
+			Concurrency: 8,
+			Requests:    len(jobs),
+		}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s pressure load:\n%s", endpoint, rep.String())
+		if rep.Failed > 0 {
+			t.Fatalf("%s: %d invalid responses; first: %s", endpoint, rep.Failed, rep.FirstFailure)
+		}
+		if rep.OK != len(jobs) {
+			t.Fatalf("%s: %d ok responses, want %d", endpoint, rep.OK, len(jobs))
+		}
+	}
+	// On pressure instances every answer must actually spill: check one
+	// directly for the spill endpoint.
+	resp, err := http.Post(ts.URL+"/v1/spill", "application/json", bytes.NewReader(jobs[0].Body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out service.SpillResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Spills == 0 {
+		t.Fatalf("pressure instance answered with zero spills: %+v", out)
+	}
+	if err := loadgen.ValidateSpill(jobs[0].File, &out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -41,6 +41,22 @@ type JobOptions struct {
 	NoCache    bool
 }
 
+// BuildJobs resolves a corpus family spec ("all" or comma-separated
+// names), generates the instances for (seed, quick), and converts them to
+// request payloads — the one-call setup path shared by cmd/loadgen and
+// tests.
+func BuildJobs(familySpec string, seed int64, quick bool, opts JobOptions) ([]Job, error) {
+	fams, err := corpus.Select(familySpec)
+	if err != nil {
+		return nil, err
+	}
+	insts, err := corpus.BuildAll(fams, corpus.Params{Seed: seed, Quick: quick})
+	if err != nil {
+		return nil, err
+	}
+	return JobsFromInstances(insts, opts)
+}
+
 // JobsFromInstances converts corpus instances into request payloads.
 func JobsFromInstances(insts []*corpus.Instance, opts JobOptions) ([]Job, error) {
 	jobs := make([]Job, 0, len(insts))
@@ -97,7 +113,7 @@ func specFor(f *graph.File, format string) (*service.GraphSpec, error) {
 type Options struct {
 	// BaseURL is the service root, e.g. http://localhost:8080.
 	BaseURL string
-	// Endpoint is "coalesce" or "allocate".
+	// Endpoint is "coalesce", "allocate", or "spill".
 	Endpoint string
 	// Concurrency is the number of in-flight requests (default 16).
 	Concurrency int
@@ -166,7 +182,7 @@ func Run(ctx context.Context, opts Options, jobs []Job) (*Report, error) {
 	if endpoint == "" {
 		endpoint = "coalesce"
 	}
-	if endpoint != "coalesce" && endpoint != "allocate" {
+	if endpoint != "coalesce" && endpoint != "allocate" && endpoint != "spill" {
 		return nil, fmt.Errorf("loadgen: unknown endpoint %q", endpoint)
 	}
 	client := opts.Client
@@ -272,6 +288,17 @@ func fire(ctx context.Context, client *http.Client, url, endpoint string, job Jo
 		}
 		return resp.StatusCode, cacheHit, deadlineHit, ""
 	}
+	if endpoint == "spill" {
+		var out service.SpillResult
+		if err := json.Unmarshal(body, &out); err != nil {
+			return resp.StatusCode, cacheHit, false, fmt.Sprintf("%s: decoding: %v", job.Name, err)
+		}
+		deadlineHit = out.DeadlineHit
+		if err := ValidateSpill(job.File, &out); err != nil {
+			return resp.StatusCode, cacheHit, deadlineHit, fmt.Sprintf("%s: %v", job.Name, err)
+		}
+		return resp.StatusCode, cacheHit, deadlineHit, ""
+	}
 	var out service.AllocateResult
 	if err := json.Unmarshal(body, &out); err != nil {
 		return resp.StatusCode, cacheHit, false, fmt.Sprintf("%s: decoding: %v", job.Name, err)
@@ -281,6 +308,34 @@ func fire(ctx context.Context, client *http.Client, url, endpoint string, job Jo
 		return resp.StatusCode, cacheHit, deadlineHit, fmt.Sprintf("%s: %v", job.Name, err)
 	}
 	return resp.StatusCode, cacheHit, deadlineHit, ""
+}
+
+// FetchStats retrieves and decodes the service's /stats snapshot.
+func FetchStats(ctx context.Context, client *http.Client, baseURL string) (*service.Stats, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(baseURL, "/")+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /stats status %d: %s", resp.StatusCode, truncate(body))
+	}
+	var stats service.Stats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding /stats: %v", err)
+	}
+	return &stats, nil
 }
 
 func truncate(b []byte) string {
@@ -338,6 +393,58 @@ func ValidateCoalesce(f *graph.File, out *service.CoalesceResult) error {
 			if out.Coloring[v] != out.Coloring[cls[0]] {
 				return fmt.Errorf("class of %d not color-constant", cls[0])
 			}
+		}
+	}
+	return nil
+}
+
+// ValidateSpill checks a spill response against its instance: the
+// residual coloring must be k-feasible — spilled vertices carry NoColor,
+// every survivor a proper in-range color matching its pin — and the
+// counters must agree with the spill set.
+func ValidateSpill(f *graph.File, out *service.SpillResult) error {
+	g := f.G
+	if out.Vertices != g.N() || out.Edges != g.E() || out.Moves != g.NumAffinities() {
+		return fmt.Errorf("shape mismatch: response %d/%d/%d, instance %d/%d/%d",
+			out.Vertices, out.Edges, out.Moves, g.N(), g.E(), g.NumAffinities())
+	}
+	if len(out.Coloring) != g.N() {
+		return fmt.Errorf("coloring length %d, want %d", len(out.Coloring), g.N())
+	}
+	spilled := make(map[int]bool, len(out.Spilled))
+	for _, v := range out.Spilled {
+		if v < 0 || v >= g.N() {
+			return fmt.Errorf("spilled vertex %d out of range", v)
+		}
+		if _, pinned := g.Precolored(graph.V(v)); pinned {
+			return fmt.Errorf("precolored vertex %d spilled", v)
+		}
+		spilled[v] = true
+	}
+	if len(spilled) != out.Spills {
+		return fmt.Errorf("spills %d but %d spilled vertices", out.Spills, len(spilled))
+	}
+	if out.SpillCost < int64(out.Spills) {
+		return fmt.Errorf("spill cost %d below spill count %d", out.SpillCost, out.Spills)
+	}
+	for v, c := range out.Coloring {
+		if spilled[v] {
+			if c != graph.NoColor {
+				return fmt.Errorf("spilled vertex %d has color %d", v, c)
+			}
+			continue
+		}
+		if c < 0 || c >= out.K {
+			return fmt.Errorf("vertex %d color %d outside [0,%d)", v, c, out.K)
+		}
+		if pin, ok := g.Precolored(graph.V(v)); ok && c != pin {
+			return fmt.Errorf("precolored vertex %d colored %d, want %d", v, c, pin)
+		}
+	}
+	for _, e := range g.Edges() {
+		cu, cv := out.Coloring[e[0]], out.Coloring[e[1]]
+		if cu != graph.NoColor && cu == cv {
+			return fmt.Errorf("interfering vertices %d,%d share color %d", e[0], e[1], cu)
 		}
 	}
 	return nil

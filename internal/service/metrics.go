@@ -18,6 +18,7 @@ type Metrics struct {
 
 	CoalesceRequests atomic.Int64
 	AllocateRequests atomic.Int64
+	SpillRequests    atomic.Int64
 	BatchGraphs      atomic.Int64
 	CacheHits        atomic.Int64
 	CacheMisses      atomic.Int64
@@ -62,6 +63,7 @@ type Stats struct {
 	UptimeSeconds    float64          `json:"uptime_seconds"`
 	CoalesceRequests int64            `json:"coalesce_requests"`
 	AllocateRequests int64            `json:"allocate_requests"`
+	SpillRequests    int64            `json:"spill_requests"`
 	BatchGraphs      int64            `json:"batch_graphs"`
 	CacheHits        int64            `json:"cache_hits"`
 	CacheMisses      int64            `json:"cache_misses"`
@@ -80,6 +82,7 @@ func (m *Metrics) snapshot(cacheEntries, queueDepth int) Stats {
 		UptimeSeconds:    time.Since(m.start).Seconds(),
 		CoalesceRequests: m.CoalesceRequests.Load(),
 		AllocateRequests: m.AllocateRequests.Load(),
+		SpillRequests:    m.SpillRequests.Load(),
 		BatchGraphs:      m.BatchGraphs.Load(),
 		CacheHits:        m.CacheHits.Load(),
 		CacheMisses:      m.CacheMisses.Load(),
@@ -105,6 +108,7 @@ func (m *Metrics) writePrometheus(w io.Writer, cacheEntries, queueDepth int) {
 	fmt.Fprintf(w, "# HELP regcoal_requests_total Requests per endpoint.\n# TYPE regcoal_requests_total counter\n")
 	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"coalesce\"} %d\n", m.CoalesceRequests.Load())
 	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"allocate\"} %d\n", m.AllocateRequests.Load())
+	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"spill\"} %d\n", m.SpillRequests.Load())
 	counter("regcoal_batch_graphs_total", "Graphs received inside batch requests.", m.BatchGraphs.Load())
 	counter("regcoal_cache_hits_total", "Requests answered from the result cache.", m.CacheHits.Load())
 	counter("regcoal_cache_misses_total", "Requests that had to compute.", m.CacheMisses.Load())

@@ -9,7 +9,9 @@ import (
 	"regcoal/internal/coalesce"
 	"regcoal/internal/exact"
 	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
 	"regcoal/internal/regalloc"
+	"regcoal/internal/spill"
 )
 
 // Deadline-raced strategy portfolio. Every interesting coalescing variant
@@ -181,13 +183,21 @@ func cmpCoalesce(a, b *coalesce.Result) int {
 	return 0
 }
 
-// allocNames lists the allocator portfolio member names.
-func allocNames() []string { return []string{"irc", "briggs+george", "optimistic", "none"} }
+// allocNames lists the allocator portfolio member names. The spill-first
+// members run the two-phase pipeline (regalloc.AllocateSpillFirst): on
+// instances whose pressure exceeds k they are the members that guarantee
+// a k-feasible answer with a deliberate spill set, where the optimistic
+// select of the others may strand many vertices.
+func allocNames() []string {
+	return []string{"irc", "briggs+george", "optimistic", "none",
+		"spill+briggs+george", "spill+optimistic"}
+}
 
-// allocateRacers builds the allocator portfolio: the IRC allocator plus
-// Chaitin-style allocations over selected coalescing modes. All members
-// are polynomial; the race exists so a slow member never delays a fast
-// winning answer past the deadline.
+// allocateRacers builds the allocator portfolio: the IRC allocator,
+// Chaitin-style allocations over selected coalescing modes, and the
+// spill-then-coalesce pipeline. All members are polynomial; the race
+// exists so a slow member never delays a fast winning answer past the
+// deadline.
 func allocateRacers(f *graph.File, names []string) ([]racer[*regalloc.Result], error) {
 	build := func(name string) (racer[*regalloc.Result], error) {
 		var run func() (*regalloc.Result, error)
@@ -200,6 +210,10 @@ func allocateRacers(f *graph.File, names []string) ([]racer[*regalloc.Result], e
 			run = func() (*regalloc.Result, error) { return regalloc.Allocate(f.G, f.K, regalloc.ModeOptimistic) }
 		case "none":
 			run = func() (*regalloc.Result, error) { return regalloc.Allocate(f.G, f.K, regalloc.ModeNone) }
+		case "spill+briggs+george":
+			run = spillFirstRun(f, regalloc.ModeConservative)
+		case "spill+optimistic":
+			run = spillFirstRun(f, regalloc.ModeOptimistic)
 		default:
 			return racer[*regalloc.Result]{}, fmt.Errorf("unknown allocator %q (have %v)", name, allocNames())
 		}
@@ -220,6 +234,84 @@ func allocateRacers(f *graph.File, names []string) ([]racer[*regalloc.Result], e
 		members = append(members, m)
 	}
 	return members, nil
+}
+
+// spillFirstRun wraps the two-phase allocator as a portfolio member that
+// declines already-feasible graphs: with nothing to spill, phase two
+// recomputes exactly what the plain member of the same mode computes and
+// can never win the tie-break, so running it would only burn a worker.
+// The feasibility check is one greedy elimination, a fraction of a full
+// allocation.
+func spillFirstRun(f *graph.File, mode regalloc.Mode) func() (*regalloc.Result, error) {
+	return func() (*regalloc.Result, error) {
+		if greedy.IsGreedyKColorable(f.G, f.K) {
+			return nil, fmt.Errorf("%w: graph is greedy-%d-colorable, spill-first adds nothing over %v",
+				coalesce.ErrInapplicable, f.K, mode)
+		}
+		return regalloc.AllocateSpillFirst(f.G, f.K, mode)
+	}
+}
+
+// spillNames lists the spill portfolio member names.
+func spillNames() []string { return []string{"greedy", "incremental", "exact"} }
+
+// spillRacers builds the spill portfolio: the rebuild-per-round greedy
+// spiller, the incremental variant (identical answers, less work — racing
+// both is deliberate: whichever the scheduler favors wins with the same
+// plan), and the anytime exact search, which declines instances beyond
+// its envelope and contributes its incumbent when the deadline fires.
+// The exact member runs under the server's node budget
+// (Config.SpillExactNodes) so one request never monopolizes a worker
+// for the full deadline when the heuristics answered in microseconds.
+func (s *Server) spillRacers(f *graph.File, names []string) ([]racer[*spill.Plan], error) {
+	if len(names) == 0 {
+		names = spillNames()
+	}
+	members := make([]racer[*spill.Plan], 0, len(names))
+	for _, name := range names {
+		var run func(ctx context.Context) (*spill.Plan, error)
+		switch name {
+		case "greedy":
+			run = func(context.Context) (*spill.Plan, error) { return spill.Greedy(f, nil) }
+		case "incremental":
+			run = func(context.Context) (*spill.Plan, error) { return spill.Incremental(f, nil) }
+		case "exact":
+			run = func(ctx context.Context) (*spill.Plan, error) {
+				p, err := spill.ExactBudget(ctx, f, nil, s.cfg.SpillExactNodes)
+				if err == spill.ErrEnvelope {
+					return nil, fmt.Errorf("%w: %v", coalesce.ErrInapplicable, err)
+				}
+				return p, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown spiller %q (have %v)", name, spillNames())
+		}
+		members = append(members, racer[*spill.Plan]{name: name, run: run})
+	}
+	return members, nil
+}
+
+// cmpSpill prefers the cheapest spill set, then the fewest spills, then a
+// proven-optimal answer.
+func cmpSpill(a, b *spill.Plan) int {
+	switch {
+	case a.Cost != b.Cost:
+		if a.Cost < b.Cost {
+			return 1
+		}
+		return -1
+	case len(a.Spilled) != len(b.Spilled):
+		if len(a.Spilled) < len(b.Spilled) {
+			return 1
+		}
+		return -1
+	case a.Optimal != b.Optimal:
+		if a.Optimal {
+			return 1
+		}
+		return -1
+	}
+	return 0
 }
 
 // cmpAllocate prefers the fewest spills, then the most coalesced weight.

@@ -7,6 +7,7 @@ import (
 	"regcoal/internal/graph"
 	"regcoal/internal/greedy"
 	"regcoal/internal/regalloc"
+	"regcoal/internal/spill"
 )
 
 // Entries live in canonical vertex numbering (internal/graph CanonicalForm)
@@ -56,6 +57,26 @@ func allocateEntry(perm []graph.V, res *regalloc.Result, winner string, deadline
 		e.coloring[perm[v]] = c
 	}
 	for _, v := range res.Spilled {
+		e.spilled = append(e.spilled, int(perm[v]))
+	}
+	sort.Ints(e.spilled)
+	return e
+}
+
+// spillEntry converts a spill plan into a canonical-space entry.
+func spillEntry(perm []graph.V, plan *spill.Plan, winner string, deadlineHit bool) *entry {
+	e := &entry{
+		strategy:    winner,
+		spills:      len(plan.Spilled),
+		spillCost:   plan.Cost,
+		optimal:     plan.Optimal,
+		deadlineHit: deadlineHit,
+		coloring:    make([]int, len(plan.Coloring)),
+	}
+	for v, c := range plan.Coloring {
+		e.coloring[perm[v]] = c
+	}
+	for _, v := range plan.Spilled {
 		e.spilled = append(e.spilled, int(perm[v]))
 	}
 	sort.Ints(e.spilled)
@@ -116,6 +137,36 @@ func renderCoalesce(f *graph.File, hash string, perm []graph.V, e *entry) *Coale
 			res.Coloring[v] = e.coloring[perm[v]]
 		}
 	}
+	return res
+}
+
+// renderSpill maps a canonical-space spill entry back into the requesting
+// instance's numbering.
+func renderSpill(f *graph.File, hash string, perm []graph.V, e *entry) *SpillResult {
+	inv := make([]int, len(perm))
+	for v, p := range perm {
+		inv[p] = v
+	}
+	res := &SpillResult{
+		Hash:        hash,
+		Vertices:    f.G.N(),
+		Edges:       f.G.E(),
+		Moves:       f.G.NumAffinities(),
+		K:           f.K,
+		Strategy:    e.strategy,
+		Spills:      e.spills,
+		SpillCost:   e.spillCost,
+		Optimal:     e.optimal,
+		DeadlineHit: e.deadlineHit,
+	}
+	res.Coloring = make([]int, f.G.N())
+	for v := range res.Coloring {
+		res.Coloring[v] = e.coloring[perm[v]]
+	}
+	for _, cid := range e.spilled {
+		res.Spilled = append(res.Spilled, inv[cid])
+	}
+	sort.Ints(res.Spilled)
 	return res
 }
 

@@ -10,7 +10,8 @@
 // Endpoints:
 //
 //	POST /v1/coalesce  race the coalescing portfolio; best answer wins
-//	POST /v1/allocate  race the allocators (IRC + Chaitin modes)
+//	POST /v1/allocate  race the allocators (IRC + Chaitin + spill-first)
+//	POST /v1/spill     race the spillers (greedy, incremental, exact)
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus exposition
 //	GET  /stats        JSON counter snapshot
@@ -54,6 +55,11 @@ type Config struct {
 	// ExactMaxMoves/ExactMaxVertices bound the instances the anytime
 	// exact member admits (defaults 14 / 48, as in the batch engine).
 	ExactMaxMoves, ExactMaxVertices int
+	// SpillExactNodes is the branch-and-bound node budget of the spill
+	// endpoint's exact member (default 16384, ~tens of milliseconds):
+	// beyond it the member answers with its anytime incumbent instead of
+	// holding a worker for the rest of the deadline.
+	SpillExactNodes int
 	// MaxVertices rejects oversized request graphs with 400 (default
 	// 200000).
 	MaxVertices int
@@ -91,6 +97,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.ExactMaxVertices <= 0 {
 		c.ExactMaxVertices = 48
+	}
+	if c.SpillExactNodes <= 0 {
+		c.SpillExactNodes = 1 << 14
 	}
 	if c.MaxVertices <= 0 {
 		c.MaxVertices = 200000
@@ -133,6 +142,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("/v1/coalesce", s.handleSolve(kindCoalesce))
 	s.mux.HandleFunc("/v1/allocate", s.handleSolve(kindAllocate))
+	s.mux.HandleFunc("/v1/spill", s.handleSolve(kindSpill))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -157,11 +167,15 @@ type solveKind int
 const (
 	kindCoalesce solveKind = iota
 	kindAllocate
+	kindSpill
 )
 
 func (k solveKind) String() string {
-	if k == kindAllocate {
+	switch k {
+	case kindAllocate:
 		return "allocate"
+	case kindSpill:
+		return "spill"
 	}
 	return "coalesce"
 }
@@ -184,10 +198,13 @@ func (s *Server) handleSolve(kind solveKind) http.HandlerFunc {
 			s.writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"})
 			return
 		}
-		if kind == kindCoalesce {
+		switch kind {
+		case kindCoalesce:
 			s.metrics.CoalesceRequests.Add(1)
-		} else {
+		case kindAllocate:
 			s.metrics.AllocateRequests.Add(1)
+		case kindSpill:
+			s.metrics.SpillRequests.Add(1)
 		}
 		s.metrics.InFlight.Add(1)
 		defer s.metrics.InFlight.Add(-1)
@@ -261,6 +278,8 @@ func (s *Server) solveBatch(w http.ResponseWriter, kind solveKind, req *Request)
 					resp.Results[i].Coalesce = v
 				case *AllocateResult:
 					resp.Results[i].Allocate = v
+				case *SpillResult:
+					resp.Results[i].Spill = v
 				}
 			}
 		}()
@@ -303,12 +322,17 @@ func (s *Server) solveOne(kind solveKind, req *Request) (out any, cached bool, e
 	}
 	strategies = normalizeStrategies(strategies)
 	// Validate up front so bad names are 400s, not queued work.
-	if kind == kindCoalesce {
+	switch kind {
+	case kindCoalesce:
 		if _, err := s.coalesceRacers(inst, strategies); err != nil {
 			return nil, false, s.countBad(badRequest("%v", err))
 		}
-	} else {
+	case kindAllocate:
 		if _, err := allocateRacers(inst, strategies); err != nil {
+			return nil, false, s.countBad(badRequest("%v", err))
+		}
+	case kindSpill:
+		if _, err := s.spillRacers(inst, strategies); err != nil {
 			return nil, false, s.countBad(badRequest("%v", err))
 		}
 	}
@@ -383,6 +407,17 @@ func (s *Server) compute(kind solveKind, inst *graph.File, canon *graph.Canonica
 		}
 		return allocateEntry(canon.Perm, best, winner, hit), nil
 	}
+	if kind == kindSpill {
+		members, err := s.spillRacers(inst, strategies)
+		if err != nil {
+			return nil, err
+		}
+		best, winner, _, hit, err := race(ctx, members, cmpSpill)
+		if err != nil {
+			return nil, err
+		}
+		return spillEntry(canon.Perm, best, winner, hit), nil
+	}
 	members, err := s.coalesceRacers(inst, strategies)
 	if err != nil {
 		return nil, err
@@ -395,8 +430,11 @@ func (s *Server) compute(kind solveKind, inst *graph.File, canon *graph.Canonica
 }
 
 func (s *Server) render(kind solveKind, inst *graph.File, canon *graph.Canonical, e *entry) any {
-	if kind == kindAllocate {
+	switch kind {
+	case kindAllocate:
 		return renderAllocate(inst, canon.Hash, canon.Perm, e)
+	case kindSpill:
+		return renderSpill(inst, canon.Hash, canon.Perm, e)
 	}
 	return renderCoalesce(inst, canon.Hash, canon.Perm, e)
 }

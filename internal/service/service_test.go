@@ -308,3 +308,83 @@ func TestGracefulCloseRejectsNewWork(t *testing.T) {
 		t.Fatalf("status %d (%s), want 503 after Close", resp.StatusCode, body)
 	}
 }
+
+// A K4 with k=2: any spill set must evict two vertices; the residual
+// coloring must be proper within k.
+const k4Instance = `{"graph":{"vertices":4,"edges":[[0,1],[0,2],[0,3],[1,2],[1,3],[2,3]],"k":2}}`
+
+func TestSpillEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/spill", k4Instance)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SpillResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Spills != 2 || len(out.Spilled) != 2 || out.SpillCost != 2 {
+		t.Fatalf("got %+v, want exactly two evictions", out)
+	}
+	if !out.Optimal {
+		t.Fatalf("exact member should prove optimality on K4: %+v", out)
+	}
+	spilled := map[int]bool{out.Spilled[0]: true, out.Spilled[1]: true}
+	for v, c := range out.Coloring {
+		if spilled[v] {
+			if c != -1 {
+				t.Fatalf("spilled vertex %d colored %d", v, c)
+			}
+		} else if c < 0 || c >= out.K {
+			t.Fatalf("vertex %d color %d outside [0,%d)", v, c, out.K)
+		}
+	}
+}
+
+func TestSpillOnColorableGraphSpillsNothing(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/spill", pathInstance)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SpillResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Spills != 0 || len(out.Spilled) != 0 {
+		t.Fatalf("spilled on a 2-colorable path: %+v", out)
+	}
+}
+
+// Satellite acceptance: repeated /v1/spill requests are answered from the
+// cache with byte-identical bodies.
+func TestSpillRepeatedRequestIsCachedByteIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp1, body1 := post(t, ts.URL+"/v1/spill", k4Instance)
+	if got := resp1.Header.Get("X-Regcoal-Cache"); got != "miss" {
+		t.Fatalf("first request cache header %q, want miss", got)
+	}
+	hitsBefore := s.Metrics().CacheHits.Load()
+	resp2, body2 := post(t, ts.URL+"/v1/spill", k4Instance)
+	if got := resp2.Header.Get("X-Regcoal-Cache"); got != "hit" {
+		t.Fatalf("repeat cache header %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("repeat body differs:\n%s\n%s", body1, body2)
+	}
+	if s.Metrics().CacheHits.Load() != hitsBefore+1 {
+		t.Fatal("cache hit counter did not increment")
+	}
+	if s.Metrics().SpillRequests.Load() != 2 {
+		t.Fatalf("spill request counter = %d, want 2", s.Metrics().SpillRequests.Load())
+	}
+}
+
+func TestSpillBadStrategyRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/spill",
+		`{"graph":{"vertices":2,"edges":[[0,1]],"k":2},"strategies":["nope"]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+}

@@ -172,6 +172,29 @@ type CoalesceResult struct {
 	Coloring []int `json:"coloring,omitempty"`
 }
 
+// SpillResult is the body of a successful /v1/spill response: the spill
+// set that lowers the instance to a greedy-k-colorable one, and a proper
+// k-coloring of the residual (spilled vertices get -1).
+type SpillResult struct {
+	Hash     string `json:"hash"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Moves    int    `json:"moves"`
+	K        int    `json:"k"`
+
+	Strategy string `json:"strategy"`
+	// Spilled lists the evicted vertices (request numbering, sorted).
+	Spilled []int `json:"spilled,omitempty"`
+	Spills  int   `json:"spills"`
+	// SpillCost is the total eviction cost (== Spills under unit costs).
+	SpillCost int64 `json:"spill_cost"`
+	// Optimal marks a spill set proven cost-minimal (exact member won
+	// with a completed search).
+	Optimal     bool  `json:"optimal"`
+	Coloring    []int `json:"coloring"`
+	DeadlineHit bool  `json:"deadline_hit"`
+}
+
 // AllocateResult is the body of a successful /v1/allocate response.
 type AllocateResult struct {
 	Hash     string `json:"hash"`
@@ -194,6 +217,7 @@ type AllocateResult struct {
 type BatchEntry struct {
 	Coalesce *CoalesceResult `json:"coalesce,omitempty"`
 	Allocate *AllocateResult `json:"allocate,omitempty"`
+	Spill    *SpillResult    `json:"spill,omitempty"`
 	Error    string          `json:"error,omitempty"`
 }
 

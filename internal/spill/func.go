@@ -1,0 +1,103 @@
+package spill
+
+import (
+	"regcoal/internal/ir"
+	"regcoal/internal/ssa"
+)
+
+// ReduceFunc spills registers everywhere in a φ-free function until its
+// Maxlive is at most k, making the same victim choices as
+// ssa.ReduceMaxlive (the register live at the most maximal-pressure
+// points) but maintaining liveness incrementally: spill-everywhere
+// replaces every def and use of the victim with point-range temporaries,
+// so the victim simply disappears from every block-boundary live set and
+// no other register's cross-block liveness changes — one backward
+// dataflow fixpoint at the start is enough for the whole reduction,
+// where ReduceMaxlive recomputes it from scratch every round.
+//
+// It returns the spilled registers in eviction order, and ok = false when
+// pressure cannot be reduced further (more than k point temporaries
+// collide at one instruction).
+func ReduceFunc(f *ir.Func, k int) (spilled []ir.Reg, ok bool) {
+	lv := ssa.NewLiveness(f)
+	slot := 0
+	// Only original registers are candidates: spilling a one-point
+	// reload/spill temporary can never reduce pressure.
+	limit := ir.Reg(f.NumRegs)
+	done := make(map[ir.Reg]bool)
+	for {
+		maxlive, score := pressureScores(f, lv)
+		if maxlive <= k {
+			return spilled, true
+		}
+		best := ir.NoReg
+		for r := ir.Reg(0); r < limit; r++ {
+			if score[r] == 0 || done[r] {
+				continue
+			}
+			if best == ir.NoReg || score[r] > score[best] {
+				best = r
+			}
+		}
+		if best == ir.NoReg {
+			return spilled, false
+		}
+		ssa.SpillEverywhere(f, best, slot)
+		slot++
+		done[best] = true
+		spilled = append(spilled, best)
+		// Incremental liveness update: the victim's live range is now a
+		// union of point ranges inside single instructions, so it leaves
+		// every block-boundary set; the fresh temporaries never cross a
+		// boundary, and no other register's defs or uses moved.
+		for bi := range f.Blocks {
+			lv.LiveIn[bi].Clear(best)
+			lv.LiveOut[bi].Clear(best)
+		}
+	}
+}
+
+// pressureScores walks every block backward from its live-out set and
+// reports the function's Maxlive together with, per register, the number
+// of maximal-pressure points at which it is live — the ReduceMaxlive
+// victim score. The walk sizes its live set to the function's current
+// register count, which may exceed the width of the (original-sized)
+// boundary bitsets once spill temporaries exist.
+func pressureScores(f *ir.Func, lv *ssa.Liveness) (maxlive int, score []int) {
+	score = make([]int, f.NumRegs)
+	// Two passes with the same walk: first find Maxlive, then credit the
+	// registers live at points that attain it.
+	walk := func(visit func(live ssa.Bitset, count int)) {
+		for bi, b := range f.Blocks {
+			live := ssa.NewBitset(f.NumRegs)
+			copy(live, lv.LiveOut[bi])
+			visit(live, live.Count())
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				ins := b.Instrs[i]
+				if ins.Op == ir.OpPhi {
+					break
+				}
+				if ins.Dst != ir.NoReg {
+					live.Clear(ins.Dst)
+				}
+				for _, a := range ins.Args {
+					live.Set(a)
+				}
+				visit(live, live.Count())
+			}
+		}
+	}
+	walk(func(_ ssa.Bitset, count int) {
+		if count > maxlive {
+			maxlive = count
+		}
+	})
+	walk(func(live ssa.Bitset, count int) {
+		if count == maxlive {
+			for _, r := range live.Members() {
+				score[r]++
+			}
+		}
+	})
+	return maxlive, score
+}

@@ -1,0 +1,153 @@
+package spill
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"regcoal/internal/graph"
+)
+
+// Interval programs: the basic-block case of the spill-everywhere report.
+// A straight-line program's live ranges are intervals over instruction
+// points; its interference graph is an interval graph whose clique number
+// equals the maximum register pressure, so "spill until pressure <= k" is
+// exactly "delete intervals until no point is covered more than k times".
+// The report proves this case polynomial; GreedyIntervals is Belady's
+// furthest-end eviction, optimal in spill count for unit costs.
+
+// Range is one straight-line live range: the half-open interval
+// [Start, End) of program points, with a spill cost.
+type Range struct {
+	ID         int
+	Start, End int
+	Cost       int64
+}
+
+// MaxPressure reports the maximum number of ranges simultaneously live at
+// any point.
+func MaxPressure(rs []Range) int {
+	type event struct {
+		at    int
+		delta int
+	}
+	evs := make([]event, 0, 2*len(rs))
+	for _, r := range rs {
+		if r.End <= r.Start {
+			continue
+		}
+		evs = append(evs, event{r.Start, +1}, event{r.End, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta // ends before starts at the same point
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// GreedyIntervals spills ranges until pressure is at most k everywhere:
+// sweeping start points left to right, whenever more than k ranges are
+// live it evicts the one reaching furthest (Belady / furthest-first).
+// For unit costs the result is optimal in spill count (the classical
+// exchange argument); the returned IDs are in eviction order.
+func GreedyIntervals(rs []Range, k int) []int {
+	if k < 0 {
+		k = 0
+	}
+	order := make([]int, 0, len(rs))
+	for i, r := range rs {
+		if r.End > r.Start {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := rs[order[a]], rs[order[b]]
+		if ra.Start != rb.Start {
+			return ra.Start < rb.Start
+		}
+		if ra.End != rb.End {
+			return ra.End < rb.End
+		}
+		return ra.ID < rb.ID
+	})
+	var active []int // indices into rs
+	var spilled []int
+	for _, i := range order {
+		r := rs[i]
+		// Retire ranges that ended before this start.
+		kept := active[:0]
+		for _, j := range active {
+			if rs[j].End > r.Start {
+				kept = append(kept, j)
+			}
+		}
+		active = append(kept, i)
+		if len(active) > k {
+			// Evict the furthest-ending active range; ties toward the
+			// smallest ID keep the sweep deterministic.
+			worst := 0
+			for j := 1; j < len(active); j++ {
+				rj, rw := rs[active[j]], rs[active[worst]]
+				if rj.End > rw.End || (rj.End == rw.End && rj.ID < rw.ID) {
+					worst = j
+				}
+			}
+			spilled = append(spilled, rs[active[worst]].ID)
+			active = append(active[:worst], active[worst+1:]...)
+		}
+	}
+	return spilled
+}
+
+// IntervalGraph builds the interference graph of an interval program:
+// one vertex per range (vertex i is rs[i]), an edge wherever two ranges
+// overlap. Clique number equals MaxPressure, so the graph-level spillers
+// apply directly; k-feasibility of the graph is pressure <= k.
+func IntervalGraph(rs []Range) *graph.Graph {
+	g := graph.New(len(rs))
+	for i := range rs {
+		g.SetName(graph.V(i), fmt.Sprintf("r%d", rs[i].ID))
+		for j := 0; j < i; j++ {
+			if rs[i].Start < rs[j].End && rs[j].Start < rs[i].End {
+				g.AddEdge(graph.V(i), graph.V(j))
+			}
+		}
+	}
+	return g
+}
+
+// ExactIntervals finds a minimum-cost spill set for an interval program
+// by running the graph-level exact search on its interval graph. It
+// returns the spilled range IDs sorted ascending. For unit costs the
+// count always matches GreedyIntervals (both are optimal); the sets may
+// differ when several optima exist.
+func ExactIntervals(rs []Range, k int) ([]int, error) {
+	g := IntervalGraph(rs)
+	costs := make([]int64, len(rs))
+	for i, r := range rs {
+		c := r.Cost
+		if c <= 0 {
+			c = 1
+		}
+		costs[i] = c
+	}
+	plan, err := Exact(context.Background(), &graph.File{G: g, K: k}, costs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(plan.Spilled))
+	for _, v := range plan.SortedSpills() {
+		out = append(out, rs[v].ID)
+	}
+	sort.Ints(out)
+	return out, nil
+}

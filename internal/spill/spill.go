@@ -1,0 +1,333 @@
+// Package spill implements the spill-everywhere problem of the companion
+// report "On the Complexity of Spill Everywhere under SSA Form" (Bouchez,
+// Darte, Rastello, RR2007-42): given an instance whose register pressure
+// exceeds the k available registers, choose variables to evict entirely to
+// memory so that the residual instance is k-colorable, at minimum spill
+// cost. It is the missing first half of the two-phase (spill then
+// color/coalesce) allocation pipeline the source paper's introduction
+// assumes has already run.
+//
+// Three instance shapes are supported, mirroring the report's complexity
+// map:
+//
+//   - Interference graphs (this file + exact.go): evict vertices until the
+//     graph is greedy-k-colorable — Greedy (furthest-first style eviction
+//     of the highest-occupancy witness vertex), Incremental (identical
+//     decisions, but the Chaitin elimination state is updated in place
+//     after each eviction instead of re-derived from scratch), and Exact
+//     (branch and bound over witness vertices, anytime and
+//     context-cancelable).
+//   - Interval programs (interval.go): straight-line live ranges, the
+//     basic-block case the report proves polynomial; GreedyIntervals is
+//     Belady's furthest-end eviction, optimal for unit costs.
+//   - IR functions (func.go): spill-everywhere on the mini compiler IR
+//     via ssa.SpillEverywhere, with liveness maintained incrementally
+//     across spill rounds rather than recomputed to a fixpoint.
+package spill
+
+import (
+	"fmt"
+	"sort"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+)
+
+// Plan is the outcome of a graph-level spiller: the evicted vertices, in
+// eviction order, and a proper k-coloring of what survives.
+type Plan struct {
+	// Spilled lists the evicted vertices in eviction order.
+	Spilled []graph.V
+	// Cost is the total spill cost (one per vertex under unit costs).
+	Cost int64
+	// Coloring is a proper k-coloring of the residual graph; spilled
+	// vertices hold NoColor.
+	Coloring graph.Coloring
+	// Rounds counts eviction rounds (== len(Spilled) for the greedy
+	// spillers).
+	Rounds int
+	// Optimal marks a plan proven cost-minimal (Exact, search completed).
+	Optimal bool
+}
+
+// Spills reports the number of evicted vertices.
+func (p *Plan) Spills() int { return len(p.Spilled) }
+
+// costOf reads the spill cost of v: costs[v], or 1 when costs is nil
+// (unit costs).
+func costOf(costs []int64, v graph.V) int64 {
+	if costs == nil {
+		return 1
+	}
+	return costs[v]
+}
+
+// checkInstance rejects instances no spill set can fix: a precoloring
+// outside [0,k) or two interfering vertices pinned to the same color
+// (precolored vertices are never spill candidates).
+func checkInstance(f *graph.File, costs []int64) error {
+	g, k := f.G, f.K
+	if k <= 0 {
+		return fmt.Errorf("spill: k=%d, need at least one register", k)
+	}
+	if costs != nil {
+		if len(costs) != g.N() {
+			return fmt.Errorf("spill: %d costs for %d vertices", len(costs), g.N())
+		}
+		// Non-positive costs would invalidate Exact's lower bound (and its
+		// Optimal claim): a free or negative eviction makes "at least one
+		// more core vertex" no longer a lower bound on the completion cost.
+		for v, c := range costs {
+			if c <= 0 {
+				return fmt.Errorf("spill: vertex %d has non-positive cost %d", v, c)
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		c, ok := g.Precolored(graph.V(v))
+		if !ok {
+			continue
+		}
+		if c >= k {
+			return fmt.Errorf("spill: vertex %s precolored %d >= k=%d", g.Name(graph.V(v)), c, k)
+		}
+		var conflict error
+		g.ForEachNeighbor(graph.V(v), func(w graph.V) {
+			if cw, okw := g.Precolored(w); okw && cw == c && conflict == nil {
+				conflict = fmt.Errorf("spill: interfering vertices %s and %s both precolored %d",
+					g.Name(graph.V(v)), g.Name(w), c)
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+// eliminateAlive runs Chaitin's simplification over the subgraph induced
+// by alive and returns the non-precolored vertices it could not remove,
+// in increasing order — the spill candidates of the witness core. An
+// empty result means the induced subgraph is greedy-k-colorable.
+func eliminateAlive(g *graph.Graph, alive []bool, k int) []graph.V {
+	n := g.N()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	pinned := make([]bool, n)
+	var stack []graph.V
+	for v := 0; v < n; v++ {
+		if !alive[v] {
+			removed[v] = true
+			continue
+		}
+		_, pinned[v] = g.Precolored(graph.V(v))
+		g.ForEachNeighbor(graph.V(v), func(w graph.V) {
+			if alive[w] {
+				deg[v]++
+			}
+		})
+	}
+	for v := 0; v < n; v++ {
+		if alive[v] && !pinned[v] && deg[v] < k {
+			stack = append(stack, graph.V(v))
+		}
+	}
+	drainEliminate(g, k, deg, removed, pinned, stack)
+	var remaining []graph.V
+	for v := 0; v < n; v++ {
+		if alive[v] && !removed[v] && !pinned[v] {
+			remaining = append(remaining, graph.V(v))
+		}
+	}
+	return remaining
+}
+
+// drainEliminate consumes the simplification worklist: pops a vertex,
+// removes it if still eligible, and pushes neighbors whose degree drops
+// below k. Degrees only decrease, so a popped vertex with deg < k is
+// always safe to remove.
+func drainEliminate(g *graph.Graph, k int, deg []int, removed, pinned []bool, stack []graph.V) {
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if removed[v] || deg[v] >= k {
+			continue
+		}
+		removed[v] = true
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if removed[w] {
+				return
+			}
+			deg[w]--
+			if !pinned[w] && deg[w] == k-1 {
+				stack = append(stack, w)
+			}
+		})
+	}
+}
+
+// pickVictim chooses the eviction victim among the witness core: the
+// remaining vertex with the highest witness-degree-to-cost ratio (the
+// variable whose eviction relieves the most pressure per unit of spill
+// cost), ties broken toward the smallest vertex id. The witness is the
+// remaining set plus the alive precolored vertices it leans on.
+func pickVictim(g *graph.Graph, alive []bool, remaining []graph.V, costs []int64) graph.V {
+	inWitness := make([]bool, g.N())
+	for _, v := range remaining {
+		inWitness[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if alive[v] {
+			if _, ok := g.Precolored(graph.V(v)); ok {
+				inWitness[v] = true
+			}
+		}
+	}
+	best := graph.V(-1)
+	bestDeg := 0
+	for _, v := range remaining {
+		wdeg := 0
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if alive[w] && inWitness[w] {
+				wdeg++
+			}
+		})
+		// Maximize wdeg/cost by cross-multiplication; remaining is sorted,
+		// so strict improvement keeps the smallest id on ties.
+		if best == -1 || int64(wdeg)*costOf(costs, best) > int64(bestDeg)*costOf(costs, v) {
+			best, bestDeg = v, wdeg
+		}
+	}
+	return best
+}
+
+// finishPlan colors the residual graph and assembles the Plan.
+func finishPlan(f *graph.File, alive []bool, spilled []graph.V, costs []int64, rounds int) (*Plan, error) {
+	g := f.G
+	survivors := make([]graph.V, 0, g.N()-len(spilled))
+	for v := 0; v < g.N(); v++ {
+		if alive[v] {
+			survivors = append(survivors, graph.V(v))
+		}
+	}
+	sub, old2new := g.InducedSubgraph(survivors)
+	col, ok := greedy.Color(sub, f.K)
+	if !ok {
+		return nil, fmt.Errorf("spill: residual graph not greedy-%d-colorable after %d evictions", f.K, len(spilled))
+	}
+	plan := &Plan{
+		Spilled:  spilled,
+		Coloring: graph.NewColoring(g.N()),
+		Rounds:   rounds,
+	}
+	for _, v := range survivors {
+		plan.Coloring[v] = col[old2new[v]]
+	}
+	for _, v := range spilled {
+		plan.Cost += costOf(costs, v)
+	}
+	return plan, nil
+}
+
+// Greedy lowers the instance to a greedy-k-colorable one by furthest-first
+// eviction: while the graph has a witness core (an induced subgraph of
+// minimum degree >= k), evict the core vertex with the highest
+// occupancy-to-cost ratio, then re-derive the core from scratch. costs is
+// the per-vertex spill cost (nil = unit). Precolored vertices are never
+// evicted.
+func Greedy(f *graph.File, costs []int64) (*Plan, error) {
+	if err := checkInstance(f, costs); err != nil {
+		return nil, err
+	}
+	g := f.G
+	alive := make([]bool, g.N())
+	for v := range alive {
+		alive[v] = true
+	}
+	var spilled []graph.V
+	rounds := 0
+	for {
+		remaining := eliminateAlive(g, alive, f.K)
+		if len(remaining) == 0 {
+			break
+		}
+		rounds++
+		v := pickVictim(g, alive, remaining, costs)
+		alive[v] = false
+		spilled = append(spilled, v)
+	}
+	return finishPlan(f, alive, spilled, costs, rounds)
+}
+
+// Incremental makes the same eviction decisions as Greedy but maintains
+// the Chaitin elimination state across rounds: after evicting a victim it
+// decrements its neighbors' degrees and resumes simplification from the
+// previous fixpoint instead of re-deriving interference of the residual
+// instance from scratch. Greedy elimination is confluent, so the
+// resulting core — and therefore the spill set — is identical to
+// Greedy's; only the work per round shrinks from O(V+E) to the size of
+// the newly unlocked region.
+func Incremental(f *graph.File, costs []int64) (*Plan, error) {
+	if err := checkInstance(f, costs); err != nil {
+		return nil, err
+	}
+	g, k := f.G, f.K
+	n := g.N()
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	pinned := make([]bool, n)
+	var stack []graph.V
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = g.Degree(graph.V(v))
+		_, pinned[v] = g.Precolored(graph.V(v))
+		if !pinned[v] && deg[v] < k {
+			stack = append(stack, graph.V(v))
+		}
+	}
+	drainEliminate(g, k, deg, removed, pinned, stack)
+
+	var spilled []graph.V
+	rounds := 0
+	for {
+		var remaining []graph.V
+		for v := 0; v < n; v++ {
+			if alive[v] && !removed[v] && !pinned[v] {
+				remaining = append(remaining, graph.V(v))
+			}
+		}
+		if len(remaining) == 0 {
+			break
+		}
+		rounds++
+		v := pickVictim(g, alive, remaining, costs)
+		alive[v] = false
+		// Mark the victim removed so the resumed elimination can neither
+		// re-remove it nor decrement its neighbors a second time.
+		removed[v] = true
+		spilled = append(spilled, v)
+		// The eviction lowers neighbor degrees exactly like a removal;
+		// resume simplification from the vertices it unlocked.
+		stack = stack[:0]
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if removed[w] {
+				return
+			}
+			deg[w]--
+			if !pinned[w] && deg[w] == k-1 {
+				stack = append(stack, w)
+			}
+		})
+		drainEliminate(g, k, deg, removed, pinned, stack)
+	}
+	return finishPlan(f, alive, spilled, costs, rounds)
+}
+
+// SortedSpills returns the plan's spill set sorted by vertex id (the
+// eviction order is preserved in Spilled itself).
+func (p *Plan) SortedSpills() []graph.V {
+	out := append([]graph.V(nil), p.Spilled...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,331 @@
+package spill
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+	"regcoal/internal/ir"
+	"regcoal/internal/ssa"
+)
+
+// checkPlan asserts the plan's invariants against its instance: spilled
+// vertices uncolored, survivors properly colored within k, cost summed.
+func checkPlan(t *testing.T, f *graph.File, p *Plan) {
+	t.Helper()
+	g, k := f.G, f.K
+	spilled := make(map[graph.V]bool)
+	for _, v := range p.Spilled {
+		if _, pinned := g.Precolored(v); pinned {
+			t.Fatalf("precolored vertex %d spilled", v)
+		}
+		if spilled[v] {
+			t.Fatalf("vertex %d spilled twice", v)
+		}
+		spilled[v] = true
+	}
+	if len(p.Coloring) != g.N() {
+		t.Fatalf("coloring length %d, want %d", len(p.Coloring), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		c := p.Coloring[v]
+		if spilled[graph.V(v)] {
+			if c != graph.NoColor {
+				t.Fatalf("spilled vertex %d colored %d", v, c)
+			}
+			continue
+		}
+		if c < 0 || c >= k {
+			t.Fatalf("vertex %d color %d outside [0,%d)", v, c, k)
+		}
+		if pin, ok := g.Precolored(graph.V(v)); ok && c != pin {
+			t.Fatalf("vertex %d pinned %d but colored %d", v, pin, c)
+		}
+	}
+	for _, e := range g.Edges() {
+		cu, cv := p.Coloring[e[0]], p.Coloring[e[1]]
+		if cu != graph.NoColor && cu == cv {
+			t.Fatalf("interfering %d,%d share color %d", e[0], e[1], cu)
+		}
+	}
+	var cost int64
+	for range p.Spilled {
+		cost++
+	}
+	if p.Cost != cost {
+		t.Fatalf("unit cost %d, want %d", p.Cost, cost)
+	}
+}
+
+func TestGreedyOnColorableGraphSpillsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomChordal(rng, 20, 10, 4)
+	k := greedy.ColoringNumber(g)
+	plan, err := Greedy(&graph.File{G: g, K: k}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Spilled) != 0 || plan.Rounds != 0 {
+		t.Fatalf("spilled %v on a greedy-%d-colorable graph", plan.Spilled, k)
+	}
+	checkPlan(t, &graph.File{G: g, K: k}, plan)
+}
+
+func TestGreedyLowersPressure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.RandomER(rng, 18+rng.Intn(14), 0.35)
+		k := 3
+		f := &graph.File{G: g, K: k}
+		plan, err := Greedy(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlan(t, f, plan)
+		if greedy.IsGreedyKColorable(g, k) != (len(plan.Spilled) == 0) {
+			t.Fatalf("trial %d: spill count %d inconsistent with colorability", trial, len(plan.Spilled))
+		}
+	}
+}
+
+// The incremental spiller must make exactly the decisions of the rebuild
+// spiller — the confluence of greedy elimination is what makes resuming
+// from the previous fixpoint sound.
+func TestIncrementalMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		var g *graph.Graph
+		switch trial % 3 {
+		case 0:
+			g = graph.RandomER(rng, 15+rng.Intn(25), 0.3)
+		case 1:
+			g = graph.RandomInterval(rng, 15+rng.Intn(25), 40, 8)
+		default:
+			g = graph.RandomChordal(rng, 15+rng.Intn(25), 12, 5)
+		}
+		k := 2 + rng.Intn(4)
+		f := &graph.File{G: g, K: k}
+		a, err := Greedy(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Incremental(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Spilled, b.Spilled) {
+			t.Fatalf("trial %d (k=%d): greedy spilled %v, incremental %v", trial, k, a.Spilled, b.Spilled)
+		}
+		if !reflect.DeepEqual(a.Coloring, b.Coloring) {
+			t.Fatalf("trial %d: colorings differ", trial)
+		}
+		checkPlan(t, f, b)
+	}
+}
+
+func TestExactNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.RandomER(rng, 10+rng.Intn(12), 0.4)
+		k := 2 + rng.Intn(3)
+		f := &graph.File{G: g, K: k}
+		gp, err := Greedy(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := Exact(context.Background(), f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dense trials may exhaust the deterministic node budget, in which
+		// case the plan is the anytime incumbent and Optimal stays false;
+		// the never-worse-than-greedy guarantee holds either way.
+		if ep.Cost > gp.Cost {
+			t.Fatalf("trial %d: exact cost %d > greedy cost %d", trial, ep.Cost, gp.Cost)
+		}
+		checkPlan(t, f, ep)
+	}
+}
+
+func TestExactRespectsCosts(t *testing.T) {
+	// A triangle with k=2 must spill exactly one vertex; with skewed
+	// costs the optimum is the cheapest one.
+	g := graph.New(3)
+	g.AddClique(0, 1, 2)
+	f := &graph.File{G: g, K: 2}
+	plan, err := Exact(context.Background(), f, []int64{10, 10, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Spilled) != 1 || plan.Spilled[0] != 2 || plan.Cost != 1 {
+		t.Fatalf("plan = %+v, want vertex 2 at cost 1", plan)
+	}
+	if !plan.Optimal {
+		t.Fatal("completed search must report Optimal")
+	}
+}
+
+func TestExactEnvelope(t *testing.T) {
+	g := graph.New(ExactMaxVertices + 1)
+	if _, err := Exact(context.Background(), &graph.File{G: g, K: 2}, nil); err == nil {
+		t.Fatal("oversized instance must be rejected")
+	}
+}
+
+func TestExactCancelledStillReturnsPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.RandomER(rng, 40, 0.5)
+	f := &graph.File{G: g, K: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	plan, err := Exact(ctx, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, f, plan)
+	gp, _ := Greedy(f, nil)
+	if plan.Cost > gp.Cost {
+		t.Fatalf("cancelled exact cost %d worse than greedy %d", plan.Cost, gp.Cost)
+	}
+}
+
+func TestPrecoloredNeverSpilled(t *testing.T) {
+	// K4 with two pinned vertices, k=2: the two free vertices must go.
+	g := graph.New(4)
+	g.AddClique(0, 1, 2, 3)
+	g.SetPrecolored(0, 0)
+	g.SetPrecolored(1, 1)
+	f := &graph.File{G: g, K: 2}
+	for name, run := range map[string]func() (*Plan, error){
+		"greedy":      func() (*Plan, error) { return Greedy(f, nil) },
+		"incremental": func() (*Plan, error) { return Incremental(f, nil) },
+		"exact":       func() (*Plan, error) { return Exact(context.Background(), f, nil) },
+	} {
+		plan, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(plan.Spilled) != 2 {
+			t.Fatalf("%s: spilled %v, want the two unpinned vertices", name, plan.Spilled)
+		}
+		checkPlan(t, f, plan)
+	}
+}
+
+func TestNonPositiveCostsRejected(t *testing.T) {
+	g := graph.New(3)
+	g.AddClique(0, 1, 2)
+	f := &graph.File{G: g, K: 2}
+	for _, costs := range [][]int64{{1, 1, 0}, {1, -1, 1}} {
+		if _, err := Greedy(f, costs); err == nil {
+			t.Fatalf("costs %v accepted; non-positive costs break the exact bound", costs)
+		}
+	}
+}
+
+func TestConflictingPrecoloringRejected(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.SetPrecolored(0, 0)
+	g.SetPrecolored(1, 0)
+	if _, err := Greedy(&graph.File{G: g, K: 2}, nil); err == nil {
+		t.Fatal("conflicting precoloring must be rejected")
+	}
+}
+
+// randomRanges draws n intervals over [0, span).
+func randomRanges(rng *rand.Rand, n, span int) []Range {
+	rs := make([]Range, n)
+	for i := range rs {
+		s := rng.Intn(span - 1)
+		e := s + 1 + rng.Intn(span-s-1)
+		rs[i] = Range{ID: i, Start: s, End: e, Cost: 1}
+	}
+	return rs
+}
+
+// Belady's furthest-end eviction is optimal in spill count for interval
+// programs with unit costs — the polynomial basic-block case of the
+// spill-everywhere report. The exact search must agree on every instance.
+func TestGreedyIntervalsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		rs := randomRanges(rng, 8+rng.Intn(10), 20)
+		k := 1 + rng.Intn(4)
+		greedySpills := GreedyIntervals(rs, k)
+		exactSpills, err := ExactIntervals(rs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(greedySpills) != len(exactSpills) {
+			t.Fatalf("trial %d (k=%d): greedy spills %d (%v), exact %d (%v)",
+				trial, k, len(greedySpills), greedySpills, len(exactSpills), exactSpills)
+		}
+		// Removing the greedy spill set must actually lower pressure to k.
+		kept := rs[:0:0]
+		dropped := make(map[int]bool)
+		for _, id := range greedySpills {
+			dropped[id] = true
+		}
+		for _, r := range rs {
+			if !dropped[r.ID] {
+				kept = append(kept, r)
+			}
+		}
+		if MaxPressure(kept) > k {
+			t.Fatalf("trial %d: residual pressure %d > k=%d", trial, MaxPressure(kept), k)
+		}
+	}
+}
+
+func TestMaxPressure(t *testing.T) {
+	rs := []Range{{ID: 0, Start: 0, End: 4}, {ID: 1, Start: 1, End: 3}, {ID: 2, Start: 2, End: 5}, {ID: 3, Start: 4, End: 6}}
+	if p := MaxPressure(rs); p != 3 {
+		t.Fatalf("pressure = %d, want 3", p)
+	}
+	if p := MaxPressure(nil); p != 0 {
+		t.Fatalf("empty pressure = %d, want 0", p)
+	}
+	// Back-to-back ranges do not overlap: [0,4) and [4,6).
+	g := IntervalGraph(rs)
+	if g.HasEdge(0, 3) {
+		t.Fatal("touching endpoints must not interfere")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(1, 2) || !g.HasEdge(2, 3) {
+		t.Fatal("overlap edges missing")
+	}
+}
+
+// The IR-level incremental reducer must reproduce ssa.ReduceMaxlive's
+// decisions exactly — the incremental liveness update (clear the victim's
+// bit everywhere) is a closed form of the recomputed fixpoint.
+func TestReduceFuncMatchesReduceMaxlive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		params := ir.DefaultRandomParams()
+		params.Vars = 8 + rng.Intn(6)
+		params.Blocks = 4 + rng.Intn(5)
+		fn := ir.Random(rng, params)
+		_, low, err := ssa.Pipeline(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 3
+		a := low.Clone()
+		b := low.Clone()
+		wantSpills, wantOK := ssa.ReduceMaxlive(a, k)
+		gotSpills, gotOK := ReduceFunc(b, k)
+		if wantOK != gotOK || !reflect.DeepEqual(wantSpills, gotSpills) {
+			t.Fatalf("trial %d: ReduceMaxlive = (%v, %v), ReduceFunc = (%v, %v)",
+				trial, wantSpills, wantOK, gotSpills, gotOK)
+		}
+		if gotOK {
+			if ml := ssa.NewLiveness(b).Maxlive(); ml > k {
+				t.Fatalf("trial %d: Maxlive %d > k=%d after reduction", trial, ml, k)
+			}
+		}
+	}
+}
