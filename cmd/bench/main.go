@@ -11,6 +11,8 @@
 //	bench -families all -quick -timing=false        # byte-reproducible
 //	bench -list                                     # list corpus families
 //	bench -save corpus/ -families all               # persist the corpus
+//	bench -perf -o run.json                         # graph-core kernel suite
+//	bench -perf -baseline BENCH_graphcore.json      # ...with speedup columns
 //
 // Records go to stdout (or -o) as JSONL or CSV; the aggregate summary goes
 // to stderr as an aligned table (or to -summary as CSV). With -timing=false
@@ -18,6 +20,10 @@
 // every -parallel level and every run — the reproducibility contract the
 // perf-trajectory files (BENCH_*.json) rely on. (With a timeout set,
 // whether a borderline run times out depends on machine load.)
+//
+// The -perf mode (perf.go) swaps the strategy matrix for the fixed
+// graph-core kernel suite and emits a perf run — or, with -baseline, a
+// before/after trajectory — as JSON; see docs/PERFORMANCE.md.
 package main
 
 import (
@@ -57,12 +63,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timing   = fs.Bool("timing", true, "capture wall-clock per run (disable for byte-reproducible output)")
 		save     = fs.String("save", "", "persist the generated corpus (native + DIMACS + manifest) under this directory")
 		list     = fs.Bool("list", false, "list corpus families and exit")
+		perf     = fs.Bool("perf", false, "run the fixed graph-core kernel suite instead of the strategy matrix")
+		label    = fs.String("label", "", "free-form label recorded in the -perf run JSON")
+		baseline = fs.String("baseline", "", "with -perf: prior run or trajectory JSON to compare against (emits a before/after trajectory)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	if *perf {
+		dst := stdout
+		if *output != "" {
+			f, err := os.Create(*output)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			dst = f
+		}
+		return runPerf(*quick, *label, *baseline, dst, stderr)
 	}
 
 	if *list {

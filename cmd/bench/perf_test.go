@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The perf suite itself takes ~seconds per kernel under testing.Benchmark,
+// so these tests pin the plumbing — instance determinism, suite shape,
+// run/trajectory (de)serialization — without timing anything.
+
+func TestPerfInstancesDeterministic(t *testing.T) {
+	a := perfInstances(true)
+	b := perfInstances(true)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("instance counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].name != b[i].name {
+			t.Fatalf("instance %d name %q vs %q", i, a[i].name, b[i].name)
+		}
+		if a[i].f.G.N() != b[i].f.G.N() || a[i].f.G.E() != b[i].f.G.E() {
+			t.Fatalf("%s: graphs differ across builds (n %d/%d, e %d/%d)",
+				a[i].name, a[i].f.G.N(), b[i].f.G.N(), a[i].f.G.E(), b[i].f.G.E())
+		}
+		if a[i].f.K != b[i].f.K || a[i].spillK != b[i].spillK {
+			t.Fatalf("%s: k differs across builds", a[i].name)
+		}
+		if a[i].spillK >= a[i].f.K && a[i].f.K > 4 {
+			t.Fatalf("%s: spillK %d not below tight k %d — spill kernels would be no-ops",
+				a[i].name, a[i].spillK, a[i].f.K)
+		}
+		if err := a[i].f.G.Validate(); err != nil {
+			t.Fatalf("%s: %v", a[i].name, err)
+		}
+	}
+}
+
+func TestPerfSuiteShape(t *testing.T) {
+	insts := perfInstances(true)
+	names := perfKernelNames(insts)
+	want := 6 * len(insts) // build, clone, irc, spill-greedy, spill-inc, canon
+	if len(names) != want {
+		t.Fatalf("suite has %d kernels, want %d: %v", len(names), want, names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate kernel name %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestLoadPerfRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	run := &PerfRun{
+		Suite:   "graphcore",
+		Version: perfSuiteVersion,
+		Label:   "unit",
+		Kernels: []PerfKernel{{Name: "irc/x", NsPerOp: 100, AllocsPerOp: 3, BytesPerOp: 64}},
+	}
+	runPath := filepath.Join(dir, "run.json")
+	data, _ := json.Marshal(run)
+	if err := os.WriteFile(runPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadPerfRun(runPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "unit" || len(got.Kernels) != 1 || got.Kernels[0].NsPerOp != 100 {
+		t.Fatalf("bare run round-trip mangled: %+v", got)
+	}
+
+	// A trajectory file loads as its Current run, so the committed
+	// BENCH_*.json can be passed to -baseline directly.
+	traj := &PerfTrajectory{
+		Suite:    "graphcore",
+		Version:  perfSuiteVersion,
+		Unit:     "ns/op",
+		Baseline: run,
+		Current: &PerfRun{Suite: "graphcore", Version: perfSuiteVersion, Label: "current",
+			Kernels: []PerfKernel{{Name: "irc/x", NsPerOp: 50}}},
+		Speedup: map[string]float64{"irc/x": 2},
+	}
+	trajPath := filepath.Join(dir, "traj.json")
+	data, _ = json.Marshal(traj)
+	if err := os.WriteFile(trajPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = loadPerfRun(trajPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "current" || got.Kernels[0].NsPerOp != 50 {
+		t.Fatalf("trajectory load did not pick Current: %+v", got)
+	}
+
+	if _, err := loadPerfRun(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"not":"a run"}`), 0o644)
+	if _, err := loadPerfRun(bad); err == nil {
+		t.Fatal("loading a non-run JSON succeeded")
+	}
+}
+
+// TestCommittedTrajectoryWellFormed keeps BENCH_graphcore.json honest:
+// parseable, suite/version matching this binary, baseline+current
+// present, and the dense IRC+spill kernels at the ≥2x acceptance gate.
+func TestCommittedTrajectoryWellFormed(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_graphcore.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("no committed trajectory: %v", err)
+	}
+	var traj PerfTrajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("BENCH_graphcore.json does not parse: %v", err)
+	}
+	if traj.Suite != "graphcore" || traj.Version != perfSuiteVersion {
+		t.Fatalf("trajectory is %s v%d, binary expects graphcore v%d — bump or regenerate",
+			traj.Suite, traj.Version, perfSuiteVersion)
+	}
+	if traj.Baseline == nil || traj.Current == nil || len(traj.Speedup) == 0 {
+		t.Fatal("trajectory missing baseline/current/speedup")
+	}
+	gated := 0
+	for kernel, s := range traj.Speedup {
+		op, inst, ok := strings.Cut(kernel, "/")
+		if !ok {
+			t.Errorf("malformed kernel name %q", kernel)
+			continue
+		}
+		dense := strings.HasPrefix(inst, "dense")
+		if dense && (op == "irc" || op == "spill-greedy" || op == "spill-inc") {
+			gated++
+			if s < 2 {
+				t.Errorf("%s speedup %.2f below the 2x acceptance gate", kernel, s)
+			}
+		}
+	}
+	if gated == 0 {
+		t.Error("no dense IRC/spill kernels found in the trajectory")
+	}
+}

@@ -5,9 +5,12 @@ package regcoal
 //   - TestDocsMarkdownLinks: every relative link in README.md and
 //     docs/*.md points at a file that exists;
 //   - TestDocsPackageComments: every package under internal/ (and the
-//     root package) carries a package comment.
+//     root package) carries a package comment;
+//   - TestDocsCoreExamples: every core algorithm package carries at
+//     least one runnable godoc Example.
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -89,6 +92,46 @@ func TestDocsPackageComments(t *testing.T) {
 			if !documented {
 				t.Errorf("package %s (in %s) has no package comment", name, dir)
 			}
+		}
+	}
+}
+
+// coreExamplePackages are the exported core packages that must each ship
+// at least one runnable godoc Example (checked below; run them with
+// `go test -run Example ./internal/...`).
+var coreExamplePackages = []string{
+	"internal/graph",
+	"internal/greedy",
+	"internal/coalesce",
+	"internal/spill",
+	"internal/regalloc",
+}
+
+func TestDocsCoreExamples(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, dir := range coreExamplePackages {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		found := false
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fn, ok := d.(*ast.FuncDecl)
+					if !ok || fn.Recv != nil {
+						continue
+					}
+					if strings.HasPrefix(fn.Name.Name, "Example") {
+						found = true
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no godoc Example function; core packages must keep at least one runnable example", dir)
 		}
 	}
 }

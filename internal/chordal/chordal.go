@@ -172,19 +172,23 @@ func Color(g *graph.Graph) (graph.Coloring, int, bool) {
 }
 
 // ColorWithPEO colors g greedily in reverse elimination order. For a
-// chordal g with a valid PEO this uses exactly ω(g) colors.
+// chordal g with a valid PEO this uses exactly ω(g) colors. The
+// used-color scratch is one reused slice (colors are < MaxDegree+1), not
+// a per-vertex map.
 func ColorWithPEO(g *graph.Graph, peo []graph.V) graph.Coloring {
 	col := graph.NewColoring(g.N())
+	used := make([]int, g.MaxDegree()+2) // used[c] == stamp means c is taken
+	stamp := 0
 	for i := len(peo) - 1; i >= 0; i-- {
 		v := peo[i]
-		used := make(map[int]bool)
+		stamp++
 		g.ForEachNeighbor(v, func(w graph.V) {
-			if col[w] != graph.NoColor {
-				used[col[w]] = true
+			if c := col[w]; c != graph.NoColor && c < len(used) {
+				used[c] = stamp
 			}
 		})
 		c := 0
-		for used[c] {
+		for used[c] == stamp {
 			c++
 		}
 		col[v] = c
@@ -259,9 +263,34 @@ func MaximalCliquesPEO(g *graph.Graph, peo []graph.V) [][]graph.V {
 // SimplicialVertex returns a simplicial vertex of g (one whose neighborhood
 // is a clique), or ok=false if none exists. Every chordal graph has one
 // (Dirac); this is the basis of the paper's Property 1 proof.
+//
+// The clique check is word-parallel: N(v) is a clique iff for every
+// w ∈ N(v), N(v) \ N(w) ⊆ {w} — three bitset words at a time, with no
+// per-vertex neighbor-slice allocation.
 func SimplicialVertex(g *graph.Graph) (graph.V, bool) {
+	var buf []graph.V
 	for v := 0; v < g.N(); v++ {
-		if g.IsClique(g.Neighbors(graph.V(v))) {
+		rowV := g.BitsetNeighbors(graph.V(v))
+		buf = g.NeighborsInto(buf, graph.V(v))
+		simplicial := true
+		for _, w := range buf {
+			rowW := g.BitsetNeighbors(w)
+			for i := range rowV {
+				diff := rowV[i] &^ rowW[i]
+				// The only tolerated leftover is w itself (w ∉ N(w)).
+				if int(w)>>6 == i {
+					diff &^= 1 << (uint(w) & 63)
+				}
+				if diff != 0 {
+					simplicial = false
+					break
+				}
+			}
+			if !simplicial {
+				break
+			}
+		}
+		if simplicial {
 			return graph.V(v), true
 		}
 	}

@@ -33,18 +33,15 @@ func LexBFSOrder(g *graph.Graph) []graph.V {
 		groups[0].members = groups[0].members[1:]
 		visited[v] = true
 		visit = append(visit, v)
-		isNeighbor := make(map[graph.V]bool)
-		g.ForEachNeighbor(v, func(w graph.V) {
-			if !visited[w] {
-				isNeighbor[w] = true
-			}
-		})
+		// Membership in N(v) is an O(1) probe on the bitset row — the old
+		// per-visit map copy of the neighborhood is gone.
+		isNeighbor := g.BitsetNeighbors(v)
 		// Split every group into neighbors-first halves.
 		var next []*group
 		for _, gr := range groups {
 			var in, out []graph.V
 			for _, w := range gr.members {
-				if isNeighbor[w] {
+				if !visited[w] && isNeighbor.Get(w) {
 					in = append(in, w)
 				} else {
 					out = append(out, w)

@@ -2,6 +2,7 @@ package coalesce
 
 import (
 	"fmt"
+	mbits "math/bits"
 
 	"regcoal/internal/graph"
 	"regcoal/internal/greedy"
@@ -63,28 +64,34 @@ func significant(cur *graph.Graph, w graph.V, k int) bool {
 // BriggsOK applies Briggs' conservative test to merging quotient vertices
 // cx and cy in cur: the merge is safe when the merged vertex has fewer than
 // k significant neighbors. Degrees are evaluated after the merge: a common
-// neighbor of cx and cy loses one edge.
+// neighbor of cx and cy loses one edge. The neighborhood union
+// N(cx) ∪ N(cy) is scanned word-parallelly over the bitset rows — the
+// union deduplicates for free, where the map-backed version kept a
+// per-call seen set.
 func BriggsOK(cur *graph.Graph, cx, cy graph.V, k int) bool {
 	if cur.HasEdge(cx, cy) {
 		return false
 	}
+	rx, ry := cur.BitsetNeighbors(cx), cur.BitsetNeighbors(cy)
 	count := 0
-	seen := make(map[graph.V]bool)
-	consider := func(w graph.V) {
-		if w == cx || w == cy || seen[w] {
-			return
-		}
-		seen[w] = true
-		deg := cur.Degree(w)
-		if cur.HasEdge(cx, w) && cur.HasEdge(cy, w) {
-			deg-- // cx and cy collapse into one neighbor of w
-		}
-		if _, pinned := cur.Precolored(w); pinned || deg >= k {
-			count++
+	for i := range rx {
+		m := rx[i] | ry[i]
+		for m != 0 {
+			bit := m & -m
+			m &^= bit
+			w := graph.V(i<<6) + graph.V(mbits.TrailingZeros64(bit))
+			deg := cur.Degree(w)
+			if rx[i]&bit != 0 && ry[i]&bit != 0 {
+				deg-- // cx and cy collapse into one neighbor of w
+			}
+			if _, pinned := cur.Precolored(w); pinned || deg >= k {
+				count++
+				if count >= k {
+					return false
+				}
+			}
 		}
 	}
-	cur.ForEachNeighbor(cx, consider)
-	cur.ForEachNeighbor(cy, consider)
 	return count < k
 }
 

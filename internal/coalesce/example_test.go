@@ -1,0 +1,29 @@
+package coalesce_test
+
+import (
+	"fmt"
+
+	"regcoal/internal/coalesce"
+	"regcoal/internal/graph"
+)
+
+// ExampleConservative coalesces the path-with-a-move instance with
+// Briggs' test: merging the endpoints of the move keeps the graph
+// greedy-2-colorable, so the move is coalesced.
+func ExampleConservative() {
+	g := graph.NewNamed("a", "b", "c", "d")
+	a, b, c, d := graph.V(0), graph.V(1), graph.V(2), graph.V(3)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(c, d)
+	g.AddAffinity(a, c, 5)
+
+	res := coalesce.Conservative(g, 2, coalesce.TestBriggs)
+	fmt.Println("coalesced moves:", len(res.Coalesced))
+	fmt.Println("coalesced weight:", res.CoalescedWeight)
+	fmt.Println("still greedy-2-colorable:", res.Colorable)
+	// Output:
+	// coalesced moves: 1
+	// coalesced weight: 5
+	// still greedy-2-colorable: true
+}

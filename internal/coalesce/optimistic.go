@@ -90,12 +90,12 @@ func OptimisticOrdered(g *graph.Graph, k int, ord DecoalesceOrder) *Result {
 		switch ord {
 		case DecoalesceWitnessMinWeight:
 			witness := greedy.Witness(cur, k)
-			inWitness := make(map[graph.V]bool, len(witness))
+			inWitness := graph.NewBits(cur.N())
 			for _, w := range witness {
-				inWitness[w] = true
+				inWitness.Set(w)
 			}
 			for i, in := range inSet {
-				if !in || !inWitness[old2new[affs[i].X]] {
+				if !in || !inWitness.Get(old2new[affs[i].X]) {
 					continue
 				}
 				if drop == -1 || affs[i].Weight < affs[drop].Weight {

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the hybrid graph core: the four substrate
+// operations that dominate the solver kernels of cmd/bench -perf (see
+// docs/PERFORMANCE.md). Run via `go test -bench=. ./internal/graph`;
+// CI's bench-smoke job compiles and executes them once per push.
+
+func benchGraph(b *testing.B, n int, p float64) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	g := RandomER(rng, n, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	return g
+}
+
+func BenchmarkHasEdgeDense(b *testing.B) {
+	g := benchGraph(b, 512, 0.5)
+	for i := 0; i < b.N; i++ {
+		u := V(i & 511)
+		v := V((i >> 9) & 511)
+		if u != v {
+			g.HasEdge(u, v)
+		}
+	}
+}
+
+func BenchmarkForEachNeighborDense(b *testing.B) {
+	g := benchGraph(b, 512, 0.5)
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		g.ForEachNeighbor(V(i&511), func(w V) { sum += int(w) })
+	}
+	_ = sum
+}
+
+func BenchmarkMaskedDegreeDense(b *testing.B) {
+	g := benchGraph(b, 512, 0.5)
+	mask := NewBits(512)
+	for v := 0; v < 512; v += 2 {
+		mask.Set(V(v))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MaskedDegree(V(i&511), mask)
+	}
+}
+
+func BenchmarkCloneDense(b *testing.B) {
+	g := benchGraph(b, 512, 0.5)
+	for i := 0; i < b.N; i++ {
+		g.Clone()
+	}
+}
+
+func BenchmarkAddEdgeBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	proto := RandomER(rng, 512, 0.5)
+	edges := proto.Edges()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := New(512)
+		for _, e := range edges {
+			h.AddEdge(e[0], e[1])
+		}
+	}
+}

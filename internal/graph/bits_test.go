@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(130)
+	if !b.Empty() || b.Count() != 0 || b.First() != -1 {
+		t.Fatalf("fresh bitset not empty: count=%d first=%d", b.Count(), b.First())
+	}
+	for _, v := range []V{0, 63, 64, 129} {
+		b.Set(v)
+		if !b.Get(v) {
+			t.Fatalf("Set(%d) not visible", v)
+		}
+	}
+	if b.Count() != 4 || b.First() != 0 {
+		t.Fatalf("count=%d first=%d, want 4/0", b.Count(), b.First())
+	}
+	b.Clear(0)
+	if b.Get(0) || b.First() != 63 {
+		t.Fatalf("Clear(0) broken: first=%d", b.First())
+	}
+	var got []V
+	b.ForEach(func(v V) { got = append(got, v) })
+	want := []V{63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	b.Reset()
+	if !b.Empty() {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestBitsFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 200} {
+		b := NewBits(n)
+		b.Fill(n)
+		if b.Count() != n {
+			t.Fatalf("Fill(%d): count %d", n, b.Count())
+		}
+		if n > 0 && (!b.Get(0) || !b.Get(V(n-1))) {
+			t.Fatalf("Fill(%d) missing endpoints", n)
+		}
+	}
+	// Fill with fewer bits than capacity clears the tail.
+	b := NewBits(192)
+	b.Fill(192)
+	b.Fill(10)
+	if b.Count() != 10 {
+		t.Fatalf("re-Fill(10): count %d", b.Count())
+	}
+}
+
+func TestBitsAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b, c := NewBits(n), NewBits(n), NewBits(n)
+		want2, want3 := 0, 0
+		for v := 0; v < n; v++ {
+			ia, ib, ic := rng.Intn(2) == 0, rng.Intn(2) == 0, rng.Intn(2) == 0
+			if ia {
+				a.Set(V(v))
+			}
+			if ib {
+				b.Set(V(v))
+			}
+			if ic {
+				c.Set(V(v))
+			}
+			if ia && ib {
+				want2++
+			}
+			if ia && ib && ic {
+				want3++
+			}
+		}
+		if got := AndCount(a, b); got != want2 {
+			t.Fatalf("AndCount: got %d, want %d", got, want2)
+		}
+		if got := AndCount3(a, b, c); got != want3 {
+			t.Fatalf("AndCount3: got %d, want %d", got, want3)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -72,46 +73,67 @@ func CanonicalForm(f *File) *Canonical {
 		affAdj[a.Y] = append(affAdj[a.Y], affNb{a.Weight, a.X})
 	}
 
-	// Initial signatures from label-independent invariants.
+	// Initial signatures from label-independent invariants. Signature
+	// strings are built with strconv appends into reused buffers — byte
+	// for byte the same strings the fmt-based builder produced, so class
+	// ranking (and therefore every canonical hash) is unchanged; only the
+	// per-vertex-per-round allocations are gone.
 	sigs := make([]string, n)
 	var b strings.Builder
+	var num []byte // strconv scratch: digits appended here, written to b
+	writeInt := func(x int64) {
+		num = strconv.AppendInt(num[:0], x, 10)
+		b.Write(num)
+	}
 	for v := 0; v < n; v++ {
 		b.Reset()
 		pc := NoColor
 		if c, ok := g.Precolored(V(v)); ok {
 			pc = c
 		}
-		fmt.Fprintf(&b, "p%d d%d", pc, g.Degree(V(v)))
+		b.WriteByte('p')
+		writeInt(int64(pc))
+		b.WriteString(" d")
+		writeInt(int64(g.Degree(V(v))))
 		ws := make([]int64, 0, len(affAdj[v]))
 		for _, an := range affAdj[v] {
 			ws = append(ws, an.w)
 		}
 		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
 		for _, w := range ws {
-			fmt.Fprintf(&b, " w%d", w)
+			b.WriteString(" w")
+			writeInt(w)
 		}
 		sigs[v] = b.String()
 	}
 	colors := rankSignatures(sigs)
 	distinct := countDistinct(colors)
 
+	var nbColors []int // reused neighbor-color buffer
+	var affSigs []string
 	for round := 0; round < n; round++ {
 		next := make([]string, n)
 		for v := 0; v < n; v++ {
-			nbColors := make([]int, 0, g.Degree(V(v)))
+			nbColors = nbColors[:0]
 			g.ForEachNeighbor(V(v), func(w V) {
 				nbColors = append(nbColors, colors[w])
 			})
 			sort.Ints(nbColors)
-			affSigs := make([]string, 0, len(affAdj[v]))
+			affSigs = affSigs[:0]
 			for _, an := range affAdj[v] {
-				affSigs = append(affSigs, fmt.Sprintf("%d:%d", an.w, colors[an.nb]))
+				num = strconv.AppendInt(num[:0], an.w, 10)
+				num = append(num, ':')
+				num = strconv.AppendInt(num, int64(colors[an.nb]), 10)
+				affSigs = append(affSigs, string(num))
 			}
 			sort.Strings(affSigs)
 			b.Reset()
-			fmt.Fprintf(&b, "c%d|", colors[v])
+			b.WriteByte('c')
+			writeInt(int64(colors[v]))
+			b.WriteByte('|')
 			for _, c := range nbColors {
-				fmt.Fprintf(&b, " %d", c)
+				b.WriteByte(' ')
+				writeInt(int64(c))
 			}
 			b.WriteString("|")
 			for _, s := range affSigs {

@@ -1,0 +1,146 @@
+package graph_test
+
+// Differential property test: the hybrid bitset + adjacency-slice Graph
+// must agree, query for query, with the retained map-backed reference
+// implementation (internal/graph/mapref) under arbitrary interleavings
+// of AddVertex/AddEdge/RemoveEdge — and Clone must be a genuinely
+// independent deep copy on both sides.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/graph/mapref"
+)
+
+// checkAgree asserts full observable agreement between g and r.
+func checkAgree(t *testing.T, g *graph.Graph, r *mapref.Graph) {
+	t.Helper()
+	if g.N() != r.N() {
+		t.Fatalf("N: bitset %d, reference %d", g.N(), r.N())
+	}
+	if g.E() != r.E() {
+		t.Fatalf("E: bitset %d, reference %d", g.E(), r.E())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	n := g.N()
+	for u := 0; u < n; u++ {
+		if got, want := g.Degree(graph.V(u)), r.Degree(graph.V(u)); got != want {
+			t.Fatalf("Degree(%d): bitset %d, reference %d", u, got, want)
+		}
+		gn, rn := g.Neighbors(graph.V(u)), r.Neighbors(graph.V(u))
+		if len(gn) != len(rn) || (len(gn) > 0 && !reflect.DeepEqual(gn, rn)) {
+			t.Fatalf("Neighbors(%d): bitset %v, reference %v", u, gn, rn)
+		}
+		row := g.BitsetNeighbors(graph.V(u))
+		if row.Count() != len(rn) {
+			t.Fatalf("BitsetNeighbors(%d): %d bits, want %d", u, row.Count(), len(rn))
+		}
+		for v := 0; v < n; v++ {
+			if got, want := g.HasEdge(graph.V(u), graph.V(v)), r.HasEdge(graph.V(u), graph.V(v)); got != want {
+				t.Fatalf("HasEdge(%d,%d): bitset %v, reference %v", u, v, got, want)
+			}
+			if got := row.Get(graph.V(v)); got != r.HasEdge(graph.V(u), graph.V(v)) {
+				t.Fatalf("BitsetNeighbors(%d).Get(%d) = %v disagrees with reference", u, v, got)
+			}
+		}
+	}
+	ge, re := g.Edges(), r.Edges()
+	if len(ge) != len(re) || (len(ge) > 0 && !reflect.DeepEqual(ge, re)) {
+		t.Fatalf("Edges: bitset %v, reference %v", ge, re)
+	}
+}
+
+func TestDifferentialMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(40)
+		g := graph.New(n)
+		r := mapref.New(n)
+		pick2 := func() (graph.V, graph.V) {
+			u := graph.V(rng.Intn(g.N()))
+			v := graph.V(rng.Intn(g.N()))
+			return u, v
+		}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(10) {
+			case 0: // grow (exercises restriding of the bitset matrix)
+				gv, rv := g.AddVertex(), r.AddVertex()
+				if gv != rv {
+					t.Fatalf("AddVertex: bitset %d, reference %d", gv, rv)
+				}
+			case 1, 2:
+				u, v := pick2()
+				if u != v {
+					g.RemoveEdge(u, v)
+					r.RemoveEdge(u, v)
+				}
+			default:
+				u, v := pick2()
+				if u != v {
+					g.AddEdge(u, v)
+					r.AddEdge(u, v)
+				}
+			}
+		}
+		checkAgree(t, g, r)
+
+		// Clone: agree with the reference clone, and stay unaffected by
+		// further mutation of the original.
+		gc, rc := g.Clone(), r.Clone()
+		for op := 0; op < 100; op++ {
+			u, v := pick2()
+			if u == v {
+				continue
+			}
+			if op%3 == 0 {
+				g.RemoveEdge(u, v)
+			} else {
+				g.AddEdge(u, v)
+			}
+		}
+		checkAgree(t, gc, rc)
+	}
+}
+
+// TestDifferentialMaskedPrimitives pins the word-parallel helpers to
+// their scalar definitions on random graphs.
+func TestDifferentialMaskedPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(90)
+		g := graph.RandomER(rng, n, 0.3)
+		mask := graph.NewBits(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				mask.Set(graph.V(v))
+			}
+		}
+		for v := 0; v < n; v++ {
+			want := 0
+			g.ForEachNeighbor(graph.V(v), func(w graph.V) {
+				if mask.Get(w) {
+					want++
+				}
+			})
+			if got := g.MaskedDegree(graph.V(v), mask); got != want {
+				t.Fatalf("MaskedDegree(%d): got %d, want %d", v, got, want)
+			}
+		}
+		u := graph.V(rng.Intn(n))
+		v := graph.V(rng.Intn(n))
+		want := 0
+		g.ForEachNeighbor(u, func(w graph.V) {
+			if w != v && g.HasEdge(v, w) {
+				want++
+			}
+		})
+		if got := g.CommonNeighborCount(u, v); got != want {
+			t.Fatalf("CommonNeighborCount(%d,%d): got %d, want %d", u, v, got, want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"regcoal/internal/graph"
+)
+
+// ExampleGraph builds a small interference graph with a move edge and
+// shows the core queries: O(1) HasEdge on the bitset matrix, O(1)
+// Degree, ordered neighbor iteration, and a word-parallel masked degree.
+func ExampleGraph() {
+	g := graph.NewNamed("a", "b", "c", "d")
+	a, b, c, d := graph.V(0), graph.V(1), graph.V(2), graph.V(3)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(c, d)
+	g.AddAffinity(a, c, 5) // coalescing a and c would save a move of weight 5
+
+	fmt.Println("n =", g.N(), "e =", g.E())
+	fmt.Println("a-b interfere:", g.HasEdge(a, b))
+	fmt.Println("a-c interfere:", g.HasEdge(a, c))
+	fmt.Println("deg(b) =", g.Degree(b))
+
+	g.ForEachNeighbor(c, func(w graph.V) {
+		fmt.Println("neighbor of c:", g.Name(w))
+	})
+
+	// Word-parallel: degree of b inside the mask {a, c}.
+	mask := graph.NewBits(g.N())
+	mask.Set(a)
+	mask.Set(c)
+	fmt.Println("masked deg(b) =", g.MaskedDegree(b, mask))
+
+	// Output:
+	// n = 4 e = 3
+	// a-b interfere: true
+	// a-c interfere: false
+	// deg(b) = 2
+	// neighbor of c: b
+	// neighbor of c: d
+	// masked deg(b) = 2
+}

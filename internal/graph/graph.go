@@ -12,6 +12,26 @@
 // coalescing in the paper: a coalescing is a partition of the vertices such
 // that no two vertices of a class interfere, and the coalesced graph G_f is
 // the quotient of G by that partition (see Partition and Quotient).
+//
+// # Representation
+//
+// Interference is stored twice, in the hybrid layout production allocators
+// use for dense, high-pressure graphs (see docs/PERFORMANCE.md):
+//
+//   - a dense bitset matrix (one []uint64 row per vertex, all rows packed
+//     into a single flat slice) giving O(1) HasEdge and word-parallel set
+//     operations over neighborhoods (BitsetNeighbors, MaskedDegree,
+//     CommonNeighborCount);
+//   - compact sorted adjacency slices giving O(deg) allocation-free
+//     iteration in increasing vertex order (ForEachNeighbor,
+//     NeighborsInto) and O(1) Degree.
+//
+// The two structures are maintained together by AddEdge/RemoveEdge; the
+// memory cost is n²/8 bytes for the matrix plus ~8 bytes per half-edge for
+// the slices, a fine trade at interference-graph scale (Validate checks
+// their consistency). Iteration order is increasing vertex order — a
+// strictly stronger guarantee than the unspecified map order of the old
+// representation, which determinism-sensitive callers had to sort away.
 package graph
 
 import (
@@ -50,7 +70,11 @@ func (a Affinity) Canon() Affinity {
 // optional precolored vertices (machine registers). The zero value is an
 // empty graph; use New or NewNamed for a graph with vertices.
 type Graph struct {
-	adj        []map[V]bool
+	n      int
+	stride int      // words per bitset row; >= wordsFor(n)
+	bits   []uint64 // n rows of stride words; row v starts at v*stride
+	nbr    [][]V    // sorted neighbor slices; len(nbr[v]) == Degree(v)
+
 	names      []string
 	precolored []int
 	affinities []Affinity
@@ -64,12 +88,14 @@ func New(n int) *Graph {
 		panic(fmt.Sprintf("graph: negative vertex count %d", n))
 	}
 	g := &Graph{
-		adj:        make([]map[V]bool, n),
+		n:          n,
+		stride:     wordsFor(n),
+		nbr:        make([][]V, n),
 		names:      make([]string, n),
 		precolored: make([]int, n),
 	}
-	for i := range g.adj {
-		g.adj[i] = make(map[V]bool)
+	g.bits = make([]uint64, n*g.stride)
+	for i := range g.precolored {
 		g.precolored[i] = NoColor
 	}
 	return g
@@ -83,26 +109,57 @@ func NewNamed(names ...string) *Graph {
 }
 
 // N reports the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // E reports the number of interference edges.
 func (g *Graph) E() int { return g.edges }
 
 // Vertices returns all vertex ids in increasing order.
 func (g *Graph) Vertices() []V {
-	vs := make([]V, g.N())
+	vs := make([]V, g.n)
 	for i := range vs {
 		vs[i] = V(i)
 	}
 	return vs
 }
 
+// row returns vertex v's full bitset row (stride words).
+func (g *Graph) row(v V) []uint64 {
+	off := int(v) * g.stride
+	return g.bits[off : off+g.stride]
+}
+
+// growTo widens the bitset matrix to hold at least n vertices, restriding
+// (with doubling, to amortize vertex-at-a-time growth as in CliqueLift)
+// when n no longer fits the current row width.
+func (g *Graph) growTo(n int) {
+	need := wordsFor(n)
+	if need > g.stride {
+		stride := 2 * g.stride
+		if stride < need {
+			stride = need
+		}
+		nb := make([]uint64, n*stride)
+		for v := 0; v < g.n; v++ {
+			copy(nb[v*stride:], g.bits[v*g.stride:v*g.stride+g.stride])
+		}
+		g.bits = nb
+		g.stride = stride
+		return
+	}
+	if want := n * g.stride; len(g.bits) < want {
+		g.bits = append(g.bits, make([]uint64, want-len(g.bits))...)
+	}
+}
+
 // AddVertex appends a fresh isolated vertex and returns its id.
 func (g *Graph) AddVertex() V {
-	g.adj = append(g.adj, make(map[V]bool))
+	g.growTo(g.n + 1)
+	g.n++
+	g.nbr = append(g.nbr, nil)
 	g.names = append(g.names, "")
 	g.precolored = append(g.precolored, NoColor)
-	return V(len(g.adj) - 1)
+	return V(g.n - 1)
 }
 
 // AddNamedVertex appends a fresh isolated vertex with the given name.
@@ -146,9 +203,29 @@ func (g *Graph) VertexByName(name string) (V, bool) {
 }
 
 func (g *Graph) check(v V) {
-	if v < 0 || int(v) >= len(g.adj) {
-		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", int(v), len(g.adj)))
+	if v < 0 || int(v) >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", int(v), g.n))
 	}
+}
+
+// insertSorted inserts v into the sorted slice s. Appending at the tail
+// (edges arriving in increasing order, the common build pattern) is O(1).
+func insertSorted(s []V, v V) []V {
+	if n := len(s); n == 0 || s[n-1] < v {
+		return append(s, v)
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// removeSorted removes v from the sorted slice s (v must be present).
+func removeSorted(s []V, v V) []V {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
 }
 
 // AddEdge adds the interference edge (u, v). Adding an existing edge is a
@@ -160,11 +237,15 @@ func (g *Graph) AddEdge(u, v V) {
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop on vertex %d", int(u)))
 	}
-	if g.adj[u][v] {
+	iu := int(u)*g.stride + int(v)>>6
+	mu := uint64(1) << (uint(v) & 63)
+	if g.bits[iu]&mu != 0 {
 		return
 	}
-	g.adj[u][v] = true
-	g.adj[v][u] = true
+	g.bits[iu] |= mu
+	g.bits[int(v)*g.stride+int(u)>>6] |= 1 << (uint(u) & 63)
+	g.nbr[u] = insertSorted(g.nbr[u], v)
+	g.nbr[v] = insertSorted(g.nbr[v], u)
 	g.edges++
 }
 
@@ -172,65 +253,96 @@ func (g *Graph) AddEdge(u, v V) {
 func (g *Graph) RemoveEdge(u, v V) {
 	g.check(u)
 	g.check(v)
-	if !g.adj[u][v] {
+	iu := int(u)*g.stride + int(v)>>6
+	mu := uint64(1) << (uint(v) & 63)
+	if g.bits[iu]&mu == 0 {
 		return
 	}
-	delete(g.adj[u], v)
-	delete(g.adj[v], u)
+	g.bits[iu] &^= mu
+	g.bits[int(v)*g.stride+int(u)>>6] &^= 1 << (uint(u) & 63)
+	g.nbr[u] = removeSorted(g.nbr[u], v)
+	g.nbr[v] = removeSorted(g.nbr[v], u)
 	g.edges--
 }
 
-// HasEdge reports whether u and v interfere.
+// HasEdge reports whether u and v interfere. O(1): one word probe in the
+// bitset matrix.
 func (g *Graph) HasEdge(u, v V) bool {
 	g.check(u)
 	g.check(v)
-	return g.adj[u][v]
+	return g.bits[int(u)*g.stride+int(v)>>6]&(1<<(uint(v)&63)) != 0
 }
 
-// Degree reports the number of interference neighbors of v.
+// Degree reports the number of interference neighbors of v. O(1).
 func (g *Graph) Degree(v V) int {
 	g.check(v)
-	return len(g.adj[v])
+	return len(g.nbr[v])
 }
 
 // Neighbors returns the interference neighbors of v in increasing order.
-// The slice is freshly allocated; callers may keep or modify it.
+// The slice is freshly allocated; callers may keep or modify it. Hot loops
+// should prefer ForEachNeighbor or NeighborsInto, which do not allocate.
 func (g *Graph) Neighbors(v V) []V {
 	g.check(v)
-	ns := make([]V, 0, len(g.adj[v]))
-	for w := range g.adj[v] {
-		ns = append(ns, w)
-	}
-	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
-	return ns
+	return append([]V(nil), g.nbr[v]...)
+}
+
+// NeighborsInto overwrites dst with the neighbors of v in increasing order
+// and returns it, growing it only when v's degree exceeds cap(dst). It is
+// the allocation-free variant of Neighbors for loops that reuse a buffer.
+func (g *Graph) NeighborsInto(dst []V, v V) []V {
+	g.check(v)
+	return append(dst[:0], g.nbr[v]...)
 }
 
 // ForEachNeighbor calls fn for every interference neighbor of v, in
-// unspecified order. It avoids the allocation and sort of Neighbors and is
-// the right call on hot paths whose result does not depend on order.
+// increasing vertex order. It avoids the allocation of Neighbors and is
+// the right call on hot paths.
 func (g *Graph) ForEachNeighbor(v V, fn func(w V)) {
 	g.check(v)
-	for w := range g.adj[v] {
+	for _, w := range g.nbr[v] {
 		fn(w)
 	}
+}
+
+// BitsetNeighbors returns the neighborhood of v as a read-only bitset,
+// sized wordsFor(N()) — directly compatible with masks from NewBits(N())
+// and the word-parallel helpers (AndCount, MaskedDegree). The returned
+// slice aliases the graph: callers must not modify it, and it is
+// invalidated by AddVertex.
+func (g *Graph) BitsetNeighbors(v V) Bits {
+	g.check(v)
+	off := int(v) * g.stride
+	return Bits(g.bits[off : off+wordsFor(g.n)])
+}
+
+// MaskedDegree counts the neighbors of v inside mask word-parallelly —
+// the degree of v in the subgraph induced by mask, without touching the
+// adjacency slices. mask is typically NewBits(N())-sized.
+func (g *Graph) MaskedDegree(v V, mask Bits) int {
+	g.check(v)
+	return AndCount(g.BitsetNeighbors(v), mask)
+}
+
+// CommonNeighborCount counts the common interference neighbors of u and v
+// word-parallelly — the |N(u) ∩ N(v)| term of the Briggs/George
+// conservative tests.
+func (g *Graph) CommonNeighborCount(u, v V) int {
+	g.check(u)
+	g.check(v)
+	return AndCount(g.BitsetNeighbors(u), g.BitsetNeighbors(v))
 }
 
 // Edges returns all interference edges with u < v, sorted lexicographically.
 func (g *Graph) Edges() [][2]V {
 	es := make([][2]V, 0, g.edges)
-	for u := range g.adj {
-		for v := range g.adj[u] {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.nbr[u] {
 			if V(u) < v {
 				es = append(es, [2]V{V(u), v})
 			}
 		}
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i][0] != es[j][0] {
-			return es[i][0] < es[j][0]
-		}
-		return es[i][1] < es[j][1]
-	})
 	return es
 }
 
@@ -329,19 +441,22 @@ func (g *Graph) HasPrecolored() bool {
 	return false
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The bitset matrix is one flat
+// copy; adjacency slices are copied row by row.
 func (g *Graph) Clone() *Graph {
 	h := &Graph{
-		adj:        make([]map[V]bool, len(g.adj)),
+		n:          g.n,
+		stride:     g.stride,
+		bits:       append([]uint64(nil), g.bits...),
+		nbr:        make([][]V, g.n),
 		names:      append([]string(nil), g.names...),
 		precolored: append([]int(nil), g.precolored...),
 		affinities: append([]Affinity(nil), g.affinities...),
 		edges:      g.edges,
 	}
-	for i, m := range g.adj {
-		h.adj[i] = make(map[V]bool, len(m))
-		for w := range m {
-			h.adj[i][w] = true
+	for v, ns := range g.nbr {
+		if len(ns) > 0 {
+			h.nbr[v] = append([]V(nil), ns...)
 		}
 	}
 	return h
@@ -351,7 +466,7 @@ func (g *Graph) Clone() *Graph {
 // mapping from old vertex ids to new ids (length g.N(), -1 for dropped
 // vertices). Affinities with a dropped endpoint are dropped.
 func (g *Graph) InducedSubgraph(keep []V) (*Graph, []V) {
-	old2new := make([]V, g.N())
+	old2new := make([]V, g.n)
 	for i := range old2new {
 		old2new[i] = -1
 	}
@@ -366,7 +481,7 @@ func (g *Graph) InducedSubgraph(keep []V) (*Graph, []V) {
 		sub.precolored[i] = g.precolored[v]
 	}
 	for _, v := range keep {
-		for w := range g.adj[v] {
+		for _, w := range g.nbr[v] {
 			if v < w && old2new[w] != -1 {
 				sub.AddEdge(old2new[v], old2new[w])
 			}
@@ -405,8 +520,8 @@ func (g *Graph) IsClique(vs []V) bool {
 // MaxDegree reports the maximum vertex degree (0 for an empty graph).
 func (g *Graph) MaxDegree() int {
 	m := 0
-	for v := range g.adj {
-		if d := len(g.adj[v]); d > m {
+	for v := range g.nbr {
+		if d := len(g.nbr[v]); d > m {
 			m = d
 		}
 	}
@@ -415,12 +530,12 @@ func (g *Graph) MaxDegree() int {
 
 // MinDegree reports the minimum vertex degree (0 for an empty graph).
 func (g *Graph) MinDegree() int {
-	if g.N() == 0 {
+	if g.n == 0 {
 		return 0
 	}
-	m := g.N()
-	for v := range g.adj {
-		if d := len(g.adj[v]); d < m {
+	m := g.n
+	for v := range g.nbr {
+		if d := len(g.nbr[v]); d < m {
 			m = d
 		}
 	}
@@ -444,7 +559,7 @@ func (g *Graph) CliqueLift(p int) (*Graph, []V) {
 	}
 	h.AddClique(added...)
 	for _, c := range added {
-		for v := 0; v < g.N(); v++ {
+		for v := 0; v < g.n; v++ {
 			h.AddEdge(c, V(v))
 		}
 	}
@@ -455,9 +570,9 @@ func (g *Graph) CliqueLift(p int) (*Graph, []V) {
 // the interference structure (affinities are ignored), each sorted, in order
 // of smallest contained vertex.
 func (g *Graph) ConnectedComponents() [][]V {
-	seen := make([]bool, g.N())
+	seen := make([]bool, g.n)
 	var comps [][]V
-	for s := 0; s < g.N(); s++ {
+	for s := 0; s < g.n; s++ {
 		if seen[s] {
 			continue
 		}
@@ -468,7 +583,7 @@ func (g *Graph) ConnectedComponents() [][]V {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, v)
-			for w := range g.adj[v] {
+			for _, w := range g.nbr[v] {
 				if !seen[w] {
 					seen[w] = true
 					stack = append(stack, w)
@@ -481,22 +596,39 @@ func (g *Graph) ConnectedComponents() [][]V {
 	return comps
 }
 
-// Validate checks internal consistency: adjacency symmetry, edge count,
-// affinity endpoints in range and non-negative weights. It returns the
-// first inconsistency found, or nil. A healthy graph built through the
-// public API always validates; Validate exists to catch corruption in code
-// that manipulates internals (tests, fuzzing).
+// Validate checks internal consistency: bitset/adjacency-slice agreement,
+// slice sortedness, adjacency symmetry, edge count, affinity endpoints in
+// range and non-negative weights. It returns the first inconsistency
+// found, or nil. A healthy graph built through the public API always
+// validates; Validate exists to catch corruption in code that manipulates
+// internals (tests, fuzzing).
 func (g *Graph) Validate() error {
+	if g.stride < wordsFor(g.n) {
+		return fmt.Errorf("graph: stride %d too small for %d vertices", g.stride, g.n)
+	}
+	if len(g.bits) < g.n*g.stride {
+		return fmt.Errorf("graph: bitset matrix has %d words, need %d", len(g.bits), g.n*g.stride)
+	}
 	count := 0
-	for u := range g.adj {
-		for v := range g.adj[u] {
-			if int(v) < 0 || int(v) >= len(g.adj) {
+	for u := 0; u < g.n; u++ {
+		row := g.row(V(u))
+		if got := Bits(row[:wordsFor(g.n)]).Count(); got != len(g.nbr[u]) {
+			return fmt.Errorf("graph: vertex %d bitset degree %d != slice degree %d", u, got, len(g.nbr[u]))
+		}
+		for i, v := range g.nbr[u] {
+			if int(v) < 0 || int(v) >= g.n {
 				return fmt.Errorf("graph: edge (%d,%d) endpoint out of range", u, int(v))
 			}
 			if V(u) == v {
 				return fmt.Errorf("graph: self-loop on %d", u)
 			}
-			if !g.adj[v][V(u)] {
+			if i > 0 && g.nbr[u][i-1] >= v {
+				return fmt.Errorf("graph: vertex %d adjacency slice unsorted at %d", u, i)
+			}
+			if row[int(v)>>6]&(1<<(uint(v)&63)) == 0 {
+				return fmt.Errorf("graph: edge (%d,%d) in slice but not bitset", u, int(v))
+			}
+			if !g.HasEdge(v, V(u)) {
 				return fmt.Errorf("graph: asymmetric edge (%d,%d)", u, int(v))
 			}
 			count++
@@ -506,7 +638,7 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: edge count %d does not match adjacency size %d", g.edges, count)
 	}
 	for _, a := range g.affinities {
-		if int(a.X) < 0 || int(a.X) >= len(g.adj) || int(a.Y) < 0 || int(a.Y) >= len(g.adj) {
+		if int(a.X) < 0 || int(a.X) >= g.n || int(a.Y) < 0 || int(a.Y) >= g.n {
 			return fmt.Errorf("graph: affinity %v endpoint out of range", a)
 		}
 		if a.Weight < 0 {

@@ -1,0 +1,152 @@
+// Package mapref retains the pre-bitset map-backed adjacency
+// representation of internal/graph as a differential-testing reference.
+//
+// When the graph core moved to the hybrid bitset + adjacency-slice layout
+// (see docs/PERFORMANCE.md), this package kept the old []map[V]bool
+// structure — not for production use, but so property tests can assert
+// that the two representations agree query for query (HasEdge, Degree,
+// Neighbors, Edges) under arbitrary mutation streams, and that solvers
+// fed a graph rebuilt through map iteration order (deliberately
+// randomized by the Go runtime) produce results identical to the
+// original — pinning the representation-independence the service's
+// byte-identical-response contract relies on.
+package mapref
+
+import (
+	"sort"
+
+	"regcoal/internal/graph"
+)
+
+// Graph is the map-backed reference: one map[V]bool per vertex, exactly
+// the structure internal/graph.Graph used before the bitset core.
+type Graph struct {
+	adj   []map[graph.V]bool
+	edges int
+}
+
+// New returns a reference graph with n vertices and no edges.
+func New(n int) *Graph {
+	g := &Graph{adj: make([]map[graph.V]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[graph.V]bool)
+	}
+	return g
+}
+
+// FromGraph copies the interference structure of g into a reference graph.
+func FromGraph(g *graph.Graph) *Graph {
+	r := New(g.N())
+	for _, e := range g.Edges() {
+		r.AddEdge(e[0], e[1])
+	}
+	return r
+}
+
+// N reports the vertex count.
+func (g *Graph) N() int { return len(g.adj) }
+
+// E reports the edge count.
+func (g *Graph) E() int { return g.edges }
+
+// AddVertex appends an isolated vertex.
+func (g *Graph) AddVertex() graph.V {
+	g.adj = append(g.adj, make(map[graph.V]bool))
+	return graph.V(len(g.adj) - 1)
+}
+
+// AddEdge adds (u, v); adding an existing edge is a no-op.
+func (g *Graph) AddEdge(u, v graph.V) {
+	if g.adj[u][v] {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+	g.edges++
+}
+
+// RemoveEdge removes (u, v) if present.
+func (g *Graph) RemoveEdge(u, v graph.V) {
+	if !g.adj[u][v] {
+		return
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.edges--
+}
+
+// HasEdge reports whether u and v interfere.
+func (g *Graph) HasEdge(u, v graph.V) bool { return g.adj[u][v] }
+
+// Degree reports the neighbor count of v.
+func (g *Graph) Degree(v graph.V) int { return len(g.adj[v]) }
+
+// Neighbors returns the neighbors of v in increasing order.
+func (g *Graph) Neighbors(v graph.V) []graph.V {
+	ns := make([]graph.V, 0, len(g.adj[v]))
+	for w := range g.adj[v] {
+		ns = append(ns, w)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}
+
+// Clone deep-copies the reference graph.
+func (g *Graph) Clone() *Graph {
+	h := &Graph{adj: make([]map[graph.V]bool, len(g.adj)), edges: g.edges}
+	for i, m := range g.adj {
+		h.adj[i] = make(map[graph.V]bool, len(m))
+		for w := range m {
+			h.adj[i][w] = true
+		}
+	}
+	return h
+}
+
+// Edges returns all edges with u < v, sorted lexicographically.
+func (g *Graph) Edges() [][2]graph.V {
+	es := make([][2]graph.V, 0, g.edges)
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if graph.V(u) < v {
+				es = append(es, [2]graph.V{graph.V(u), v})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// Rebuild constructs a fresh bitset-backed graph.Graph carrying src's
+// names, precoloring and affinities, but with interference edges inserted
+// in map iteration order — randomized by the Go runtime on every call.
+// Solvers run on Rebuild(src) must produce results identical to runs on
+// src itself; any divergence means a representation- or insertion-order
+// dependence has crept into the core.
+func (g *Graph) Rebuild(src *graph.Graph) *graph.Graph {
+	out := graph.New(src.N())
+	for v := 0; v < src.N(); v++ {
+		if src.HasName(graph.V(v)) {
+			out.SetName(graph.V(v), src.Name(graph.V(v)))
+		}
+		if c, ok := src.Precolored(graph.V(v)); ok {
+			out.SetPrecolored(graph.V(v), c)
+		}
+	}
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if graph.V(u) < v {
+				out.AddEdge(graph.V(u), v)
+			}
+		}
+	}
+	for _, a := range src.Affinities() {
+		out.AddAffinity(a.X, a.Y, a.Weight)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package greedy_test
+
+import (
+	"fmt"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/greedy"
+)
+
+// ExampleColor runs the Chaitin pipeline (eliminate + select) on a
+// 4-cycle, which is greedy-2-colorable... once any vertex of degree < k
+// exists. A 4-cycle has minimum degree 2, so it needs k = 3 for the
+// greedy scheme even though its chromatic number is 2 — the gap between
+// colorable and greedy-colorable the paper's complexity map is about.
+func ExampleColor() {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+
+	_, ok2 := greedy.Color(g, 2)
+	col, ok3 := greedy.Color(g, 3)
+	fmt.Println("greedy-2-colorable:", ok2)
+	fmt.Println("greedy-3-colorable:", ok3)
+	fmt.Println("proper:", col[0] != col[1] && col[1] != col[2] && col[2] != col[3] && col[3] != col[0])
+	// Output:
+	// greedy-2-colorable: false
+	// greedy-3-colorable: true
+	// proper: true
+}

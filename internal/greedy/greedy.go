@@ -152,21 +152,19 @@ func Witness(g *graph.Graph, k int) []graph.V {
 	}
 	// remaining plus the precolored vertices they lean on: every vertex in
 	// `remaining` has >= k live neighbors among remaining ∪ precolored.
-	keep := make(map[graph.V]bool, len(remaining))
+	keep := graph.NewBits(g.N())
 	for _, v := range remaining {
-		keep[v] = true
+		keep.Set(v)
 	}
 	for v := 0; v < g.N(); v++ {
 		if _, ok := g.Precolored(graph.V(v)); ok {
-			keep[graph.V(v)] = true
+			keep.Set(graph.V(v))
 		}
 	}
-	out := make([]graph.V, 0, len(keep))
-	for v := 0; v < g.N(); v++ {
-		if keep[graph.V(v)] {
-			out = append(out, graph.V(v))
-		}
-	}
+	out := make([]graph.V, 0, keep.Count())
+	keep.ForEach(func(v graph.V) {
+		out = append(out, v)
+	})
 	return out
 }
 

@@ -1,0 +1,58 @@
+package regalloc
+
+// Representation-independence differential test: IRC results must be a
+// pure function of the abstract instance, not of the adjacency layout or
+// edge-insertion order. Every corpus instance is rebuilt through the
+// retained map-backed reference (edges re-inserted in randomized map
+// iteration order) and IRC must produce an identical result — the
+// property the service's byte-identical-response contract rests on.
+
+import (
+	"reflect"
+	"testing"
+
+	"regcoal/internal/corpus"
+	"regcoal/internal/graph/mapref"
+)
+
+func TestIRCMatchesMapReferenceRebuild(t *testing.T) {
+	fams, err := corpus.Select("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := corpus.BuildAll(fams, corpus.Params{Seed: 20260729, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range insts {
+		f := inst.File
+		ref := mapref.FromGraph(f.G)
+		rebuilt := ref.Rebuild(f.G)
+
+		want := NewIRC(f.G, f.K).Run()
+		got := NewIRC(rebuilt, f.K).Run()
+
+		if !reflect.DeepEqual(got.Coloring, want.Coloring) {
+			t.Fatalf("%s: coloring diverged under map-order rebuild\n got %v\nwant %v",
+				inst.Name, got.Coloring, want.Coloring)
+		}
+		if !reflect.DeepEqual(got.Spilled, want.Spilled) {
+			t.Fatalf("%s: spills diverged: got %v, want %v", inst.Name, got.Spilled, want.Spilled)
+		}
+		if got.CoalescedMoves != want.CoalescedMoves ||
+			got.ConstrainedMoves != want.ConstrainedMoves ||
+			got.FrozenMoves != want.FrozenMoves ||
+			got.CoalescedWeight != want.CoalescedWeight {
+			t.Fatalf("%s: move outcomes diverged: got %d/%d/%d w=%d, want %d/%d/%d w=%d",
+				inst.Name,
+				got.CoalescedMoves, got.ConstrainedMoves, got.FrozenMoves, got.CoalescedWeight,
+				want.CoalescedMoves, want.ConstrainedMoves, want.FrozenMoves, want.CoalescedWeight)
+		}
+		if !reflect.DeepEqual(got.P.Classes(), want.P.Classes()) {
+			t.Fatalf("%s: coalescing partition diverged", inst.Name)
+		}
+		if err := got.Check(f.G, f.K); err != nil {
+			t.Fatalf("%s: rebuilt result fails Check: %v", inst.Name, err)
+		}
+	}
+}

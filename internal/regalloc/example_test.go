@@ -1,0 +1,56 @@
+package regalloc_test
+
+import (
+	"fmt"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/regalloc"
+)
+
+// ExampleIRC runs iterated register coalescing on a path a—b—c—d with a
+// move between the non-interfering endpoints a and c: IRC coalesces the
+// move and 2 registers suffice.
+func ExampleIRC() {
+	g := graph.NewNamed("a", "b", "c", "d")
+	a, b, c, d := graph.V(0), graph.V(1), graph.V(2), graph.V(3)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(c, d)
+	g.AddAffinity(a, c, 5)
+
+	res := regalloc.NewIRC(g, 2).Run()
+	fmt.Println("coalesced moves:", res.CoalescedMoves)
+	fmt.Println("coalesced weight:", res.CoalescedWeight)
+	fmt.Println("a and c share a register:", res.Coloring[a] == res.Coloring[c])
+	fmt.Println("spills:", len(res.Spilled))
+	// Output:
+	// coalesced moves: 1
+	// coalesced weight: 5
+	// a and c share a register: true
+	// spills: 0
+}
+
+// ExampleAllocateSpillFirst allocates a 5-cycle with only 2 registers:
+// pressure exceeds k, so the two-phase pipeline first evicts a vertex
+// (spill everywhere), then colors the residual path.
+func ExampleAllocateSpillFirst() {
+	g := graph.New(5)
+	for v := 0; v < 5; v++ {
+		g.AddEdge(graph.V(v), graph.V((v+1)%5))
+	}
+	res, err := regalloc.AllocateSpillFirst(g, 2, regalloc.ModeConservative)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("spilled:", len(res.Spilled))
+	colored := 0
+	for _, c := range res.Coloring {
+		if c != graph.NoColor {
+			colored++
+		}
+	}
+	fmt.Println("colored with 2 registers:", colored)
+	// Output:
+	// spilled: 1
+	// colored with 2 registers: 4
+}

@@ -2,6 +2,7 @@ package regalloc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"regcoal/internal/graph"
@@ -18,35 +19,48 @@ import (
 // operating on a graph.Graph input; it returns the coloring of the
 // original vertices (spilled vertices get NoColor), the coalescing
 // partition, and per-move outcomes.
+//
+// The evolving graph is held as a private bitset matrix plus append-only
+// adjacency lists (mirroring graph.Graph's hybrid layout): adjacency tests
+// are one word probe, node worklists and move sets are bitsets popped
+// smallest-first word-parallelly, and the Briggs/George conservative tests
+// scan neighborhoods a machine word at a time under a liveness mask
+// instead of walking per-vertex map copies.
 type IRC struct {
 	k int
 	g *graph.Graph
 
 	// adjacency of the evolving graph (indexed by original vertex; merged
 	// vertices alias to their representative).
-	adj    []map[graph.V]bool
-	degree []int
+	n       int
+	stride  int      // words per bitset row
+	adj     []uint64 // n rows of stride words
+	adjList [][]graph.V
+	degree  []int
 
-	precolored map[graph.V]bool
-	alias      map[graph.V]graph.V
+	precolored []bool
+	alias      []graph.V // -1 = representative
 
 	// node worklists; a vertex is in exactly one of these sets (or on the
-	// select stack / coalesced).
-	simplifyWorklist map[graph.V]bool
-	freezeWorklist   map[graph.V]bool
-	spillWorklist    map[graph.V]bool
-	coalescedNodes   map[graph.V]bool
+	// select stack / coalesced). removed = onStack ∪ coalescedNodes is the
+	// complement of the liveness mask the word-parallel tests filter with.
+	simplifyWorklist graph.Bits
+	freezeWorklist   graph.Bits
+	spillWorklist    graph.Bits
+	coalescedNodes   graph.Bits
+	onStack          graph.Bits
+	removed          graph.Bits
 	selectStack      []graph.V
-	onStack          map[graph.V]bool
 
-	// move management. Moves are indices into moves[].
+	// move management. Moves are indices into moves[]; the five
+	// disposition sets are bitsets over those indices.
 	moves            []graph.Affinity
-	moveList         map[graph.V][]int
-	worklistMoves    map[int]bool
-	activeMoves      map[int]bool
-	coalescedMoves   map[int]bool
-	constrainedMoves map[int]bool
-	frozenMoves      map[int]bool
+	moveList         [][]int
+	worklistMoves    graph.Bits
+	activeMoves      graph.Bits
+	coalescedMoves   graph.Bits
+	constrainedMoves graph.Bits
+	frozenMoves      graph.Bits
 }
 
 // IRCResult is the outcome of an IRC run.
@@ -70,71 +84,77 @@ func NewIRC(g *graph.Graph, k int) *IRC {
 	a := &IRC{
 		k:                k,
 		g:                g,
-		adj:              make([]map[graph.V]bool, n),
+		n:                n,
+		stride:           (n + 63) >> 6,
+		adjList:          make([][]graph.V, n),
 		degree:           make([]int, n),
-		precolored:       make(map[graph.V]bool),
-		alias:            make(map[graph.V]graph.V),
-		simplifyWorklist: make(map[graph.V]bool),
-		freezeWorklist:   make(map[graph.V]bool),
-		spillWorklist:    make(map[graph.V]bool),
-		coalescedNodes:   make(map[graph.V]bool),
-		onStack:          make(map[graph.V]bool),
-		moveList:         make(map[graph.V][]int),
-		worklistMoves:    make(map[int]bool),
-		activeMoves:      make(map[int]bool),
-		coalescedMoves:   make(map[int]bool),
-		constrainedMoves: make(map[int]bool),
-		frozenMoves:      make(map[int]bool),
+		precolored:       make([]bool, n),
+		alias:            make([]graph.V, n),
+		simplifyWorklist: graph.NewBits(n),
+		freezeWorklist:   graph.NewBits(n),
+		spillWorklist:    graph.NewBits(n),
+		coalescedNodes:   graph.NewBits(n),
+		onStack:          graph.NewBits(n),
+		removed:          graph.NewBits(n),
+		moveList:         make([][]int, n),
 	}
+	a.adj = make([]uint64, n*a.stride)
 	for v := 0; v < n; v++ {
-		a.adj[v] = make(map[graph.V]bool)
+		a.alias[v] = -1
 		if _, ok := g.Precolored(graph.V(v)); ok {
-			a.precolored[graph.V(v)] = true
+			a.precolored[v] = true
 		}
 	}
 	for _, e := range g.Edges() {
-		a.adj[e[0]][e[1]] = true
-		a.adj[e[1]][e[0]] = true
-		a.degree[e[0]]++
-		a.degree[e[1]]++
+		a.addEdge(e[0], e[1])
 	}
 	a.moves = append([]graph.Affinity(nil), g.Affinities()...)
 	graph.SortAffinities(a.moves)
+	a.worklistMoves = graph.NewBits(len(a.moves))
+	a.activeMoves = graph.NewBits(len(a.moves))
+	a.coalescedMoves = graph.NewBits(len(a.moves))
+	a.constrainedMoves = graph.NewBits(len(a.moves))
+	a.frozenMoves = graph.NewBits(len(a.moves))
 	for i, m := range a.moves {
 		a.moveList[m.X] = append(a.moveList[m.X], i)
 		a.moveList[m.Y] = append(a.moveList[m.Y], i)
-		a.worklistMoves[i] = true
+		a.worklistMoves.Set(graph.V(i))
 	}
 	return a
 }
 
+// adjRow returns v's bitset row of the evolving graph.
+func (a *IRC) adjRow(v graph.V) graph.Bits {
+	off := int(v) * a.stride
+	return graph.Bits(a.adj[off : off+a.stride])
+}
+
+// hasAdj is the O(1) adjacency probe.
+func (a *IRC) hasAdj(u, v graph.V) bool {
+	return a.adjRow(u).Get(v)
+}
+
 func (a *IRC) find(v graph.V) graph.V {
-	for {
-		next, ok := a.alias[v]
-		if !ok {
-			return v
-		}
-		v = next
+	for a.alias[v] != -1 {
+		v = a.alias[v]
 	}
+	return v
 }
 
 func (a *IRC) moveRelated(v graph.V) bool {
 	for _, m := range a.moveList[v] {
-		if a.worklistMoves[m] || a.activeMoves[m] {
+		if a.worklistMoves.Get(graph.V(m)) || a.activeMoves.Get(graph.V(m)) {
 			return true
 		}
 	}
 	return false
 }
 
-func (a *IRC) removed(v graph.V) bool {
-	return a.onStack[v] || a.coalescedNodes[v]
-}
-
-// adjacent iterates over the live neighbors of v.
+// adjacent iterates over the live neighbors of v, in insertion order
+// (original edges sorted, combine-added edges after).
 func (a *IRC) adjacent(v graph.V, fn func(w graph.V)) {
-	for w := range a.adj[v] {
-		if !a.removed(w) {
+	for _, w := range a.adjList[v] {
+		if !a.removed.Get(w) {
 			fn(w)
 		}
 	}
@@ -142,18 +162,18 @@ func (a *IRC) adjacent(v graph.V, fn func(w graph.V)) {
 
 // makeWorklists distributes the non-precolored vertices.
 func (a *IRC) makeWorklists() {
-	for v := 0; v < a.g.N(); v++ {
+	for v := 0; v < a.n; v++ {
 		u := graph.V(v)
 		if a.precolored[u] {
 			continue
 		}
 		switch {
 		case a.degree[u] >= a.k:
-			a.spillWorklist[u] = true
+			a.spillWorklist.Set(u)
 		case a.moveRelated(u):
-			a.freezeWorklist[u] = true
+			a.freezeWorklist.Set(u)
 		default:
-			a.simplifyWorklist[u] = true
+			a.simplifyWorklist.Set(u)
 		}
 	}
 }
@@ -161,9 +181,9 @@ func (a *IRC) makeWorklists() {
 func (a *IRC) enableMoves(v graph.V) {
 	consider := func(u graph.V) {
 		for _, m := range a.moveList[u] {
-			if a.activeMoves[m] {
-				delete(a.activeMoves, m)
-				a.worklistMoves[m] = true
+			if a.activeMoves.Get(graph.V(m)) {
+				a.activeMoves.Clear(graph.V(m))
+				a.worklistMoves.Set(graph.V(m))
 			}
 		}
 	}
@@ -175,99 +195,113 @@ func (a *IRC) decrementDegree(v graph.V) {
 	a.degree[v]--
 	if a.degree[v] == a.k-1 && !a.precolored[v] {
 		a.enableMoves(v)
-		delete(a.spillWorklist, v)
+		a.spillWorklist.Clear(v)
 		if a.moveRelated(v) {
-			a.freezeWorklist[v] = true
+			a.freezeWorklist.Set(v)
 		} else {
-			a.simplifyWorklist[v] = true
+			a.simplifyWorklist.Set(v)
 		}
 	}
 }
 
 func (a *IRC) simplify() {
-	v := anyVertex(a.simplifyWorklist)
-	delete(a.simplifyWorklist, v)
+	v := a.simplifyWorklist.First()
+	a.simplifyWorklist.Clear(v)
 	a.selectStack = append(a.selectStack, v)
-	a.onStack[v] = true
+	a.onStack.Set(v)
+	a.removed.Set(v)
 	a.adjacent(v, a.decrementDegree)
 }
 
 func (a *IRC) addEdge(u, v graph.V) {
-	if u == v || a.adj[u][v] {
+	if u == v || a.hasAdj(u, v) {
 		return
 	}
-	a.adj[u][v] = true
-	a.adj[v][u] = true
+	a.adjRow(u).Set(v)
+	a.adjRow(v).Set(u)
+	a.adjList[u] = append(a.adjList[u], v)
+	a.adjList[v] = append(a.adjList[v], u)
 	a.degree[u]++
 	a.degree[v]++
 }
 
-// conservative is Briggs' test on representatives u, v.
+// briggsOK is Briggs' test on representatives u, v: fewer than k
+// significant neighbors of the would-be merged node. The neighborhood
+// union is scanned a word at a time — (row(u) | row(v)) &^ removed — and
+// the "common neighbor loses a degree" adjustment is two bit probes.
 func (a *IRC) briggsOK(u, v graph.V) bool {
+	rowU, rowV := a.adjRow(u), a.adjRow(v)
 	significant := 0
-	seen := map[graph.V]bool{}
-	count := func(w graph.V) {
-		if seen[w] {
-			return
-		}
-		seen[w] = true
-		deg := a.degree[w]
-		if a.adj[w][u] && a.adj[w][v] {
-			deg--
-		}
-		if a.precolored[w] || deg >= a.k {
-			significant++
+	for i := 0; i < a.stride; i++ {
+		m := (rowU[i] | rowV[i]) &^ a.removed[i]
+		for m != 0 {
+			bit := m & -m
+			m &^= bit
+			w := graph.V(i<<6 + bits.TrailingZeros64(bit))
+			deg := a.degree[w]
+			if rowU[i]&bit != 0 && rowV[i]&bit != 0 {
+				deg--
+			}
+			if a.precolored[w] || deg >= a.k {
+				significant++
+				if significant >= a.k {
+					return false
+				}
+			}
 		}
 	}
-	a.adjacent(u, count)
-	a.adjacent(v, count)
 	return significant < a.k
 }
 
 // georgeOK is George's test for merging u into the (typically precolored)
-// node v.
+// node v: every live neighbor of u must be insignificant, or already a
+// neighbor of v.
 func (a *IRC) georgeOK(u, v graph.V) bool {
-	ok := true
-	a.adjacent(u, func(t graph.V) {
-		if !ok {
-			return
+	rowU := a.adjRow(u)
+	for i := 0; i < a.stride; i++ {
+		m := rowU[i] &^ a.removed[i]
+		for m != 0 {
+			bit := m & -m
+			m &^= bit
+			t := graph.V(i<<6 + bits.TrailingZeros64(bit))
+			if a.degree[t] >= a.k && !a.precolored[t] && !a.hasAdj(t, v) {
+				return false
+			}
+			if a.precolored[t] && !a.hasAdj(t, v) && t != v {
+				return false
+			}
 		}
-		if a.degree[t] >= a.k && !a.precolored[t] && !a.adj[t][v] {
-			ok = false
-		}
-		if a.precolored[t] && !a.adj[t][v] && t != v {
-			ok = false
-		}
-	})
-	return ok
+	}
+	return true
 }
 
 func (a *IRC) addWorklist(v graph.V) {
 	if !a.precolored[v] && !a.moveRelated(v) && a.degree[v] < a.k {
-		delete(a.freezeWorklist, v)
-		a.simplifyWorklist[v] = true
+		a.freezeWorklist.Clear(v)
+		a.simplifyWorklist.Set(v)
 	}
 }
 
 func (a *IRC) combine(u, v graph.V) {
-	delete(a.freezeWorklist, v)
-	delete(a.spillWorklist, v)
-	a.coalescedNodes[v] = true
+	a.freezeWorklist.Clear(v)
+	a.spillWorklist.Clear(v)
+	a.coalescedNodes.Set(v)
+	a.removed.Set(v)
 	a.alias[v] = u
 	a.moveList[u] = append(a.moveList[u], a.moveList[v]...)
 	a.adjacent(v, func(t graph.V) {
 		a.addEdge(t, u)
 		a.decrementDegree(t)
 	})
-	if a.degree[u] >= a.k && a.freezeWorklist[u] {
-		delete(a.freezeWorklist, u)
-		a.spillWorklist[u] = true
+	if a.degree[u] >= a.k && a.freezeWorklist.Get(u) {
+		a.freezeWorklist.Clear(u)
+		a.spillWorklist.Set(u)
 	}
 }
 
 func (a *IRC) coalesce() {
-	m := anyMove(a.worklistMoves)
-	delete(a.worklistMoves, m)
+	m := a.worklistMoves.First()
+	a.worklistMoves.Clear(m)
 	x := a.find(a.moves[m].X)
 	y := a.find(a.moves[m].Y)
 	u, v := x, y
@@ -276,30 +310,31 @@ func (a *IRC) coalesce() {
 	}
 	switch {
 	case u == v:
-		a.coalescedMoves[m] = true
+		a.coalescedMoves.Set(m)
 		a.addWorklist(u)
-	case a.precolored[v] || a.adj[u][v]:
-		a.constrainedMoves[m] = true
+	case a.precolored[v] || a.hasAdj(u, v):
+		a.constrainedMoves.Set(m)
 		a.addWorklist(u)
 		a.addWorklist(v)
 	case (a.precolored[u] && a.georgeOK(v, u)) ||
 		(!a.precolored[u] && a.briggsOK(u, v)):
-		a.coalescedMoves[m] = true
+		a.coalescedMoves.Set(m)
 		a.combine(u, v)
 		a.addWorklist(u)
 	default:
-		a.activeMoves[m] = true
+		a.activeMoves.Set(m)
 	}
 }
 
 func (a *IRC) freezeMoves(u graph.V) {
 	for _, m := range a.moveList[u] {
-		if !a.activeMoves[m] && !a.worklistMoves[m] {
+		mi := graph.V(m)
+		if !a.activeMoves.Get(mi) && !a.worklistMoves.Get(mi) {
 			continue
 		}
-		delete(a.activeMoves, m)
-		delete(a.worklistMoves, m)
-		a.frozenMoves[m] = true
+		a.activeMoves.Clear(mi)
+		a.worklistMoves.Clear(mi)
+		a.frozenMoves.Set(mi)
 		x := a.find(a.moves[m].X)
 		y := a.find(a.moves[m].Y)
 		other := y
@@ -307,60 +342,67 @@ func (a *IRC) freezeMoves(u graph.V) {
 			other = x
 		}
 		if !a.moveRelated(other) && a.degree[other] < a.k && !a.precolored[other] {
-			delete(a.freezeWorklist, other)
-			a.simplifyWorklist[other] = true
+			a.freezeWorklist.Clear(other)
+			a.simplifyWorklist.Set(other)
 		}
 	}
 }
 
 func (a *IRC) freeze() {
-	v := anyVertex(a.freezeWorklist)
-	delete(a.freezeWorklist, v)
-	a.simplifyWorklist[v] = true
+	v := a.freezeWorklist.First()
+	a.freezeWorklist.Clear(v)
+	a.simplifyWorklist.Set(v)
 	a.freezeMoves(v)
 }
 
 func (a *IRC) selectSpill() {
-	// Cheapest heuristic: highest current degree (most constraining).
+	// Cheapest heuristic: highest current degree (most constraining),
+	// ties toward the smallest id — which is the order ForEach visits.
 	var best graph.V = -1
-	for v := range a.spillWorklist {
-		if best == -1 || a.degree[v] > a.degree[best] ||
-			(a.degree[v] == a.degree[best] && v < best) {
+	a.spillWorklist.ForEach(func(v graph.V) {
+		if best == -1 || a.degree[v] > a.degree[best] {
 			best = v
 		}
-	}
-	delete(a.spillWorklist, best)
-	a.simplifyWorklist[best] = true
+	})
+	a.spillWorklist.Clear(best)
+	a.simplifyWorklist.Set(best)
 	a.freezeMoves(best)
 }
 
 // Run executes the IRC main loop and the final color assignment.
 func (a *IRC) Run() *IRCResult {
 	a.makeWorklists()
-	for len(a.simplifyWorklist)+len(a.worklistMoves)+
-		len(a.freezeWorklist)+len(a.spillWorklist) > 0 {
+loop:
+	for {
 		switch {
-		case len(a.simplifyWorklist) > 0:
+		case !a.simplifyWorklist.Empty():
 			a.simplify()
-		case len(a.worklistMoves) > 0:
+		case !a.worklistMoves.Empty():
 			a.coalesce()
-		case len(a.freezeWorklist) > 0:
+		case !a.freezeWorklist.Empty():
 			a.freeze()
-		default:
+		case !a.spillWorklist.Empty():
 			a.selectSpill()
+		default:
+			break loop
 		}
 	}
 	// Assign colors: precolored first, then pop the select stack.
-	col := graph.NewColoring(a.g.N())
-	for v := range a.precolored {
-		c, _ := a.g.Precolored(v)
-		col[v] = c
+	col := graph.NewColoring(a.n)
+	for v := 0; v < a.n; v++ {
+		if a.precolored[v] {
+			c, _ := a.g.Precolored(graph.V(v))
+			col[v] = c
+		}
 	}
 	var spilled []graph.V
+	used := make([]bool, a.k)
 	for i := len(a.selectStack) - 1; i >= 0; i-- {
 		v := a.selectStack[i]
-		used := make([]bool, a.k)
-		for w := range a.adj[v] {
+		for c := range used {
+			used[c] = false
+		}
+		for _, w := range a.adjList[v] {
 			rw := a.find(w)
 			if col[rw] != graph.NoColor && col[rw] < a.k {
 				used[col[rw]] = true
@@ -379,21 +421,21 @@ func (a *IRC) Run() *IRCResult {
 		}
 	}
 	// Coalesced nodes take their representative's color.
-	p := graph.NewPartition(a.g.N())
-	for v := range a.coalescedNodes {
+	p := graph.NewPartition(a.n)
+	a.coalescedNodes.ForEach(func(v graph.V) {
 		p.Union(a.find(v), v)
 		col[v] = col[a.find(v)]
-	}
+	})
 	sort.Slice(spilled, func(i, j int) bool { return spilled[i] < spilled[j] })
 	res := &IRCResult{Coloring: col, Spilled: spilled, P: p,
-		CoalescedMoves: len(a.coalescedMoves), ConstrainedMoves: len(a.constrainedMoves),
-		FrozenMoves: len(a.frozenMoves)}
-	for m := range a.coalescedMoves {
+		CoalescedMoves: a.coalescedMoves.Count(), ConstrainedMoves: a.constrainedMoves.Count(),
+		FrozenMoves: a.frozenMoves.Count()}
+	a.coalescedMoves.ForEach(func(m graph.V) {
 		res.CoalescedWeight += a.moves[m].Weight
-	}
+	})
 	// A spilled representative invalidates its class's colors.
 	for _, s := range spilled {
-		for v := 0; v < a.g.N(); v++ {
+		for v := 0; v < a.n; v++ {
 			if p.Same(graph.V(v), s) {
 				col[v] = graph.NoColor
 			}
@@ -424,25 +466,4 @@ func (r *IRCResult) Check(g *graph.Graph, k int) error {
 		return fmt.Errorf("irc: coalescing partition incompatible")
 	}
 	return nil
-}
-
-// anyVertex pops a deterministic element (smallest id) from a set.
-func anyVertex(set map[graph.V]bool) graph.V {
-	best := graph.V(-1)
-	for v := range set {
-		if best == -1 || v < best {
-			best = v
-		}
-	}
-	return best
-}
-
-func anyMove(set map[int]bool) int {
-	best := -1
-	for m := range set {
-		if best == -1 || m < best {
-			best = m
-		}
-	}
-	return best
 }

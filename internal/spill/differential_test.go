@@ -1,0 +1,60 @@
+package spill_test
+
+// Representation-independence differential test for the spillers: the
+// Greedy and Incremental plans must be a pure function of the abstract
+// instance. Instances are rebuilt through the retained map-backed
+// reference (edges re-inserted in randomized map iteration order); the
+// plans — eviction order included — must not move.
+
+import (
+	"reflect"
+	"testing"
+
+	"regcoal/internal/corpus"
+	"regcoal/internal/graph"
+	"regcoal/internal/graph/mapref"
+	"regcoal/internal/spill"
+)
+
+func TestSpillersMatchMapReferenceRebuild(t *testing.T) {
+	fams, err := corpus.Select("ssa-pressure,interval-pressure,er-dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := corpus.BuildAll(fams, corpus.Params{Seed: 20260729, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillers := []struct {
+		name string
+		run  func(f *graph.File) (*spill.Plan, error)
+	}{
+		{"greedy", func(f *graph.File) (*spill.Plan, error) { return spill.Greedy(f, nil) }},
+		{"incremental", func(f *graph.File) (*spill.Plan, error) { return spill.Incremental(f, nil) }},
+	}
+	for _, inst := range insts {
+		f := inst.File
+		rebuilt := &graph.File{G: mapref.FromGraph(f.G).Rebuild(f.G), K: f.K}
+		for _, sp := range spillers {
+			want, err := sp.run(f)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", inst.Name, sp.name, err)
+			}
+			got, err := sp.run(rebuilt)
+			if err != nil {
+				t.Fatalf("%s/%s (rebuilt): %v", inst.Name, sp.name, err)
+			}
+			if !reflect.DeepEqual(got.Spilled, want.Spilled) {
+				t.Fatalf("%s/%s: eviction order diverged under map-order rebuild\n got %v\nwant %v",
+					inst.Name, sp.name, got.Spilled, want.Spilled)
+			}
+			if got.Cost != want.Cost || got.Rounds != want.Rounds {
+				t.Fatalf("%s/%s: cost/rounds diverged: got %d/%d, want %d/%d",
+					inst.Name, sp.name, got.Cost, got.Rounds, want.Cost, want.Rounds)
+			}
+			if !reflect.DeepEqual(got.Coloring, want.Coloring) {
+				t.Fatalf("%s/%s: residual coloring diverged", inst.Name, sp.name)
+			}
+		}
+	}
+}

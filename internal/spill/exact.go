@@ -61,10 +61,10 @@ func ExactBudget(ctx context.Context, f *graph.File, costs []int64, maxNodes int
 	}
 	g, k := f.G, f.K
 	n := g.N()
-	alive := make([]bool, n)
+	alive := graph.NewBits(n)
+	alive.Fill(n)
 	mask := uint64(0)
 	for v := 0; v < n; v++ {
-		alive[v] = true
 		mask |= 1 << uint(v)
 	}
 	s := &exactSearch{
@@ -101,7 +101,7 @@ type exactSearch struct {
 
 // dfs explores the residual set alive (= mask). cur is the eviction path,
 // curCost its cost.
-func (s *exactSearch) dfs(alive []bool, mask uint64, cur []graph.V, curCost int64) {
+func (s *exactSearch) dfs(alive graph.Bits, mask uint64, cur []graph.V, curCost int64) {
 	if s.cancelled {
 		return
 	}
@@ -143,9 +143,9 @@ func (s *exactSearch) dfs(alive []bool, mask uint64, cur []graph.V, curCost int6
 		return
 	}
 	for _, v := range remaining {
-		alive[v] = false
+		alive.Clear(v)
 		s.dfs(alive, mask&^(1<<uint(v)), append(cur, v), curCost+costOf(s.costs, v))
-		alive[v] = true
+		alive.Set(v)
 		if s.cancelled {
 			return
 		}
@@ -160,12 +160,10 @@ func sortedCopy(vs []graph.V) []graph.V {
 
 // plan materializes the best spill set found.
 func (s *exactSearch) plan(f *graph.File) (*Plan, error) {
-	alive := make([]bool, f.G.N())
-	for v := range alive {
-		alive[v] = true
-	}
+	alive := graph.NewBits(f.G.N())
+	alive.Fill(f.G.N())
 	for _, v := range s.bestSet {
-		alive[v] = false
+		alive.Clear(v)
 	}
 	return finishPlan(f, alive, s.bestSet, s.costs, len(s.bestSet))
 }

@@ -1,0 +1,26 @@
+package spill_test
+
+import (
+	"fmt"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/spill"
+)
+
+// ExampleGreedy spills a 4-clique down to 3 registers: the clique is the
+// witness core, one eviction makes the residual triangle colorable.
+func ExampleGreedy() {
+	g := graph.New(4)
+	g.AddClique(0, 1, 2, 3)
+	plan, err := spill.Greedy(&graph.File{G: g, K: 3}, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("spills:", plan.Spills())
+	fmt.Println("cost:", plan.Cost)
+	fmt.Println("rounds:", plan.Rounds)
+	// Output:
+	// spills: 1
+	// cost: 1
+	// rounds: 1
+}

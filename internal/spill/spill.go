@@ -109,33 +109,31 @@ func checkInstance(f *graph.File, costs []int64) error {
 // by alive and returns the non-precolored vertices it could not remove,
 // in increasing order — the spill candidates of the witness core. An
 // empty result means the induced subgraph is greedy-k-colorable.
-func eliminateAlive(g *graph.Graph, alive []bool, k int) []graph.V {
+// Induced degrees are derived word-parallelly (one MaskedDegree popcount
+// sweep per vertex) instead of walking per-vertex adjacency.
+func eliminateAlive(g *graph.Graph, alive graph.Bits, k int) []graph.V {
 	n := g.N()
 	deg := make([]int, n)
 	removed := make([]bool, n)
 	pinned := make([]bool, n)
 	var stack []graph.V
 	for v := 0; v < n; v++ {
-		if !alive[v] {
+		if !alive.Get(graph.V(v)) {
 			removed[v] = true
 			continue
 		}
 		_, pinned[v] = g.Precolored(graph.V(v))
-		g.ForEachNeighbor(graph.V(v), func(w graph.V) {
-			if alive[w] {
-				deg[v]++
-			}
-		})
+		deg[v] = g.MaskedDegree(graph.V(v), alive)
 	}
 	for v := 0; v < n; v++ {
-		if alive[v] && !pinned[v] && deg[v] < k {
+		if !removed[v] && !pinned[v] && deg[v] < k {
 			stack = append(stack, graph.V(v))
 		}
 	}
 	drainEliminate(g, k, deg, removed, pinned, stack)
 	var remaining []graph.V
 	for v := 0; v < n; v++ {
-		if alive[v] && !removed[v] && !pinned[v] {
+		if !removed[v] && !pinned[v] {
 			remaining = append(remaining, graph.V(v))
 		}
 	}
@@ -171,27 +169,25 @@ func drainEliminate(g *graph.Graph, k int, deg []int, removed, pinned []bool, st
 // variable whose eviction relieves the most pressure per unit of spill
 // cost), ties broken toward the smallest vertex id. The witness is the
 // remaining set plus the alive precolored vertices it leans on.
-func pickVictim(g *graph.Graph, alive []bool, remaining []graph.V, costs []int64) graph.V {
-	inWitness := make([]bool, g.N())
+func pickVictim(g *graph.Graph, alive graph.Bits, remaining []graph.V, costs []int64) graph.V {
+	witness := graph.NewBits(g.N())
 	for _, v := range remaining {
-		inWitness[v] = true
+		witness.Set(v)
 	}
 	for v := 0; v < g.N(); v++ {
-		if alive[v] {
+		if alive.Get(graph.V(v)) {
 			if _, ok := g.Precolored(graph.V(v)); ok {
-				inWitness[v] = true
+				witness.Set(graph.V(v))
 			}
 		}
 	}
 	best := graph.V(-1)
 	bestDeg := 0
 	for _, v := range remaining {
-		wdeg := 0
-		g.ForEachNeighbor(v, func(w graph.V) {
-			if alive[w] && inWitness[w] {
-				wdeg++
-			}
-		})
+		// Witness occupancy is a word-parallel popcount: the witness set
+		// only holds alive vertices, so N(v) ∩ witness is exactly the old
+		// alive-and-in-witness neighbor count.
+		wdeg := g.MaskedDegree(v, witness)
 		// Maximize wdeg/cost by cross-multiplication; remaining is sorted,
 		// so strict improvement keeps the smallest id on ties.
 		if best == -1 || int64(wdeg)*costOf(costs, best) > int64(bestDeg)*costOf(costs, v) {
@@ -202,11 +198,11 @@ func pickVictim(g *graph.Graph, alive []bool, remaining []graph.V, costs []int64
 }
 
 // finishPlan colors the residual graph and assembles the Plan.
-func finishPlan(f *graph.File, alive []bool, spilled []graph.V, costs []int64, rounds int) (*Plan, error) {
+func finishPlan(f *graph.File, alive graph.Bits, spilled []graph.V, costs []int64, rounds int) (*Plan, error) {
 	g := f.G
 	survivors := make([]graph.V, 0, g.N()-len(spilled))
 	for v := 0; v < g.N(); v++ {
-		if alive[v] {
+		if alive.Get(graph.V(v)) {
 			survivors = append(survivors, graph.V(v))
 		}
 	}
@@ -240,10 +236,8 @@ func Greedy(f *graph.File, costs []int64) (*Plan, error) {
 		return nil, err
 	}
 	g := f.G
-	alive := make([]bool, g.N())
-	for v := range alive {
-		alive[v] = true
-	}
+	alive := graph.NewBits(g.N())
+	alive.Fill(g.N())
 	var spilled []graph.V
 	rounds := 0
 	for {
@@ -253,7 +247,7 @@ func Greedy(f *graph.File, costs []int64) (*Plan, error) {
 		}
 		rounds++
 		v := pickVictim(g, alive, remaining, costs)
-		alive[v] = false
+		alive.Clear(v)
 		spilled = append(spilled, v)
 	}
 	return finishPlan(f, alive, spilled, costs, rounds)
@@ -273,13 +267,13 @@ func Incremental(f *graph.File, costs []int64) (*Plan, error) {
 	}
 	g, k := f.G, f.K
 	n := g.N()
-	alive := make([]bool, n)
+	alive := graph.NewBits(n)
+	alive.Fill(n)
 	deg := make([]int, n)
 	removed := make([]bool, n)
 	pinned := make([]bool, n)
 	var stack []graph.V
 	for v := 0; v < n; v++ {
-		alive[v] = true
 		deg[v] = g.Degree(graph.V(v))
 		_, pinned[v] = g.Precolored(graph.V(v))
 		if !pinned[v] && deg[v] < k {
@@ -293,7 +287,7 @@ func Incremental(f *graph.File, costs []int64) (*Plan, error) {
 	for {
 		var remaining []graph.V
 		for v := 0; v < n; v++ {
-			if alive[v] && !removed[v] && !pinned[v] {
+			if alive.Get(graph.V(v)) && !removed[v] && !pinned[v] {
 				remaining = append(remaining, graph.V(v))
 			}
 		}
@@ -302,7 +296,7 @@ func Incremental(f *graph.File, costs []int64) (*Plan, error) {
 		}
 		rounds++
 		v := pickVictim(g, alive, remaining, costs)
-		alive[v] = false
+		alive.Clear(v)
 		// Mark the victim removed so the resumed elimination can neither
 		// re-remove it nor decrement its neighbors a second time.
 		removed[v] = true
