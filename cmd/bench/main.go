@@ -13,6 +13,8 @@
 //	bench -save corpus/ -families all               # persist the corpus
 //	bench -perf -o run.json                         # graph-core kernel suite
 //	bench -perf -baseline BENCH_graphcore.json      # ...with speedup columns
+//	bench -perf -group service -o run.json          # request-path kernel suite
+//	bench -perf -group service -baseline BENCH_service.json
 //
 // Records go to stdout (or -o) as JSONL or CSV; the aggregate summary goes
 // to stderr as an aligned table (or to -summary as CSV). With -timing=false
@@ -63,7 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timing   = fs.Bool("timing", true, "capture wall-clock per run (disable for byte-reproducible output)")
 		save     = fs.String("save", "", "persist the generated corpus (native + DIMACS + manifest) under this directory")
 		list     = fs.Bool("list", false, "list corpus families and exit")
-		perf     = fs.Bool("perf", false, "run the fixed graph-core kernel suite instead of the strategy matrix")
+		perf     = fs.Bool("perf", false, "run a fixed kernel suite (see -group) instead of the strategy matrix")
+		group    = fs.String("group", "graphcore", "with -perf: kernel group to run (graphcore or service)")
 		label    = fs.String("label", "", "free-form label recorded in the -perf run JSON")
 		baseline = fs.String("baseline", "", "with -perf: prior run or trajectory JSON to compare against (emits a before/after trajectory)")
 	)
@@ -84,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			defer f.Close()
 			dst = f
 		}
-		return runPerf(*quick, *label, *baseline, dst, stderr)
+		return runPerf(*group, *quick, *label, *baseline, dst, stderr)
 	}
 
 	if *list {

@@ -1,17 +1,26 @@
 package main
 
-// The -perf mode: a fixed kernel suite over deterministic instances that
-// measures the graph substrate itself (build, clone, canonical hashing)
-// and the two solver hot paths that dominate service latency (IRC
-// allocation, greedy spilling). Results feed the BENCH_*.json perf
-// trajectory: a run is compared against a stored baseline with
-// -baseline, and the combined before/after trajectory is what gets
-// committed (see docs/PERFORMANCE.md).
+// The -perf mode: fixed kernel suites over deterministic instances that
+// feed the BENCH_*.json perf trajectories: a run is compared against a
+// stored baseline with -baseline, and the combined before/after
+// trajectory is what gets committed (see docs/PERFORMANCE.md).
 //
-// The suite is intentionally small and fixed: the same named kernels,
+// Two kernel groups exist, selected with -group:
+//
+//   - graphcore (this file): the graph substrate itself (build, clone,
+//     canonical hashing) and the two solver hot paths that dominate
+//     service latency (IRC allocation, greedy spilling).
+//   - service (perfservice.go): the end-to-end request path — JSON
+//     decode → canonicalization → portfolio race → encode — plus a
+//     loadgen-driven QPS/latency-percentile kernel against an
+//     in-process server.
+//
+// Each suite is intentionally small and fixed: the same named kernels,
 // the same seeds, the same instance sizes, so ns/op numbers from
 // different commits are comparable. Sizes change only with a suite
-// version bump.
+// version bump. Alongside ns/op, allocs/op and B/op are compared against
+// the baseline: the pooled solve path (see "Request path & pooling" in
+// docs/PERFORMANCE.md) gates on alloc regressions, not just time.
 
 import (
 	"encoding/json"
@@ -21,6 +30,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 
 	"regcoal/internal/graph"
@@ -33,12 +43,15 @@ import (
 // change, invalidating cross-version comparisons.
 const perfSuiteVersion = 1
 
-// PerfKernel is one measured kernel of a perf run.
+// PerfKernel is one measured kernel of a perf run. OpsPerSec is set only
+// by throughput-shaped kernels (the service loadgen kernel), where ns/op
+// alone would hide concurrency.
 type PerfKernel struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
 }
 
 // PerfRun is the result of one -perf invocation.
@@ -52,13 +65,18 @@ type PerfRun struct {
 }
 
 // PerfTrajectory is the committed before/after shape of BENCH_*.json.
+// Speedup is baseline/current ns per op (higher = faster now); AllocRatio
+// and BytesRatio are current/baseline allocations per op (lower = leaner
+// now) — the three axes the perf gates check.
 type PerfTrajectory struct {
-	Suite    string             `json:"suite"`
-	Version  int                `json:"version"`
-	Unit     string             `json:"unit"`
-	Baseline *PerfRun           `json:"baseline"`
-	Current  *PerfRun           `json:"current"`
-	Speedup  map[string]float64 `json:"speedup"`
+	Suite      string             `json:"suite"`
+	Version    int                `json:"version"`
+	Unit       string             `json:"unit"`
+	Baseline   *PerfRun           `json:"baseline"`
+	Current    *PerfRun           `json:"current"`
+	Speedup    map[string]float64 `json:"speedup"`
+	AllocRatio map[string]float64 `json:"alloc_ratio,omitempty"`
+	BytesRatio map[string]float64 `json:"bytes_ratio,omitempty"`
 }
 
 // perfInstance is one deterministic graph the kernels run over.
@@ -121,13 +139,36 @@ func perfInstances(quick bool) []perfInstance {
 	return insts
 }
 
-// perfKernels enumerates the kernel suite: name → op closure. Each op is
-// one full unit of work (testing.Benchmark supplies the iteration loop).
-func perfKernels(insts []perfInstance) []PerfKernel {
-	type kernel struct {
-		name string
-		op   func()
+// kernel is one named op of a suite. Each op is one full unit of work
+// (testing.Benchmark supplies the iteration loop).
+type kernel struct {
+	name string
+	op   func()
+}
+
+// measureKernels benchmarks each kernel in order with allocation
+// reporting.
+func measureKernels(kernels []kernel) []PerfKernel {
+	out := make([]PerfKernel, 0, len(kernels))
+	for _, kr := range kernels {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				kr.op()
+			}
+		})
+		out = append(out, PerfKernel{
+			Name:        kr.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
 	}
+	return out
+}
+
+// perfKernels enumerates the graphcore kernel suite.
+func perfKernels(insts []perfInstance) []PerfKernel {
 	var kernels []kernel
 	for i := range insts {
 		inst := insts[i]
@@ -163,28 +204,19 @@ func perfKernels(insts []perfInstance) []PerfKernel {
 			}},
 		)
 	}
-	out := make([]PerfKernel, 0, len(kernels))
-	for _, kr := range kernels {
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				kr.op()
-			}
-		})
-		out = append(out, PerfKernel{
-			Name:        kr.name,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-		})
-	}
-	return out
+	return measureKernels(kernels)
 }
 
-// runPerf executes the suite and writes the run (or, with a baseline,
-// the full before/after trajectory) as JSON to w, with a human-readable
-// table on stderr.
-func runPerf(quick bool, label, baselinePath string, w io.Writer, stderr io.Writer) error {
+// runPerf executes the selected suite and writes the run (or, with a
+// baseline, the full before/after trajectory) as JSON to w, with a
+// human-readable table on stderr.
+func runPerf(group string, quick bool, label, baselinePath string, w io.Writer, stderr io.Writer) error {
+	version := perfSuiteVersion
+	if group == "service" {
+		version = serviceSuiteVersion
+	} else if group != "graphcore" {
+		return fmt.Errorf("perf: unknown kernel group %q (want graphcore or service)", group)
+	}
 	// Validate the baseline before timing anything: the suite takes
 	// minutes at full sizes, an incomparable baseline should fail fast.
 	var baseline *PerfRun
@@ -193,29 +225,41 @@ func runPerf(quick bool, label, baselinePath string, w io.Writer, stderr io.Writ
 		if baseline, err = loadPerfRun(baselinePath); err != nil {
 			return err
 		}
+		if baseline.Suite != group {
+			return fmt.Errorf("perf: baseline %s is suite %q, this run is %q — not comparable",
+				baselinePath, baseline.Suite, group)
+		}
 		if baseline.Quick != quick {
 			return fmt.Errorf("perf: baseline %s is quick=%v, this run is quick=%v — not comparable",
 				baselinePath, baseline.Quick, quick)
 		}
-		if baseline.Version != perfSuiteVersion {
+		if baseline.Version != version {
 			return fmt.Errorf("perf: baseline suite version %d != current %d — not comparable",
-				baseline.Version, perfSuiteVersion)
+				baseline.Version, version)
 		}
 	}
 
-	insts := perfInstances(quick)
+	var kernels []PerfKernel
+	if group == "service" {
+		var err error
+		if kernels, err = serviceKernels(quick); err != nil {
+			return err
+		}
+	} else {
+		kernels = perfKernels(perfInstances(quick))
+	}
 	run := &PerfRun{
-		Suite:   "graphcore",
-		Version: perfSuiteVersion,
+		Suite:   group,
+		Version: version,
 		Label:   label,
 		Go:      runtime.Version(),
 		Quick:   quick,
-		Kernels: perfKernels(insts),
+		Kernels: kernels,
 	}
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	fmt.Fprintf(stderr, "%-28s %14s %10s %12s\n", "kernel", "ns/op", "allocs/op", "B/op")
+	fmt.Fprintf(stderr, "%-32s %14s %10s %12s\n", "kernel", "ns/op", "allocs/op", "B/op")
 	base := map[string]PerfKernel{}
 	if baseline != nil {
 		for _, k := range baseline.Kernels {
@@ -223,29 +267,110 @@ func runPerf(quick bool, label, baselinePath string, w io.Writer, stderr io.Writ
 		}
 	}
 	for _, k := range run.Kernels {
-		line := fmt.Sprintf("%-28s %14.0f %10d %12d", k.Name, k.NsPerOp, k.AllocsPerOp, k.BytesPerOp)
+		line := fmt.Sprintf("%-32s %14.0f %10d %12d", k.Name, k.NsPerOp, k.AllocsPerOp, k.BytesPerOp)
 		if b, ok := base[k.Name]; ok && k.NsPerOp > 0 {
-			line += fmt.Sprintf("   %6.2fx vs baseline", b.NsPerOp/k.NsPerOp)
+			line += fmt.Sprintf("   %6.2fx ns", b.NsPerOp/k.NsPerOp)
+			if b.AllocsPerOp > 0 {
+				line += fmt.Sprintf("  %.2fx allocs", float64(k.AllocsPerOp)/float64(b.AllocsPerOp))
+			}
 		}
 		fmt.Fprintln(stderr, line)
 	}
 	if baseline == nil {
 		return enc.Encode(run)
 	}
-	traj := &PerfTrajectory{
-		Suite:    run.Suite,
-		Version:  run.Version,
-		Unit:     "ns/op",
-		Baseline: baseline,
-		Current:  run,
-		Speedup:  map[string]float64{},
-	}
-	for _, k := range run.Kernels {
-		if b, ok := base[k.Name]; ok && k.NsPerOp > 0 {
-			traj.Speedup[k.Name] = round2(b.NsPerOp / k.NsPerOp)
-		}
+	traj := buildTrajectory(baseline, run)
+	for _, reg := range allocRegressions(traj) {
+		fmt.Fprintf(stderr, "perf: WARNING: %s\n", reg)
 	}
 	return enc.Encode(traj)
+}
+
+// buildTrajectory combines a baseline and a current run into the
+// committed before/after shape, with per-kernel time and allocation
+// ratios.
+func buildTrajectory(baseline, run *PerfRun) *PerfTrajectory {
+	base := map[string]PerfKernel{}
+	for _, k := range baseline.Kernels {
+		base[k.Name] = k
+	}
+	traj := &PerfTrajectory{
+		Suite:      run.Suite,
+		Version:    run.Version,
+		Unit:       "ns/op",
+		Baseline:   baseline,
+		Current:    run,
+		Speedup:    map[string]float64{},
+		AllocRatio: map[string]float64{},
+		BytesRatio: map[string]float64{},
+	}
+	for _, k := range run.Kernels {
+		b, ok := base[k.Name]
+		if !ok {
+			continue
+		}
+		if k.NsPerOp > 0 {
+			traj.Speedup[k.Name] = round2(b.NsPerOp / k.NsPerOp)
+		}
+		if b.AllocsPerOp > 0 {
+			traj.AllocRatio[k.Name] = round2(float64(k.AllocsPerOp) / float64(b.AllocsPerOp))
+		} else if k.AllocsPerOp == 0 {
+			traj.AllocRatio[k.Name] = 0
+		}
+		if b.BytesPerOp > 0 {
+			traj.BytesRatio[k.Name] = round2(float64(k.BytesPerOp) / float64(b.BytesPerOp))
+		} else if k.BytesPerOp == 0 {
+			traj.BytesRatio[k.Name] = 0
+		}
+	}
+	return traj
+}
+
+// pooledKernel reports whether a kernel runs on the pooled solve path —
+// the kernels whose allocs/op the gate protects against regression.
+func pooledKernel(name string) bool {
+	for _, p := range []string{"irc/", "spill-greedy/", "spill-inc/", "svc-solve/", "svc-cached/", "svc-spill/"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// allocRegressions lists pooled kernels whose allocs/op or B/op regressed
+// more than 10% against the trajectory's baseline. An empty result is the
+// alloc gate passing.
+func allocRegressions(traj *PerfTrajectory) []string {
+	var out []string
+	if traj.Baseline == nil || traj.Current == nil {
+		return out
+	}
+	base := map[string]PerfKernel{}
+	for _, k := range traj.Baseline.Kernels {
+		base[k.Name] = k
+	}
+	for _, k := range traj.Current.Kernels {
+		if !pooledKernel(k.Name) {
+			continue
+		}
+		b, ok := base[k.Name]
+		if !ok {
+			continue
+		}
+		// A bare 10% ratio misfires in both directions: a tiny baseline
+		// turns one extra alloc into "a regression", and a zero-alloc
+		// baseline — the pooled steady state this suite drives toward —
+		// makes ANY regression invisible as a ratio. Gate on ratio plus
+		// a small absolute slack instead: 1.1×baseline + 8 allocs
+		// (+1 KiB for bytes) covers both.
+		if float64(k.AllocsPerOp) > 1.1*float64(b.AllocsPerOp)+8 {
+			out = append(out, fmt.Sprintf("%s: allocs/op regressed %d → %d (beyond 1.1×baseline+8)", k.Name, b.AllocsPerOp, k.AllocsPerOp))
+		}
+		if float64(k.BytesPerOp) > 1.1*float64(b.BytesPerOp)+1024 {
+			out = append(out, fmt.Sprintf("%s: B/op regressed %d → %d (beyond 1.1×baseline+1KiB)", k.Name, b.BytesPerOp, k.BytesPerOp))
+		}
+	}
+	return out
 }
 
 func round2(x float64) float64 {

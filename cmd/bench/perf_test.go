@@ -149,3 +149,145 @@ func TestCommittedTrajectoryWellFormed(t *testing.T) {
 		t.Error("no dense IRC/spill kernels found in the trajectory")
 	}
 }
+
+func TestServiceSuiteShape(t *testing.T) {
+	names := serviceKernelNames()
+	want := 3*len(serviceFamilies) + len(spillFamilies) + 4 // decode/solve/cached + spill + loadgen
+	if len(names) != want {
+		t.Fatalf("service suite has %d kernels, want %d: %v", len(names), want, names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate kernel name %s", n)
+		}
+		seen[n] = true
+		if !strings.HasPrefix(n, "svc-") {
+			t.Fatalf("service kernel %q lacks the svc- prefix", n)
+		}
+	}
+}
+
+func TestServiceInstancesDeterministic(t *testing.T) {
+	a, err := serviceInstances(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := serviceInstances(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != len(serviceFamilies) {
+		t.Fatalf("instance counts: %d vs %d (want %d)", len(a), len(b), len(serviceFamilies))
+	}
+	for i := range a {
+		if a[i].family != b[i].family {
+			t.Fatalf("instance %d family %q vs %q", i, a[i].family, b[i].family)
+		}
+		if string(a[i].solveBody) != string(b[i].solveBody) || string(a[i].cacheBody) != string(b[i].cacheBody) {
+			t.Fatalf("%s: request bodies differ across builds", a[i].family)
+		}
+		if a[i].file.G.N() == 0 {
+			t.Fatalf("%s: empty instance", a[i].family)
+		}
+	}
+}
+
+// TestAllocRegressionGate pins the >10% allocs/op gate logic on the
+// pooled kernels: regressions fail, improvements and non-pooled kernels
+// pass, tiny baselines are ignored.
+func TestAllocRegressionGate(t *testing.T) {
+	base := &PerfRun{Suite: "service", Version: serviceSuiteVersion, Kernels: []PerfKernel{
+		{Name: "svc-solve/chordal", NsPerOp: 100, AllocsPerOp: 1000, BytesPerOp: 100000},
+		{Name: "svc-decode/chordal", NsPerOp: 10, AllocsPerOp: 100, BytesPerOp: 1000},
+		{Name: "irc/dense", NsPerOp: 50, AllocsPerOp: 4, BytesPerOp: 64},
+	}}
+	cur := &PerfRun{Suite: "service", Version: serviceSuiteVersion, Kernels: []PerfKernel{
+		{Name: "svc-solve/chordal", NsPerOp: 90, AllocsPerOp: 1200, BytesPerOp: 90000}, // 20% alloc regression
+		{Name: "svc-decode/chordal", NsPerOp: 9, AllocsPerOp: 500, BytesPerOp: 900},    // not a pooled kernel
+		{Name: "irc/dense", NsPerOp: 40, AllocsPerOp: 8, BytesPerOp: 64},               // within absolute slack: ignored
+	}}
+	traj := buildTrajectory(base, cur)
+	regs := allocRegressions(traj)
+	if len(regs) != 1 || !strings.Contains(regs[0], "svc-solve/chordal") {
+		t.Fatalf("gate found %v, want exactly the svc-solve alloc regression", regs)
+	}
+	if traj.AllocRatio["svc-solve/chordal"] != 1.2 {
+		t.Fatalf("alloc ratio = %v, want 1.2", traj.AllocRatio["svc-solve/chordal"])
+	}
+	if traj.BytesRatio["svc-solve/chordal"] != 0.9 {
+		t.Fatalf("bytes ratio = %v, want 0.9", traj.BytesRatio["svc-solve/chordal"])
+	}
+
+	fixed := &PerfRun{Suite: "service", Version: serviceSuiteVersion, Kernels: []PerfKernel{
+		{Name: "svc-solve/chordal", NsPerOp: 50, AllocsPerOp: 200, BytesPerOp: 20000},
+	}}
+	if regs := allocRegressions(buildTrajectory(base, fixed)); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+
+	// A zero-alloc baseline — the pooled steady state — must still gate:
+	// ratios are undefined, but the absolute-slack term catches it.
+	zeroBase := &PerfRun{Suite: "service", Version: serviceSuiteVersion, Kernels: []PerfKernel{
+		{Name: "irc/dense", NsPerOp: 50, AllocsPerOp: 0, BytesPerOp: 0},
+	}}
+	regressed := &PerfRun{Suite: "service", Version: serviceSuiteVersion, Kernels: []PerfKernel{
+		{Name: "irc/dense", NsPerOp: 50, AllocsPerOp: 10000, BytesPerOp: 1 << 20},
+	}}
+	if regs := allocRegressions(buildTrajectory(zeroBase, regressed)); len(regs) != 2 {
+		t.Fatalf("zero-alloc baseline regression not caught: %v", regs)
+	}
+}
+
+// TestCommittedServiceTrajectoryWellFormed keeps BENCH_service.json
+// honest: parseable, suite/version matching this binary, and the pooled
+// request-path kernels at the acceptance gate. Allocation counts are
+// deterministic, so the allocs/op side is strict: every solve/spill
+// kernel must allocate LESS than baseline and nothing on the pooled
+// path may regress >10%. Wall-clock on multi-millisecond racing kernels
+// varies ~±10% run to run (the suite machine is small), so the ns/op
+// side asserts no kernel regressed beyond that noise floor and that the
+// suite sped up somewhere beyond it too.
+func TestCommittedServiceTrajectoryWellFormed(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_service.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("no committed service trajectory: %v", err)
+	}
+	var traj PerfTrajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("BENCH_service.json does not parse: %v", err)
+	}
+	if traj.Suite != "service" || traj.Version != serviceSuiteVersion {
+		t.Fatalf("trajectory is %s v%d, binary expects service v%d — bump or regenerate",
+			traj.Suite, traj.Version, serviceSuiteVersion)
+	}
+	if traj.Baseline == nil || traj.Current == nil || len(traj.Speedup) == 0 || len(traj.AllocRatio) == 0 {
+		t.Fatal("trajectory missing baseline/current/speedup/alloc_ratio")
+	}
+	if regs := allocRegressions(&traj); len(regs) > 0 {
+		t.Errorf("alloc gate: %v", regs)
+	}
+	gated, fasterBeyondNoise := 0, 0
+	for kernel, ratio := range traj.AllocRatio {
+		if !strings.HasPrefix(kernel, "svc-solve/") && !strings.HasPrefix(kernel, "svc-spill/") {
+			continue
+		}
+		gated++
+		if ratio >= 1 {
+			t.Errorf("%s: allocs/op ratio %.2f, want < 1 (pooled path must allocate less)", kernel, ratio)
+		}
+		if s := traj.Speedup[kernel]; s < 0.85 {
+			t.Errorf("%s: speedup %.2f, regressed beyond the ~±10%% run-to-run noise", kernel, s)
+		}
+		if traj.Speedup[kernel] >= 1.05 {
+			fasterBeyondNoise++
+		}
+	}
+	if gated == 0 {
+		t.Error("no svc-solve/svc-spill kernels found in the trajectory")
+	}
+	if fasterBeyondNoise == 0 {
+		t.Error("no solve/spill kernel sped up beyond the noise floor")
+	}
+}

@@ -1,0 +1,225 @@
+package main
+
+// The -perf -group service kernel suite: measures the end-to-end request
+// path of the online service rather than isolated solver kernels. Each
+// per-family kernel drives the real HTTP handler in process (no network)
+// over a deterministic corpus instance:
+//
+//   - svc-decode/<family>:  JSON request decode → graph build (the parse
+//     side of the request path, no solving)
+//   - svc-solve/<family>:   full decode → canonicalize → portfolio race →
+//     encode with the cache bypassed (the steady-state compute path)
+//   - svc-cached/<family>:  the same request answered from the canonical
+//     result cache (decode → canonicalize → hash lookup → encode)
+//   - svc-spill/<family>:   the spill endpoint on the high-pressure
+//     families (decode → spill race → encode)
+//
+// plus one loadgen-driven kernel set against an in-process HTTP server,
+// produced by the same concurrent, response-validating replayer that
+// cmd/loadgen uses: svc-loadgen/{mean,p50,p99} report per-request
+// latency in ns/op, and svc-loadgen/inv-throughput reports wall-clock
+// per request (inverse QPS at the kernel's fixed concurrency; it also
+// carries ops_per_sec).
+//
+// Instances are drawn from the deterministic corpus families with a fixed
+// seed, so kernel names and workloads are stable across commits; sizes
+// change only with a serviceSuiteVersion bump.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"regcoal/internal/corpus"
+	"regcoal/internal/graph"
+	"regcoal/internal/service"
+	"regcoal/internal/service/loadgen"
+)
+
+// serviceSuiteVersion bumps whenever service kernel names, seeds, or
+// instance choices change, invalidating cross-version comparisons.
+const serviceSuiteVersion = 1
+
+// serviceSuiteSeed pins the corpus build the service kernels run over.
+const serviceSuiteSeed = 0x5eed5e21
+
+// serviceFamilies are the corpus families the per-request kernels cover:
+// the two structured classes the paper cares about (chordal/SSA,
+// interval), a dense adversarial class, and a high-pressure class that
+// exercises the spill path.
+var serviceFamilies = []string{"chordal", "interval", "er-dense", "ssa-pressure"}
+
+// spillFamilies is the subset whose pressure exceeds k, where the spill
+// endpoint has real work.
+var spillFamilies = map[string]bool{"ssa-pressure": true, "er-dense": true}
+
+// serviceInstance is one family's representative instance with its
+// prebuilt request bodies.
+type serviceInstance struct {
+	family    string
+	file      *graph.File
+	solveBody []byte // no_cache: measures the compute path
+	cacheBody []byte // cacheable: measures the hit path after priming
+}
+
+// serviceInstances builds one representative instance per family — the
+// last (largest) instance the family generates, deterministic in the
+// fixed seed.
+func serviceInstances(quick bool) ([]serviceInstance, error) {
+	out := make([]serviceInstance, 0, len(serviceFamilies))
+	for _, name := range serviceFamilies {
+		fams, err := corpus.Select(name)
+		if err != nil {
+			return nil, err
+		}
+		insts, err := corpus.BuildAll(fams, corpus.Params{Seed: serviceSuiteSeed, Quick: quick})
+		if err != nil {
+			return nil, err
+		}
+		if len(insts) == 0 {
+			return nil, fmt.Errorf("perf: family %s generated no instances", name)
+		}
+		inst := insts[len(insts)-1]
+		solve, err := loadgen.JobsFromInstances([]*corpus.Instance{inst}, loadgen.JobOptions{
+			Format: "native", NoCache: true, DeadlineMS: 500,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cached, err := loadgen.JobsFromInstances([]*corpus.Instance{inst}, loadgen.JobOptions{
+			Format: "native", DeadlineMS: 500,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, serviceInstance{
+			family:    name,
+			file:      inst.File,
+			solveBody: solve[0].Body,
+			cacheBody: cached[0].Body,
+		})
+	}
+	return out, nil
+}
+
+// post drives the handler in process and panics on a non-200, so a broken
+// service fails the suite loudly instead of timing error paths.
+func post(h http.Handler, path string, body []byte) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		panic(fmt.Sprintf("perf: %s answered %d: %s", path, rec.Code, rec.Body.String()))
+	}
+}
+
+// serviceKernels measures the service suite. The server is the real
+// service.Server with default configuration; per-request kernels bypass
+// the network by invoking the handler directly.
+func serviceKernels(quick bool) ([]PerfKernel, error) {
+	insts, err := serviceInstances(quick)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	h := svc.Handler()
+
+	var kernels []kernel
+	for i := range insts {
+		inst := insts[i]
+		kernels = append(kernels,
+			kernel{"svc-decode/" + inst.family, func() {
+				var req service.Request
+				if err := json.Unmarshal(inst.solveBody, &req); err != nil {
+					panic(err)
+				}
+				if _, err := req.Graph.ToFile(); err != nil {
+					panic(err)
+				}
+			}},
+			kernel{"svc-solve/" + inst.family, func() {
+				post(h, "/v1/coalesce", inst.solveBody)
+			}},
+			kernel{"svc-cached/" + inst.family, func() {
+				post(h, "/v1/coalesce", inst.cacheBody)
+			}},
+		)
+		if spillFamilies[inst.family] {
+			kernels = append(kernels, kernel{"svc-spill/" + inst.family, func() {
+				post(h, "/v1/spill", inst.solveBody)
+			}})
+		}
+	}
+	// Prime the cache so every svc-cached op is a hit.
+	for _, inst := range insts {
+		post(h, "/v1/coalesce", inst.cacheBody)
+	}
+	out := measureKernels(kernels)
+
+	lg, err := loadgenKernels(svc, insts, quick)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, lg...), nil
+}
+
+// loadgenKernels runs the concurrent replayer against an in-process HTTP
+// server and reports throughput and latency percentiles as kernels.
+func loadgenKernels(svc *service.Server, insts []serviceInstance, quick bool) ([]PerfKernel, error) {
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var jobs []loadgen.Job
+	for _, inst := range insts {
+		jobs = append(jobs, loadgen.Job{Name: inst.family, Body: inst.cacheBody, File: inst.file})
+	}
+	requests := 24 * len(jobs)
+	if quick {
+		requests = 8 * len(jobs)
+	}
+	report, err := loadgen.Run(context.Background(), loadgen.Options{
+		BaseURL:     ts.URL,
+		Endpoint:    "coalesce",
+		Concurrency: 8,
+		Requests:    requests,
+		Client:      &http.Client{Timeout: 60 * time.Second},
+	}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	if report.Failed > 0 {
+		return nil, fmt.Errorf("perf: loadgen kernel had %d failed requests: %s", report.Failed, report.FirstFailure)
+	}
+	// inv-throughput is wall-clock per request (1/QPS at this kernel's
+	// concurrency) — deliberately NOT named a latency; mean/p50/p99 are
+	// the real per-request latency distribution.
+	return []PerfKernel{
+		{Name: "svc-loadgen/inv-throughput", NsPerOp: float64(report.Wall.Nanoseconds()) / float64(report.Requests),
+			OpsPerSec: round2(report.Throughput())},
+		{Name: "svc-loadgen/mean", NsPerOp: float64(report.Latencies.Mean.Nanoseconds())},
+		{Name: "svc-loadgen/p50", NsPerOp: float64(report.Latencies.P50.Nanoseconds())},
+		{Name: "svc-loadgen/p99", NsPerOp: float64(report.Latencies.P99.Nanoseconds())},
+	}, nil
+}
+
+// serviceKernelNames lists the service suite's kernel names without
+// running anything (used by tests to pin the suite shape).
+func serviceKernelNames() []string {
+	var names []string
+	for _, f := range serviceFamilies {
+		names = append(names, "svc-decode/"+f, "svc-solve/"+f, "svc-cached/"+f)
+		if spillFamilies[f] {
+			names = append(names, "svc-spill/"+f)
+		}
+	}
+	return append(names, "svc-loadgen/inv-throughput", "svc-loadgen/mean", "svc-loadgen/p50", "svc-loadgen/p99")
+}

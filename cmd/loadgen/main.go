@@ -9,6 +9,7 @@
 //	loadgen -addr http://localhost:8080 -families chordal,interval \
 //	        -concurrency 64 -n 1024 -deadline-ms 100
 //	loadgen -endpoint spill -families ssa-pressure,interval-pressure
+//	loadgen -json -n 4096        # machine-readable report (ns durations)
 //
 // With -n larger than the instance count, instances repeat round-robin,
 // which exercises the server's canonical-graph cache; the report counts
@@ -40,6 +41,7 @@ func main() {
 		strategies  = flag.String("strategies", "", "comma-separated portfolio override")
 		noCache     = flag.Bool("no-cache", false, "send no_cache on every request")
 		stats       = flag.Bool("stats", true, "fetch and print /stats after the run")
+		asJSON      = flag.Bool("json", false, "emit the report as JSON on stdout (durations in ns) instead of the text summary")
 	)
 	flag.Parse()
 
@@ -63,7 +65,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(rep.String())
+	if *asJSON {
+		// The JSON shape mirrors what the service perf suite records in
+		// BENCH_service.json, so ad-hoc load runs compare directly
+		// against the committed trajectory.
+		body, err := json.MarshalIndent(struct {
+			*loadgen.Report
+			ThroughputRPS float64
+		}{rep, rep.Throughput()}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", body)
+	} else {
+		fmt.Print(rep.String())
+	}
 
 	if *stats {
 		if snapshot, err := loadgen.FetchStats(context.Background(), nil, *addr); err == nil {

@@ -8,10 +8,13 @@
 //	      -deadline 2s -max-deadline 30s
 //
 // Endpoints: POST /v1/coalesce, POST /v1/allocate, GET /healthz,
-// GET /metrics (Prometheus), GET /stats (JSON). See README.md for the
-// request/response schema. SIGINT/SIGTERM shut down gracefully: the
-// listener stops accepting, in-flight requests finish (up to
-// -shutdown-grace), then the pool drains.
+// GET /metrics (Prometheus), GET /stats (JSON). With -pprof, the
+// net/http/pprof profile endpoints are additionally mounted under
+// /debug/pprof/ (off by default — profiles reveal internals and cost
+// CPU; enable when diagnosing a pooled-path regression, see README).
+// See README.md for the request/response schema. SIGINT/SIGTERM shut
+// down gracefully: the listener stops accepting, in-flight requests
+// finish (up to -shutdown-grace), then the pool drains.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,6 +45,7 @@ func main() {
 		maxDeadline = flag.Duration("max-deadline", 30*time.Second, "upper clamp on requested deadlines")
 		portfolio   = flag.String("portfolio", "", "comma-separated default coalescing portfolio (empty = built-in)")
 		grace       = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; see README)")
 	)
 	flag.Parse()
 
@@ -61,9 +66,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	handler := svc.Handler()
+	if *pprofOn {
+		// Explicit registration on our own mux — importing net/http/pprof
+		// for its side effect would silently expose the profiles on the
+		// DefaultServeMux even without the flag. With the pooled solve
+		// path, the heap and allocs profiles are the first stop when a
+		// latency or RSS regression appears in production: a hot
+		// sync.Pool shows up as near-zero steady-state allocation there.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)

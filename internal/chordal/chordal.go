@@ -11,25 +11,50 @@
 package chordal
 
 import (
+	"sync"
+
 	"regcoal/internal/graph"
 )
+
+// mcsScratch is the pooled working set of MCSOrder: recognition runs on
+// every chordal-incremental probe of the service portfolio, so the
+// weights, visited flags, and lazy buckets are recycled across runs via
+// a Reset(n)-style lifecycle instead of re-allocated per call.
+type mcsScratch struct {
+	weight     []int
+	visited    []bool
+	buckets    [][]graph.V
+	visitOrder []graph.V
+}
+
+var mcsPool = sync.Pool{New: func() any { return new(mcsScratch) }}
+
+func (s *mcsScratch) reset(n int) {
+	s.weight = graph.ReuseSlice(s.weight, n)
+	s.visited = graph.ReuseSlice(s.visited, n)
+	s.buckets = graph.ReuseRows(s.buckets, n+1)
+	s.visitOrder = s.visitOrder[:0]
+}
 
 // MCSOrder runs maximum cardinality search and returns a vertex order that
 // is a perfect elimination order iff the graph is chordal. The returned
 // slice is in elimination order: order[0] is eliminated first. MCS visits
 // vertices by decreasing already-visited-neighbor count; the visit order
-// reversed is the candidate PEO. Runs in O(V + E).
+// reversed is the candidate PEO. Runs in O(V + E) over pooled scratch.
 func MCSOrder(g *graph.Graph) []graph.V {
 	n := g.N()
-	weight := make([]int, n)
-	visited := make([]bool, n)
+	s := mcsPool.Get().(*mcsScratch)
+	defer mcsPool.Put(s)
+	s.reset(n)
+	weight := s.weight
+	visited := s.visited
 	// buckets[w] holds vertices of current weight w (with stale entries
 	// skipped lazily).
-	buckets := make([][]graph.V, n+1)
+	buckets := s.buckets
 	for v := 0; v < n; v++ {
 		buckets[0] = append(buckets[0], graph.V(v))
 	}
-	visitOrder := make([]graph.V, 0, n)
+	visitOrder := s.visitOrder
 	maxW := 0
 	for len(visitOrder) < n {
 		// Find the current max bucket with a live entry.
@@ -66,6 +91,8 @@ func MCSOrder(g *graph.Graph) []graph.V {
 			}
 		})
 	}
+	// Keep the (possibly regrown) visit buffer pooled for the next run.
+	s.visitOrder = visitOrder
 	// Elimination order is the reverse of the visit order.
 	peo := make([]graph.V, n)
 	for i, v := range visitOrder {
@@ -84,8 +111,10 @@ func IsPEO(g *graph.Graph, order []graph.V) bool {
 	if len(order) != n {
 		return false
 	}
-	pos := make([]int, n)
-	seen := make([]bool, n)
+	ar := graph.GetArena()
+	defer ar.Release()
+	pos := ar.Ints(n)
+	seen := ar.Bools(n)
 	for i, v := range order {
 		if v < 0 || int(v) >= n || seen[v] {
 			return false

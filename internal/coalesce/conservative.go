@@ -3,10 +3,18 @@ package coalesce
 import (
 	"fmt"
 	mbits "math/bits"
+	"sync"
 
 	"regcoal/internal/graph"
 	"regcoal/internal/greedy"
 )
+
+// trialPool recycles the scratch partitions the brute-force tests merge
+// on: one trial per probed affinity per round added up to the dominant
+// allocation of TestBrute-driven strategies. CopyFrom reuses the pooled
+// partition's storage, so a warmed pool probes without heap traffic
+// beyond the quotient build.
+var trialPool = sync.Pool{New: func() any { return new(graph.Partition) }}
 
 // Test selects the conservative test used to accept or reject a merge.
 type Test int
@@ -183,15 +191,17 @@ func ExtendedGeorgeOK(cur *graph.Graph, a, b graph.V, k int) bool {
 	return ok
 }
 
-// BruteOK tests a merge by performing it on a scratch copy and checking
-// greedy-k-colorability of the whole coalesced graph.
+// BruteOK tests a merge by performing it on a pooled scratch copy and
+// checking greedy-k-colorability of the whole coalesced graph.
 func BruteOK(g *graph.Graph, p *graph.Partition, x, y graph.V, k int) bool {
 	if !graph.CanMerge(g, p, x, y) {
 		return false
 	}
-	trial := p.Clone()
+	trial := trialPool.Get().(*graph.Partition)
+	trial.CopyFrom(p)
 	trial.Union(x, y)
 	q, _, err := graph.Quotient(g, trial)
+	trialPool.Put(trial)
 	if err != nil {
 		return false
 	}
@@ -203,7 +213,9 @@ func BruteOK(g *graph.Graph, p *graph.Partition, x, y graph.V, k int) bool {
 // situations where every individual merge is rejected but the simultaneous
 // merge is safe.
 func BruteSetOK(g *graph.Graph, p *graph.Partition, set []graph.Affinity, k int) bool {
-	trial := p.Clone()
+	trial := trialPool.Get().(*graph.Partition)
+	defer trialPool.Put(trial)
+	trial.CopyFrom(p)
 	for _, a := range set {
 		if !graph.CanMerge(g, trial, a.X, a.Y) {
 			return false
@@ -228,7 +240,9 @@ func Conservative(g *graph.Graph, k int, test Test) *Result {
 	s := newState(g)
 	affs := g.Affinities()
 	order := affinityOrder(g)
-	done := make([]bool, len(affs))
+	ar := graph.GetArena()
+	defer ar.Release()
+	done := ar.Bools(len(affs))
 	rounds := 0
 	for {
 		rounds++

@@ -23,7 +23,9 @@ func ConservativeSets(g *graph.Graph, k, maxSet int) *Result {
 	s := newState(g)
 	affs := g.Affinities()
 	order := affinityOrder(g)
-	done := make([]bool, len(affs))
+	ar := graph.GetArena()
+	defer ar.Release()
+	done := ar.Bools(len(affs))
 	rounds := 0
 	for {
 		rounds++

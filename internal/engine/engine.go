@@ -52,6 +52,11 @@ type outcome struct {
 // errors are infrastructural: a sink failure or outer-context
 // cancellation; per-run failures (errors, timeouts, panics) are data,
 // reported in their records.
+//
+// Run freezes every instance graph (graph.Freeze) so the matrix columns
+// can share each snapshot concurrently without cloning. The freeze is
+// permanent: callers that want to mutate an instance afterwards must
+// Clone its graph.
 func Run(ctx context.Context, cfg Config, insts []*corpus.Instance, runners []Runner, sink Sink) ([]Record, error) {
 	if len(insts) == 0 || len(runners) == 0 {
 		return nil, nil
@@ -74,7 +79,11 @@ func Run(ctx context.Context, cfg Config, insts []*corpus.Instance, runners []Ru
 	}
 	shapes := make([]shape, len(insts))
 	for i, inst := range insts {
-		g := inst.File.G
+		// Freeze each instance graph: every runner of the matrix reads
+		// the same snapshot concurrently (the Runner contract forbids
+		// mutation; freezing turns a violation into a panic record
+		// instead of silent cross-column corruption).
+		g := inst.File.G.Freeze()
 		shapes[i] = shape{
 			vertices:     g.N(),
 			edges:        g.E(),

@@ -102,7 +102,12 @@ func TestDeterministicAcrossParallelism(t *testing.T) {
 // exact-colorability check per node takes far longer than the timeout.
 func slowInstance(t *testing.T) *corpus.Instance {
 	t.Helper()
-	const n = 40
+	// exactMaxVertices-sized and half-dense: even with warm solver pools
+	// (the pooled-path PR sped the per-node colorability checks up enough
+	// that the old 40-vertex instance finished inside 50ms) this takes
+	// tens of milliseconds, an order of magnitude over the 5ms timeout
+	// below.
+	const n = exactMaxVertices
 	g := graph.New(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
@@ -124,7 +129,7 @@ func TestTimeoutCancelsExactSolver(t *testing.T) {
 	insts := []*corpus.Instance{slowInstance(t)}
 	start := time.Now()
 	recs, err := Run(context.Background(),
-		Config{Parallel: 2, Timeout: 50 * time.Millisecond},
+		Config{Parallel: 2, Timeout: 5 * time.Millisecond},
 		insts, StandardMatrix(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -281,5 +286,27 @@ func TestSpillMatrixOnPressureFamilies(t *testing.T) {
 				t.Fatalf("%s on %s: status %s, greedy_after %v", alloc, name, a.Status, a.GreedyAfter)
 			}
 		}
+	}
+}
+
+// TestDeterministicAcrossPoolReuse is the pooled-state half of the
+// byte-identity contract: two back-to-back matrix runs in one process
+// share warm solver pools (IRC state, spill scratch, arenas), and the
+// second run's record stream must be byte-identical to the first's. Any
+// state leaking across pool reuse boundaries would move a metric here.
+func TestDeterministicAcrossPoolReuse(t *testing.T) {
+	insts := quickCorpus(t, "chordal,interval,ssa-pressure,er-dense")
+	runOnce := func() string {
+		var jsonl bytes.Buffer
+		if _, err := Run(context.Background(), Config{Parallel: 4},
+			insts, StandardMatrix(), JSONLSink(&jsonl)); err != nil {
+			t.Fatal(err)
+		}
+		return jsonl.String()
+	}
+	first := runOnce()
+	second := runOnce() // pools are warm now
+	if first != second {
+		t.Error("JSONL record stream differs between cold-pool and warm-pool runs")
 	}
 }

@@ -36,6 +36,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -79,6 +80,7 @@ type Graph struct {
 	precolored []int
 	affinities []Affinity
 	edges      int
+	frozen     bool
 }
 
 // New returns a graph with n vertices (0..n-1) and no edges, affinities, or
@@ -154,6 +156,7 @@ func (g *Graph) growTo(n int) {
 
 // AddVertex appends a fresh isolated vertex and returns its id.
 func (g *Graph) AddVertex() V {
+	g.mutable("AddVertex")
 	g.growTo(g.n + 1)
 	g.n++
 	g.nbr = append(g.nbr, nil)
@@ -188,6 +191,7 @@ func (g *Graph) HasName(v V) bool {
 
 // SetName sets the vertex name.
 func (g *Graph) SetName(v V, name string) {
+	g.mutable("SetName")
 	g.check(v)
 	g.names[v] = name
 }
@@ -205,6 +209,28 @@ func (g *Graph) VertexByName(name string) (V, bool) {
 func (g *Graph) check(v V) {
 	if v < 0 || int(v) >= g.n {
 		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", int(v), g.n))
+	}
+}
+
+// Freeze marks the graph read-only and returns it: every subsequent
+// structural mutation (AddEdge, AddVertex, AddAffinity, precoloring,
+// renaming) panics. Freezing is how one parsed instance is shared —
+// without cloning — by concurrent portfolio racers and strategy-matrix
+// columns: the panic turns a silent cross-racer data race into a loud
+// contract violation. Freezing is irreversible on this value; Clone
+// returns a mutable copy.
+func (g *Graph) Freeze() *Graph {
+	g.frozen = true
+	return g
+}
+
+// Frozen reports whether the graph has been frozen.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// mutable panics when the graph is frozen; every mutator calls it first.
+func (g *Graph) mutable(op string) {
+	if g.frozen {
+		panic("graph: " + op + " on frozen graph (shared read-only snapshot; Clone first)")
 	}
 }
 
@@ -232,6 +258,7 @@ func removeSorted(s []V, v V) []V {
 // no-op. Self-loops are rejected: a variable trivially shares a register
 // with itself.
 func (g *Graph) AddEdge(u, v V) {
+	g.mutable("AddEdge")
 	g.check(u)
 	g.check(v)
 	if u == v {
@@ -251,6 +278,7 @@ func (g *Graph) AddEdge(u, v V) {
 
 // RemoveEdge removes the interference edge (u, v) if present.
 func (g *Graph) RemoveEdge(u, v V) {
+	g.mutable("RemoveEdge")
 	g.check(u)
 	g.check(v)
 	iu := int(u)*g.stride + int(v)>>6
@@ -353,6 +381,7 @@ func (g *Graph) Edges() [][2]V {
 // "constrained" move that no coalescing can remove — as is a self-affinity
 // (already coalesced; always satisfied).
 func (g *Graph) AddAffinity(u, v V, weight int64) {
+	g.mutable("AddAffinity")
 	g.check(u)
 	g.check(v)
 	if weight < 0 {
@@ -380,6 +409,7 @@ func (g *Graph) TotalAffinityWeight() int64 {
 // NormalizeAffinities merges parallel affinities (same endpoint pair) by
 // summing weights, drops self-affinities, and sorts the affinity list.
 func (g *Graph) NormalizeAffinities() {
+	g.mutable("NormalizeAffinities")
 	merged := make(map[[2]V]int64)
 	for _, a := range g.affinities {
 		a = a.Canon()
@@ -395,22 +425,31 @@ func (g *Graph) NormalizeAffinities() {
 	SortAffinities(g.affinities)
 }
 
-// SortAffinities sorts affinities by endpoints, then weight.
+// SortAffinities sorts affinities by endpoints, then weight. It performs
+// no heap allocation (slices.SortFunc, unlike sort.Slice, does not box),
+// so pooled solver state can sort its move list on the zero-alloc path.
 func SortAffinities(as []Affinity) {
-	sort.Slice(as, func(i, j int) bool {
-		if as[i].X != as[j].X {
-			return as[i].X < as[j].X
+	slices.SortFunc(as, func(a, b Affinity) int {
+		if a.X != b.X {
+			return int(a.X - b.X)
 		}
-		if as[i].Y != as[j].Y {
-			return as[i].Y < as[j].Y
+		if a.Y != b.Y {
+			return int(a.Y - b.Y)
 		}
-		return as[i].Weight < as[j].Weight
+		switch {
+		case a.Weight < b.Weight:
+			return -1
+		case a.Weight > b.Weight:
+			return 1
+		}
+		return 0
 	})
 }
 
 // SetPrecolored pins v to the given color (machine register). Precolored
 // vertices model physical registers in Chaitin-style allocators.
 func (g *Graph) SetPrecolored(v V, color int) {
+	g.mutable("SetPrecolored")
 	g.check(v)
 	if color < 0 {
 		panic(fmt.Sprintf("graph: invalid precolor %d", color))
@@ -420,6 +459,7 @@ func (g *Graph) SetPrecolored(v V, color int) {
 
 // ClearPrecolored removes the precoloring of v.
 func (g *Graph) ClearPrecolored(v V) {
+	g.mutable("ClearPrecolored")
 	g.check(v)
 	g.precolored[v] = NoColor
 }
@@ -442,7 +482,8 @@ func (g *Graph) HasPrecolored() bool {
 }
 
 // Clone returns a deep copy of the graph. The bitset matrix is one flat
-// copy; adjacency slices are copied row by row.
+// copy; adjacency slices are copied row by row. The copy is always
+// mutable, even when g is frozen.
 func (g *Graph) Clone() *Graph {
 	h := &Graph{
 		n:          g.n,

@@ -21,15 +21,28 @@ type Partition struct {
 // NewPartition returns the discrete partition of n vertices (every vertex in
 // its own class).
 func NewPartition(n int) *Partition {
-	p := &Partition{
-		parent:  make([]V, n),
-		rank:    make([]int, n),
-		classes: n,
+	p := &Partition{}
+	p.Reset(n)
+	return p
+}
+
+// Reset reinitializes p to the discrete partition of n vertices, reusing
+// its storage when capacity allows — the Reset(g)-style lifecycle hook
+// for pooled solver state that embeds a partition.
+func (p *Partition) Reset(n int) {
+	if cap(p.parent) < n {
+		p.parent = make([]V, n)
 	}
+	if cap(p.rank) < n {
+		p.rank = make([]int, n)
+	}
+	p.parent = p.parent[:n]
+	p.rank = p.rank[:n]
 	for i := range p.parent {
 		p.parent[i] = V(i)
+		p.rank[i] = 0
 	}
-	return p
+	p.classes = n
 }
 
 // N reports the number of vertices the partition is defined over.
@@ -81,6 +94,16 @@ func (p *Partition) Clone() *Partition {
 		rank:    append([]int(nil), p.rank...),
 		classes: p.classes,
 	}
+}
+
+// CopyFrom overwrites p with o's state, reusing p's storage when
+// capacity allows — Clone for pooled trial partitions (the conservative
+// coalescing tests probe one trial merge per affinity per round; cloning
+// fresh each probe was the dominant allocation of the brute-force test).
+func (p *Partition) CopyFrom(o *Partition) {
+	p.parent = append(p.parent[:0], o.parent...)
+	p.rank = append(p.rank[:0], o.rank...)
+	p.classes = o.classes
 }
 
 // Classes returns the classes of the partition, each sorted increasingly,

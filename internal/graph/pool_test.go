@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaHandoutsAreZeroed(t *testing.T) {
+	a := GetArena()
+	defer a.Release()
+	for round := 0; round < 3; round++ {
+		b := a.Bits(100)
+		if !b.Empty() {
+			t.Fatalf("round %d: arena bitset not empty", round)
+		}
+		b.Set(7)
+		b.Set(99)
+		is := a.Ints(50)
+		for i, x := range is {
+			if x != 0 {
+				t.Fatalf("round %d: Ints[%d] = %d, want 0", round, i, x)
+			}
+		}
+		is[3] = 42
+		bs := a.Bools(80)
+		for i, x := range bs {
+			if x {
+				t.Fatalf("round %d: Bools[%d] set", round, i)
+			}
+		}
+		bs[0] = true
+		vs := a.Vs(10)
+		if len(vs) != 0 || cap(vs) < 10 {
+			t.Fatalf("round %d: Vs len %d cap %d, want 0/>=10", round, len(vs), cap(vs))
+		}
+		a.Reset() // dirty buffers go back; next round must see them clean
+	}
+}
+
+func TestArenaDistinctBuffers(t *testing.T) {
+	a := GetArena()
+	defer a.Release()
+	x := a.Bits(64)
+	y := a.Bits(64)
+	x.Set(0)
+	if y.Get(0) {
+		t.Fatal("two same-class handouts share storage")
+	}
+}
+
+func TestArenaSizeClassReuse(t *testing.T) {
+	a := GetArena()
+	defer a.Release()
+	first := a.Ints(100)
+	a.Reset()
+	second := a.Ints(90) // same class (128): must reuse the same buffer
+	if &first[0] != &second[0] {
+		t.Fatal("same-class request after Reset did not reuse the buffer")
+	}
+	a.Reset()
+	third := a.Ints(300) // different class: fresh buffer
+	if cap(third) < 300 {
+		t.Fatalf("class buffer cap %d < 300", cap(third))
+	}
+}
+
+func TestArenaOversizedRequest(t *testing.T) {
+	a := GetArena()
+	defer a.Release()
+	huge := a.Ints(1 << numArenaClasses) // beyond the retained classes
+	if len(huge) != 1<<numArenaClasses {
+		t.Fatalf("oversized request length %d", len(huge))
+	}
+}
+
+func TestArenaConcurrentAcquire(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := GetArena()
+				b := a.Bits(256)
+				b.Set(V(i % 256))
+				if b.Count() != 1 {
+					panic("cross-arena interference")
+				}
+				a.Release()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestReuseBits(t *testing.T) {
+	b := NewBits(128)
+	b.Set(5)
+	b.Set(127)
+	r := ReuseBits(b, 100)
+	if !r.Empty() {
+		t.Fatal("ReuseBits did not clear")
+	}
+	if &r[0] != &b[0] {
+		t.Fatal("ReuseBits did not reuse wide-enough storage")
+	}
+	big := ReuseBits(r, 100000)
+	if len(big) != wordsFor(100000) {
+		t.Fatalf("ReuseBits grow: %d words", len(big))
+	}
+}
+
+func TestReuseRows(t *testing.T) {
+	rows := [][]V{{1, 2, 3}, {4}}
+	r := ReuseRows(rows, 2)
+	if len(r) != 2 || len(r[0]) != 0 || cap(r[0]) < 3 {
+		t.Fatalf("ReuseRows mangled rows: %v", r)
+	}
+	r = ReuseRows(r, 5)
+	if len(r) != 5 {
+		t.Fatalf("ReuseRows grow: %d rows", len(r))
+	}
+}
+
+func TestFreezePanicsOnMutation(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	if g.Frozen() {
+		t.Fatal("fresh graph frozen")
+	}
+	g.Freeze()
+	if !g.Frozen() {
+		t.Fatal("Freeze did not stick")
+	}
+	mutations := map[string]func(){
+		"AddEdge":         func() { g.AddEdge(2, 3) },
+		"RemoveEdge":      func() { g.RemoveEdge(0, 1) },
+		"AddVertex":       func() { g.AddVertex() },
+		"AddAffinity":     func() { g.AddAffinity(0, 2, 1) },
+		"SetPrecolored":   func() { g.SetPrecolored(0, 0) },
+		"ClearPrecolored": func() { g.ClearPrecolored(0) },
+		"SetName":         func() { g.SetName(0, "x") },
+		"Normalize":       func() { g.NormalizeAffinities() },
+	}
+	for name, fn := range mutations {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on frozen graph did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Reads still work, and Clone hands back a mutable copy.
+	if !g.HasEdge(0, 1) || g.Degree(0) != 1 {
+		t.Fatal("frozen graph lost its edges")
+	}
+	h := g.Clone()
+	if h.Frozen() {
+		t.Fatal("clone of a frozen graph is frozen")
+	}
+	h.AddEdge(2, 3) // must not panic
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionResetAndCopyFrom(t *testing.T) {
+	p := NewPartition(6)
+	p.Union(0, 1)
+	p.Union(2, 3)
+	q := new(Partition)
+	q.CopyFrom(p)
+	if q.NumClasses() != p.NumClasses() || !q.Same(0, 1) || q.Same(0, 2) {
+		t.Fatal("CopyFrom diverged")
+	}
+	q.Union(0, 2) // must not leak back into p
+	if p.Same(0, 2) {
+		t.Fatal("CopyFrom aliases the source")
+	}
+	p.Reset(4)
+	if p.N() != 4 || p.NumClasses() != 4 || p.Same(0, 1) {
+		t.Fatal("Reset did not rediscretize")
+	}
+}

@@ -33,16 +33,59 @@ import (
 // no precolored vertices blocking it (see IsGreedyKColorable). Eliminate
 // runs in O(V + E log V).
 func Eliminate(g *graph.Graph, k int) (order, remaining []graph.V) {
+	ar := graph.GetArena()
+	defer ar.Release()
+	o, r := eliminate(ar, g, k)
+	// The arena owns o and r; copy what escapes (preserving the nil-when-
+	// empty convention of the original implementation).
+	if len(o) > 0 {
+		order = append([]graph.V(nil), o...)
+	}
+	if len(r) > 0 {
+		remaining = append([]graph.V(nil), r...)
+	}
+	return order, remaining
+}
+
+// eliminate is Eliminate over pooled arena scratch. The returned slices
+// are arena-owned: valid only until the arena's Release/Reset. Callers
+// on the zero-alloc path (IsGreedyKColorable, color) consume them before
+// releasing; Eliminate copies them out.
+func eliminate(ar *graph.Arena, g *graph.Graph, k int) (order, remaining []graph.V) {
+	return EliminateMasked(ar, g, k, nil)
+}
+
+// EliminateMasked runs the simplification scheme over the subgraph
+// induced by alive (nil = every vertex), on arena scratch: vertices
+// outside the mask are treated as already removed and degrees are
+// counted within the mask. This single implementation carries the
+// elimination discipline — smallest-eligible-id-first via a min-heap —
+// for both the whole-graph callers here and the spill package's
+// residual coloring, so the two can never drift apart. The returned
+// order and remaining slices are arena-owned: valid only until the
+// arena's Release/Reset.
+func EliminateMasked(ar *graph.Arena, g *graph.Graph, k int, alive graph.Bits) (order, remaining []graph.V) {
 	n := g.N()
-	deg := make([]int, n)
-	removed := make([]bool, n)
-	pinned := make([]bool, n)
+	deg := ar.Ints(n)
+	removed := ar.Bools(n)
+	pinned := ar.Bools(n)
 	for v := 0; v < n; v++ {
-		deg[v] = g.Degree(graph.V(v))
+		if alive != nil && !alive.Get(graph.V(v)) {
+			removed[v] = true
+			continue
+		}
+		if alive == nil {
+			deg[v] = g.Degree(graph.V(v))
+		} else {
+			deg[v] = g.MaskedDegree(graph.V(v), alive)
+		}
 		_, pinned[v] = g.Precolored(graph.V(v))
 	}
-	// Min-heap of eligible vertex ids.
-	var work []graph.V
+	order = ar.Vs(n)
+	// Min-heap of eligible vertex ids. The inWork guard keeps entries
+	// distinct, so the heap never exceeds n and the arena buffer never
+	// regrows.
+	work := ar.Vs(n)
 	push := func(v graph.V) {
 		work = append(work, v)
 		for i := len(work) - 1; i > 0; {
@@ -76,9 +119,9 @@ func Eliminate(g *graph.Graph, k int) (order, remaining []graph.V) {
 		}
 		return v
 	}
-	inWork := make([]bool, n)
+	inWork := ar.Bools(n)
 	for v := 0; v < n; v++ {
-		if !pinned[v] && deg[v] < k {
+		if !removed[v] && !pinned[v] && deg[v] < k {
 			push(graph.V(v))
 			inWork[v] = true
 		}
@@ -102,6 +145,7 @@ func Eliminate(g *graph.Graph, k int) (order, remaining []graph.V) {
 			}
 		})
 	}
+	remaining = ar.Vs(n)
 	for v := 0; v < n; v++ {
 		if !removed[v] && !pinned[v] {
 			remaining = append(remaining, graph.V(v))
@@ -136,8 +180,11 @@ func IsGreedyKColorable(g *graph.Graph, k int) bool {
 			return false
 		}
 	}
-	_, remaining := Eliminate(g, k)
-	return len(remaining) == 0
+	ar := graph.GetArena()
+	_, remaining := eliminate(ar, g, k)
+	ok := len(remaining) == 0
+	ar.Release()
+	return ok
 }
 
 // Witness returns a certificate that g is not greedy-k-colorable: a vertex
@@ -352,7 +399,9 @@ func color(g *graph.Graph, k int, biased bool) (graph.Coloring, bool) {
 		}
 		return nil, false
 	}
-	order, remaining := Eliminate(g, k)
+	ar := graph.GetArena()
+	defer ar.Release()
+	order, remaining := eliminate(ar, g, k)
 	if len(remaining) > 0 {
 		return nil, false
 	}

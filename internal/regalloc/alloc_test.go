@@ -1,0 +1,64 @@
+package regalloc
+
+// Zero-allocation gate for the pooled IRC solve path (the tentpole
+// property of the pooling refactor): once AcquireIRC's pool is warm for
+// a graph size, Reset+RunInto cycles must not touch the heap. Run under
+// -race the test still drives the pooled path (catching pool-reuse
+// races) but skips the exact count, which instrumentation inflates.
+
+import (
+	"math/rand"
+	"testing"
+
+	"regcoal/internal/graph"
+)
+
+// ircAllocInstance builds a deterministic mid-size instance with moves
+// and precoloring, so the gate covers coalescing and pin handling too.
+func ircAllocInstance() (*graph.Graph, int) {
+	rng := rand.New(rand.NewSource(0xa110c))
+	g := graph.RandomER(rng, 160, 0.25)
+	graph.SprinkleAffinities(rng, g, 60, 6)
+	g.SetPrecolored(0, 0)
+	g.SetPrecolored(1, 1)
+	return g, 12
+}
+
+func TestIRCZeroAllocSteadyState(t *testing.T) {
+	g, k := ircAllocInstance()
+	a := AcquireIRC(g, k)
+	defer a.Release()
+	res := new(IRCResult)
+	a.RunInto(res) // warm the solver and result buffers
+	want := res.CoalescedWeight
+
+	allocs := testing.AllocsPerRun(25, func() {
+		a.Reset(g, k)
+		a.RunInto(res)
+	})
+	if res.CoalescedWeight != want {
+		t.Fatalf("steady-state rerun changed the answer: weight %d != %d", res.CoalescedWeight, want)
+	}
+	if graph.RaceEnabled {
+		t.Skipf("race detector inflates alloc counts (measured %v); pooled path exercised, count skipped", allocs)
+	}
+	if allocs != 0 {
+		t.Fatalf("warmed IRC Reset+RunInto allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestIRCPooledMatchesFresh pins that a recycled solver is
+// indistinguishable from a fresh one on the instance the gate uses.
+func TestIRCPooledMatchesFresh(t *testing.T) {
+	g, k := ircAllocInstance()
+	fresh := NewIRC(g, k).Run()
+
+	a := AcquireIRC(g, k)
+	defer a.Release()
+	res := new(IRCResult)
+	for i := 0; i < 3; i++ { // reuse across runs, not just once
+		a.Reset(g, k)
+		a.RunInto(res)
+	}
+	assertIRCResultsEqual(t, "pooled-vs-fresh", res, fresh)
+}

@@ -15,6 +15,28 @@ import (
 	"regcoal/internal/graph/mapref"
 )
 
+func assertIRCResultsEqual(t *testing.T, name string, got, want *IRCResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Coloring, want.Coloring) {
+		t.Fatalf("%s: coloring diverged\n got %v\nwant %v", name, got.Coloring, want.Coloring)
+	}
+	if len(got.Spilled) != len(want.Spilled) || (len(want.Spilled) > 0 && !reflect.DeepEqual(got.Spilled, want.Spilled)) {
+		t.Fatalf("%s: spills diverged: got %v, want %v", name, got.Spilled, want.Spilled)
+	}
+	if got.CoalescedMoves != want.CoalescedMoves ||
+		got.ConstrainedMoves != want.ConstrainedMoves ||
+		got.FrozenMoves != want.FrozenMoves ||
+		got.CoalescedWeight != want.CoalescedWeight {
+		t.Fatalf("%s: move outcomes diverged: got %d/%d/%d w=%d, want %d/%d/%d w=%d",
+			name,
+			got.CoalescedMoves, got.ConstrainedMoves, got.FrozenMoves, got.CoalescedWeight,
+			want.CoalescedMoves, want.ConstrainedMoves, want.FrozenMoves, want.CoalescedWeight)
+	}
+	if !reflect.DeepEqual(got.P.Classes(), want.P.Classes()) {
+		t.Fatalf("%s: coalescing partition diverged", name)
+	}
+}
+
 func TestIRCMatchesMapReferenceRebuild(t *testing.T) {
 	fams, err := corpus.Select("all")
 	if err != nil {
@@ -32,27 +54,42 @@ func TestIRCMatchesMapReferenceRebuild(t *testing.T) {
 		want := NewIRC(f.G, f.K).Run()
 		got := NewIRC(rebuilt, f.K).Run()
 
-		if !reflect.DeepEqual(got.Coloring, want.Coloring) {
-			t.Fatalf("%s: coloring diverged under map-order rebuild\n got %v\nwant %v",
-				inst.Name, got.Coloring, want.Coloring)
-		}
-		if !reflect.DeepEqual(got.Spilled, want.Spilled) {
-			t.Fatalf("%s: spills diverged: got %v, want %v", inst.Name, got.Spilled, want.Spilled)
-		}
-		if got.CoalescedMoves != want.CoalescedMoves ||
-			got.ConstrainedMoves != want.ConstrainedMoves ||
-			got.FrozenMoves != want.FrozenMoves ||
-			got.CoalescedWeight != want.CoalescedWeight {
-			t.Fatalf("%s: move outcomes diverged: got %d/%d/%d w=%d, want %d/%d/%d w=%d",
-				inst.Name,
-				got.CoalescedMoves, got.ConstrainedMoves, got.FrozenMoves, got.CoalescedWeight,
-				want.CoalescedMoves, want.ConstrainedMoves, want.FrozenMoves, want.CoalescedWeight)
-		}
-		if !reflect.DeepEqual(got.P.Classes(), want.P.Classes()) {
-			t.Fatalf("%s: coalescing partition diverged", inst.Name)
-		}
+		assertIRCResultsEqual(t, inst.Name, got, want)
 		if err := got.Check(f.G, f.K); err != nil {
 			t.Fatalf("%s: rebuilt result fails Check: %v", inst.Name, err)
+		}
+	}
+}
+
+// TestIRCPooledMatchesFreshRebuild is the pooled-state half of the
+// representation-independence contract: ONE pooled solver and ONE result
+// recycled across every corpus instance — each rebuilt through the
+// map-backed reference so edge-insertion order is randomized — must
+// reproduce exactly what a fresh solver computes on the pristine graph.
+// Any stale state leaking across Reset boundaries shows up as a diff.
+func TestIRCPooledMatchesFreshRebuild(t *testing.T) {
+	fams, err := corpus.Select("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := corpus.BuildAll(fams, corpus.Params{Seed: 20260729, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := AcquireIRC(insts[0].File.G, insts[0].File.K)
+	defer a.Release()
+	res := new(IRCResult)
+	for _, inst := range insts {
+		f := inst.File
+		rebuilt := mapref.FromGraph(f.G).Rebuild(f.G)
+
+		want := NewIRC(f.G, f.K).Run()
+		a.Reset(rebuilt, f.K)
+		a.RunInto(res)
+
+		assertIRCResultsEqual(t, inst.Name+" (pooled)", res, want)
+		if err := res.Check(f.G, f.K); err != nil {
+			t.Fatalf("%s: pooled result fails Check: %v", inst.Name, err)
 		}
 	}
 }

@@ -3,7 +3,8 @@ package regalloc
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
+	"sync"
 
 	"regcoal/internal/graph"
 )
@@ -61,6 +62,9 @@ type IRC struct {
 	coalescedMoves   graph.Bits
 	constrainedMoves graph.Bits
 	frozenMoves      graph.Bits
+
+	// colorUsed is the select-phase scratch (one flag per color).
+	colorUsed []bool
 }
 
 // IRCResult is the outcome of an IRC run.
@@ -77,50 +81,95 @@ type IRCResult struct {
 	CoalescedWeight int64
 }
 
-// NewIRC prepares an IRC run over g with k colors. The graph is not
-// modified.
+// NewIRC prepares a fresh (unpooled) IRC run over g with k colors. The
+// graph is not modified. Hot paths that run IRC repeatedly should prefer
+// AcquireIRC/Release, which recycle the solver state through a pool.
 func NewIRC(g *graph.Graph, k int) *IRC {
+	a := new(IRC)
+	a.Reset(g, k)
+	return a
+}
+
+// ircPool recycles IRC solver state. Only the struct pointer crosses the
+// pool boundary, so acquire/release itself never allocates; the struct
+// carries its worklists, bitset matrix, and adjacency rows across runs.
+var ircPool = sync.Pool{New: func() any { return new(IRC) }}
+
+// AcquireIRC returns a pooled IRC ready to Run on g with k colors; pair
+// it with Release. After the pool is warm for a graph size, repeated
+// acquire/run/release cycles do no steady-state heap allocation (see
+// TestIRCZeroAllocSteadyState).
+func AcquireIRC(g *graph.Graph, k int) *IRC {
+	a := ircPool.Get().(*IRC)
+	a.Reset(g, k)
+	return a
+}
+
+// Release returns the solver state to the pool. The IRC must not be used
+// afterwards. Results from Run/RunInto stay valid: they own their
+// memory and do not alias pooled state.
+func (a *IRC) Release() {
+	a.g = nil // do not pin the instance graph in the pool
+	ircPool.Put(a)
+}
+
+// Reset reinitializes the solver for a run over g with k colors, reusing
+// every buffer whose capacity allows — the Reset(g)-style lifecycle of
+// the pooled solve path. The evolving graph is seeded by copying g's
+// bitset rows and adjacency slices directly (no per-edge insertion).
+func (a *IRC) Reset(g *graph.Graph, k int) {
 	n := g.N()
-	a := &IRC{
-		k:                k,
-		g:                g,
-		n:                n,
-		stride:           (n + 63) >> 6,
-		adjList:          make([][]graph.V, n),
-		degree:           make([]int, n),
-		precolored:       make([]bool, n),
-		alias:            make([]graph.V, n),
-		simplifyWorklist: graph.NewBits(n),
-		freezeWorklist:   graph.NewBits(n),
-		spillWorklist:    graph.NewBits(n),
-		coalescedNodes:   graph.NewBits(n),
-		onStack:          graph.NewBits(n),
-		removed:          graph.NewBits(n),
-		moveList:         make([][]int, n),
-	}
-	a.adj = make([]uint64, n*a.stride)
+	a.k, a.g, a.n = k, g, n
+	a.stride = (n + 63) >> 6
+	// adj, degree, and alias are fully overwritten below (the row copies
+	// cover all n*stride words), so they reuse capacity without the
+	// zeroing memset ReuseSlice would do — on a dense instance adj is the
+	// largest buffer of the pooled hot path.
+	a.adj = resize(a.adj, n*a.stride)
+	a.adjList = graph.ReuseRows(a.adjList, n)
+	a.degree = resize(a.degree, n)
+	a.precolored = graph.ReuseSlice(a.precolored, n)
+	a.alias = resize(a.alias, n)
+	a.simplifyWorklist = graph.ReuseBits(a.simplifyWorklist, n)
+	a.freezeWorklist = graph.ReuseBits(a.freezeWorklist, n)
+	a.spillWorklist = graph.ReuseBits(a.spillWorklist, n)
+	a.coalescedNodes = graph.ReuseBits(a.coalescedNodes, n)
+	a.onStack = graph.ReuseBits(a.onStack, n)
+	a.removed = graph.ReuseBits(a.removed, n)
+	a.selectStack = a.selectStack[:0]
 	for v := 0; v < n; v++ {
 		a.alias[v] = -1
 		if _, ok := g.Precolored(graph.V(v)); ok {
 			a.precolored[v] = true
 		}
+		copy(a.adjRow(graph.V(v)), g.BitsetNeighbors(graph.V(v)))
+		a.adjList[v] = g.NeighborsInto(a.adjList[v], graph.V(v))
+		a.degree[v] = g.Degree(graph.V(v))
 	}
-	for _, e := range g.Edges() {
-		a.addEdge(e[0], e[1])
-	}
-	a.moves = append([]graph.Affinity(nil), g.Affinities()...)
+	a.moves = append(a.moves[:0], g.Affinities()...)
 	graph.SortAffinities(a.moves)
-	a.worklistMoves = graph.NewBits(len(a.moves))
-	a.activeMoves = graph.NewBits(len(a.moves))
-	a.coalescedMoves = graph.NewBits(len(a.moves))
-	a.constrainedMoves = graph.NewBits(len(a.moves))
-	a.frozenMoves = graph.NewBits(len(a.moves))
-	for i, m := range a.moves {
-		a.moveList[m.X] = append(a.moveList[m.X], i)
-		a.moveList[m.Y] = append(a.moveList[m.Y], i)
+	m := len(a.moves)
+	a.moveList = graph.ReuseRows(a.moveList, n)
+	a.worklistMoves = graph.ReuseBits(a.worklistMoves, m)
+	a.activeMoves = graph.ReuseBits(a.activeMoves, m)
+	a.coalescedMoves = graph.ReuseBits(a.coalescedMoves, m)
+	a.constrainedMoves = graph.ReuseBits(a.constrainedMoves, m)
+	a.frozenMoves = graph.ReuseBits(a.frozenMoves, m)
+	for i, mv := range a.moves {
+		a.moveList[mv.X] = append(a.moveList[mv.X], i)
+		a.moveList[mv.Y] = append(a.moveList[mv.Y], i)
 		a.worklistMoves.Set(graph.V(i))
 	}
-	return a
+}
+
+
+// resize returns s with length n, reusing capacity without zeroing —
+// for buffers the caller fully overwrites before reading.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // adjRow returns v's bitset row of the evolving graph.
@@ -369,8 +418,15 @@ func (a *IRC) selectSpill() {
 	a.freezeMoves(best)
 }
 
-// Run executes the IRC main loop and the final color assignment.
-func (a *IRC) Run() *IRCResult {
+// Run executes the IRC main loop and the final color assignment into a
+// fresh result.
+func (a *IRC) Run() *IRCResult { return a.RunInto(new(IRCResult)) }
+
+// RunInto executes the IRC main loop and writes the outcome into res,
+// reusing res's coloring, spill list, and partition storage — the
+// zero-allocation variant of Run for callers that recycle results along
+// with the pooled solver state. It returns res.
+func (a *IRC) RunInto(res *IRCResult) *IRCResult {
 	a.makeWorklists()
 loop:
 	for {
@@ -388,15 +444,18 @@ loop:
 		}
 	}
 	// Assign colors: precolored first, then pop the select stack.
-	col := graph.NewColoring(a.n)
+	res.Coloring = graph.Coloring(graph.ReuseSlice([]int(res.Coloring), a.n))
+	col := res.Coloring
 	for v := 0; v < a.n; v++ {
+		col[v] = graph.NoColor
 		if a.precolored[v] {
 			c, _ := a.g.Precolored(graph.V(v))
 			col[v] = c
 		}
 	}
-	var spilled []graph.V
-	used := make([]bool, a.k)
+	res.Spilled = res.Spilled[:0]
+	a.colorUsed = graph.ReuseSlice(a.colorUsed, a.k)
+	used := a.colorUsed
 	for i := len(a.selectStack) - 1; i >= 0; i-- {
 		v := a.selectStack[i]
 		for c := range used {
@@ -417,19 +476,28 @@ loop:
 			}
 		}
 		if !assigned {
-			spilled = append(spilled, v)
+			res.Spilled = append(res.Spilled, v)
 		}
 	}
 	// Coalesced nodes take their representative's color.
-	p := graph.NewPartition(a.n)
+	if res.P == nil {
+		res.P = graph.NewPartition(a.n)
+	} else {
+		res.P.Reset(a.n)
+	}
+	p := res.P
 	a.coalescedNodes.ForEach(func(v graph.V) {
 		p.Union(a.find(v), v)
 		col[v] = col[a.find(v)]
 	})
-	sort.Slice(spilled, func(i, j int) bool { return spilled[i] < spilled[j] })
-	res := &IRCResult{Coloring: col, Spilled: spilled, P: p,
-		CoalescedMoves: a.coalescedMoves.Count(), ConstrainedMoves: a.constrainedMoves.Count(),
-		FrozenMoves: a.frozenMoves.Count()}
+	// slices.Sort, unlike sort.Slice, does not box — the zero-alloc path
+	// stays clean.
+	slices.Sort(res.Spilled)
+	spilled := res.Spilled
+	res.CoalescedMoves = a.coalescedMoves.Count()
+	res.ConstrainedMoves = a.constrainedMoves.Count()
+	res.FrozenMoves = a.frozenMoves.Count()
+	res.CoalescedWeight = 0
 	a.coalescedMoves.ForEach(func(m graph.V) {
 		res.CoalescedWeight += a.moves[m].Weight
 	})
@@ -443,6 +511,7 @@ loop:
 	}
 	return res
 }
+
 
 // Check validates the result against the original graph: interfering
 // vertices that both got colors must differ, coalesced classes agree, and

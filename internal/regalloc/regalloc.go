@@ -115,7 +115,9 @@ func Allocate(g *graph.Graph, k int, mode Mode) (*Result, error) {
 // the worklist-driven George–Appel formulation (see irc.go) — and adapts
 // its result to the Allocate shape.
 func AllocateIRC(g *graph.Graph, k int) (*Result, error) {
-	irc := NewIRC(g, k).Run()
+	a := AcquireIRC(g, k)
+	irc := a.Run()
+	a.Release()
 	if err := irc.Check(g, k); err != nil {
 		return nil, err
 	}

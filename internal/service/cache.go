@@ -81,20 +81,25 @@ func (c *Cache) shard(key string) *cacheShard {
 	return c.shards[h.Sum32()%uint32(len(c.shards))]
 }
 
-// Get returns the cached solution for key, marking it most recently used.
-func (c *Cache) Get(key string) (*entry, bool) {
+// Get returns a copy of the cached solution for key, marking it most
+// recently used. Returning the entry by value (not the internal *entry)
+// keeps the cache's own record unreachable from callers: a renderer
+// cannot swap fields on what later hits observe. The copy shares the
+// entry's slice payloads, which are immutable once stored (see the entry
+// doc); callers must treat them as read-only.
+func (c *Cache) Get(key string) (entry, bool) {
 	s := c.shard(key)
 	if s == nil {
-		return nil, false
+		return entry{}, false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.items[key]
 	if !ok {
-		return nil, false
+		return entry{}, false
 	}
 	s.ll.MoveToFront(el)
-	return el.Value.(*cacheItem).val, true
+	return *el.Value.(*cacheItem).val, true
 }
 
 // Put stores val under key, evicting the shard's least recently used

@@ -2,6 +2,8 @@ package service
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -60,5 +62,78 @@ func TestCacheDisabled(t *testing.T) {
 	}
 	if c.Len() != 0 {
 		t.Fatal("disabled cache has entries")
+	}
+}
+
+// TestCacheGetReturnsCopy pins the immutability contract: Get hands back
+// a copy of the entry record, so a caller mutating its fields cannot
+// change what later hits observe.
+func TestCacheGetReturnsCopy(t *testing.T) {
+	c := NewCache(8, 1)
+	c.Put("k", &entry{strategy: "winner", spills: 3})
+	e1, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss")
+	}
+	e1.strategy = "tampered"
+	e1.spills = 99
+	e2, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss after tamper")
+	}
+	if e2.strategy != "winner" || e2.spills != 3 {
+		t.Fatalf("cache record mutated through a Get copy: %+v", e2)
+	}
+}
+
+// TestCacheConcurrentStress hammers Get/Put/eviction from many
+// goroutines over a keyspace larger than the capacity, so every
+// operation type races every other (run under -race in CI). Every hit
+// must return an internally consistent entry: strategy and spills are
+// written as a matched pair and must be observed as one.
+func TestCacheConcurrentStress(t *testing.T) {
+	c := NewCache(32, 4) // small: constant eviction pressure
+	const (
+		workers = 8
+		ops     = 2000
+		keys    = 128
+	)
+	var wg sync.WaitGroup
+	torn := make(chan string, workers) // first torn read per worker
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < ops; i++ {
+				k := rng.Intn(keys)
+				key := fmt.Sprintf("k%d", k)
+				switch rng.Intn(3) {
+				case 0:
+					c.Put(key, &entry{strategy: fmt.Sprintf("s%d", k), spills: k})
+				case 1:
+					if e, ok := c.Get(key); ok {
+						if e.strategy != fmt.Sprintf("s%d", k) || e.spills != k {
+							select {
+							case torn <- fmt.Sprintf("key %s got %+v", key, e):
+							default:
+							}
+							return
+						}
+					}
+				default:
+					c.Len()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(torn)
+	for msg := range torn {
+		t.Errorf("torn read: %s", msg)
+	}
+	if c.Len() > 32 {
+		t.Fatalf("cache overflowed capacity: %d", c.Len())
 	}
 }

@@ -139,9 +139,11 @@ type Report struct {
 	FirstFailure string
 }
 
-// Percentiles summarize request latency.
+// Percentiles summarize request latency. Mean is the arithmetic mean of
+// the per-request latencies — distinct from wall-clock/requests, which
+// is inverse throughput and shrinks with concurrency.
 type Percentiles struct {
-	P50, P90, P99, Max time.Duration
+	P50, P90, P99, Max, Mean time.Duration
 }
 
 // Throughput reports successful requests per second.
@@ -157,7 +159,8 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "requests %d  ok %d  rejected(429) %d  failed %d\n", r.Requests, r.OK, r.Rejected, r.Failed)
 	fmt.Fprintf(&b, "cache hits %d  deadline hits %d\n", r.CacheHits, r.DeadlineHits)
 	fmt.Fprintf(&b, "wall %v  throughput %.1f req/s\n", r.Wall.Round(time.Millisecond), r.Throughput())
-	fmt.Fprintf(&b, "latency p50 %v  p90 %v  p99 %v  max %v\n",
+	fmt.Fprintf(&b, "latency mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
+		r.Latencies.Mean.Round(time.Microsecond),
 		r.Latencies.P50.Round(time.Microsecond), r.Latencies.P90.Round(time.Microsecond),
 		r.Latencies.P99.Round(time.Microsecond), r.Latencies.Max.Round(time.Microsecond))
 	if r.FirstFailure != "" {
@@ -499,5 +502,10 @@ func percentiles(lats []time.Duration) Percentiles {
 		i := int(p * float64(len(lats)-1))
 		return lats[i]
 	}
-	return Percentiles{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: lats[len(lats)-1]}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return Percentiles{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: lats[len(lats)-1],
+		Mean: sum / time.Duration(len(lats))}
 }

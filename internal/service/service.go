@@ -314,7 +314,11 @@ func (s *Server) solveOne(kind solveKind, req *Request) (out any, cached bool, e
 	if f.G.N() > s.cfg.MaxVertices {
 		return nil, false, s.countBad(badRequest("graph has %d vertices, limit %d", f.G.N(), s.cfg.MaxVertices))
 	}
-	inst := &graph.File{G: f.G, K: k}
+	// Freeze the parsed graph: every portfolio racer reads this one
+	// instance concurrently — a shared read-only snapshot instead of a
+	// per-racer clone. A racer that tried to mutate it would panic
+	// loudly instead of corrupting its rivals.
+	inst := &graph.File{G: f.G.Freeze(), K: k}
 
 	strategies := req.Strategies
 	if len(strategies) == 0 && kind == kindCoalesce {
@@ -342,7 +346,7 @@ func (s *Server) solveOne(kind solveKind, req *Request) (out any, cached bool, e
 	if !req.NoCache {
 		if e, ok := s.cache.Get(key); ok {
 			s.metrics.CacheHits.Add(1)
-			return s.render(kind, inst, canon, e), true, nil
+			return s.render(kind, inst, canon, &e), true, nil
 		}
 		// Misses count only consulted lookups: no_cache requests never
 		// touch the cache and must not skew the hit rate.

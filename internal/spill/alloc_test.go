@@ -1,0 +1,56 @@
+package spill
+
+// Zero-allocation gate for the pooled graph spillers: once a Scratch is
+// warm for a graph size, Greedy and Incremental runs must not touch the
+// heap. Under -race the pooled path still runs but the exact count is
+// skipped (instrumentation inflates it).
+
+import (
+	"math/rand"
+	"testing"
+
+	"regcoal/internal/graph"
+)
+
+func spillAllocInstance() *graph.File {
+	rng := rand.New(rand.NewSource(0x5b111))
+	g := graph.RandomER(rng, 150, 0.3)
+	g.SetPrecolored(0, 0)
+	g.SetPrecolored(2, 1)
+	return &graph.File{G: g, K: 9}
+}
+
+func TestSpillZeroAllocSteadyState(t *testing.T) {
+	f := spillAllocInstance()
+	s := AcquireScratch()
+	defer s.Release()
+	plan := new(Plan)
+	if err := s.Greedy(f, nil, plan); err != nil { // warm scratch + plan
+		t.Fatal(err)
+	}
+	if plan.Spills() == 0 {
+		t.Fatal("gate instance spills nothing; the kernel would be a no-op")
+	}
+	wantSpills := plan.Spills()
+
+	for name, run := range map[string]func() error{
+		"greedy":      func() error { return s.Greedy(f, nil, plan) },
+		"incremental": func() error { return s.Incremental(f, nil, plan) },
+	} {
+		allocs := testing.AllocsPerRun(25, func() {
+			if err := run(); err != nil {
+				panic(err)
+			}
+		})
+		if plan.Spills() != wantSpills {
+			t.Fatalf("%s: steady-state rerun changed the plan: %d spills != %d", name, plan.Spills(), wantSpills)
+		}
+		if graph.RaceEnabled {
+			t.Logf("%s: race detector active, alloc count (%v) not asserted", name, allocs)
+			continue
+		}
+		if allocs != 0 {
+			t.Fatalf("warmed %s spiller allocates %v times per run, want 0", name, allocs)
+		}
+	}
+}

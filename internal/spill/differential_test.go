@@ -44,17 +44,58 @@ func TestSpillersMatchMapReferenceRebuild(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s (rebuilt): %v", inst.Name, sp.name, err)
 			}
-			if !reflect.DeepEqual(got.Spilled, want.Spilled) {
-				t.Fatalf("%s/%s: eviction order diverged under map-order rebuild\n got %v\nwant %v",
-					inst.Name, sp.name, got.Spilled, want.Spilled)
-			}
-			if got.Cost != want.Cost || got.Rounds != want.Rounds {
-				t.Fatalf("%s/%s: cost/rounds diverged: got %d/%d, want %d/%d",
-					inst.Name, sp.name, got.Cost, got.Rounds, want.Cost, want.Rounds)
-			}
-			if !reflect.DeepEqual(got.Coloring, want.Coloring) {
-				t.Fatalf("%s/%s: residual coloring diverged", inst.Name, sp.name)
-			}
+			assertPlansEqual(t, inst.Name+"/"+sp.name, got, want)
 		}
+	}
+}
+
+func assertPlansEqual(t *testing.T, name string, got, want *spill.Plan) {
+	t.Helper()
+	if len(got.Spilled) != len(want.Spilled) || (len(want.Spilled) > 0 && !reflect.DeepEqual(got.Spilled, want.Spilled)) {
+		t.Fatalf("%s: eviction order diverged\n got %v\nwant %v", name, got.Spilled, want.Spilled)
+	}
+	if got.Cost != want.Cost || got.Rounds != want.Rounds {
+		t.Fatalf("%s: cost/rounds diverged: got %d/%d, want %d/%d",
+			name, got.Cost, got.Rounds, want.Cost, want.Rounds)
+	}
+	if !reflect.DeepEqual(got.Coloring, want.Coloring) {
+		t.Fatalf("%s: residual coloring diverged\n got %v\nwant %v", name, got.Coloring, want.Coloring)
+	}
+}
+
+// TestSpillPooledMatchesFreshRebuild recycles ONE Scratch and ONE Plan
+// across every pressure-family instance — each rebuilt through the
+// map-backed reference — and demands exactly the plans fresh per-call
+// state computes on the pristine graphs. Stale masks or degree arrays
+// surviving a reuse boundary would move an eviction and fail here.
+func TestSpillPooledMatchesFreshRebuild(t *testing.T) {
+	fams, err := corpus.Select("ssa-pressure,interval-pressure,er-dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := corpus.BuildAll(fams, corpus.Params{Seed: 20260729, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spill.AcquireScratch()
+	defer s.Release()
+	plan := new(spill.Plan)
+	for _, inst := range insts {
+		f := inst.File
+		rebuilt := &graph.File{G: mapref.FromGraph(f.G).Rebuild(f.G), K: f.K}
+
+		want, err := spill.Greedy(f, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if err := s.Greedy(rebuilt, nil, plan); err != nil {
+			t.Fatalf("%s (pooled): %v", inst.Name, err)
+		}
+		assertPlansEqual(t, inst.Name+"/greedy-pooled", plan, want)
+
+		if err := s.Incremental(rebuilt, nil, plan); err != nil {
+			t.Fatalf("%s (pooled inc): %v", inst.Name, err)
+		}
+		assertPlansEqual(t, inst.Name+"/inc-pooled", plan, want)
 	}
 }

@@ -28,6 +28,7 @@ package spill
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"regcoal/internal/graph"
 	"regcoal/internal/greedy"
@@ -108,43 +109,26 @@ func checkInstance(f *graph.File, costs []int64) error {
 // eliminateAlive runs Chaitin's simplification over the subgraph induced
 // by alive and returns the non-precolored vertices it could not remove,
 // in increasing order — the spill candidates of the witness core. An
-// empty result means the induced subgraph is greedy-k-colorable.
-// Induced degrees are derived word-parallelly (one MaskedDegree popcount
-// sweep per vertex) instead of walking per-vertex adjacency.
+// empty result means the induced subgraph is greedy-k-colorable. The
+// elimination itself is greedy.EliminateMasked (the one shared
+// implementation); the core set is unique by confluence, so any removal
+// discipline yields the same candidates.
 func eliminateAlive(g *graph.Graph, alive graph.Bits, k int) []graph.V {
-	n := g.N()
-	deg := make([]int, n)
-	removed := make([]bool, n)
-	pinned := make([]bool, n)
-	var stack []graph.V
-	for v := 0; v < n; v++ {
-		if !alive.Get(graph.V(v)) {
-			removed[v] = true
-			continue
-		}
-		_, pinned[v] = g.Precolored(graph.V(v))
-		deg[v] = g.MaskedDegree(graph.V(v), alive)
+	ar := graph.GetArena()
+	defer ar.Release()
+	_, remaining := greedy.EliminateMasked(ar, g, k, alive)
+	if len(remaining) == 0 {
+		return nil
 	}
-	for v := 0; v < n; v++ {
-		if !removed[v] && !pinned[v] && deg[v] < k {
-			stack = append(stack, graph.V(v))
-		}
-	}
-	drainEliminate(g, k, deg, removed, pinned, stack)
-	var remaining []graph.V
-	for v := 0; v < n; v++ {
-		if !removed[v] && !pinned[v] {
-			remaining = append(remaining, graph.V(v))
-		}
-	}
-	return remaining
+	return append([]graph.V(nil), remaining...)
 }
 
 // drainEliminate consumes the simplification worklist: pops a vertex,
 // removes it if still eligible, and pushes neighbors whose degree drops
 // below k. Degrees only decrease, so a popped vertex with deg < k is
-// always safe to remove.
-func drainEliminate(g *graph.Graph, k int, deg []int, removed, pinned []bool, stack []graph.V) {
+// always safe to remove. It returns the emptied stack so pooled callers
+// keep its grown capacity.
+func drainEliminate(g *graph.Graph, k int, deg []int, removed, pinned []bool, stack []graph.V) []graph.V {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -162,42 +146,13 @@ func drainEliminate(g *graph.Graph, k int, deg []int, removed, pinned []bool, st
 			}
 		})
 	}
+	return stack
 }
 
-// pickVictim chooses the eviction victim among the witness core: the
-// remaining vertex with the highest witness-degree-to-cost ratio (the
-// variable whose eviction relieves the most pressure per unit of spill
-// cost), ties broken toward the smallest vertex id. The witness is the
-// remaining set plus the alive precolored vertices it leans on.
-func pickVictim(g *graph.Graph, alive graph.Bits, remaining []graph.V, costs []int64) graph.V {
-	witness := graph.NewBits(g.N())
-	for _, v := range remaining {
-		witness.Set(v)
-	}
-	for v := 0; v < g.N(); v++ {
-		if alive.Get(graph.V(v)) {
-			if _, ok := g.Precolored(graph.V(v)); ok {
-				witness.Set(graph.V(v))
-			}
-		}
-	}
-	best := graph.V(-1)
-	bestDeg := 0
-	for _, v := range remaining {
-		// Witness occupancy is a word-parallel popcount: the witness set
-		// only holds alive vertices, so N(v) ∩ witness is exactly the old
-		// alive-and-in-witness neighbor count.
-		wdeg := g.MaskedDegree(v, witness)
-		// Maximize wdeg/cost by cross-multiplication; remaining is sorted,
-		// so strict improvement keeps the smallest id on ties.
-		if best == -1 || int64(wdeg)*costOf(costs, best) > int64(bestDeg)*costOf(costs, v) {
-			best, bestDeg = v, wdeg
-		}
-	}
-	return best
-}
-
-// finishPlan colors the residual graph and assembles the Plan.
+// finishPlan colors the residual graph and assembles the Plan (the
+// allocating path used by the exact search; the greedy spillers use
+// Scratch.finishPlan, which colors through the alive mask instead of
+// materializing the induced subgraph).
 func finishPlan(f *graph.File, alive graph.Bits, spilled []graph.V, costs []int64, rounds int) (*Plan, error) {
 	g := f.G
 	survivors := make([]graph.V, 0, g.N()-len(spilled))
@@ -225,6 +180,35 @@ func finishPlan(f *graph.File, alive graph.Bits, spilled []graph.V, costs []int6
 	return plan, nil
 }
 
+// Scratch is pooled solver state for the graph-level spillers: the alive
+// and witness masks, the elimination degree/flag arrays, and the residual
+// coloring worklists. Acquire one with AcquireScratch, run any number of
+// Greedy/Incremental calls through it, and Release it; once the pool is
+// warm for a graph size, steady-state runs do no heap allocation (see
+// TestSpillZeroAllocSteadyState). A Scratch is single-goroutine state;
+// concurrent spillers each acquire their own. The package-level Greedy
+// and Incremental wrap this with a pooled scratch per call.
+type Scratch struct {
+	alive     graph.Bits
+	witness   graph.Bits
+	deg       []int
+	removed   []bool
+	pinned    []bool
+	stack     []graph.V
+	remaining []graph.V
+	used      []bool // per-color flags of the select phase
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// AcquireScratch checks spiller scratch out of the pool; pair with
+// Release.
+func AcquireScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Release returns the scratch to the pool. Plans filled by this scratch
+// stay valid: they own their memory and do not alias pooled state.
+func (s *Scratch) Release() { scratchPool.Put(s) }
+
 // Greedy lowers the instance to a greedy-k-colorable one by furthest-first
 // eviction: while the graph has a witness core (an induced subgraph of
 // minimum degree >= k), evict the core vertex with the highest
@@ -232,25 +216,38 @@ func finishPlan(f *graph.File, alive graph.Bits, spilled []graph.V, costs []int6
 // the per-vertex spill cost (nil = unit). Precolored vertices are never
 // evicted.
 func Greedy(f *graph.File, costs []int64) (*Plan, error) {
-	if err := checkInstance(f, costs); err != nil {
+	s := AcquireScratch()
+	defer s.Release()
+	plan := new(Plan)
+	if err := s.Greedy(f, costs, plan); err != nil {
 		return nil, err
 	}
+	return plan, nil
+}
+
+// Greedy is the pooled form of the package-level Greedy: it runs the same
+// algorithm into plan, reusing both the scratch's and the plan's storage.
+func (s *Scratch) Greedy(f *graph.File, costs []int64, plan *Plan) error {
+	if err := checkInstance(f, costs); err != nil {
+		return err
+	}
 	g := f.G
-	alive := graph.NewBits(g.N())
-	alive.Fill(g.N())
-	var spilled []graph.V
+	n := g.N()
+	s.alive = graph.ReuseBits(s.alive, n)
+	s.alive.Fill(n)
+	plan.Spilled = plan.Spilled[:0]
 	rounds := 0
 	for {
-		remaining := eliminateAlive(g, alive, f.K)
-		if len(remaining) == 0 {
+		s.deriveCore(g, f.K)
+		if len(s.remaining) == 0 {
 			break
 		}
 		rounds++
-		v := pickVictim(g, alive, remaining, costs)
-		alive.Clear(v)
-		spilled = append(spilled, v)
+		v := s.pickVictim(g, costs)
+		s.alive.Clear(v)
+		plan.Spilled = append(plan.Spilled, v)
 	}
-	return finishPlan(f, alive, spilled, costs, rounds)
+	return s.finishPlan(f, costs, rounds, plan)
 }
 
 // Incremental makes the same eviction decisions as Greedy but maintains
@@ -262,60 +259,180 @@ func Greedy(f *graph.File, costs []int64) (*Plan, error) {
 // Greedy's; only the work per round shrinks from O(V+E) to the size of
 // the newly unlocked region.
 func Incremental(f *graph.File, costs []int64) (*Plan, error) {
-	if err := checkInstance(f, costs); err != nil {
+	s := AcquireScratch()
+	defer s.Release()
+	plan := new(Plan)
+	if err := s.Incremental(f, costs, plan); err != nil {
 		return nil, err
+	}
+	return plan, nil
+}
+
+// Incremental is the pooled form of the package-level Incremental.
+func (s *Scratch) Incremental(f *graph.File, costs []int64, plan *Plan) error {
+	if err := checkInstance(f, costs); err != nil {
+		return err
 	}
 	g, k := f.G, f.K
 	n := g.N()
-	alive := graph.NewBits(n)
-	alive.Fill(n)
-	deg := make([]int, n)
-	removed := make([]bool, n)
-	pinned := make([]bool, n)
-	var stack []graph.V
+	s.alive = graph.ReuseBits(s.alive, n)
+	s.alive.Fill(n)
+	s.deg = graph.ReuseSlice(s.deg, n)
+	s.removed = graph.ReuseSlice(s.removed, n)
+	s.pinned = graph.ReuseSlice(s.pinned, n)
+	s.stack = s.stack[:0]
 	for v := 0; v < n; v++ {
-		deg[v] = g.Degree(graph.V(v))
-		_, pinned[v] = g.Precolored(graph.V(v))
-		if !pinned[v] && deg[v] < k {
-			stack = append(stack, graph.V(v))
+		s.deg[v] = g.Degree(graph.V(v))
+		_, s.pinned[v] = g.Precolored(graph.V(v))
+		if !s.pinned[v] && s.deg[v] < k {
+			s.stack = append(s.stack, graph.V(v))
 		}
 	}
-	drainEliminate(g, k, deg, removed, pinned, stack)
+	s.stack = drainEliminate(g, k, s.deg, s.removed, s.pinned, s.stack)
 
-	var spilled []graph.V
+	plan.Spilled = plan.Spilled[:0]
 	rounds := 0
 	for {
-		var remaining []graph.V
+		s.remaining = s.remaining[:0]
 		for v := 0; v < n; v++ {
-			if alive.Get(graph.V(v)) && !removed[v] && !pinned[v] {
-				remaining = append(remaining, graph.V(v))
+			if s.alive.Get(graph.V(v)) && !s.removed[v] && !s.pinned[v] {
+				s.remaining = append(s.remaining, graph.V(v))
 			}
 		}
-		if len(remaining) == 0 {
+		if len(s.remaining) == 0 {
 			break
 		}
 		rounds++
-		v := pickVictim(g, alive, remaining, costs)
-		alive.Clear(v)
+		v := s.pickVictim(g, costs)
+		s.alive.Clear(v)
 		// Mark the victim removed so the resumed elimination can neither
 		// re-remove it nor decrement its neighbors a second time.
-		removed[v] = true
-		spilled = append(spilled, v)
+		s.removed[v] = true
+		plan.Spilled = append(plan.Spilled, v)
 		// The eviction lowers neighbor degrees exactly like a removal;
 		// resume simplification from the vertices it unlocked.
-		stack = stack[:0]
+		s.stack = s.stack[:0]
 		g.ForEachNeighbor(v, func(w graph.V) {
-			if removed[w] {
+			if s.removed[w] {
 				return
 			}
-			deg[w]--
-			if !pinned[w] && deg[w] == k-1 {
-				stack = append(stack, w)
+			s.deg[w]--
+			if !s.pinned[w] && s.deg[w] == k-1 {
+				s.stack = append(s.stack, w)
 			}
 		})
-		drainEliminate(g, k, deg, removed, pinned, stack)
+		s.stack = drainEliminate(g, k, s.deg, s.removed, s.pinned, s.stack)
 	}
-	return finishPlan(f, alive, spilled, costs, rounds)
+	return s.finishPlan(f, costs, rounds, plan)
+}
+
+// deriveCore re-derives the witness core of the alive subgraph from
+// scratch (the Greedy discipline), leaving it in s.remaining. The
+// elimination is greedy.EliminateMasked on pooled arena scratch; only
+// the Incremental spiller keeps its own persistent elimination state
+// (drainEliminate), because resuming from the previous fixpoint is its
+// entire point.
+func (s *Scratch) deriveCore(g *graph.Graph, k int) {
+	ar := graph.GetArena()
+	_, remaining := greedy.EliminateMasked(ar, g, k, s.alive)
+	s.remaining = append(s.remaining[:0], remaining...)
+	ar.Release()
+}
+
+// pickVictim chooses the eviction victim among the witness core
+// (s.remaining): the vertex with the highest witness-degree-to-cost
+// ratio (the variable whose eviction relieves the most pressure per unit
+// of spill cost), ties broken toward the smallest vertex id. The witness
+// is the core plus the alive precolored vertices it leans on; occupancy
+// is a word-parallel popcount of N(v) ∩ witness.
+func (s *Scratch) pickVictim(g *graph.Graph, costs []int64) graph.V {
+	s.witness = graph.ReuseBits(s.witness, g.N())
+	for _, v := range s.remaining {
+		s.witness.Set(v)
+	}
+	for v := 0; v < g.N(); v++ {
+		if s.alive.Get(graph.V(v)) {
+			if _, ok := g.Precolored(graph.V(v)); ok {
+				s.witness.Set(graph.V(v))
+			}
+		}
+	}
+	best := graph.V(-1)
+	bestDeg := 0
+	for _, v := range s.remaining {
+		wdeg := g.MaskedDegree(v, s.witness)
+		// Maximize wdeg/cost by cross-multiplication; remaining is sorted,
+		// so strict improvement keeps the smallest id on ties.
+		if best == -1 || int64(wdeg)*costOf(costs, best) > int64(bestDeg)*costOf(costs, v) {
+			best, bestDeg = v, wdeg
+		}
+	}
+	return best
+}
+
+// finishPlan colors the residual (alive) subgraph through the mask and
+// assembles the Plan, reusing the plan's storage. The elimination is
+// greedy.EliminateMasked — the one shared implementation of the
+// smallest-id-first discipline — and the select phase mirrors
+// greedy.Select (unbiased), so pooled and unpooled spillers produce
+// identical plans (pinned by the differential tests) without
+// materializing the induced subgraph.
+func (s *Scratch) finishPlan(f *graph.File, costs []int64, rounds int, plan *Plan) error {
+	g, k := f.G, f.K
+	n := g.N()
+	plan.Rounds = rounds
+	plan.Optimal = false
+	plan.Cost = 0
+	for _, v := range plan.Spilled {
+		plan.Cost += costOf(costs, v)
+	}
+	plan.Coloring = graph.Coloring(graph.ReuseSlice([]int(plan.Coloring), n))
+	col := plan.Coloring
+	for i := range col {
+		col[i] = graph.NoColor
+	}
+
+	ar := graph.GetArena()
+	defer ar.Release()
+	order, remaining := greedy.EliminateMasked(ar, g, k, s.alive)
+	if len(remaining) > 0 {
+		return fmt.Errorf("spill: residual graph not greedy-%d-colorable after %d evictions", k, len(plan.Spilled))
+	}
+
+	// Masked Select: pinned skeleton first, then reverse elimination
+	// order, lowest free color (greedy.Select, unbiased).
+	for v := 0; v < n; v++ {
+		if !s.alive.Get(graph.V(v)) {
+			continue
+		}
+		if c, ok := g.Precolored(graph.V(v)); ok {
+			col[v] = c
+		}
+	}
+	s.used = graph.ReuseSlice(s.used, k)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for c := range s.used {
+			s.used[c] = false
+		}
+		g.ForEachNeighbor(v, func(w graph.V) {
+			if s.alive.Get(w) && col[w] != graph.NoColor && col[w] < k {
+				s.used[col[w]] = true
+			}
+		})
+		chosen := -1
+		for c := 0; c < k; c++ {
+			if !s.used[c] {
+				chosen = c
+				break
+			}
+		}
+		if chosen == -1 {
+			return fmt.Errorf("spill: residual graph not greedy-%d-colorable after %d evictions", k, len(plan.Spilled))
+		}
+		col[v] = chosen
+	}
+	return nil
 }
 
 // SortedSpills returns the plan's spill set sorted by vertex id (the
