@@ -44,14 +44,17 @@ import (
 const perfSuiteVersion = 1
 
 // PerfKernel is one measured kernel of a perf run. OpsPerSec is set only
-// by throughput-shaped kernels (the service loadgen kernel), where ns/op
-// alone would hide concurrency.
+// by throughput-shaped kernels (the service loadgen kernels), where ns/op
+// alone would hide concurrency; HitRate (cache hits + singleflight
+// collapses over successful requests) only by the loadgen kernels, where
+// the cache mix explains the latency distribution.
 type PerfKernel struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
+	HitRate     float64 `json:"hit_rate,omitempty"`
 }
 
 // PerfRun is the result of one -perf invocation.

@@ -152,7 +152,7 @@ func TestCommittedTrajectoryWellFormed(t *testing.T) {
 
 func TestServiceSuiteShape(t *testing.T) {
 	names := serviceKernelNames()
-	want := 3*len(serviceFamilies) + len(spillFamilies) + 4 // decode/solve/cached + spill + loadgen
+	want := 3*len(serviceFamilies) + len(spillFamilies) + 8 // decode/solve/cached + spill + single + cluster loadgen
 	if len(names) != want {
 		t.Fatalf("service suite has %d kernels, want %d: %v", len(names), want, names)
 	}
@@ -162,8 +162,8 @@ func TestServiceSuiteShape(t *testing.T) {
 			t.Fatalf("duplicate kernel name %s", n)
 		}
 		seen[n] = true
-		if !strings.HasPrefix(n, "svc-") {
-			t.Fatalf("service kernel %q lacks the svc- prefix", n)
+		if !strings.HasPrefix(n, "svc-") && !strings.HasPrefix(n, "cluster-") {
+			t.Fatalf("service kernel %q lacks the svc- or cluster- prefix", n)
 		}
 	}
 }
@@ -289,5 +289,17 @@ func TestCommittedServiceTrajectoryWellFormed(t *testing.T) {
 	}
 	if fasterBeyondNoise == 0 {
 		t.Error("no solve/spill kernel sped up beyond the noise floor")
+	}
+	// The committed current run must carry the cluster loadgen scenario —
+	// the sharded tier's throughput/latency alongside the single-node
+	// numbers (it has no baseline counterpart, so no speedup entry).
+	clusterKernels := 0
+	for _, k := range traj.Current.Kernels {
+		if strings.HasPrefix(k.Name, "cluster-loadgen/") {
+			clusterKernels++
+		}
+	}
+	if clusterKernels != 4 {
+		t.Errorf("current run has %d cluster-loadgen kernels, want 4", clusterKernels)
 	}
 }

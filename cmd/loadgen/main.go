@@ -14,6 +14,13 @@
 // With -n larger than the instance count, instances repeat round-robin,
 // which exercises the server's canonical-graph cache; the report counts
 // the hits the server declared via the X-Regcoal-Cache header.
+//
+// Cluster runs: -addr accepts a comma-separated target list (several
+// routers, or the workers directly) replayed round-robin. Responses that
+// carry the router's X-Regcoal-Shard header are broken down per shard,
+// so a run against a cluster shows which worker answered what:
+//
+//	loadgen -addr http://r1:8080,http://r2:8080 -families all -n 4096
 package main
 
 import (
@@ -29,7 +36,7 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "http://localhost:8080", "service base URL")
+		addr        = flag.String("addr", "http://localhost:8080", "service base URL, or a comma-separated list of targets hit round-robin")
 		endpoint    = flag.String("endpoint", "coalesce", "endpoint: coalesce, allocate, or spill")
 		families    = flag.String("families", "all", "comma-separated corpus families, or 'all'")
 		quick       = flag.Bool("quick", false, "small per-family instance counts")
@@ -53,11 +60,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	targets := strings.Split(*addr, ",")
+	for i := range targets {
+		targets[i] = strings.TrimSpace(targets[i])
+	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d instances -> %s/v1/%s, concurrency %d\n",
-		len(jobs), *addr, *endpoint, *concurrency)
+		len(jobs), strings.Join(targets, ","), *endpoint, *concurrency)
 
 	rep, err := loadgen.Run(context.Background(), loadgen.Options{
-		BaseURL:     *addr,
+		Targets:     targets,
 		Endpoint:    *endpoint,
 		Concurrency: *concurrency,
 		Requests:    *n,
@@ -82,9 +93,11 @@ func main() {
 	}
 
 	if *stats {
-		if snapshot, err := loadgen.FetchStats(context.Background(), nil, *addr); err == nil {
-			body, _ := json.Marshal(snapshot)
-			fmt.Printf("server stats: %s\n", body)
+		for _, target := range targets {
+			if snapshot, err := loadgen.FetchStats(context.Background(), nil, target); err == nil {
+				body, _ := json.Marshal(snapshot)
+				fmt.Printf("server stats %s: %s\n", target, body)
+			}
 		}
 	}
 	if rep.Failed > 0 {

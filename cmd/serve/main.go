@@ -7,14 +7,32 @@
 //	serve -addr :8080 -workers 8 -queue 64 -cache 4096 \
 //	      -deadline 2s -max-deadline 30s
 //
-// Endpoints: POST /v1/coalesce, POST /v1/allocate, GET /healthz,
-// GET /metrics (Prometheus), GET /stats (JSON). With -pprof, the
-// net/http/pprof profile endpoints are additionally mounted under
-// /debug/pprof/ (off by default — profiles reveal internals and cost
-// CPU; enable when diagnosing a pooled-path regression, see README).
-// See README.md for the request/response schema. SIGINT/SIGTERM shut
-// down gracefully: the listener stops accepting, in-flight requests
-// finish (up to -shutdown-grace), then the pool drains.
+// Endpoints: POST /v1/coalesce, POST /v1/allocate, POST /v1/spill,
+// POST /v1/batch, GET /livez + /healthz (liveness), GET /readyz
+// (readiness; 503 while draining), GET /metrics (Prometheus), GET /stats
+// (JSON). With -pprof, the net/http/pprof profile endpoints are
+// additionally mounted under /debug/pprof/ (off by default — profiles
+// reveal internals and cost CPU; enable when diagnosing a pooled-path
+// regression, see README). See README.md for the request/response
+// schema. SIGINT/SIGTERM shut down gracefully: readiness flips to 503 so
+// load balancers stop routing here, in-flight requests (including whole
+// batches) drain, the listener closes, then the pool stops — all within
+// -shutdown-grace.
+//
+// Cluster mode (-cluster) runs this process as one node of a
+// consistent-hash sharded tier (see docs/ARCHITECTURE.md):
+//
+//	serve -cluster -role worker -addr :8081 \
+//	      -self http://10.0.0.1:8081 \
+//	      -peers http://10.0.0.1:8081,http://10.0.0.2:8081
+//	serve -cluster -role router -addr :8080 \
+//	      -peers http://10.0.0.1:8081,http://10.0.0.2:8081
+//
+// A worker embeds the full single-node service plus the tiered cache
+// (peer fill from the shard that owns a canonical hash) and two-lane
+// admission control. A router holds no solver state: it shards requests
+// across -peers by canonical graph hash and splices /v1/batch fan-outs
+// back together byte-identically.
 package main
 
 import (
@@ -31,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"regcoal/internal/cluster"
 	"regcoal/internal/service"
 )
 
@@ -46,8 +65,20 @@ func main() {
 		portfolio   = flag.String("portfolio", "", "comma-separated default coalescing portfolio (empty = built-in)")
 		grace       = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; see README)")
+
+		clusterOn = flag.Bool("cluster", false, "run as a cluster node (see -role, -peers, -self)")
+		role      = flag.String("role", "worker", "cluster role: worker or router (with -cluster)")
+		peers     = flag.String("peers", "", "comma-separated worker base URLs (the shard set; same list on every node)")
+		self      = flag.String("self", "", "this worker's base URL as it appears in -peers (worker role)")
+		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per worker on the consistent-hash ring")
 	)
 	flag.Parse()
+
+	peerList := splitList(*peers)
+	if *clusterOn && *role == "router" {
+		runRouter(*addr, peerList, *vnodes, *grace)
+		return
+	}
 
 	cfg := service.Config{
 		Workers:         *workers,
@@ -66,7 +97,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	handler := svc.Handler()
+	var handler http.Handler = svc.Handler()
+	if *clusterOn {
+		if *role != "worker" {
+			fmt.Fprintf(os.Stderr, "serve: unknown -role %q (want worker or router)\n", *role)
+			os.Exit(1)
+		}
+		worker, werr := cluster.NewWorker(svc, cluster.WorkerConfig{
+			Self:   *self,
+			Peers:  peerList,
+			VNodes: *vnodes,
+		})
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "serve:", werr)
+			os.Exit(1)
+		}
+		handler = worker
+		log.Printf("serve: cluster worker %s, %d peers", *self, len(peerList))
+	}
 	if *pprofOn {
 		// Explicit registration on our own mux — importing net/http/pprof
 		// for its side effect would silently expose the profiles on the
@@ -97,9 +145,17 @@ func main() {
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		log.Printf("serve: %v, shutting down", sig)
+		log.Printf("serve: %v, draining", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		// Drain order matters: flip readiness first so load balancers and
+		// cluster routers stop sending traffic here, wait for in-flight
+		// work (a /v1/batch holds InFlight for its whole fan-out), then
+		// close the listener and stop the pool.
+		svc.BeginDrain()
+		if err := svc.Drain(ctx); err != nil {
+			log.Printf("serve: drain: %v", err)
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("serve: shutdown: %v", err)
 		}
@@ -110,4 +166,55 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 	}
+}
+
+// runRouter serves the stateless sharding tier: no solver, no pool — just
+// the consistent-hash proxy over the worker set.
+func runRouter(addr string, workerURLs []string, vnodes int, grace time.Duration) {
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Workers: workerURLs,
+		VNodes:  vnodes,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           router,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serve: cluster router on %s over %d workers", addr, len(workerURLs))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("serve: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("serve: shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

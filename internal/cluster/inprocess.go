@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"regcoal/internal/service"
+)
+
+// InProcess is a whole cluster — N workers plus a router — running on
+// loopback listeners inside one process. It is the topology used by the
+// differential tests, the CI smoke job, and the cluster bench scenario:
+// real HTTP over real sockets, but no process management.
+type InProcess struct {
+	Router    *Router
+	RouterURL string
+	Workers   []*InProcessWorker
+
+	servers []*http.Server
+}
+
+// InProcessWorker is one running shard.
+type InProcessWorker struct {
+	Service *service.Server
+	Worker  *Worker
+	URL     string
+}
+
+// InProcessOptions shape the topology.
+type InProcessOptions struct {
+	// Service configures each worker's service (each worker gets its own
+	// pool and cache).
+	Service service.Config
+	// Worker configures the shard layer; Self and Peers are filled in.
+	Worker WorkerConfig
+	// Router configures the front door; Workers is filled in.
+	Router RouterConfig
+}
+
+// StartInProcess launches n workers and a router on loopback. Callers
+// must Close the result.
+func StartInProcess(n int, opts InProcessOptions) (*InProcess, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one worker, got %d", n)
+	}
+	c := &InProcess{}
+	fail := func(err error) (*InProcess, error) {
+		c.Close()
+		return nil, err
+	}
+
+	// Listeners first: every worker needs the full peer URL list before
+	// its Worker can be constructed.
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return fail(fmt.Errorf("cluster: listen: %w", err))
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+
+	for i := 0; i < n; i++ {
+		svc, err := service.New(opts.Service)
+		if err != nil {
+			for _, l := range listeners[i:] {
+				l.Close()
+			}
+			return fail(err)
+		}
+		wcfg := opts.Worker
+		wcfg.Self = urls[i]
+		wcfg.Peers = urls
+		w, err := NewWorker(svc, wcfg)
+		if err != nil {
+			svc.Close()
+			for _, l := range listeners[i:] {
+				l.Close()
+			}
+			return fail(err)
+		}
+		node := &InProcessWorker{Service: svc, Worker: w, URL: urls[i]}
+		srv := &http.Server{Handler: w}
+		go srv.Serve(listeners[i])
+		c.Workers = append(c.Workers, node)
+		c.servers = append(c.servers, srv)
+	}
+
+	rcfg := opts.Router
+	rcfg.Workers = urls
+	rcfg.MaxVertices = firstPositive(rcfg.MaxVertices, c.Workers[0].Service.Config().MaxVertices)
+	rcfg.MaxBatch = firstPositive(rcfg.MaxBatch, c.Workers[0].Service.Config().MaxBatch)
+	if rcfg.VNodes == 0 {
+		rcfg.VNodes = opts.Worker.VNodes
+	}
+	router, err := NewRouter(rcfg)
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(fmt.Errorf("cluster: listen: %w", err))
+	}
+	srv := &http.Server{Handler: router}
+	go srv.Serve(ln)
+	c.Router = router
+	c.RouterURL = "http://" + ln.Addr().String()
+	c.servers = append(c.servers, srv)
+	return c, nil
+}
+
+func firstPositive(vals ...int) int {
+	for _, v := range vals {
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Drain gracefully quiesces every worker: stop advertising readiness,
+// wait for in-flight requests (bounded by ctx).
+func (c *InProcess) Drain(ctx context.Context) error {
+	for _, w := range c.Workers {
+		if err := w.Service.Drain(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts the listeners down and closes every service.
+func (c *InProcess) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, srv := range c.servers {
+		srv.Shutdown(ctx)
+	}
+	for _, w := range c.Workers {
+		w.Service.Close()
+	}
+}

@@ -1,0 +1,453 @@
+// Package cluster is the distributed serving tier over internal/service:
+// a consistent-hash router shards requests by canonical graph hash across
+// worker nodes, each worker wraps the service solve path with admission
+// lanes and a tiered (local LRU + peer fill) cache, and a batch endpoint
+// fans one decode pass out per shard. The tier's contract is that a
+// multi-node cluster answers every request with bytes identical to a
+// single-process service: routing, caching, and fan-out may change where
+// and whether an instance is computed, never what the client reads.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regcoal/internal/service"
+)
+
+// Router is the cluster's front door. It owns no solver: it decodes just
+// enough of each request to compute the canonical routing hash, forwards
+// the original body verbatim to the owning worker, and copies the
+// worker's response verbatim back. Requests that cannot be canonicalized
+// (parse errors, missing register counts, oversize graphs) go to the
+// deterministic fallback shard — ring owner of the empty key — whose
+// worker reproduces the exact single-node error body.
+//
+// Failover walks the ring sequence: a worker that is unreachable or
+// fails its readiness probe (draining) is skipped for the next node.
+type Router struct {
+	cfg    RouterConfig
+	ring   *Ring
+	client *http.Client
+	mux    *http.ServeMux
+
+	proxied       atomic.Int64
+	batchRequests atomic.Int64
+	batchItems    atomic.Int64
+	fallback      atomic.Int64
+	failovers     atomic.Int64
+	noWorker      atomic.Int64
+	perShard      sync.Map // node -> *atomic.Int64
+
+	readyMu sync.Mutex
+	ready   map[string]readyState
+}
+
+type readyState struct {
+	ok bool
+	at time.Time
+}
+
+// RouterConfig parameterizes a Router. The limits must match the
+// workers' service config for the router's routing decisions to agree
+// with worker-side validation.
+type RouterConfig struct {
+	// Workers lists the worker base URLs (http://host:port).
+	Workers []string
+	// VNodes is the ring's virtual-node count (default DefaultVNodes).
+	// Must match the workers'.
+	VNodes int
+	// MaxVertices mirrors the workers' service MaxVertices (default
+	// 200000): oversize graphs route to the fallback shard for the
+	// worker's own 400.
+	MaxVertices int
+	// MaxBatch mirrors the workers' service MaxBatch (default 256).
+	MaxBatch int
+	// MaxBodyBytes bounds a request body (default 64 MiB).
+	MaxBodyBytes int64
+	// Client performs worker traffic (default 60s timeout).
+	Client *http.Client
+	// ReadyTTL caches worker readiness probes (default 500ms).
+	ReadyTTL time.Duration
+}
+
+func (c *RouterConfig) fillDefaults() {
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 200000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.ReadyTTL <= 0 {
+		c.ReadyTTL = 500 * time.Millisecond
+	}
+}
+
+// NewRouter builds a router over the worker set.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg.fillDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one worker")
+	}
+	r := &Router{
+		cfg:    cfg,
+		ring:   NewRing(cfg.Workers, cfg.VNodes),
+		client: cfg.Client,
+		mux:    http.NewServeMux(),
+		ready:  make(map[string]readyState),
+	}
+	if r.client == nil {
+		r.client = &http.Client{Timeout: 60 * time.Second}
+	}
+	r.mux.HandleFunc("/v1/coalesce", r.handleProxy)
+	r.mux.HandleFunc("/v1/allocate", r.handleProxy)
+	r.mux.HandleFunc("/v1/spill", r.handleProxy)
+	r.mux.HandleFunc("/v1/batch", r.handleBatch)
+	r.mux.HandleFunc("/healthz", r.handleLivez)
+	r.mux.HandleFunc("/livez", r.handleLivez)
+	r.mux.HandleFunc("/readyz", r.handleLivez)
+	r.mux.HandleFunc("/metrics", r.handleMetrics)
+	r.mux.HandleFunc("/stats", r.handleStats)
+	return r, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(rw http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(rw, req) }
+
+// Ring exposes the router's ring (tests).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// handleProxy serves the three single-solve endpoints: hash, pick the
+// owner, forward verbatim.
+func (r *Router) handleProxy(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		r.writeError(rw, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	r.proxied.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(rw, req.Body, r.cfg.MaxBodyBytes))
+	if err != nil {
+		r.writeError(rw, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
+		return
+	}
+	key := r.routingKey(body)
+	if key == "" {
+		r.fallback.Add(1)
+	}
+	r.forward(rw, req.URL.Path, key, body)
+}
+
+// routingKey extracts the canonical routing hash from a request body, or
+// "" for anything that must go to the fallback shard. The decode here is
+// deliberately lenient (no unknown-field rejection): its only job is
+// routing — the worker's strict decode against the verbatim body is what
+// produces error responses, so they stay byte-identical to single-node.
+func (r *Router) routingKey(body []byte) string {
+	var req service.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		return ""
+	}
+	if len(req.Batch) > 0 {
+		// Legacy in-request batches are not split; the whole request goes
+		// to one deterministic shard. POST /v1/batch is the sharded path.
+		return ""
+	}
+	return service.RoutingHash(&req, r.cfg.MaxVertices)
+}
+
+// forward sends body to the first available worker in key's ring
+// sequence and copies the response verbatim, tagging the shard that
+// answered in X-Regcoal-Shard.
+func (r *Router) forward(rw http.ResponseWriter, path, key string, body []byte) {
+	status, hdr, respBody, node, err := r.forwardTo(path, key, body)
+	if err != nil {
+		r.noWorker.Add(1)
+		r.writeError(rw, http.StatusBadGateway, err.Error())
+		return
+	}
+	for _, h := range []string{"X-Regcoal-Cache", "X-Regcoal-Tier", "Content-Type"} {
+		if v := hdr.Get(h); v != "" {
+			rw.Header().Set(h, v)
+		}
+	}
+	rw.Header().Set("X-Regcoal-Shard", node)
+	rw.WriteHeader(status)
+	rw.Write(respBody)
+}
+
+// forwardTo tries each node in key's ring sequence: skip nodes failing
+// their cached readiness probe, fail over on transport errors.
+func (r *Router) forwardTo(path, key string, body []byte) (status int, hdr http.Header, respBody []byte, node string, err error) {
+	seq := r.ring.Sequence(key)
+	var lastErr error
+	for i, candidate := range seq {
+		if !r.isReady(candidate) {
+			continue
+		}
+		if i > 0 {
+			r.failovers.Add(1)
+		}
+		resp, ferr := r.client.Post(candidate+path, "application/json", bytes.NewReader(body))
+		if ferr != nil {
+			r.markUnready(candidate)
+			lastErr = ferr
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		r.countShard(candidate)
+		return resp.StatusCode, resp.Header, data, candidate, nil
+	}
+	if lastErr != nil {
+		return 0, nil, nil, "", fmt.Errorf("no worker available: %v", lastErr)
+	}
+	return 0, nil, nil, "", fmt.Errorf("no worker available")
+}
+
+// isReady consults the cached readiness of node, probing /readyz when
+// the cache entry is stale. A draining worker answers 503 and is skipped
+// until its probe recovers.
+func (r *Router) isReady(node string) bool {
+	r.readyMu.Lock()
+	st, ok := r.ready[node]
+	r.readyMu.Unlock()
+	if ok && time.Since(st.at) < r.cfg.ReadyTTL {
+		return st.ok
+	}
+	ready := false
+	resp, err := r.client.Get(node + "/readyz")
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		ready = resp.StatusCode == http.StatusOK
+	}
+	r.readyMu.Lock()
+	r.ready[node] = readyState{ok: ready, at: time.Now()}
+	r.readyMu.Unlock()
+	return ready
+}
+
+func (r *Router) markUnready(node string) {
+	r.readyMu.Lock()
+	r.ready[node] = readyState{ok: false, at: time.Now()}
+	r.readyMu.Unlock()
+}
+
+func (r *Router) countShard(node string) {
+	c, _ := r.perShard.LoadOrStore(node, &atomic.Int64{})
+	c.(*atomic.Int64).Add(1)
+}
+
+// rawBatchResponse splices worker batch responses without re-encoding:
+// each entry's bytes pass through verbatim, so the assembled body is
+// byte-identical to a single process answering the whole batch.
+type rawBatchResponse struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// handleBatch serves POST /v1/batch: decode once, group items per owning
+// shard, fan out one sub-batch per shard concurrently, splice the
+// results back into request order. Any request that fails batch-level
+// validation is forwarded verbatim to the fallback shard so the error
+// body is the worker's own.
+func (r *Router) handleBatch(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		r.writeError(rw, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	r.batchRequests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(rw, req.Body, r.cfg.MaxBodyBytes))
+	if err != nil {
+		r.writeError(rw, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
+		return
+	}
+	var breq service.BatchSolveRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if derr := dec.Decode(&breq); derr != nil {
+		r.forward(rw, req.URL.Path, "", body)
+		return
+	}
+	if _, kerr := service.ParseKind(breq.Kind); kerr != nil {
+		r.forward(rw, req.URL.Path, "", body)
+		return
+	}
+	if len(breq.Items) == 0 || len(breq.Items) > r.cfg.MaxBatch {
+		r.forward(rw, req.URL.Path, "", body)
+		return
+	}
+	r.batchItems.Add(int64(len(breq.Items)))
+
+	// Group item indices by owning shard; remember one representative
+	// routing key per shard so failover walks the ring from the owner.
+	type group struct {
+		key     string
+		indices []int
+	}
+	groups := make(map[string]*group)
+	for i := range breq.Items {
+		key := ""
+		if len(breq.Items[i].Batch) == 0 {
+			key = service.RoutingHash(&breq.Items[i], r.cfg.MaxVertices)
+		}
+		owner := r.ring.Owner(key)
+		g, ok := groups[owner]
+		if !ok {
+			g = &group{key: key}
+			groups[owner] = g
+		}
+		g.indices = append(g.indices, i)
+	}
+
+	owners := make([]string, 0, len(groups))
+	for o := range groups {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+
+	results := make([]json.RawMessage, len(breq.Items))
+	var wg sync.WaitGroup
+	for _, o := range owners {
+		g := groups[o]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := service.BatchSolveRequest{Kind: breq.Kind, Items: make([]service.Request, len(g.indices))}
+			for j, idx := range g.indices {
+				sub.Items[j] = breq.Items[idx]
+			}
+			subBody, merr := json.Marshal(&sub)
+			if merr != nil {
+				r.fillErrors(results, g.indices, fmt.Sprintf("encoding shard batch: %v", merr))
+				return
+			}
+			status, _, respBody, _, ferr := r.forwardTo(req.URL.Path, g.key, subBody)
+			if ferr != nil {
+				r.noWorker.Add(1)
+				r.fillErrors(results, g.indices, fmt.Sprintf("shard unavailable: %v", ferr))
+				return
+			}
+			var sresp rawBatchResponse
+			if status != http.StatusOK || json.Unmarshal(respBody, &sresp) != nil || len(sresp.Results) != len(g.indices) {
+				r.fillErrors(results, g.indices, fmt.Sprintf("shard answered status %d", status))
+				return
+			}
+			for j, idx := range g.indices {
+				results[idx] = sresp.Results[j]
+			}
+		}()
+	}
+	wg.Wait()
+
+	data, merr := json.Marshal(rawBatchResponse{Results: results})
+	if merr != nil {
+		r.writeError(rw, http.StatusInternalServerError, "encoding response")
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(http.StatusOK)
+	rw.Write(data)
+}
+
+// fillErrors writes a per-item error entry for every index of a failed
+// shard group, leaving the other shards' results intact.
+func (r *Router) fillErrors(results []json.RawMessage, indices []int, msg string) {
+	data, err := json.Marshal(service.BatchEntry{Error: msg})
+	if err != nil {
+		data = []byte(`{"error":"shard unavailable"}`)
+	}
+	for _, idx := range indices {
+		results[idx] = data
+	}
+}
+
+func (r *Router) handleLivez(rw http.ResponseWriter, req *http.Request) {
+	r.writeJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// RouterStats is the router's counter snapshot, served on /stats.
+type RouterStats struct {
+	Workers       []string         `json:"workers"`
+	Proxied       int64            `json:"proxied"`
+	BatchRequests int64            `json:"batch_requests"`
+	BatchItems    int64            `json:"batch_items"`
+	Fallback      int64            `json:"fallback_routed"`
+	Failovers     int64            `json:"failovers"`
+	NoWorker      int64            `json:"no_worker"`
+	PerShard      map[string]int64 `json:"per_shard"`
+}
+
+// Stats returns the router's counters.
+func (r *Router) Stats() RouterStats {
+	per := make(map[string]int64)
+	r.perShard.Range(func(k, v any) bool {
+		per[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return RouterStats{
+		Workers:       r.ring.Nodes(),
+		Proxied:       r.proxied.Load(),
+		BatchRequests: r.batchRequests.Load(),
+		BatchItems:    r.batchItems.Load(),
+		Fallback:      r.fallback.Load(),
+		Failovers:     r.failovers.Load(),
+		NoWorker:      r.noWorker.Load(),
+		PerShard:      per,
+	}
+}
+
+func (r *Router) handleStats(rw http.ResponseWriter, req *http.Request) {
+	r.writeJSON(rw, http.StatusOK, r.Stats())
+}
+
+func (r *Router) handleMetrics(rw http.ResponseWriter, req *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := r.Stats()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(rw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("regcoal_router_proxied_total", "Single-solve requests proxied.", st.Proxied)
+	counter("regcoal_router_batch_requests_total", "POST /v1/batch requests.", st.BatchRequests)
+	counter("regcoal_router_batch_items_total", "Batch items fanned out.", st.BatchItems)
+	counter("regcoal_router_fallback_total", "Requests routed to the fallback shard.", st.Fallback)
+	counter("regcoal_router_failovers_total", "Requests answered by a non-owner after failover.", st.Failovers)
+	counter("regcoal_router_no_worker_total", "Requests that found no available worker.", st.NoWorker)
+	fmt.Fprintf(rw, "# HELP regcoal_router_shard_requests_total Requests answered per shard.\n# TYPE regcoal_router_shard_requests_total counter\n")
+	nodes := make([]string, 0, len(st.PerShard))
+	for n := range st.PerShard {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		fmt.Fprintf(rw, "regcoal_router_shard_requests_total{shard=%q} %d\n", n, st.PerShard[n])
+	}
+}
+
+func (r *Router) writeJSON(rw http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(rw, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	rw.Write(data)
+}
+
+func (r *Router) writeError(rw http.ResponseWriter, status int, msg string) {
+	r.writeJSON(rw, status, service.ErrorResponse{Error: msg})
+}

@@ -1,0 +1,522 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"regcoal/internal/service"
+)
+
+// Worker is one shard of the serving tier: a service.Server wrapped with
+// the cluster's tiered cache, admission lanes, and peer-fill protocol.
+// Its solve endpoints behave byte-identically to the plain service — same
+// decode rules, same error messages, same deterministic bodies — with
+// three additions:
+//
+//   - Tiered cache: on a local (L1) miss whose canonical hash is owned by
+//     a different shard, the worker first asks the owner's cache over
+//     GET /internal/cache (L2) and seeds its own cache with the entry,
+//     turning a cluster-wide duplicate into a hit instead of a re-solve.
+//     Entries travel in canonical vertex space (service wire format), so
+//     a relabeled duplicate filled from a peer still renders in its own
+//     numbering.
+//   - Admission lanes: misses are classified fast/heavy by size class and
+//     admitted through bounded lanes; a full lane answers 429.
+//   - Push-on-compute: an entry computed for a hash this shard does not
+//     own is pushed to the owner (PUT /internal/cache), so the owning
+//     shard accumulates the cluster's working set no matter where traffic
+//     lands.
+type Worker struct {
+	svc    *service.Server
+	cfg    WorkerConfig
+	ring   *Ring
+	adm    *Admission
+	client *http.Client
+	mux    *http.ServeMux
+
+	peerFills   atomic.Int64 // local misses answered from a peer's cache
+	peerMisses  atomic.Int64 // peer lookups that found nothing
+	peerErrors  atomic.Int64 // peer lookups/pushes that failed
+	peerPushes  atomic.Int64 // computed entries pushed to their owner
+	laneRejects [2]atomic.Int64
+}
+
+// WorkerConfig parameterizes a Worker. Self and Peers use the same base
+// URLs the router's config does.
+type WorkerConfig struct {
+	// Self is this worker's base URL as it appears in Peers (and in the
+	// router's worker list). Empty disables the tiered cache (single-node
+	// behavior).
+	Self string
+	// Peers lists every worker's base URL, including Self.
+	Peers []string
+	// VNodes is the ring's virtual-node count (default DefaultVNodes).
+	// Must match the router's.
+	VNodes int
+	// Admission parameterizes the fast/heavy lanes.
+	Admission AdmissionConfig
+	// Client performs peer cache traffic (default 2s timeout).
+	Client *http.Client
+	// DisablePeerFill turns off L2 lookups and pushes while keeping the
+	// ring (for experiments isolating admission from the tiered cache).
+	DisablePeerFill bool
+}
+
+// NewWorker wraps svc as a cluster shard.
+func NewWorker(svc *service.Server, cfg WorkerConfig) (*Worker, error) {
+	if cfg.Self != "" {
+		found := false
+		for _, p := range cfg.Peers {
+			if p == cfg.Self {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cluster: self %q not in peer list %v", cfg.Self, cfg.Peers)
+		}
+	}
+	w := &Worker{
+		svc:    svc,
+		cfg:    cfg,
+		adm:    NewAdmission(cfg.Admission),
+		client: cfg.Client,
+		mux:    http.NewServeMux(),
+	}
+	if cfg.Self != "" && len(cfg.Peers) > 1 {
+		w.ring = NewRing(cfg.Peers, cfg.VNodes)
+	}
+	if w.client == nil {
+		w.client = &http.Client{Timeout: 2 * time.Second}
+	}
+	w.mux.HandleFunc("/v1/coalesce", w.handleSolve(service.KindCoalesce))
+	w.mux.HandleFunc("/v1/allocate", w.handleSolve(service.KindAllocate))
+	w.mux.HandleFunc("/v1/spill", w.handleSolve(service.KindSpill))
+	w.mux.HandleFunc("/v1/batch", w.handleBatch)
+	w.mux.HandleFunc("/internal/cache", w.handleInternalCache)
+	w.mux.HandleFunc("/metrics", w.handleMetrics)
+	w.mux.HandleFunc("/stats", w.handleStats)
+	// Liveness, readiness, and anything else stay the service's.
+	w.mux.Handle("/", svc.Handler())
+	return w, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.ServeHTTP(rw, r) }
+
+// Service exposes the wrapped server (tests, embedding).
+func (w *Worker) Service() *service.Server { return w.svc }
+
+// handleSolve mirrors the service's solve handler — same metrics, decode
+// rules, and bodies — inserting peer fill and admission between Prepare
+// and SolvePrepared.
+func (w *Worker) handleSolve(kind service.Kind) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.writeError(rw, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		m := w.svc.Metrics()
+		switch kind {
+		case service.KindCoalesce:
+			m.CoalesceRequests.Add(1)
+		case service.KindAllocate:
+			m.AllocateRequests.Add(1)
+		case service.KindSpill:
+			m.SpillRequests.Add(1)
+		}
+		m.InFlight.Add(1)
+		defer m.InFlight.Add(-1)
+
+		var req service.Request
+		body := http.MaxBytesReader(rw, r.Body, w.svc.Config().MaxBodyBytes)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			m.BadRequests.Add(1)
+			w.writeError(rw, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+			return
+		}
+
+		if len(req.Batch) > 0 {
+			if req.Graph != nil {
+				m.BadRequests.Add(1)
+				w.writeError(rw, http.StatusBadRequest, "use either graph or batch, not both")
+				return
+			}
+			if len(req.Batch) > w.svc.Config().MaxBatch {
+				m.BadRequests.Add(1)
+				w.writeError(rw, http.StatusBadRequest,
+					fmt.Sprintf("batch carries %d graphs, limit %d", len(req.Batch), w.svc.Config().MaxBatch))
+				return
+			}
+			w.writeJSON(rw, http.StatusOK, w.runBatch(kind, req.Batch))
+			return
+		}
+		p, err := w.svc.Prepare(kind, &req)
+		if err != nil {
+			w.writeError(rw, service.ErrorStatus(err), err.Error())
+			return
+		}
+		respBody, disposition, tier, err := w.solveClustered(p)
+		if err != nil {
+			w.writeError(rw, errorStatus(err), err.Error())
+			return
+		}
+		rw.Header().Set("X-Regcoal-Cache", disposition)
+		rw.Header().Set("X-Regcoal-Tier", tier)
+		w.writeRaw(rw, http.StatusOK, respBody)
+	}
+}
+
+// solveClustered answers a prepared request through the tiered cache and
+// admission lanes. tier reports where the answer came from: "local"
+// (this shard's cache), "peer" (filled from the owner's cache), or
+// "compute".
+func (w *Worker) solveClustered(p *service.Prepared) (body []byte, disposition, tier string, err error) {
+	seeded := w.peerFill(p)
+	if !p.NoCache() && (w.svc.CacheContains(p.Key()) || w.svc.FlightInProgress(p.Key())) {
+		// Cached or about to collapse onto an in-flight race: either way
+		// this request costs no compute, so it bypasses the admission
+		// lanes. (If the flight completes between the check and the
+		// solve, the request computes without a slot — rare and benign.)
+		body, disposition, err = w.svc.SolvePrepared(p)
+		if err != nil {
+			return nil, "", "", err
+		}
+		switch {
+		case disposition != "hit":
+			tier = "compute"
+		case seeded:
+			tier = "peer"
+		default:
+			tier = "local"
+		}
+		return body, disposition, tier, nil
+	}
+	lane := w.adm.Classify(p.Vertices(), p.Density())
+	if !w.adm.TryAcquire(lane) {
+		w.laneRejects[lane].Add(1)
+		w.svc.Metrics().Rejected.Add(1)
+		return nil, "", "", &laneFullError{lane: lane}
+	}
+	defer w.adm.Release(lane)
+	body, disposition, err = w.svc.SolvePrepared(p)
+	if err != nil {
+		return nil, "", "", err
+	}
+	w.pushToOwner(p, disposition)
+	return body, disposition, "compute", nil
+}
+
+// laneFullError is the admission 429.
+type laneFullError struct{ lane Lane }
+
+func (e *laneFullError) Error() string { return e.lane.String() + " lane full, retry later" }
+
+// errorStatus maps worker-level errors (admission) and service solve
+// errors to their HTTP status.
+func errorStatus(err error) int {
+	var lf *laneFullError
+	if errors.As(err, &lf) {
+		return http.StatusTooManyRequests
+	}
+	return service.ErrorStatus(err)
+}
+
+// solveBatchEntry is the per-item path of both batch shapes: the
+// service's entry solve with the tiered cache and push in front.
+// Admission is not applied per item — the batch fan-out is already
+// bounded by the pool queue, whose saturation surfaces per entry.
+func (w *Worker) solveBatchEntry(kind service.Kind, sub *service.Request) service.BatchEntry {
+	if len(sub.Batch) > 0 {
+		return service.BatchEntry{Error: "batch elements must not nest batches"}
+	}
+	p, err := w.svc.Prepare(kind, sub)
+	if err != nil {
+		return service.BatchEntry{Error: err.Error()}
+	}
+	w.peerFill(p)
+	e, disposition := w.svc.SolveBatchEntry(p)
+	if e.Error == "" {
+		w.pushToOwner(p, disposition)
+	}
+	return e
+}
+
+// runBatch mirrors service.Server.RunBatch — same bounded fan-out, same
+// counters — routed through the worker's per-item path.
+func (w *Worker) runBatch(kind service.Kind, items []service.Request) *service.BatchResponse {
+	w.svc.Metrics().BatchGraphs.Add(int64(len(items)))
+	resp := &service.BatchResponse{Results: make([]service.BatchEntry, len(items))}
+	fanout := w.svc.Config().Workers * 2
+	if fanout > len(items) {
+		fanout = len(items)
+	}
+	idxCh := make(chan int)
+	done := make(chan struct{})
+	for g := 0; g < fanout; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range idxCh {
+				resp.Results[i] = w.solveBatchEntry(kind, &items[i])
+			}
+		}()
+	}
+	for i := range items {
+		idxCh <- i
+	}
+	close(idxCh)
+	for g := 0; g < fanout; g++ {
+		<-done
+	}
+	return resp
+}
+
+// handleBatch mirrors the service's /v1/batch — identical validation and
+// bodies — through the worker's per-item path.
+func (w *Worker) handleBatch(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.writeError(rw, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	m := w.svc.Metrics()
+	m.BatchRequests.Add(1)
+	m.InFlight.Add(1)
+	defer m.InFlight.Add(-1)
+
+	var req service.BatchSolveRequest
+	body := http.MaxBytesReader(rw, r.Body, w.svc.Config().MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		m.BadRequests.Add(1)
+		w.writeError(rw, http.StatusBadRequest, fmt.Sprintf("decoding batch request: %v", err))
+		return
+	}
+	kind, err := service.ParseKind(req.Kind)
+	if err != nil {
+		m.BadRequests.Add(1)
+		w.writeError(rw, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Items) == 0 {
+		m.BadRequests.Add(1)
+		w.writeError(rw, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Items) > w.svc.Config().MaxBatch {
+		m.BadRequests.Add(1)
+		w.writeError(rw, http.StatusBadRequest,
+			fmt.Sprintf("batch carries %d graphs, limit %d", len(req.Items), w.svc.Config().MaxBatch))
+		return
+	}
+	w.writeJSON(rw, http.StatusOK, w.runBatch(kind, req.Items))
+}
+
+// peerFill consults the owning shard's cache for a key this shard does
+// not own and is missing locally. Returns whether the local cache was
+// seeded from the peer.
+func (w *Worker) peerFill(p *service.Prepared) bool {
+	if w.ring == nil || w.cfg.DisablePeerFill || p.NoCache() {
+		return false
+	}
+	owner := w.ring.Owner(p.Hash())
+	if owner == w.cfg.Self {
+		return false
+	}
+	if w.svc.CacheContains(p.Key()) {
+		return false
+	}
+	req, err := http.NewRequest(http.MethodGet, owner+"/internal/cache?key="+url.QueryEscape(p.Key()), nil)
+	if err != nil {
+		w.peerErrors.Add(1)
+		return false
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.peerErrors.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		w.peerMisses.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	if resp.StatusCode != http.StatusOK {
+		w.peerErrors.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		w.peerErrors.Add(1)
+		return false
+	}
+	if err := w.svc.CacheSeed(p.Key(), data); err != nil {
+		w.peerErrors.Add(1)
+		return false
+	}
+	w.peerFills.Add(1)
+	return true
+}
+
+// pushToOwner sends a freshly computed entry to the shard owning its
+// hash, so the owner's cache accumulates the cluster working set no
+// matter which worker the traffic hit. Synchronous and best-effort: a
+// failed push costs a future peer-fill miss, nothing else.
+func (w *Worker) pushToOwner(p *service.Prepared, disposition string) {
+	if w.ring == nil || w.cfg.DisablePeerFill || p.NoCache() || disposition != "miss" {
+		return
+	}
+	owner := w.ring.Owner(p.Hash())
+	if owner == w.cfg.Self {
+		return
+	}
+	data, ok := w.svc.CachePeek(p.Key())
+	if !ok {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, owner+"/internal/cache?key="+url.QueryEscape(p.Key()), bytes.NewReader(data))
+	if err != nil {
+		w.peerErrors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.peerErrors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		w.peerErrors.Add(1)
+		return
+	}
+	w.peerPushes.Add(1)
+}
+
+// handleInternalCache is the peer-fill wire: GET returns the serialized
+// canonical-space entry for ?key (404 when absent), PUT installs one.
+func (w *Worker) handleInternalCache(rw http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		w.writeError(rw, http.StatusBadRequest, "missing key")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		data, ok := w.svc.CachePeek(key)
+		if !ok {
+			w.writeError(rw, http.StatusNotFound, "not cached")
+			return
+		}
+		w.writeRaw(rw, http.StatusOK, data)
+	case http.MethodPut:
+		data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			w.writeError(rw, http.StatusBadRequest, "reading body")
+			return
+		}
+		if err := w.svc.CacheSeed(key, data); err != nil {
+			w.writeError(rw, http.StatusBadRequest, err.Error())
+			return
+		}
+		rw.WriteHeader(http.StatusNoContent)
+	default:
+		w.writeError(rw, http.StatusMethodNotAllowed, "GET or PUT required")
+	}
+}
+
+// ClusterStats is the worker's shard-level counter section, nested under
+// "cluster" in its /stats body.
+type ClusterStats struct {
+	Self             string `json:"self,omitempty"`
+	Peers            int    `json:"peers"`
+	PeerFills        int64  `json:"peer_fills"`
+	PeerMisses       int64  `json:"peer_misses"`
+	PeerPushes       int64  `json:"peer_pushes"`
+	PeerErrors       int64  `json:"peer_errors"`
+	FastLaneRejects  int64  `json:"fast_lane_rejects"`
+	HeavyLaneRejects int64  `json:"heavy_lane_rejects"`
+	FastLaneDepth    int    `json:"fast_lane_depth"`
+	HeavyLaneDepth   int    `json:"heavy_lane_depth"`
+}
+
+// Stats returns the shard-level counters.
+func (w *Worker) Stats() ClusterStats {
+	return ClusterStats{
+		Self:             w.cfg.Self,
+		Peers:            len(w.cfg.Peers),
+		PeerFills:        w.peerFills.Load(),
+		PeerMisses:       w.peerMisses.Load(),
+		PeerPushes:       w.peerPushes.Load(),
+		PeerErrors:       w.peerErrors.Load(),
+		FastLaneRejects:  w.laneRejects[LaneFast].Load(),
+		HeavyLaneRejects: w.laneRejects[LaneHeavy].Load(),
+		FastLaneDepth:    w.adm.Depth(LaneFast),
+		HeavyLaneDepth:   w.adm.Depth(LaneHeavy),
+	}
+}
+
+// workerStats is the worker's /stats body: the service snapshot plus the
+// shard section.
+type workerStats struct {
+	service.Stats
+	Cluster ClusterStats `json:"cluster"`
+}
+
+func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
+	w.writeJSON(rw, http.StatusOK, workerStats{Stats: w.svc.StatsSnapshot(), Cluster: w.Stats()})
+}
+
+func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.svc.WritePrometheus(rw)
+	cs := w.Stats()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(rw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("regcoal_cluster_peer_fills_total", "Local misses answered from a peer shard's cache.", cs.PeerFills)
+	counter("regcoal_cluster_peer_misses_total", "Peer cache lookups that found nothing.", cs.PeerMisses)
+	counter("regcoal_cluster_peer_pushes_total", "Computed entries pushed to their owning shard.", cs.PeerPushes)
+	counter("regcoal_cluster_peer_errors_total", "Failed peer cache lookups or pushes.", cs.PeerErrors)
+	fmt.Fprintf(rw, "# HELP regcoal_cluster_lane_rejects_total Admission rejections per lane.\n# TYPE regcoal_cluster_lane_rejects_total counter\n")
+	fmt.Fprintf(rw, "regcoal_cluster_lane_rejects_total{lane=\"fast\"} %d\n", cs.FastLaneRejects)
+	fmt.Fprintf(rw, "regcoal_cluster_lane_rejects_total{lane=\"heavy\"} %d\n", cs.HeavyLaneRejects)
+	fmt.Fprintf(rw, "# HELP regcoal_cluster_lane_depth Admitted solves per lane.\n# TYPE regcoal_cluster_lane_depth gauge\n")
+	fmt.Fprintf(rw, "regcoal_cluster_lane_depth{lane=\"fast\"} %d\n", cs.FastLaneDepth)
+	fmt.Fprintf(rw, "regcoal_cluster_lane_depth{lane=\"heavy\"} %d\n", cs.HeavyLaneDepth)
+}
+
+// The write helpers mirror the service's: marshal once, write exact
+// bytes, nothing non-deterministic in a body.
+
+func (w *Worker) writeJSON(rw http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		w.svc.Metrics().Errors.Add(1)
+		http.Error(rw, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.writeRaw(rw, status, data)
+}
+
+func (w *Worker) writeRaw(rw http.ResponseWriter, status int, data []byte) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	rw.Write(data)
+}
+
+func (w *Worker) writeError(rw http.ResponseWriter, status int, msg string) {
+	w.writeJSON(rw, status, service.ErrorResponse{Error: msg})
+}

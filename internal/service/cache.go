@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 )
 
 // Sharded LRU result cache. Keys are canonical-instance hashes prefixed
@@ -44,8 +45,9 @@ type cacheItem struct {
 
 // Cache is the sharded LRU.
 type Cache struct {
-	shards   []*cacheShard
-	perShard int
+	shards    []*cacheShard
+	perShard  int
+	evictions atomic.Int64
 }
 
 // NewCache builds a cache holding roughly capacity entries across shards
@@ -127,8 +129,12 @@ func (c *Cache) Put(key string, val *entry) {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
 		delete(s.items, oldest.Value.(*cacheItem).key)
+		c.evictions.Add(1)
 	}
 }
+
+// Evictions reports how many entries the cache has evicted since start.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
 
 // Len reports the total number of cached entries.
 func (c *Cache) Len() int {

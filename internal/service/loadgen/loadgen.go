@@ -113,6 +113,11 @@ func specFor(f *graph.File, format string) (*service.GraphSpec, error) {
 type Options struct {
 	// BaseURL is the service root, e.g. http://localhost:8080.
 	BaseURL string
+	// Targets optionally lists several service roots — cluster routers or
+	// individual workers — replayed round-robin per request. When set it
+	// takes precedence over BaseURL; the report then carries a per-target
+	// and per-shard breakdown.
+	Targets []string
 	// Endpoint is "coalesce", "allocate", or "spill".
 	Endpoint string
 	// Concurrency is the number of in-flight requests (default 16).
@@ -133,10 +138,16 @@ type Report struct {
 	Rejected     int // 429: backpressure, not failure
 	Failed       int // any other non-200, transport error, or invalid body
 	CacheHits    int
+	Collapsed    int // answered by collapsing onto a concurrent identical race
 	DeadlineHits int
 	Wall         time.Duration
 	Latencies    Percentiles
 	FirstFailure string
+	// PerTarget counts requests sent to each base URL (multi-target runs).
+	PerTarget map[string]int `json:",omitempty"`
+	// PerShard counts responses by the X-Regcoal-Shard header a cluster
+	// router attaches — the worker that actually answered.
+	PerShard map[string]int `json:",omitempty"`
 }
 
 // Percentiles summarize request latency. Mean is the arithmetic mean of
@@ -157,16 +168,36 @@ func (r *Report) Throughput() float64 {
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "requests %d  ok %d  rejected(429) %d  failed %d\n", r.Requests, r.OK, r.Rejected, r.Failed)
-	fmt.Fprintf(&b, "cache hits %d  deadline hits %d\n", r.CacheHits, r.DeadlineHits)
+	fmt.Fprintf(&b, "cache hits %d  collapsed %d  deadline hits %d\n", r.CacheHits, r.Collapsed, r.DeadlineHits)
 	fmt.Fprintf(&b, "wall %v  throughput %.1f req/s\n", r.Wall.Round(time.Millisecond), r.Throughput())
 	fmt.Fprintf(&b, "latency mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
 		r.Latencies.Mean.Round(time.Microsecond),
 		r.Latencies.P50.Round(time.Microsecond), r.Latencies.P90.Round(time.Microsecond),
 		r.Latencies.P99.Round(time.Microsecond), r.Latencies.Max.Round(time.Microsecond))
+	writeBreakdown(&b, "shard", r.PerShard)
+	writeBreakdown(&b, "target", r.PerTarget)
 	if r.FirstFailure != "" {
 		fmt.Fprintf(&b, "first failure: %s\n", r.FirstFailure)
 	}
 	return b.String()
+}
+
+// writeBreakdown prints a per-key request count, keys sorted for stable
+// output.
+func writeBreakdown(b *strings.Builder, label string, counts map[string]int) {
+	if len(counts) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(b, "per-%s:", label)
+	for _, k := range keys {
+		fmt.Fprintf(b, "  %s=%d", k, counts[k])
+	}
+	b.WriteString("\n")
 }
 
 // Run fires Requests requests over the jobs round-robin with Concurrency
@@ -192,15 +223,15 @@ func Run(ctx context.Context, opts Options, jobs []Job) (*Report, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 60 * time.Second}
 	}
-	url := strings.TrimSuffix(opts.BaseURL, "/") + "/v1/" + endpoint
-
-	type sample struct {
-		latency     time.Duration
-		status      int
-		cacheHit    bool
-		deadlineHit bool
-		failure     string
+	targets := opts.Targets
+	if len(targets) == 0 {
+		targets = []string{opts.BaseURL}
 	}
+	urls := make([]string, len(targets))
+	for i, t := range targets {
+		urls[i] = strings.TrimSuffix(t, "/") + "/v1/" + endpoint
+	}
+
 	samples := make([]sample, opts.Requests)
 	idxCh := make(chan int)
 	done := make(chan struct{})
@@ -209,15 +240,12 @@ func Run(ctx context.Context, opts Options, jobs []Job) (*Report, error) {
 			defer func() { done <- struct{}{} }()
 			for i := range idxCh {
 				job := jobs[i%len(jobs)]
+				target := i % len(urls)
 				start := time.Now()
-				st, hit, dl, failure := fire(ctx, client, url, endpoint, job)
-				samples[i] = sample{
-					latency:     time.Since(start),
-					status:      st,
-					cacheHit:    hit,
-					deadlineHit: dl,
-					failure:     failure,
-				}
+				sm := fire(ctx, client, urls[target], endpoint, job)
+				sm.latency = time.Since(start)
+				sm.target = targets[target]
+				samples[i] = sm
 			}
 		}()
 	}
@@ -236,6 +264,9 @@ feed:
 	}
 
 	rep := &Report{Requests: opts.Requests, Wall: time.Since(start)}
+	if len(targets) > 1 {
+		rep.PerTarget = make(map[string]int)
+	}
 	lats := make([]time.Duration, 0, opts.Requests)
 	for _, sm := range samples {
 		switch {
@@ -253,64 +284,100 @@ feed:
 		if sm.cacheHit {
 			rep.CacheHits++
 		}
+		if sm.collapsed {
+			rep.Collapsed++
+		}
 		if sm.deadlineHit {
 			rep.DeadlineHits++
+		}
+		if rep.PerTarget != nil {
+			rep.PerTarget[sm.target]++
+		}
+		if sm.shard != "" {
+			if rep.PerShard == nil {
+				rep.PerShard = make(map[string]int)
+			}
+			rep.PerShard[sm.shard]++
 		}
 	}
 	rep.Latencies = percentiles(lats)
 	return rep, nil
 }
 
-func fire(ctx context.Context, client *http.Client, url, endpoint string, job Job) (status int, cacheHit, deadlineHit bool, failure string) {
+// sample is one request's outcome; target and latency are filled in by
+// the worker loop, the rest by fire.
+type sample struct {
+	latency     time.Duration
+	status      int
+	cacheHit    bool
+	collapsed   bool
+	deadlineHit bool
+	shard       string // X-Regcoal-Shard: the worker a cluster router chose
+	target      string // base URL the request was sent to
+	failure     string
+}
+
+func fire(ctx context.Context, client *http.Client, url, endpoint string, job Job) sample {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(job.Body))
 	if err != nil {
-		return 0, false, false, err.Error()
+		return sample{failure: err.Error()}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, false, false, fmt.Sprintf("%s: %v", job.Name, err)
+		return sample{failure: fmt.Sprintf("%s: %v", job.Name, err)}
 	}
 	defer resp.Body.Close()
+	sm := sample{status: resp.StatusCode}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, false, false, fmt.Sprintf("%s: reading body: %v", job.Name, err)
+		sm.failure = fmt.Sprintf("%s: reading body: %v", job.Name, err)
+		return sm
 	}
-	cacheHit = resp.Header.Get("X-Regcoal-Cache") == "hit"
+	switch resp.Header.Get("X-Regcoal-Cache") {
+	case "hit":
+		sm.cacheHit = true
+	case "collapse":
+		sm.collapsed = true
+	}
+	sm.shard = resp.Header.Get("X-Regcoal-Shard")
 	if resp.StatusCode != http.StatusOK {
-		return resp.StatusCode, cacheHit, false, fmt.Sprintf("%s: status %d: %s", job.Name, resp.StatusCode, truncate(body))
+		sm.failure = fmt.Sprintf("%s: status %d: %s", job.Name, resp.StatusCode, truncate(body))
+		return sm
 	}
-	if endpoint == "coalesce" {
+	switch endpoint {
+	case "coalesce":
 		var out service.CoalesceResult
 		if err := json.Unmarshal(body, &out); err != nil {
-			return resp.StatusCode, cacheHit, false, fmt.Sprintf("%s: decoding: %v", job.Name, err)
+			sm.failure = fmt.Sprintf("%s: decoding: %v", job.Name, err)
+			return sm
 		}
-		deadlineHit = out.DeadlineHit
+		sm.deadlineHit = out.DeadlineHit
 		if err := ValidateCoalesce(job.File, &out); err != nil {
-			return resp.StatusCode, cacheHit, deadlineHit, fmt.Sprintf("%s: %v", job.Name, err)
+			sm.failure = fmt.Sprintf("%s: %v", job.Name, err)
 		}
-		return resp.StatusCode, cacheHit, deadlineHit, ""
-	}
-	if endpoint == "spill" {
+	case "spill":
 		var out service.SpillResult
 		if err := json.Unmarshal(body, &out); err != nil {
-			return resp.StatusCode, cacheHit, false, fmt.Sprintf("%s: decoding: %v", job.Name, err)
+			sm.failure = fmt.Sprintf("%s: decoding: %v", job.Name, err)
+			return sm
 		}
-		deadlineHit = out.DeadlineHit
+		sm.deadlineHit = out.DeadlineHit
 		if err := ValidateSpill(job.File, &out); err != nil {
-			return resp.StatusCode, cacheHit, deadlineHit, fmt.Sprintf("%s: %v", job.Name, err)
+			sm.failure = fmt.Sprintf("%s: %v", job.Name, err)
 		}
-		return resp.StatusCode, cacheHit, deadlineHit, ""
+	default:
+		var out service.AllocateResult
+		if err := json.Unmarshal(body, &out); err != nil {
+			sm.failure = fmt.Sprintf("%s: decoding: %v", job.Name, err)
+			return sm
+		}
+		sm.deadlineHit = out.DeadlineHit
+		if err := ValidateAllocate(job.File, &out); err != nil {
+			sm.failure = fmt.Sprintf("%s: %v", job.Name, err)
+		}
 	}
-	var out service.AllocateResult
-	if err := json.Unmarshal(body, &out); err != nil {
-		return resp.StatusCode, cacheHit, false, fmt.Sprintf("%s: decoding: %v", job.Name, err)
-	}
-	deadlineHit = out.DeadlineHit
-	if err := ValidateAllocate(job.File, &out); err != nil {
-		return resp.StatusCode, cacheHit, deadlineHit, fmt.Sprintf("%s: %v", job.Name, err)
-	}
-	return resp.StatusCode, cacheHit, deadlineHit, ""
+	return sm
 }
 
 // FetchStats retrieves and decodes the service's /stats snapshot.

@@ -16,17 +16,19 @@ import (
 type Metrics struct {
 	start time.Time
 
-	CoalesceRequests atomic.Int64
-	AllocateRequests atomic.Int64
-	SpillRequests    atomic.Int64
-	BatchGraphs      atomic.Int64
-	CacheHits        atomic.Int64
-	CacheMisses      atomic.Int64
-	Rejected         atomic.Int64
-	BadRequests      atomic.Int64
-	Errors           atomic.Int64
-	DeadlineHits     atomic.Int64
-	InFlight         atomic.Int64
+	CoalesceRequests      atomic.Int64
+	AllocateRequests      atomic.Int64
+	SpillRequests         atomic.Int64
+	BatchRequests         atomic.Int64
+	BatchGraphs           atomic.Int64
+	CacheHits             atomic.Int64
+	CacheMisses           atomic.Int64
+	SingleflightCollapses atomic.Int64
+	Rejected              atomic.Int64
+	BadRequests           atomic.Int64
+	Errors                atomic.Int64
+	DeadlineHits          atomic.Int64
+	InFlight              atomic.Int64
 
 	winsMu sync.Mutex
 	wins   map[string]*atomic.Int64
@@ -60,45 +62,51 @@ func (m *Metrics) winSnapshot() map[string]int64 {
 
 // Stats is the JSON snapshot served on /stats.
 type Stats struct {
-	UptimeSeconds    float64          `json:"uptime_seconds"`
-	CoalesceRequests int64            `json:"coalesce_requests"`
-	AllocateRequests int64            `json:"allocate_requests"`
-	SpillRequests    int64            `json:"spill_requests"`
-	BatchGraphs      int64            `json:"batch_graphs"`
-	CacheHits        int64            `json:"cache_hits"`
-	CacheMisses      int64            `json:"cache_misses"`
-	CacheEntries     int              `json:"cache_entries"`
-	Rejected         int64            `json:"rejected"`
-	BadRequests      int64            `json:"bad_requests"`
-	Errors           int64            `json:"errors"`
-	DeadlineHits     int64            `json:"deadline_hits"`
-	InFlight         int64            `json:"in_flight"`
-	QueueDepth       int              `json:"queue_depth"`
-	StrategyWins     map[string]int64 `json:"strategy_wins"`
+	UptimeSeconds         float64          `json:"uptime_seconds"`
+	CoalesceRequests      int64            `json:"coalesce_requests"`
+	AllocateRequests      int64            `json:"allocate_requests"`
+	SpillRequests         int64            `json:"spill_requests"`
+	BatchRequests         int64            `json:"batch_requests"`
+	BatchGraphs           int64            `json:"batch_graphs"`
+	CacheHits             int64            `json:"cache_hits"`
+	CacheMisses           int64            `json:"cache_misses"`
+	CacheEvictions        int64            `json:"cache_evictions"`
+	CacheEntries          int              `json:"cache_entries"`
+	SingleflightCollapses int64            `json:"singleflight_collapses"`
+	Rejected              int64            `json:"rejected"`
+	BadRequests           int64            `json:"bad_requests"`
+	Errors                int64            `json:"errors"`
+	DeadlineHits          int64            `json:"deadline_hits"`
+	InFlight              int64            `json:"in_flight"`
+	QueueDepth            int              `json:"queue_depth"`
+	StrategyWins          map[string]int64 `json:"strategy_wins"`
 }
 
-func (m *Metrics) snapshot(cacheEntries, queueDepth int) Stats {
+func (m *Metrics) snapshot(cacheEntries, queueDepth int, cacheEvictions int64) Stats {
 	return Stats{
-		UptimeSeconds:    time.Since(m.start).Seconds(),
-		CoalesceRequests: m.CoalesceRequests.Load(),
-		AllocateRequests: m.AllocateRequests.Load(),
-		SpillRequests:    m.SpillRequests.Load(),
-		BatchGraphs:      m.BatchGraphs.Load(),
-		CacheHits:        m.CacheHits.Load(),
-		CacheMisses:      m.CacheMisses.Load(),
-		CacheEntries:     cacheEntries,
-		Rejected:         m.Rejected.Load(),
-		BadRequests:      m.BadRequests.Load(),
-		Errors:           m.Errors.Load(),
-		DeadlineHits:     m.DeadlineHits.Load(),
-		InFlight:         m.InFlight.Load(),
-		QueueDepth:       queueDepth,
-		StrategyWins:     m.winSnapshot(),
+		UptimeSeconds:         time.Since(m.start).Seconds(),
+		CoalesceRequests:      m.CoalesceRequests.Load(),
+		AllocateRequests:      m.AllocateRequests.Load(),
+		SpillRequests:         m.SpillRequests.Load(),
+		BatchRequests:         m.BatchRequests.Load(),
+		BatchGraphs:           m.BatchGraphs.Load(),
+		CacheHits:             m.CacheHits.Load(),
+		CacheMisses:           m.CacheMisses.Load(),
+		CacheEvictions:        cacheEvictions,
+		CacheEntries:          cacheEntries,
+		SingleflightCollapses: m.SingleflightCollapses.Load(),
+		Rejected:              m.Rejected.Load(),
+		BadRequests:           m.BadRequests.Load(),
+		Errors:                m.Errors.Load(),
+		DeadlineHits:          m.DeadlineHits.Load(),
+		InFlight:              m.InFlight.Load(),
+		QueueDepth:            queueDepth,
+		StrategyWins:          m.winSnapshot(),
 	}
 }
 
 // writePrometheus renders the counters in Prometheus exposition format.
-func (m *Metrics) writePrometheus(w io.Writer, cacheEntries, queueDepth int) {
+func (m *Metrics) writePrometheus(w io.Writer, cacheEntries, queueDepth int, cacheEvictions int64) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -109,9 +117,12 @@ func (m *Metrics) writePrometheus(w io.Writer, cacheEntries, queueDepth int) {
 	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"coalesce\"} %d\n", m.CoalesceRequests.Load())
 	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"allocate\"} %d\n", m.AllocateRequests.Load())
 	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"spill\"} %d\n", m.SpillRequests.Load())
+	counter("regcoal_batch_requests_total", "POST /v1/batch requests.", m.BatchRequests.Load())
 	counter("regcoal_batch_graphs_total", "Graphs received inside batch requests.", m.BatchGraphs.Load())
 	counter("regcoal_cache_hits_total", "Requests answered from the result cache.", m.CacheHits.Load())
 	counter("regcoal_cache_misses_total", "Requests that had to compute.", m.CacheMisses.Load())
+	counter("regcoal_cache_evictions_total", "Entries evicted from the result cache.", cacheEvictions)
+	counter("regcoal_singleflight_collapses_total", "Requests answered by collapsing onto a concurrent identical request's race.", m.SingleflightCollapses.Load())
 	counter("regcoal_rejected_total", "Requests rejected with 429 (pool saturated).", m.Rejected.Load())
 	counter("regcoal_bad_requests_total", "Requests rejected with 400.", m.BadRequests.Load())
 	counter("regcoal_errors_total", "Requests failed with 5xx.", m.Errors.Load())

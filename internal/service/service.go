@@ -5,19 +5,30 @@
 // per-request deadline (portfolio.go), and memoizes answers in a sharded
 // LRU keyed by canonical graph hash (internal/graph CanonicalForm) so that
 // repeated instances — even renumbered ones the refinement can identify —
-// are answered from memory with byte-identical bodies.
+// are answered from memory with byte-identical bodies. Concurrent
+// identical misses collapse to one portfolio race through a singleflight
+// group keyed the same way (internal/singleflight).
 //
 // Endpoints:
 //
 //	POST /v1/coalesce  race the coalescing portfolio; best answer wins
 //	POST /v1/allocate  race the allocators (IRC + Chaitin + spill-first)
 //	POST /v1/spill     race the spillers (greedy, incremental, exact)
-//	GET  /healthz      liveness
+//	POST /v1/batch     many instances, one decode pass, pool fan-out
+//	GET  /healthz      liveness (alias of /livez)
+//	GET  /livez        liveness: process is up
+//	GET  /readyz       readiness: 503 while draining, else 200
 //	GET  /metrics      Prometheus exposition
 //	GET  /stats        JSON counter snapshot
 //
 // Overload surfaces as backpressure: when the bounded submission queue is
 // full, requests are rejected with 429 instead of queueing without bound.
+//
+// The solve path is exposed to embedders (the cluster worker in
+// internal/cluster) in two steps: Prepare parses and canonicalizes a
+// request into a Prepared carrying the cache key, and SolvePrepared
+// answers it — cache, singleflight, pool and rendering included — as the
+// exact bytes the HTTP handler would write. See prepared.go.
 package service
 
 import (
@@ -25,13 +36,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
-	"strings"
+	"sync/atomic"
 	"time"
 
 	"regcoal/internal/engine"
 	"regcoal/internal/graph"
+	"regcoal/internal/singleflight"
 )
 
 // Config parameterizes a Server. Zero values take defaults.
@@ -119,7 +132,9 @@ type Server struct {
 	cache   *Cache
 	metrics *Metrics
 	mux     *http.ServeMux
+	flights singleflight.Group
 
+	draining  atomic.Bool
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 }
@@ -140,10 +155,13 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:   ctx,
 		cancelAll: cancel,
 	}
-	s.mux.HandleFunc("/v1/coalesce", s.handleSolve(kindCoalesce))
-	s.mux.HandleFunc("/v1/allocate", s.handleSolve(kindAllocate))
-	s.mux.HandleFunc("/v1/spill", s.handleSolve(kindSpill))
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/coalesce", s.handleSolve(KindCoalesce))
+	s.mux.HandleFunc("/v1/allocate", s.handleSolve(KindAllocate))
+	s.mux.HandleFunc("/v1/spill", s.handleSolve(KindSpill))
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleLivez)
+	s.mux.HandleFunc("/livez", s.handleLivez)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s, nil
@@ -155,29 +173,77 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics exposes the counters (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Config returns the server's effective (default-filled) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
 // Close cancels in-flight computations and drains the worker pool. Call
-// after the HTTP listener has stopped accepting requests.
+// after the HTTP listener has stopped accepting requests (and, for a
+// graceful exit, after Drain has let in-flight requests finish — Close
+// alone cuts running races short).
 func (s *Server) Close() {
 	s.cancelAll()
 	s.pool.Close()
 }
 
-type solveKind int
+// BeginDrain flips the server to draining: /readyz starts answering 503
+// so routers and load balancers stop sending new work, while already
+// accepted requests (including batch fan-outs) keep computing.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain marks the server draining and blocks until every in-flight
+// request (single and batch) has been answered, or ctx expires. The
+// graceful shutdown order is: stop advertising readiness and wait for
+// quiesce (Drain), stop the listener, then Close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.metrics.InFlight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Kind identifies a solve endpoint: which portfolio a request races.
+type Kind int
 
 const (
-	kindCoalesce solveKind = iota
-	kindAllocate
-	kindSpill
+	KindCoalesce Kind = iota
+	KindAllocate
+	KindSpill
 )
 
-func (k solveKind) String() string {
+func (k Kind) String() string {
 	switch k {
-	case kindAllocate:
+	case KindAllocate:
 		return "allocate"
-	case kindSpill:
+	case KindSpill:
 		return "spill"
 	}
 	return "coalesce"
+}
+
+// ParseKind resolves an endpoint name ("coalesce", "allocate", "spill");
+// the empty string defaults to coalesce.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "", "coalesce":
+		return KindCoalesce, nil
+	case "allocate":
+		return KindAllocate, nil
+	case "spill":
+		return KindSpill, nil
+	}
+	return KindCoalesce, fmt.Errorf("unknown kind %q (want coalesce, allocate, spill)", name)
 }
 
 // httpError carries a status code through the solve path.
@@ -188,22 +254,34 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.msg }
 
+// ErrorStatus maps a solve-path error to its HTTP status (500 when the
+// error carries none). Embedders writing their own responses (the
+// cluster worker) use it to answer with the same codes the service's own
+// handlers would.
+func ErrorStatus(err error) int {
+	he := &httpError{}
+	if errors.As(err, &he) {
+		return he.status
+	}
+	return http.StatusInternalServerError
+}
+
 func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-func (s *Server) handleSolve(kind solveKind) http.HandlerFunc {
+func (s *Server) handleSolve(kind Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			s.writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"})
 			return
 		}
 		switch kind {
-		case kindCoalesce:
+		case KindCoalesce:
 			s.metrics.CoalesceRequests.Add(1)
-		case kindAllocate:
+		case KindAllocate:
 			s.metrics.AllocateRequests.Add(1)
-		case kindSpill:
+		case KindSpill:
 			s.metrics.SpillRequests.Add(1)
 		}
 		s.metrics.InFlight.Add(1)
@@ -219,43 +297,81 @@ func (s *Server) handleSolve(kind solveKind) http.HandlerFunc {
 		}
 
 		if len(req.Batch) > 0 {
-			s.solveBatch(w, kind, &req)
+			if req.Graph != nil {
+				s.writeError(w, badRequest("use either graph or batch, not both"))
+				return
+			}
+			if len(req.Batch) > s.cfg.MaxBatch {
+				s.writeError(w, badRequest("batch carries %d graphs, limit %d", len(req.Batch), s.cfg.MaxBatch))
+				return
+			}
+			s.writeJSON(w, http.StatusOK, s.runBatch(kind, req.Batch))
 			return
 		}
-		out, cached, err := s.solveOne(kind, &req)
+		p, err := s.Prepare(kind, &req)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
-		disposition := "miss"
-		if cached {
-			disposition = "hit"
+		body2, disposition, err := s.SolvePrepared(p)
+		if err != nil {
+			s.writeError(w, err)
+			return
 		}
 		w.Header().Set("X-Regcoal-Cache", disposition)
-		s.writeJSON(w, http.StatusOK, out)
+		s.writeRaw(w, http.StatusOK, body2)
 	}
 }
 
-// solveBatch fans the batch's graphs out onto the pool and collects all
-// results in order. Per-element failures (including 429 saturation) are
-// reported in place; the batch itself answers 200.
-func (s *Server) solveBatch(w http.ResponseWriter, kind solveKind, req *Request) {
-	if req.Graph != nil {
-		s.writeError(w, badRequest("use either graph or batch, not both"))
+// handleBatch serves POST /v1/batch: many instances of one kind decoded
+// in a single pass and fanned out onto the pool. In a cluster, the
+// router splits these per shard; single-node, the amortization is the
+// one JSON decode and connection for the whole set.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"})
 		return
 	}
-	if len(req.Batch) > s.cfg.MaxBatch {
-		s.writeError(w, badRequest("batch carries %d graphs, limit %d", len(req.Batch), s.cfg.MaxBatch))
+	s.metrics.BatchRequests.Add(1)
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+
+	var req BatchSolveRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, badRequest("decoding batch request: %v", err))
 		return
 	}
-	s.metrics.BatchGraphs.Add(int64(len(req.Batch)))
-	resp := BatchResponse{Results: make([]BatchEntry, len(req.Batch))}
+	kind, err := ParseKind(req.Kind)
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	if len(req.Items) == 0 {
+		s.writeError(w, badRequest("empty batch"))
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatch {
+		s.writeError(w, badRequest("batch carries %d graphs, limit %d", len(req.Items), s.cfg.MaxBatch))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.runBatch(kind, req.Items))
+}
+
+// runBatch fans the items out onto the pool with bounded concurrency and
+// collects all results in request order. Per-element failures (including
+// 429 saturation) are reported in place; the batch itself answers 200.
+func (s *Server) runBatch(kind Kind, items []Request) *BatchResponse {
+	s.metrics.BatchGraphs.Add(int64(len(items)))
+	resp := &BatchResponse{Results: make([]BatchEntry, len(items))}
 	// Fan out with bounded concurrency: canonicalization and parsing run
 	// on these goroutines before the pool's own bound applies, so a batch
 	// must not spawn one goroutine per element.
 	fanout := s.cfg.Workers * 2
-	if fanout > len(req.Batch) {
-		fanout = len(req.Batch)
+	if fanout > len(items) {
+		fanout = len(items)
 	}
 	idxCh := make(chan int)
 	done := make(chan struct{})
@@ -263,181 +379,62 @@ func (s *Server) solveBatch(w http.ResponseWriter, kind solveKind, req *Request)
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for i := range idxCh {
-				sub := req.Batch[i]
-				if len(sub.Batch) > 0 {
-					resp.Results[i].Error = "batch elements must not nest batches"
-					continue
-				}
-				out, _, err := s.solveOne(kind, &sub)
-				if err != nil {
-					resp.Results[i].Error = err.Error()
-					continue
-				}
-				switch v := out.(type) {
-				case *CoalesceResult:
-					resp.Results[i].Coalesce = v
-				case *AllocateResult:
-					resp.Results[i].Allocate = v
-				case *SpillResult:
-					resp.Results[i].Spill = v
-				}
+				resp.Results[i] = s.solveBatchItem(kind, &items[i])
 			}
 		}()
 	}
-	for i := range req.Batch {
+	for i := range items {
 		idxCh <- i
 	}
 	close(idxCh)
 	for w := 0; w < fanout; w++ {
 		<-done
 	}
-	s.writeJSON(w, http.StatusOK, &resp)
+	return resp
 }
 
-// solveOne answers a single-graph request: parse, canonicalize, consult
-// the cache, or compute on the pool under the request deadline.
-func (s *Server) solveOne(kind solveKind, req *Request) (out any, cached bool, err error) {
-	if req.Graph == nil {
-		return nil, false, s.countBad(badRequest("missing graph"))
+// solveBatchItem answers one batch element as an in-place entry.
+func (s *Server) solveBatchItem(kind Kind, sub *Request) BatchEntry {
+	if len(sub.Batch) > 0 {
+		return BatchEntry{Error: "batch elements must not nest batches"}
 	}
-	f, ferr := req.Graph.ToFile()
-	if ferr != nil {
-		return nil, false, s.countBad(badRequest("%v", ferr))
-	}
-	k := f.K
-	if req.K > 0 {
-		k = req.K
-	}
-	if k <= 0 {
-		return nil, false, s.countBad(badRequest("no register count: set k in the request or the graph payload"))
-	}
-	if f.G.N() > s.cfg.MaxVertices {
-		return nil, false, s.countBad(badRequest("graph has %d vertices, limit %d", f.G.N(), s.cfg.MaxVertices))
-	}
-	// Freeze the parsed graph: every portfolio racer reads this one
-	// instance concurrently — a shared read-only snapshot instead of a
-	// per-racer clone. A racer that tried to mutate it would panic
-	// loudly instead of corrupting its rivals.
-	inst := &graph.File{G: f.G.Freeze(), K: k}
-
-	strategies := req.Strategies
-	if len(strategies) == 0 && kind == kindCoalesce {
-		strategies = s.cfg.Portfolio
-	}
-	strategies = normalizeStrategies(strategies)
-	// Validate up front so bad names are 400s, not queued work.
-	switch kind {
-	case kindCoalesce:
-		if _, err := s.coalesceRacers(inst, strategies); err != nil {
-			return nil, false, s.countBad(badRequest("%v", err))
-		}
-	case kindAllocate:
-		if _, err := allocateRacers(inst, strategies); err != nil {
-			return nil, false, s.countBad(badRequest("%v", err))
-		}
-	case kindSpill:
-		if _, err := s.spillRacers(inst, strategies); err != nil {
-			return nil, false, s.countBad(badRequest("%v", err))
-		}
-	}
-
-	canon := graph.CanonicalForm(inst)
-	key := kind.String() + "|" + strings.Join(strategies, ",") + "|" + canon.Hash
-	if !req.NoCache {
-		if e, ok := s.cache.Get(key); ok {
-			s.metrics.CacheHits.Add(1)
-			return s.render(kind, inst, canon, &e), true, nil
-		}
-		// Misses count only consulted lookups: no_cache requests never
-		// touch the cache and must not skew the hit rate.
-		s.metrics.CacheMisses.Add(1)
-	}
-
-	deadline := s.cfg.DefaultDeadline
-	if req.DeadlineMS > 0 {
-		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
-	}
-	if deadline > s.cfg.MaxDeadline {
-		deadline = s.cfg.MaxDeadline
-	}
-
-	type computed struct {
-		e   *entry
-		err error
-	}
-	ch := make(chan computed, 1)
-	job := func() {
-		e, jerr := s.compute(kind, inst, canon, strategies, deadline)
-		ch <- computed{e: e, err: jerr}
-	}
-	if serr := s.pool.TrySubmit(job); serr != nil {
-		if errors.Is(serr, engine.ErrSaturated) {
-			s.metrics.Rejected.Add(1)
-			return nil, false, &httpError{status: http.StatusTooManyRequests, msg: "server saturated, retry later"}
-		}
-		s.metrics.Errors.Add(1)
-		return nil, false, &httpError{status: http.StatusServiceUnavailable, msg: "server shutting down"}
-	}
-	res := <-ch
-	if res.err != nil {
-		s.metrics.Errors.Add(1)
-		return nil, false, &httpError{status: http.StatusInternalServerError, msg: res.err.Error()}
-	}
-	if res.e.deadlineHit {
-		s.metrics.DeadlineHits.Add(1)
-	}
-	s.metrics.StrategyWon(res.e.strategy)
-	if !req.NoCache {
-		s.cache.Put(key, res.e)
-	}
-	return s.render(kind, inst, canon, res.e), false, nil
-}
-
-// compute runs the portfolio race for the instance under the deadline and
-// packages the winner as a canonical-space cache entry. The race context
-// descends from the server context, not the client connection, so a
-// disconnecting client cannot poison the cache with a truncated answer.
-func (s *Server) compute(kind solveKind, inst *graph.File, canon *graph.Canonical, strategies []string, deadline time.Duration) (*entry, error) {
-	ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
-	defer cancel()
-	if kind == kindAllocate {
-		members, err := allocateRacers(inst, strategies)
-		if err != nil {
-			return nil, err
-		}
-		best, winner, _, hit, err := race(ctx, members, cmpAllocate)
-		if err != nil {
-			return nil, err
-		}
-		return allocateEntry(canon.Perm, best, winner, hit), nil
-	}
-	if kind == kindSpill {
-		members, err := s.spillRacers(inst, strategies)
-		if err != nil {
-			return nil, err
-		}
-		best, winner, _, hit, err := race(ctx, members, cmpSpill)
-		if err != nil {
-			return nil, err
-		}
-		return spillEntry(canon.Perm, best, winner, hit), nil
-	}
-	members, err := s.coalesceRacers(inst, strategies)
+	p, err := s.Prepare(kind, sub)
 	if err != nil {
-		return nil, err
+		return BatchEntry{Error: err.Error()}
 	}
-	best, winner, _, hit, err := race(ctx, members, cmpCoalesce)
-	if err != nil {
-		return nil, err
-	}
-	return coalesceEntry(inst, canon.Perm, best, winner, hit), nil
+	e, _ := s.SolveBatchEntry(p)
+	return e
 }
 
-func (s *Server) render(kind solveKind, inst *graph.File, canon *graph.Canonical, e *entry) any {
+// SolveBatchEntry answers a prepared request as a batch entry plus the
+// cache disposition ("hit", "miss", "collapse", or "" on error). Exported
+// for the cluster worker, which prepares items itself to consult the
+// tiered cache before solving.
+func (s *Server) SolveBatchEntry(p *Prepared) (BatchEntry, string) {
+	out, disposition, err := s.solvePreparedAny(p)
+	if err != nil {
+		return BatchEntry{Error: err.Error()}, ""
+	}
+	switch v := out.(type) {
+	case *CoalesceResult:
+		return BatchEntry{Coalesce: v}, disposition
+	case *AllocateResult:
+		return BatchEntry{Allocate: v}, disposition
+	case *SpillResult:
+		return BatchEntry{Spill: v}, disposition
+	}
+	return BatchEntry{Error: "internal: unknown result type"}, ""
+}
+
+// RunBatch answers a legacy in-request batch (Request.Batch) with bounded
+// pool fan-out. Exported for the cluster worker's solve endpoints.
+func (s *Server) RunBatch(kind Kind, items []Request) *BatchResponse { return s.runBatch(kind, items) }
+
+func (s *Server) render(kind Kind, inst *graph.File, canon *graph.Canonical, e *entry) any {
 	switch kind {
-	case kindAllocate:
+	case KindAllocate:
 		return renderAllocate(inst, canon.Hash, canon.Perm, e)
-	case kindSpill:
+	case KindSpill:
 		return renderSpill(inst, canon.Hash, canon.Perm, e)
 	}
 	return renderCoalesce(inst, canon.Hash, canon.Perm, e)
@@ -448,17 +445,38 @@ func (s *Server) countBad(e *httpError) *httpError {
 	return e
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.cache.Len(), s.pool.QueueDepth())
+	s.WritePrometheus(w)
+}
+
+// WritePrometheus renders the counter set in Prometheus exposition
+// format (the body of GET /metrics, exposed for embedders that append
+// their own families).
+func (s *Server) WritePrometheus(w io.Writer) {
+	s.metrics.writePrometheus(w, s.cache.Len(), s.pool.QueueDepth(), s.cache.Evictions())
+}
+
+// StatsSnapshot returns the JSON counter snapshot served on GET /stats
+// (exposed for embedders that wrap it with their own sections).
+func (s *Server) StatsSnapshot() Stats {
+	return s.metrics.snapshot(s.cache.Len(), s.pool.QueueDepth(), s.cache.Evictions())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Len(), s.pool.QueueDepth()))
+	s.writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }
 
 // writeJSON marshals once and writes the exact bytes: the body of a
@@ -471,6 +489,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
 		return
 	}
+	s.writeRaw(w, status, data)
+}
+
+func (s *Server) writeRaw(w http.ResponseWriter, status int, data []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(data)

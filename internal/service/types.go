@@ -212,6 +212,16 @@ type AllocateResult struct {
 	DeadlineHit     bool   `json:"deadline_hit"`
 }
 
+// BatchSolveRequest is the body of POST /v1/batch: one kind applied to
+// many single-graph requests, decoded once and fanned out on the worker
+// pool (and, in cluster mode, across shards).
+type BatchSolveRequest struct {
+	// Kind selects the portfolio: "coalesce" (default), "allocate", "spill".
+	Kind string `json:"kind,omitempty"`
+	// Items are the instances to solve, answered in order.
+	Items []Request `json:"items"`
+}
+
 // BatchEntry is one element of a batch response: exactly one of the result
 // fields, or Error.
 type BatchEntry struct {

@@ -1,0 +1,142 @@
+package singleflight
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoSequentialRunsEachTime(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do("k", func() (any, error) {
+			return calls.Add(1), nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: err=%v shared=%v", i, err, shared)
+		}
+		if v.(int64) != int64(i+1) {
+			t.Fatalf("call %d: got %v", i, v)
+		}
+	}
+}
+
+func TestDoCollapsesConcurrentCalls(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	const waiters = 63
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	results := make([]any, waiters)
+
+	// Leader blocks inside fn until every follower is launched.
+	go func() {
+		g.Do("k", func() (any, error) {
+			close(started)
+			<-gate
+			return calls.Add(1), nil
+		})
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (any, error) {
+				return calls.Add(1), nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Release the leader only after every follower is provably blocked on
+	// the in-flight call, so the collapse is deterministic, not a race
+	// the test happens to win.
+	for g.Waiters("k") < waiters {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	if n := sharedCount.Load(); n != waiters {
+		t.Fatalf("%d shared results, want %d", n, waiters)
+	}
+	for i, v := range results {
+		if v.(int64) != 1 {
+			t.Fatalf("waiter %d got %v, want 1", i, v)
+		}
+	}
+}
+
+func TestDoPropagatesError(t *testing.T) {
+	var g Group
+	want := errors.New("boom")
+	_, err, _ := g.Do("k", func() (any, error) { return nil, want })
+	if err != want {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	// The key must be forgotten after the failed call.
+	v, err, shared := g.Do("k", func() (any, error) { return 42, nil })
+	if err != nil || shared || v.(int) != 42 {
+		t.Fatalf("after error: v=%v err=%v shared=%v", v, err, shared)
+	}
+}
+
+func TestDoDistinctKeysDoNotCollapse(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.Do(fmt.Sprintf("k%d", i), func() (any, error) {
+				return calls.Add(1), nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 8 {
+		t.Fatalf("fn ran %d times, want 8", n)
+	}
+}
+
+func TestLeaderPanicReleasesFollowers(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	followerDone := make(chan error, 1)
+
+	go func() {
+		defer func() { recover() }()
+		g.Do("k", func() (any, error) {
+			close(started)
+			<-gate
+			panic("leader dies")
+		})
+	}()
+	<-started
+	go func() {
+		_, err, _ := g.Do("k", func() (any, error) { return nil, nil })
+		followerDone <- err
+	}()
+	close(gate)
+	if err := <-followerDone; err != nil && !errors.Is(err, ErrLeaderPanic) {
+		t.Fatalf("follower err = %v", err)
+	}
+}
