@@ -55,6 +55,12 @@ type PerfKernel struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
 	HitRate     float64 `json:"hit_rate,omitempty"`
+	// PhaseNS breaks the loadgen kernels' latency down by server-side
+	// request phase (decode, canon, peer, cache, race, encode): the p50
+	// of each phase's duration in ns, parsed from the X-Regcoal-Phases
+	// response headers the service attaches. Only the inv-throughput
+	// kernel of each loadgen prefix carries it.
+	PhaseNS map[string]float64 `json:"phase_ns,omitempty"`
 }
 
 // PerfRun is the result of one -perf invocation.

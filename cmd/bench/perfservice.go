@@ -229,9 +229,16 @@ func runLoadgenKernels(prefix, baseURL string, jobs []loadgen.Job, quick bool) (
 	if report.OK > 0 {
 		hitRate = round2(float64(report.CacheHits+report.Collapsed) / float64(report.OK))
 	}
+	var phaseNS map[string]float64
+	if len(report.Phases) > 0 {
+		phaseNS = make(map[string]float64, len(report.Phases))
+		for name, p := range report.Phases {
+			phaseNS[name] = float64(p.P50.Nanoseconds())
+		}
+	}
 	return []PerfKernel{
 		{Name: prefix + "/inv-throughput", NsPerOp: float64(report.Wall.Nanoseconds()) / float64(report.Requests),
-			OpsPerSec: round2(report.Throughput()), HitRate: hitRate},
+			OpsPerSec: round2(report.Throughput()), HitRate: hitRate, PhaseNS: phaseNS},
 		{Name: prefix + "/mean", NsPerOp: float64(report.Latencies.Mean.Nanoseconds())},
 		{Name: prefix + "/p50", NsPerOp: float64(report.Latencies.P50.Nanoseconds())},
 		{Name: prefix + "/p99", NsPerOp: float64(report.Latencies.P99.Nanoseconds())},

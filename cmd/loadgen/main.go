@@ -48,6 +48,7 @@ func main() {
 		strategies  = flag.String("strategies", "", "comma-separated portfolio override")
 		noCache     = flag.Bool("no-cache", false, "send no_cache on every request")
 		stats       = flag.Bool("stats", true, "fetch and print /stats after the run")
+		slowN       = flag.Int("slow", 0, "report the N slowest requests with trace IDs and per-phase timings")
 		asJSON      = flag.Bool("json", false, "emit the report as JSON on stdout (durations in ns) instead of the text summary")
 	)
 	flag.Parse()
@@ -72,6 +73,7 @@ func main() {
 		Endpoint:    *endpoint,
 		Concurrency: *concurrency,
 		Requests:    *n,
+		SlowN:       *slowN,
 	}, jobs)
 	if err != nil {
 		fatal(err)

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"regcoal/internal/obs"
 	"regcoal/internal/service"
 )
 
@@ -37,6 +38,7 @@ type Router struct {
 	ring   *Ring
 	client *http.Client
 	mux    *http.ServeMux
+	ids    *obs.Tracer // trace-ID mint only; the router keeps no spans
 
 	proxied       atomic.Int64
 	batchRequests atomic.Int64
@@ -44,10 +46,21 @@ type Router struct {
 	fallback      atomic.Int64
 	failovers     atomic.Int64
 	noWorker      atomic.Int64
-	perShard      sync.Map // node -> *atomic.Int64
+	perShard      map[string]*shardStats // immutable after NewRouter
 
 	readyMu sync.Mutex
 	ready   map[string]readyState
+}
+
+// shardStats is one worker's view from the router: how much traffic it
+// answered, how it came to answer (owner, failover target, fallback
+// shard), and the forward latency distribution. The map of these is
+// built once from the worker list, so the hot path is lock-free.
+type shardStats struct {
+	forwarded atomic.Int64 // requests this worker answered
+	failovers atomic.Int64 // ...while standing in for an unready owner
+	fallback  atomic.Int64 // ...for unroutable (fallback-keyed) requests
+	lat       obs.Histogram
 }
 
 type readyState struct {
@@ -100,11 +113,16 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		return nil, fmt.Errorf("cluster: router needs at least one worker")
 	}
 	r := &Router{
-		cfg:    cfg,
-		ring:   NewRing(cfg.Workers, cfg.VNodes),
-		client: cfg.Client,
-		mux:    http.NewServeMux(),
-		ready:  make(map[string]readyState),
+		cfg:      cfg,
+		ring:     NewRing(cfg.Workers, cfg.VNodes),
+		client:   cfg.Client,
+		mux:      http.NewServeMux(),
+		ids:      obs.NewTracer(1, 1, time.Hour),
+		perShard: make(map[string]*shardStats, len(cfg.Workers)),
+		ready:    make(map[string]readyState),
+	}
+	for _, node := range cfg.Workers {
+		r.perShard[node] = &shardStats{}
 	}
 	if r.client == nil {
 		r.client = &http.Client{Timeout: 60 * time.Second}
@@ -135,6 +153,8 @@ func (r *Router) handleProxy(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.proxied.Add(1)
+	traceID := r.traceID(req)
+	rw.Header().Set(service.TraceIDHeader, traceID)
 	body, err := io.ReadAll(http.MaxBytesReader(rw, req.Body, r.cfg.MaxBodyBytes))
 	if err != nil {
 		r.writeError(rw, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
@@ -144,7 +164,17 @@ func (r *Router) handleProxy(rw http.ResponseWriter, req *http.Request) {
 	if key == "" {
 		r.fallback.Add(1)
 	}
-	r.forward(rw, req.URL.Path, key, body)
+	r.forward(rw, req, key, body, traceID)
+}
+
+// traceID adopts the client's X-Regcoal-Trace-Id when valid, otherwise
+// mints a fresh one: the router is where a cluster request's identity is
+// born, and every worker and peer-fill hop downstream carries it.
+func (r *Router) traceID(req *http.Request) string {
+	if id, ok := obs.ParseTraceID(req.Header.Get(service.TraceIDHeader)); ok {
+		return id.String()
+	}
+	return r.ids.NewID().String()
 }
 
 // routingKey extracts the canonical routing hash from a request body, or
@@ -167,15 +197,20 @@ func (r *Router) routingKey(body []byte) string {
 
 // forward sends body to the first available worker in key's ring
 // sequence and copies the response verbatim, tagging the shard that
-// answered in X-Regcoal-Shard.
-func (r *Router) forward(rw http.ResponseWriter, path, key string, body []byte) {
-	status, hdr, respBody, node, err := r.forwardTo(path, key, body)
+// answered in X-Regcoal-Shard. The client request's path, query (so
+// ?trace=1 reaches the worker), and trace opt-in headers ride along.
+func (r *Router) forward(rw http.ResponseWriter, req *http.Request, key string, body []byte, traceID string) {
+	path := req.URL.Path
+	if q := req.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	status, hdr, respBody, node, err := r.forwardTo(path, key, body, traceID, req)
 	if err != nil {
 		r.noWorker.Add(1)
 		r.writeError(rw, http.StatusBadGateway, err.Error())
 		return
 	}
-	for _, h := range []string{"X-Regcoal-Cache", "X-Regcoal-Tier", "Content-Type"} {
+	for _, h := range []string{"X-Regcoal-Cache", "X-Regcoal-Tier", service.PhasesHeader, "Content-Type"} {
 		if v := hdr.Get(h); v != "" {
 			rw.Header().Set(h, v)
 		}
@@ -186,18 +221,39 @@ func (r *Router) forward(rw http.ResponseWriter, path, key string, body []byte) 
 }
 
 // forwardTo tries each node in key's ring sequence: skip nodes failing
-// their cached readiness probe, fail over on transport errors.
-func (r *Router) forwardTo(path, key string, body []byte) (status int, hdr http.Header, respBody []byte, node string, err error) {
+// their cached readiness probe, fail over on transport errors. The
+// answering shard's counters and latency histogram record the attempt;
+// traceID and the client's trace opt-in headers propagate to the worker.
+// clientReq may be nil (batch sub-requests carry no per-item opt-ins).
+func (r *Router) forwardTo(path, key string, body []byte, traceID string, clientReq *http.Request) (status int, hdr http.Header, respBody []byte, node string, err error) {
 	seq := r.ring.Sequence(key)
 	var lastErr error
 	for i, candidate := range seq {
 		if !r.isReady(candidate) {
 			continue
 		}
-		if i > 0 {
+		failedOver := i > 0
+		if failedOver {
 			r.failovers.Add(1)
 		}
-		resp, ferr := r.client.Post(candidate+path, "application/json", bytes.NewReader(body))
+		freq, ferr := http.NewRequest(http.MethodPost, candidate+path, bytes.NewReader(body))
+		if ferr != nil {
+			lastErr = ferr
+			continue
+		}
+		freq.Header.Set("Content-Type", "application/json")
+		if traceID != "" {
+			freq.Header.Set(service.TraceIDHeader, traceID)
+		}
+		if clientReq != nil {
+			for _, h := range []string{service.TraceHeader, service.FamilyHeader} {
+				if v := clientReq.Header.Get(h); v != "" {
+					freq.Header.Set(h, v)
+				}
+			}
+		}
+		start := time.Now()
+		resp, ferr := r.client.Do(freq)
 		if ferr != nil {
 			r.markUnready(candidate)
 			lastErr = ferr
@@ -209,7 +265,7 @@ func (r *Router) forwardTo(path, key string, body []byte) (status int, hdr http.
 			lastErr = rerr
 			continue
 		}
-		r.countShard(candidate)
+		r.countShard(candidate, failedOver, key == "", time.Since(start))
 		return resp.StatusCode, resp.Header, data, candidate, nil
 	}
 	if lastErr != nil {
@@ -247,9 +303,19 @@ func (r *Router) markUnready(node string) {
 	r.readyMu.Unlock()
 }
 
-func (r *Router) countShard(node string) {
-	c, _ := r.perShard.LoadOrStore(node, &atomic.Int64{})
-	c.(*atomic.Int64).Add(1)
+func (r *Router) countShard(node string, failedOver, fallbackKey bool, d time.Duration) {
+	st, ok := r.perShard[node]
+	if !ok {
+		return
+	}
+	st.forwarded.Add(1)
+	if failedOver {
+		st.failovers.Add(1)
+	}
+	if fallbackKey {
+		st.fallback.Add(1)
+	}
+	st.lat.Observe(d)
 }
 
 // rawBatchResponse splices worker batch responses without re-encoding:
@@ -270,6 +336,8 @@ func (r *Router) handleBatch(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.batchRequests.Add(1)
+	traceID := r.traceID(req)
+	rw.Header().Set(service.TraceIDHeader, traceID)
 	body, err := io.ReadAll(http.MaxBytesReader(rw, req.Body, r.cfg.MaxBodyBytes))
 	if err != nil {
 		r.writeError(rw, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
@@ -279,15 +347,15 @@ func (r *Router) handleBatch(rw http.ResponseWriter, req *http.Request) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if derr := dec.Decode(&breq); derr != nil {
-		r.forward(rw, req.URL.Path, "", body)
+		r.forward(rw, req, "", body, traceID)
 		return
 	}
 	if _, kerr := service.ParseKind(breq.Kind); kerr != nil {
-		r.forward(rw, req.URL.Path, "", body)
+		r.forward(rw, req, "", body, traceID)
 		return
 	}
 	if len(breq.Items) == 0 || len(breq.Items) > r.cfg.MaxBatch {
-		r.forward(rw, req.URL.Path, "", body)
+		r.forward(rw, req, "", body, traceID)
 		return
 	}
 	r.batchItems.Add(int64(len(breq.Items)))
@@ -335,7 +403,7 @@ func (r *Router) handleBatch(rw http.ResponseWriter, req *http.Request) {
 				r.fillErrors(results, g.indices, fmt.Sprintf("encoding shard batch: %v", merr))
 				return
 			}
-			status, _, respBody, _, ferr := r.forwardTo(req.URL.Path, g.key, subBody)
+			status, _, respBody, _, ferr := r.forwardTo(req.URL.Path, g.key, subBody, traceID, req)
 			if ferr != nil {
 				r.noWorker.Add(1)
 				r.fillErrors(results, g.indices, fmt.Sprintf("shard unavailable: %v", ferr))
@@ -379,25 +447,44 @@ func (r *Router) handleLivez(rw http.ResponseWriter, req *http.Request) {
 	r.writeJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// RouterStats is the router's counter snapshot, served on /stats.
-type RouterStats struct {
-	Workers       []string         `json:"workers"`
-	Proxied       int64            `json:"proxied"`
-	BatchRequests int64            `json:"batch_requests"`
-	BatchItems    int64            `json:"batch_items"`
-	Fallback      int64            `json:"fallback_routed"`
-	Failovers     int64            `json:"failovers"`
-	NoWorker      int64            `json:"no_worker"`
-	PerShard      map[string]int64 `json:"per_shard"`
+// ShardSummary is one worker's traffic breakdown as the router saw it:
+// how many requests it answered, how many of those were failover or
+// fallback-shard traffic, and the forward latency distribution.
+type ShardSummary struct {
+	Forwarded int64               `json:"forwarded"`
+	Failovers int64               `json:"failovers"`
+	Fallback  int64               `json:"fallback"`
+	Latency   obs.QuantileSummary `json:"latency"`
 }
 
-// Stats returns the router's counters.
+// RouterStats is the router's counter snapshot, served on /stats.
+type RouterStats struct {
+	Workers       []string                `json:"workers"`
+	Proxied       int64                   `json:"proxied"`
+	BatchRequests int64                   `json:"batch_requests"`
+	BatchItems    int64                   `json:"batch_items"`
+	Fallback      int64                   `json:"fallback_routed"`
+	Failovers     int64                   `json:"failovers"`
+	NoWorker      int64                   `json:"no_worker"`
+	PerShard      map[string]ShardSummary `json:"per_shard"`
+}
+
+// Stats returns the router's counters. Shards that never answered a
+// request are omitted, so per_shard reads as "who carried traffic".
 func (r *Router) Stats() RouterStats {
-	per := make(map[string]int64)
-	r.perShard.Range(func(k, v any) bool {
-		per[k.(string)] = v.(*atomic.Int64).Load()
-		return true
-	})
+	per := make(map[string]ShardSummary, len(r.perShard))
+	for node, st := range r.perShard {
+		fwd := st.forwarded.Load()
+		if fwd == 0 {
+			continue
+		}
+		per[node] = ShardSummary{
+			Forwarded: fwd,
+			Failovers: st.failovers.Load(),
+			Fallback:  st.fallback.Load(),
+			Latency:   st.lat.Summary(),
+		}
+	}
 	return RouterStats{
 		Workers:       r.ring.Nodes(),
 		Proxied:       r.proxied.Load(),
@@ -426,14 +513,28 @@ func (r *Router) handleMetrics(rw http.ResponseWriter, req *http.Request) {
 	counter("regcoal_router_fallback_total", "Requests routed to the fallback shard.", st.Fallback)
 	counter("regcoal_router_failovers_total", "Requests answered by a non-owner after failover.", st.Failovers)
 	counter("regcoal_router_no_worker_total", "Requests that found no available worker.", st.NoWorker)
-	fmt.Fprintf(rw, "# HELP regcoal_router_shard_requests_total Requests answered per shard.\n# TYPE regcoal_router_shard_requests_total counter\n")
 	nodes := make([]string, 0, len(st.PerShard))
 	for n := range st.PerShard {
 		nodes = append(nodes, n)
 	}
 	sort.Strings(nodes)
-	for _, n := range nodes {
-		fmt.Fprintf(rw, "regcoal_router_shard_requests_total{shard=%q} %d\n", n, st.PerShard[n])
+	shardCounter := func(name, help string, pick func(ShardSummary) int64) {
+		fmt.Fprintf(rw, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, n := range nodes {
+			fmt.Fprintf(rw, "%s{shard=%q} %d\n", name, n, pick(st.PerShard[n]))
+		}
+	}
+	if len(nodes) > 0 {
+		shardCounter("regcoal_router_shard_requests_total", "Requests answered per shard.",
+			func(s ShardSummary) int64 { return s.Forwarded })
+		shardCounter("regcoal_router_shard_failovers_total", "Requests a shard answered while standing in for an unready owner.",
+			func(s ShardSummary) int64 { return s.Failovers })
+		shardCounter("regcoal_router_shard_fallback_total", "Fallback-keyed (unroutable) requests a shard answered.",
+			func(s ShardSummary) int64 { return s.Fallback })
+		obs.WritePrometheusHeader(rw, "regcoal_router_shard_latency_seconds", "Router-observed forward latency per shard.")
+		for _, n := range nodes {
+			r.perShard[n].lat.WritePrometheus(rw, "regcoal_router_shard_latency_seconds", fmt.Sprintf("shard=%q", n))
+		}
 	}
 }
 

@@ -11,8 +11,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"regcoal/internal/obs"
 	"regcoal/internal/service"
 )
+
+// setTraceHeader stamps a peer cache request with the originating
+// request's trace ID, so one ID threads router → worker → peer hops.
+func setTraceHeader(req *http.Request, tr *obs.Trace) {
+	if tr != nil && !tr.ID.IsZero() {
+		req.Header.Set(service.TraceIDHeader, tr.ID.String())
+	}
+}
 
 // Worker is one shard of the serving tier: a service.Server wrapped with
 // the cluster's tiered cache, admission lanes, and peer-fill protocol.
@@ -135,43 +144,76 @@ func (w *Worker) handleSolve(kind service.Kind) http.HandlerFunc {
 		m.InFlight.Add(1)
 		defer m.InFlight.Add(-1)
 
+		// The router minted (or adopted) the trace ID and forwarded it in
+		// X-Regcoal-Trace-Id; StartTrace adopts it, so one ID names the
+		// request across router, worker, and peer-fill hops.
+		tr := w.svc.StartTrace(service.EndpointOf(kind), r)
+		defer w.svc.FinishTrace(tr)
+		rw.Header().Set(service.TraceIDHeader, tr.ID.String())
+		fail := func(status int, msg string) {
+			tr.Status = status
+			w.writeError(rw, status, msg)
+		}
+
+		tr.BeginPhase(obs.PhaseDecode)
 		var req service.Request
 		body := http.MaxBytesReader(rw, r.Body, w.svc.Config().MaxBodyBytes)
 		dec := json.NewDecoder(body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			m.BadRequests.Add(1)
-			w.writeError(rw, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+			fail(http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 			return
 		}
 
 		if len(req.Batch) > 0 {
 			if req.Graph != nil {
 				m.BadRequests.Add(1)
-				w.writeError(rw, http.StatusBadRequest, "use either graph or batch, not both")
+				fail(http.StatusBadRequest, "use either graph or batch, not both")
 				return
 			}
 			if len(req.Batch) > w.svc.Config().MaxBatch {
 				m.BadRequests.Add(1)
-				w.writeError(rw, http.StatusBadRequest,
+				fail(http.StatusBadRequest,
 					fmt.Sprintf("batch carries %d graphs, limit %d", len(req.Batch), w.svc.Config().MaxBatch))
 				return
 			}
-			w.writeJSON(rw, http.StatusOK, w.runBatch(kind, req.Batch))
+			tr.EndPhase()
+			resp := w.runBatch(kind, req.Batch)
+			tr.BeginPhase(obs.PhaseEncode)
+			data, err := json.Marshal(resp)
+			tr.EndPhase()
+			if err != nil {
+				w.svc.Metrics().Errors.Add(1)
+				tr.Status = http.StatusInternalServerError
+				http.Error(rw, `{"error":"encoding response"}`, http.StatusInternalServerError)
+				return
+			}
+			tr.Status = http.StatusOK
+			w.writeRaw(rw, http.StatusOK, data)
 			return
 		}
-		p, err := w.svc.Prepare(kind, &req)
+		p, err := w.svc.PrepareTraced(kind, &req, tr)
 		if err != nil {
-			w.writeError(rw, service.ErrorStatus(err), err.Error())
+			fail(service.ErrorStatus(err), err.Error())
 			return
 		}
-		respBody, disposition, tier, err := w.solveClustered(p)
+		respBody, disposition, tier, err := w.solveClustered(p, tr)
 		if err != nil {
-			w.writeError(rw, errorStatus(err), err.Error())
+			fail(errorStatus(err), err.Error())
 			return
 		}
+		tr.Cache = disposition
+		tr.Status = http.StatusOK
 		rw.Header().Set("X-Regcoal-Cache", disposition)
 		rw.Header().Set("X-Regcoal-Tier", tier)
+		if h := obs.BuildPhasesHeader(tr); h != "" {
+			rw.Header().Set(service.PhasesHeader, h)
+		}
+		if service.TraceWanted(r) {
+			tr.DurNS = tr.Since()
+			respBody = obs.SpliceTraceJSON(respBody, tr)
+		}
 		w.writeRaw(rw, http.StatusOK, respBody)
 	}
 }
@@ -179,15 +221,17 @@ func (w *Worker) handleSolve(kind service.Kind) http.HandlerFunc {
 // solveClustered answers a prepared request through the tiered cache and
 // admission lanes. tier reports where the answer came from: "local"
 // (this shard's cache), "peer" (filled from the owner's cache), or
-// "compute".
-func (w *Worker) solveClustered(p *service.Prepared) (body []byte, disposition, tier string, err error) {
-	seeded := w.peerFill(p)
+// "compute". tr (nil ok) records the peer lookup as its own phase.
+func (w *Worker) solveClustered(p *service.Prepared, tr *obs.Trace) (body []byte, disposition, tier string, err error) {
+	tr.BeginPhase(obs.PhasePeer)
+	seeded := w.peerFill(p, tr)
+	tr.EndPhase()
 	if !p.NoCache() && (w.svc.CacheContains(p.Key()) || w.svc.FlightInProgress(p.Key())) {
 		// Cached or about to collapse onto an in-flight race: either way
 		// this request costs no compute, so it bypasses the admission
 		// lanes. (If the flight completes between the check and the
 		// solve, the request computes without a slot — rare and benign.)
-		body, disposition, err = w.svc.SolvePrepared(p)
+		body, disposition, err = w.svc.SolvePreparedTraced(p, tr)
 		if err != nil {
 			return nil, "", "", err
 		}
@@ -208,11 +252,11 @@ func (w *Worker) solveClustered(p *service.Prepared) (body []byte, disposition, 
 		return nil, "", "", &laneFullError{lane: lane}
 	}
 	defer w.adm.Release(lane)
-	body, disposition, err = w.svc.SolvePrepared(p)
+	body, disposition, err = w.svc.SolvePreparedTraced(p, tr)
 	if err != nil {
 		return nil, "", "", err
 	}
-	w.pushToOwner(p, disposition)
+	w.pushToOwner(p, disposition, tr)
 	return body, disposition, "compute", nil
 }
 
@@ -243,10 +287,10 @@ func (w *Worker) solveBatchEntry(kind service.Kind, sub *service.Request) servic
 	if err != nil {
 		return service.BatchEntry{Error: err.Error()}
 	}
-	w.peerFill(p)
+	w.peerFill(p, nil)
 	e, disposition := w.svc.SolveBatchEntry(p)
 	if e.Error == "" {
-		w.pushToOwner(p, disposition)
+		w.pushToOwner(p, disposition, nil)
 	}
 	return e
 }
@@ -323,8 +367,9 @@ func (w *Worker) handleBatch(rw http.ResponseWriter, r *http.Request) {
 
 // peerFill consults the owning shard's cache for a key this shard does
 // not own and is missing locally. Returns whether the local cache was
-// seeded from the peer.
-func (w *Worker) peerFill(p *service.Prepared) bool {
+// seeded from the peer. The request's trace ID (when tr is non-nil)
+// rides the lookup so the hop is attributable to its cluster request.
+func (w *Worker) peerFill(p *service.Prepared, tr *obs.Trace) bool {
 	if w.ring == nil || w.cfg.DisablePeerFill || p.NoCache() {
 		return false
 	}
@@ -340,6 +385,7 @@ func (w *Worker) peerFill(p *service.Prepared) bool {
 		w.peerErrors.Add(1)
 		return false
 	}
+	setTraceHeader(req, tr)
 	resp, err := w.client.Do(req)
 	if err != nil {
 		w.peerErrors.Add(1)
@@ -373,7 +419,7 @@ func (w *Worker) peerFill(p *service.Prepared) bool {
 // hash, so the owner's cache accumulates the cluster working set no
 // matter which worker the traffic hit. Synchronous and best-effort: a
 // failed push costs a future peer-fill miss, nothing else.
-func (w *Worker) pushToOwner(p *service.Prepared, disposition string) {
+func (w *Worker) pushToOwner(p *service.Prepared, disposition string, tr *obs.Trace) {
 	if w.ring == nil || w.cfg.DisablePeerFill || p.NoCache() || disposition != "miss" {
 		return
 	}
@@ -391,6 +437,7 @@ func (w *Worker) pushToOwner(p *service.Prepared, disposition string) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setTraceHeader(req, tr)
 	resp, err := w.client.Do(req)
 	if err != nil {
 		w.peerErrors.Add(1)

@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus is a strict checker for the Prometheus text exposition
+// format, run by tests against every tier's /metrics output. It enforces
+// more than the format requires — every sample family must carry a
+// HELP/TYPE pair, histogram buckets must be cumulative with strictly
+// increasing finite le bounds and end in +Inf equal to _count — so a
+// metric that renders but would confuse a scraper fails loudly in CI
+// instead of quietly on a dashboard.
+//
+// Returned problems are human-readable "line N: ..." strings; an empty
+// slice means the payload passed.
+func LintPrometheus(payload string) []string {
+	var problems []string
+	addf := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	helpFor := map[string]bool{}
+	typeFor := map[string]string{}
+	sampled := map[string]int{} // family -> first sample line
+	seenSeries := map[string]int{}
+
+	type histSeries struct {
+		line    int
+		buckets []bucketSample // in emission order
+		sum     bool
+		count   bool
+		countV  float64
+	}
+	hists := map[string]*histSeries{} // family + "|" + non-le labels
+
+	sc := bufio.NewScanner(strings.NewReader(payload))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				addf(lineNo, "malformed comment %q (want '# HELP name text' or '# TYPE name type')", line)
+				continue
+			}
+			switch kind {
+			case "HELP":
+				if helpFor[name] {
+					addf(lineNo, "duplicate HELP for %s", name)
+				}
+				if rest == "" {
+					addf(lineNo, "empty HELP text for %s", name)
+				}
+				helpFor[name] = true
+			case "TYPE":
+				if _, dup := typeFor[name]; dup {
+					addf(lineNo, "duplicate TYPE for %s", name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf(lineNo, "invalid TYPE %q for %s", rest, name)
+				}
+				if sampled[name] != 0 {
+					addf(lineNo, "TYPE for %s appears after its first sample (line %d)", name, sampled[name])
+				}
+				typeFor[name] = rest
+			}
+			continue
+		}
+
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			addf(lineNo, "malformed sample %q", line)
+			continue
+		}
+		if !validMetricName(name) {
+			addf(lineNo, "invalid metric name %q", name)
+		}
+		family := familyOf(name, typeFor)
+		if sampled[family] == 0 {
+			sampled[family] = lineNo
+		}
+		series := name + "{" + labels + "}"
+		if prev := seenSeries[series]; prev != 0 {
+			addf(lineNo, "duplicate series %s (first at line %d)", series, prev)
+		}
+		seenSeries[series] = lineNo
+
+		if typeFor[family] == "histogram" {
+			key := family + "|" + labelsWithoutLE(labels)
+			h := hists[key]
+			if h == nil {
+				h = &histSeries{line: lineNo}
+				hists[key] = h
+			}
+			switch {
+			case name == family+"_bucket":
+				le, leOK := leOf(labels)
+				if !leOK {
+					addf(lineNo, "histogram bucket %s missing le label", series)
+					continue
+				}
+				h.buckets = append(h.buckets, bucketSample{line: lineNo, le: le, count: value})
+			case name == family+"_sum":
+				h.sum = true
+			case name == family+"_count":
+				h.count = true
+				h.countV = value
+			}
+		}
+	}
+
+	for name := range sampled {
+		if !helpFor[name] {
+			problems = append(problems, fmt.Sprintf("family %s: sampled without HELP", name))
+		}
+		if _, ok := typeFor[name]; !ok {
+			problems = append(problems, fmt.Sprintf("family %s: sampled without TYPE", name))
+		}
+	}
+	for name := range typeFor {
+		if sampled[name] == 0 {
+			problems = append(problems, fmt.Sprintf("family %s: HELP/TYPE with no samples", name))
+		}
+	}
+
+	histKeys := make([]string, 0, len(hists))
+	for k := range hists {
+		histKeys = append(histKeys, k)
+	}
+	sort.Strings(histKeys)
+	for _, key := range histKeys {
+		h := hists[key]
+		id := strings.Replace(key, "|", "{", 1) + "}"
+		if len(h.buckets) == 0 {
+			problems = append(problems, fmt.Sprintf("histogram %s: no buckets", id))
+			continue
+		}
+		last := h.buckets[len(h.buckets)-1]
+		if !isInf(last.le) {
+			problems = append(problems, fmt.Sprintf("histogram %s: last bucket le=%q, want +Inf", id, last.le))
+		}
+		prevBound := -1.0
+		prevCount := -1.0
+		for i, b := range h.buckets {
+			if isInf(b.le) {
+				if i != len(h.buckets)-1 {
+					problems = append(problems, fmt.Sprintf("line %d: histogram %s: +Inf bucket not last", b.line, id))
+				}
+			} else {
+				bound, err := strconv.ParseFloat(b.le, 64)
+				if err != nil {
+					problems = append(problems, fmt.Sprintf("line %d: histogram %s: unparsable le %q", b.line, id, b.le))
+					continue
+				}
+				if bound <= prevBound {
+					problems = append(problems, fmt.Sprintf("line %d: histogram %s: le %q not strictly increasing", b.line, id, b.le))
+				}
+				prevBound = bound
+			}
+			if b.count < prevCount {
+				problems = append(problems, fmt.Sprintf("line %d: histogram %s: bucket counts not monotone (%g after %g)", b.line, id, b.count, prevCount))
+			}
+			prevCount = b.count
+		}
+		if !h.sum {
+			problems = append(problems, fmt.Sprintf("histogram %s: missing _sum", id))
+		}
+		if !h.count {
+			problems = append(problems, fmt.Sprintf("histogram %s: missing _count", id))
+		} else if isInf(last.le) && h.countV != last.count {
+			problems = append(problems, fmt.Sprintf("histogram %s: _count %g != +Inf bucket %g", id, h.countV, last.count))
+		}
+	}
+
+	sort.Strings(problems)
+	return problems
+}
+
+type bucketSample struct {
+	line  int
+	le    string
+	count float64
+}
+
+func isInf(le string) bool { return le == "+Inf" || le == "Inf" }
+
+// familyOf maps a sample name to its metric family: histogram samples
+// named family_bucket/_sum/_count belong to the family that declared
+// TYPE histogram.
+func familyOf(name string, typeFor map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typeFor[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	kind = fields[1]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", false
+	}
+	name = fields[2]
+	if !validMetricName(name) {
+		return "", "", "", false
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return kind, name, rest, true
+}
+
+// parseSample splits "name{labels} value" or "name value".
+func parseSample(line string) (name, labels string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", "", 0, false
+	} else if rest[i] == '{' {
+		name = rest[:i]
+		j := strings.Index(rest[i:], "}")
+		if j < 0 {
+			return "", "", 0, false
+		}
+		labels = rest[i+1 : i+j]
+		rest = strings.TrimSpace(rest[i+j+1:])
+	} else {
+		name = rest[:i]
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	if name == "" || rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	if labels != "" && !validLabels(labels) {
+		return "", "", 0, false
+	}
+	return name, labels, v, true
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabels checks label="value" pairs joined by commas, values
+// double-quoted.
+func validLabels(labels string) bool {
+	rest := labels
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return false
+		}
+		name := rest[:eq]
+		if !validMetricName(name) || strings.Contains(name, ":") {
+			return false
+		}
+		rest = rest[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return false
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return false
+		}
+		rest = rest[end+1:]
+		if rest == "" {
+			return true
+		}
+		if rest[0] != ',' {
+			return false
+		}
+		rest = rest[1:]
+	}
+	return true
+}
+
+// labelsWithoutLE strips the le pair so buckets of one series group
+// together.
+func labelsWithoutLE(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	parts := strings.Split(labels, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if strings.HasPrefix(p, `le="`) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return strings.Join(out, ",")
+}
+
+// leOf extracts the le label value.
+func leOf(labels string) (string, bool) {
+	for _, p := range strings.Split(labels, ",") {
+		if v, ok := strings.CutPrefix(p, `le="`); ok && strings.HasSuffix(v, `"`) {
+			return strings.TrimSuffix(v, `"`), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// WriteRuntimePrometheus renders Go runtime gauges — goroutine count,
+// GC totals, heap occupancy — as Prometheus text. It calls
+// runtime.ReadMemStats, which briefly stops the world, so it runs only
+// on /metrics scrape, never on the request path.
+func WriteRuntimePrometheus(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("regcoal_goroutines", "Current goroutine count.", uint64(runtime.NumGoroutine()))
+	gauge("regcoal_heap_alloc_bytes", "Bytes of allocated heap objects.", ms.HeapAlloc)
+	gauge("regcoal_heap_objects", "Number of allocated heap objects.", ms.HeapObjects)
+	gauge("regcoal_next_gc_bytes", "Heap size target of the next GC cycle.", ms.NextGC)
+	counter("regcoal_gc_runs_total", "Completed GC cycles.", uint64(ms.NumGC))
+	fmt.Fprintf(w, "# HELP regcoal_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n# TYPE regcoal_gc_pause_seconds_total counter\nregcoal_gc_pause_seconds_total %s\n",
+		formatSeconds(int64(ms.PauseTotalNs)))
+	counter("regcoal_alloc_bytes_total", "Cumulative bytes allocated.", ms.TotalAlloc)
+}

@@ -20,6 +20,7 @@ import (
 
 	"regcoal/internal/corpus"
 	"regcoal/internal/graph"
+	"regcoal/internal/obs"
 	"regcoal/internal/service"
 )
 
@@ -129,6 +130,10 @@ type Options struct {
 	// Client overrides the HTTP client (default: http.DefaultClient with
 	// a 60s timeout).
 	Client *http.Client
+	// SlowN keeps the N slowest successful requests in the report, each
+	// with its trace ID and server-side phase breakdown — enough to pull
+	// the full timeline from the server's /debug/requests afterwards.
+	SlowN int
 }
 
 // Report aggregates a run.
@@ -148,6 +153,23 @@ type Report struct {
 	// PerShard counts responses by the X-Regcoal-Shard header a cluster
 	// router attaches — the worker that actually answered.
 	PerShard map[string]int `json:",omitempty"`
+	// Phases holds per-phase server-side latency percentiles, aggregated
+	// from the X-Regcoal-Phases header (nanosecond durations the server
+	// measured, not client round-trip time). Keys are the server's phase
+	// names: decode, canon, peer, cache, race, encode.
+	Phases map[string]Percentiles `json:",omitempty"`
+	// Slow lists the SlowN slowest successful requests, slowest first.
+	Slow []SlowSample `json:",omitempty"`
+}
+
+// SlowSample identifies one slow request: the instance, the trace ID the
+// server answered with (look it up on /debug/requests for the full race
+// timeline), and the server-side phase durations in nanoseconds.
+type SlowSample struct {
+	Name    string
+	TraceID string           `json:",omitempty"`
+	Latency time.Duration    // client round-trip
+	Phases  map[string]int64 `json:",omitempty"` // server-side, ns
 }
 
 // Percentiles summarize request latency. Mean is the arithmetic mean of
@@ -174,8 +196,43 @@ func (r *Report) String() string {
 		r.Latencies.Mean.Round(time.Microsecond),
 		r.Latencies.P50.Round(time.Microsecond), r.Latencies.P90.Round(time.Microsecond),
 		r.Latencies.P99.Round(time.Microsecond), r.Latencies.Max.Round(time.Microsecond))
+	if len(r.Phases) > 0 {
+		names := make([]string, 0, len(r.Phases))
+		for n := range r.Phases {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			p := r.Phases[n]
+			fmt.Fprintf(&b, "phase %-6s p50 %v  p90 %v  p99 %v  max %v\n", n,
+				p.P50.Round(time.Microsecond), p.P90.Round(time.Microsecond),
+				p.P99.Round(time.Microsecond), p.Max.Round(time.Microsecond))
+		}
+	}
 	writeBreakdown(&b, "shard", r.PerShard)
 	writeBreakdown(&b, "target", r.PerTarget)
+	for i, s := range r.Slow {
+		fmt.Fprintf(&b, "slow #%d %v  %s", i+1, s.Latency.Round(time.Microsecond), s.Name)
+		if s.TraceID != "" {
+			fmt.Fprintf(&b, "  trace=%s", s.TraceID)
+		}
+		if len(s.Phases) > 0 {
+			names := make([]string, 0, len(s.Phases))
+			for n := range s.Phases {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			b.WriteString("  [")
+			for j, n := range names {
+				if j > 0 {
+					b.WriteByte(';')
+				}
+				fmt.Fprintf(&b, "%s=%v", n, time.Duration(s.Phases[n]).Round(time.Microsecond))
+			}
+			b.WriteString("]")
+		}
+		b.WriteString("\n")
+	}
 	if r.FirstFailure != "" {
 		fmt.Fprintf(&b, "first failure: %s\n", r.FirstFailure)
 	}
@@ -245,6 +302,7 @@ func Run(ctx context.Context, opts Options, jobs []Job) (*Report, error) {
 				sm := fire(ctx, client, urls[target], endpoint, job)
 				sm.latency = time.Since(start)
 				sm.target = targets[target]
+				sm.name = job.Name
 				samples[i] = sm
 			}
 		}()
@@ -268,11 +326,18 @@ feed:
 		rep.PerTarget = make(map[string]int)
 	}
 	lats := make([]time.Duration, 0, opts.Requests)
-	for _, sm := range samples {
+	phaseLats := make(map[string][]time.Duration)
+	var okSamples []*sample
+	for i := range samples {
+		sm := &samples[i]
 		switch {
 		case sm.status == http.StatusOK && sm.failure == "":
 			rep.OK++
 			lats = append(lats, sm.latency)
+			okSamples = append(okSamples, sm)
+			for name, ns := range obs.ParsePhases(sm.phases) {
+				phaseLats[name] = append(phaseLats[name], time.Duration(ns))
+			}
 		case sm.status == http.StatusTooManyRequests:
 			rep.Rejected++
 		default:
@@ -301,6 +366,28 @@ feed:
 		}
 	}
 	rep.Latencies = percentiles(lats)
+	if len(phaseLats) > 0 {
+		rep.Phases = make(map[string]Percentiles, len(phaseLats))
+		for name, pl := range phaseLats {
+			rep.Phases[name] = percentiles(pl)
+		}
+	}
+	if opts.SlowN > 0 && len(okSamples) > 0 {
+		sort.Slice(okSamples, func(i, j int) bool { return okSamples[i].latency > okSamples[j].latency })
+		n := opts.SlowN
+		if n > len(okSamples) {
+			n = len(okSamples)
+		}
+		rep.Slow = make([]SlowSample, 0, n)
+		for _, sm := range okSamples[:n] {
+			rep.Slow = append(rep.Slow, SlowSample{
+				Name:    sm.name,
+				TraceID: sm.traceID,
+				Latency: sm.latency,
+				Phases:  obs.ParsePhases(sm.phases),
+			})
+		}
+	}
 	return rep, nil
 }
 
@@ -314,6 +401,9 @@ type sample struct {
 	deadlineHit bool
 	shard       string // X-Regcoal-Shard: the worker a cluster router chose
 	target      string // base URL the request was sent to
+	name        string // instance name (family/name)
+	traceID     string // X-Regcoal-Trace-Id the server answered with
+	phases      string // X-Regcoal-Phases raw header (server-side ns)
 	failure     string
 }
 
@@ -323,12 +413,19 @@ func fire(ctx context.Context, client *http.Client, url, endpoint string, job Jo
 		return sample{failure: err.Error()}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The corpus family labels the request for the server's pprof
+	// profiles and /debug/requests entries.
+	if fam, _, ok := strings.Cut(job.Name, "/"); ok {
+		req.Header.Set(service.FamilyHeader, fam)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return sample{failure: fmt.Sprintf("%s: %v", job.Name, err)}
 	}
 	defer resp.Body.Close()
 	sm := sample{status: resp.StatusCode}
+	sm.traceID = resp.Header.Get(service.TraceIDHeader)
+	sm.phases = resp.Header.Get(service.PhasesHeader)
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		sm.failure = fmt.Sprintf("%s: reading body: %v", job.Name, err)

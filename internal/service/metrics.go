@@ -7,12 +7,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"regcoal/internal/coalesce"
+	"regcoal/internal/obs"
 )
 
 // Metrics are the service's counters, exported two ways: Prometheus text
-// on GET /metrics and a JSON snapshot on GET /stats. Everything is atomic;
-// the strategy-win map is a sync.Map of *atomic.Int64 keyed by strategy
-// name.
+// on GET /metrics and a JSON snapshot on GET /stats. Everything is atomic.
+// Strategy wins use a two-tier map: every strategy the server can race is
+// preregistered at construction into an immutable map, so the hot path
+// (one StrategyWon per completed race) is a lock-free map read plus an
+// atomic add; the mutex-guarded overflow map exists only for names outside
+// the preregistered set (future registry additions reaching an old
+// binary), which by definition are not hot.
 type Metrics struct {
 	start time.Time
 
@@ -30,16 +37,32 @@ type Metrics struct {
 	DeadlineHits          atomic.Int64
 	InFlight              atomic.Int64
 
+	knownWins map[string]*atomic.Int64 // immutable after newMetrics
+
 	winsMu sync.Mutex
-	wins   map[string]*atomic.Int64
+	wins   map[string]*atomic.Int64 // overflow: names outside knownWins
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{start: time.Now(), wins: make(map[string]*atomic.Int64)}
+	m := &Metrics{
+		start:     time.Now(),
+		knownWins: make(map[string]*atomic.Int64),
+		wins:      make(map[string]*atomic.Int64),
+	}
+	for _, name := range knownStrategyNames() {
+		if _, ok := m.knownWins[name]; !ok {
+			m.knownWins[name] = &atomic.Int64{}
+		}
+	}
+	return m
 }
 
 // StrategyWon counts a portfolio race won by the named strategy.
 func (m *Metrics) StrategyWon(name string) {
+	if c, ok := m.knownWins[name]; ok {
+		c.Add(1)
+		return
+	}
 	m.winsMu.Lock()
 	c, ok := m.wins[name]
 	if !ok {
@@ -50,12 +73,22 @@ func (m *Metrics) StrategyWon(name string) {
 	c.Add(1)
 }
 
+// winSnapshot reports every strategy with at least one win. Preregistered
+// strategies that never won are omitted, matching the lazy-map behavior
+// this surface always had.
 func (m *Metrics) winSnapshot() map[string]int64 {
+	out := make(map[string]int64, len(m.knownWins))
+	for name, c := range m.knownWins {
+		if v := c.Load(); v > 0 {
+			out[name] = v
+		}
+	}
 	m.winsMu.Lock()
 	defer m.winsMu.Unlock()
-	out := make(map[string]int64, len(m.wins))
 	for name, c := range m.wins {
-		out[name] = c.Load()
+		if v := c.Load(); v > 0 {
+			out[name] = v
+		}
 	}
 	return out
 }
@@ -80,6 +113,9 @@ type Stats struct {
 	InFlight              int64            `json:"in_flight"`
 	QueueDepth            int              `json:"queue_depth"`
 	StrategyWins          map[string]int64 `json:"strategy_wins"`
+	// Latency carries per-endpoint p50/p90/p99 summaries (total and per
+	// phase), filled by Server.StatsSnapshot from the obs histograms.
+	Latency map[string]obs.EndpointSummary `json:"latency,omitempty"`
 }
 
 func (m *Metrics) snapshot(cacheEntries, queueDepth int, cacheEvictions int64) Stats {
@@ -133,13 +169,25 @@ func (m *Metrics) writePrometheus(w io.Writer, cacheEntries, queueDepth int, cac
 	gauge("regcoal_uptime_seconds", "Seconds since server start.", int64(time.Since(m.start).Seconds()))
 
 	wins := m.winSnapshot()
-	names := make([]string, 0, len(wins))
-	for n := range wins {
-		names = append(names, n)
+	if len(wins) > 0 {
+		names := make([]string, 0, len(wins))
+		for n := range wins {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP regcoal_strategy_wins_total Portfolio races won per strategy.\n# TYPE regcoal_strategy_wins_total counter\n")
+		for _, n := range names {
+			fmt.Fprintf(w, "regcoal_strategy_wins_total{strategy=%q} %d\n", n, wins[n])
+		}
 	}
-	sort.Strings(names)
-	fmt.Fprintf(w, "# HELP regcoal_strategy_wins_total Portfolio races won per strategy.\n# TYPE regcoal_strategy_wins_total counter\n")
-	for _, n := range names {
-		fmt.Fprintf(w, "regcoal_strategy_wins_total{strategy=%q} %d\n", n, wins[n])
-	}
+}
+
+// knownStrategyNames is the union of every portfolio member name the
+// server can race — the preregistered strategy-win set.
+func knownStrategyNames() []string {
+	names := append([]string{}, coalesce.StrategyNames()...)
+	names = append(names, "exact")
+	names = append(names, allocNames()...)
+	names = append(names, spillNames()...)
+	return names
 }

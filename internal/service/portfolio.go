@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"time"
 
 	"regcoal/internal/coalesce"
 	"regcoal/internal/exact"
 	"regcoal/internal/graph"
 	"regcoal/internal/greedy"
+	"regcoal/internal/obs"
 	"regcoal/internal/regalloc"
 	"regcoal/internal/spill"
 )
@@ -36,19 +39,45 @@ type racer[T any] struct {
 // completed race is deterministic). It returns as soon as either every
 // member finished, or the deadline fired and at least one answer exists.
 // Members returning coalesce.ErrInapplicable are skipped.
-func race[T any](ctx context.Context, members []racer[T], cmp func(a, b T) int) (best T, winner string, bestIdx int, deadlineHit bool, err error) {
+//
+// When tr is non-nil the full race timeline is recorded onto it: each
+// member's start and finish (or the cut-off time for members still
+// running when the race returned), its disposition, and the winner. All
+// trace writes happen on this goroutine — member goroutines report their
+// finish times through the outcome channel relative to a race-local
+// base, so a straggler finishing after the race returned (and after the
+// trace went back to its pool) never touches the trace.
+func race[T any](ctx context.Context, members []racer[T], cmp func(a, b T) int, tr *obs.Trace) (best T, winner string, bestIdx int, deadlineHit bool, err error) {
 	type outcome struct {
-		idx int
-		val T
-		err error
+		idx   int
+		val   T
+		err   error
+		endNS int64 // offset from base, reported by the member itself
 	}
+	base := time.Now()
 	ch := make(chan outcome, len(members))
 	for i, m := range members {
 		i, m := i, m
 		go func() {
-			v, err := m.run(ctx)
-			ch <- outcome{idx: i, val: v, err: err}
+			var v T
+			var err error
+			// The strategy label stacks on the solve goroutine's
+			// endpoint/family labels (goroutines inherit their parent's
+			// label set), so profiles slice by strategy within endpoint.
+			pprof.Do(ctx, pprof.Labels("regcoal_strategy", m.name), func(ctx context.Context) {
+				v, err = m.run(ctx)
+			})
+			ch <- outcome{idx: i, val: v, err: err, endNS: int64(time.Since(base))}
 		}()
+	}
+	var ends []int64
+	var errs []error
+	if tr != nil {
+		ends = make([]int64, len(members))
+		errs = make([]error, len(members))
+		for i := range ends {
+			ends[i] = -1 // not yet finished
+		}
 	}
 	bestIdx = -1
 	got := 0
@@ -56,6 +85,10 @@ func race[T any](ctx context.Context, members []racer[T], cmp func(a, b T) int) 
 	var firstErr error
 	take := func(o outcome) {
 		got++
+		if tr != nil {
+			ends[o.idx] = o.endNS
+			errs[o.idx] = o.err
+		}
 		if o.err != nil {
 			if !errors.Is(o.err, coalesce.ErrInapplicable) && firstErr == nil {
 				firstErr = o.err
@@ -94,6 +127,34 @@ func race[T any](ctx context.Context, members []racer[T], cmp func(a, b T) int) 
 			take(o)
 		case <-ctx.Done():
 			deadline = true
+		}
+	}
+	if tr != nil {
+		// Translate race-local offsets into trace-relative spans. Members
+		// without an outcome yet were cut off: their end is the moment the
+		// race stopped waiting, not their own finish.
+		startNS := tr.Since() - int64(time.Since(base))
+		if startNS < 0 {
+			startNS = 0
+		}
+		raceEndNS := tr.Since()
+		for i := range members {
+			state := obs.MemberCutoff
+			endNS := raceEndNS
+			if ends[i] >= 0 {
+				endNS = startNS + ends[i]
+				switch {
+				case i == bestIdx:
+					state = obs.MemberWon
+				case errs[i] == nil:
+					state = obs.MemberFinished
+				case errors.Is(errs[i], coalesce.ErrInapplicable):
+					state = obs.MemberDeclined
+				default:
+					state = obs.MemberError
+				}
+			}
+			tr.AddMember(members[i].name, startNS, endNS, state)
 		}
 	}
 	if bestIdx == -1 {

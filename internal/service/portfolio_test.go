@@ -19,7 +19,7 @@ func TestRaceReturnsBestDeterministically(t *testing.T) {
 		{name: "big-too", run: func(context.Context) (int, error) { return 7, nil }},
 	}
 	for i := 0; i < 50; i++ { // arrival order varies; winner must not
-		best, winner, idx, hit, err := race(context.Background(), members, intCmp)
+		best, winner, idx, hit, err := race(context.Background(), members, intCmp, nil)
 		if err != nil || hit {
 			t.Fatalf("err=%v deadlineHit=%v", err, hit)
 		}
@@ -36,7 +36,7 @@ func TestRaceSkipsInapplicable(t *testing.T) {
 		}},
 		{name: "answers", run: func(context.Context) (int, error) { return 3, nil }},
 	}
-	best, winner, _, _, err := race(context.Background(), members, intCmp)
+	best, winner, _, _, err := race(context.Background(), members, intCmp, nil)
 	if err != nil || best != 3 || winner != "answers" {
 		t.Fatalf("got (%d, %s, %v)", best, winner, err)
 	}
@@ -47,7 +47,7 @@ func TestRaceAllFail(t *testing.T) {
 	members := []racer[int]{
 		{name: "a", run: func(context.Context) (int, error) { return 0, boom }},
 	}
-	_, _, _, _, err := race(context.Background(), members, intCmp)
+	_, _, _, _, err := race(context.Background(), members, intCmp, nil)
 	if !errors.Is(err, boom) {
 		t.Fatalf("got %v, want boom", err)
 	}
@@ -69,7 +69,7 @@ func TestRaceDeadlineReturnsBestSoFar(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	best, winner, _, hit, err := race(ctx, members, intCmp)
+	best, winner, _, hit, err := race(ctx, members, intCmp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestRaceDeadlineWithNoAnswerWaitsForFirst(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	best, winner, _, hit, err := race(ctx, members, intCmp)
+	best, winner, _, hit, err := race(ctx, members, intCmp, nil)
 	if err != nil || best != 5 || winner != "late" || !hit {
 		t.Fatalf("got (%d, %s, hit=%v, err=%v), want the post-deadline answer", best, winner, hit, err)
 	}

@@ -18,11 +18,13 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"regcoal/internal/engine"
 	"regcoal/internal/graph"
+	"regcoal/internal/obs"
 )
 
 // Prepared is a parsed, validated, canonicalized solve request, ready to
@@ -73,6 +75,13 @@ func (p *Prepared) NoCache() bool { return p.noCache }
 // and count toward the bad-request metric exactly as the HTTP handlers
 // do.
 func (s *Server) Prepare(kind Kind, req *Request) (*Prepared, error) {
+	return s.PrepareTraced(kind, req, nil)
+}
+
+// PrepareTraced is Prepare with span capture: the canonicalization phase
+// is recorded onto tr (any phase open on entry — typically decode — is
+// closed when canon begins). tr may be nil.
+func (s *Server) PrepareTraced(kind Kind, req *Request, tr *obs.Trace) (*Prepared, error) {
 	if req.Graph == nil {
 		return nil, s.countBad(badRequest("missing graph"))
 	}
@@ -117,7 +126,9 @@ func (s *Server) Prepare(kind Kind, req *Request) (*Prepared, error) {
 		}
 	}
 
+	tr.BeginPhase(obs.PhaseCanon)
 	canon := graph.CanonicalForm(inst)
+	tr.EndPhase()
 	return &Prepared{
 		kind:       kind,
 		inst:       inst,
@@ -134,11 +145,21 @@ func (s *Server) Prepare(kind Kind, req *Request) (*Prepared, error) {
 // "collapse" when the answer was shared from a concurrent identical
 // request's race).
 func (s *Server) SolvePrepared(p *Prepared) (body []byte, disposition string, err error) {
-	out, disposition, err := s.solvePreparedAny(p)
+	return s.SolvePreparedTraced(p, nil)
+}
+
+// SolvePreparedTraced is SolvePrepared with span capture: cache lookup,
+// portfolio race (with the full member timeline when this request leads
+// the computation), and response encoding are recorded onto tr. tr may
+// be nil; the rendered bytes are identical either way.
+func (s *Server) SolvePreparedTraced(p *Prepared, tr *obs.Trace) (body []byte, disposition string, err error) {
+	out, disposition, err := s.solvePreparedAny(p, tr)
 	if err != nil {
 		return nil, "", err
 	}
+	tr.BeginPhase(obs.PhaseEncode)
 	data, merr := json.Marshal(out)
+	tr.EndPhase()
 	if merr != nil {
 		s.metrics.Errors.Add(1)
 		return nil, "", &httpError{status: http.StatusInternalServerError, msg: "encoding response"}
@@ -152,57 +173,79 @@ func (s *Server) SolvePrepared(p *Prepared) (body []byte, disposition string, er
 // deadline. Leader-only bookkeeping (deadline-hit and strategy-win
 // counters, the cache insert) happens inside the flight so a collapse of
 // n requests records one race, not n.
-func (s *Server) solvePreparedAny(p *Prepared) (out any, disposition string, err error) {
+func (s *Server) solvePreparedAny(p *Prepared, tr *obs.Trace) (out any, disposition string, err error) {
 	if p.noCache {
 		// no_cache means "compute fresh": no cache lookup or insert, and
 		// no collapsing onto someone else's race.
-		e, cerr := s.computeOnPool(p)
+		e, cerr := s.computeOnPool(p, tr)
 		if cerr != nil {
 			return nil, "", cerr
 		}
-		s.recordComputed(e)
+		s.recordComputed(e, tr)
 		return s.render(p.kind, p.inst, p.canon, e), "miss", nil
 	}
-	if e, ok := s.cache.Get(p.key); ok {
+	tr.BeginPhase(obs.PhaseCache)
+	e, hit := s.cache.Get(p.key)
+	tr.EndPhase()
+	if hit {
 		s.metrics.CacheHits.Add(1)
+		noteEntry(tr, &e)
 		return s.render(p.kind, p.inst, p.canon, &e), "hit", nil
 	}
 	// Misses count only consulted lookups: no_cache requests never touch
 	// the cache and must not skew the hit rate.
 	s.metrics.CacheMisses.Add(1)
 	v, ferr, shared := s.flights.Do(p.key, func() (any, error) {
-		e, cerr := s.computeOnPool(p)
+		e, cerr := s.computeOnPool(p, tr)
 		if cerr != nil {
 			return nil, cerr
 		}
-		s.recordComputed(e)
+		s.recordComputed(e, tr)
 		s.cache.Put(p.key, e)
 		return e, nil
 	})
 	if ferr != nil {
 		return nil, "", ferr
 	}
-	e := v.(*entry)
+	ce := v.(*entry)
 	if shared {
 		s.metrics.SingleflightCollapses.Add(1)
 		// The entry is shared, but the rendering is this request's own:
 		// a collapsed isomorphic duplicate gets its answer in its own
-		// vertex numbering, exactly like a cache hit would.
-		return s.render(p.kind, p.inst, p.canon, e), "collapse", nil
+		// vertex numbering, exactly like a cache hit would. The follower's
+		// trace still learns the shared race's winner, just not its member
+		// timeline (that belongs to the leader's trace).
+		noteEntry(tr, ce)
+		return s.render(p.kind, p.inst, p.canon, ce), "collapse", nil
 	}
-	return s.render(p.kind, p.inst, p.canon, e), "miss", nil
+	return s.render(p.kind, p.inst, p.canon, ce), "miss", nil
 }
 
-func (s *Server) recordComputed(e *entry) {
+// noteEntry stamps an answer's provenance — winning strategy and whether
+// its race was cut off by the deadline — onto the trace.
+func noteEntry(tr *obs.Trace, e *entry) {
+	if tr == nil {
+		return
+	}
+	tr.Winner = e.strategy
+	tr.DeadlineHit = e.deadlineHit
+}
+
+func (s *Server) recordComputed(e *entry, tr *obs.Trace) {
 	if e.deadlineHit {
 		s.metrics.DeadlineHits.Add(1)
 	}
 	s.metrics.StrategyWon(e.strategy)
+	noteEntry(tr, e)
 }
 
 // computeOnPool schedules the portfolio race on the worker pool under the
-// request deadline and maps pool saturation to 429.
-func (s *Server) computeOnPool(p *Prepared) (*entry, error) {
+// request deadline and maps pool saturation to 429. The race phase span
+// covers queue wait plus the race itself; the solve goroutine carries
+// pprof labels (endpoint, family) so CPU profiles attribute time to
+// traffic shape, and each portfolio member adds its own strategy label
+// on top (see race).
+func (s *Server) computeOnPool(p *Prepared, tr *obs.Trace) (*entry, error) {
 	deadline := s.cfg.DefaultDeadline
 	if p.deadlineMS > 0 {
 		deadline = time.Duration(p.deadlineMS) * time.Millisecond
@@ -211,14 +254,20 @@ func (s *Server) computeOnPool(p *Prepared) (*entry, error) {
 		deadline = s.cfg.MaxDeadline
 	}
 
+	tr.BeginPhase(obs.PhaseRace)
+	defer tr.EndPhase()
+
+	labels := pprof.Labels("regcoal_endpoint", p.kind.String(), "regcoal_family", traceFamily(tr))
 	type computed struct {
 		e   *entry
 		err error
 	}
 	ch := make(chan computed, 1)
 	job := func() {
-		e, jerr := s.compute(p, deadline)
-		ch <- computed{e: e, err: jerr}
+		pprof.Do(s.baseCtx, labels, func(context.Context) {
+			e, jerr := s.compute(p, deadline, tr)
+			ch <- computed{e: e, err: jerr}
+		})
 	}
 	if serr := s.pool.TrySubmit(job); serr != nil {
 		if errors.Is(serr, engine.ErrSaturated) {
@@ -236,11 +285,19 @@ func (s *Server) computeOnPool(p *Prepared) (*entry, error) {
 	return res.e, nil
 }
 
+// traceFamily reads the family label off a trace, tolerating nil.
+func traceFamily(tr *obs.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.Family
+}
+
 // compute runs the portfolio race for the instance under the deadline and
 // packages the winner as a canonical-space cache entry. The race context
 // descends from the server context, not the client connection, so a
 // disconnecting client cannot poison the cache with a truncated answer.
-func (s *Server) compute(p *Prepared, deadline time.Duration) (*entry, error) {
+func (s *Server) compute(p *Prepared, deadline time.Duration, tr *obs.Trace) (*entry, error) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
 	defer cancel()
 	inst, canon, strategies := p.inst, p.canon, p.strategies
@@ -249,7 +306,7 @@ func (s *Server) compute(p *Prepared, deadline time.Duration) (*entry, error) {
 		if err != nil {
 			return nil, err
 		}
-		best, winner, _, hit, err := race(ctx, members, cmpAllocate)
+		best, winner, _, hit, err := race(ctx, members, cmpAllocate, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +317,7 @@ func (s *Server) compute(p *Prepared, deadline time.Duration) (*entry, error) {
 		if err != nil {
 			return nil, err
 		}
-		best, winner, _, hit, err := race(ctx, members, cmpSpill)
+		best, winner, _, hit, err := race(ctx, members, cmpSpill, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -270,7 +327,7 @@ func (s *Server) compute(p *Prepared, deadline time.Duration) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	best, winner, _, hit, err := race(ctx, members, cmpCoalesce)
+	best, winner, _, hit, err := race(ctx, members, cmpCoalesce, tr)
 	if err != nil {
 		return nil, err
 	}

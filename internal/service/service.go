@@ -44,7 +44,21 @@ import (
 
 	"regcoal/internal/engine"
 	"regcoal/internal/graph"
+	"regcoal/internal/obs"
 	"regcoal/internal/singleflight"
+)
+
+// Trace propagation headers. TraceIDHeader carries the request's trace
+// ID end to end (router → worker → peer fill); TraceHeader set to "1"
+// (or the trace=1 query parameter) opts the response body into a full
+// solve timeline; PhasesHeader reports per-phase durations on every
+// traced response; FamilyHeader lets load generators label requests
+// with a corpus family for pprof attribution and /debug/requests.
+const (
+	TraceIDHeader = "X-Regcoal-Trace-Id"
+	TraceHeader   = "X-Regcoal-Trace"
+	PhasesHeader  = "X-Regcoal-Phases"
+	FamilyHeader  = "X-Regcoal-Family"
 )
 
 // Config parameterizes a Server. Zero values take defaults.
@@ -131,6 +145,8 @@ type Server struct {
 	pool    *engine.Pool
 	cache   *Cache
 	metrics *Metrics
+	lat     *obs.Set
+	tracer  *obs.Tracer
 	mux     *http.ServeMux
 	flights singleflight.Group
 
@@ -151,6 +167,8 @@ func New(cfg Config) (*Server, error) {
 		pool:      engine.NewPool(cfg.Workers, cfg.QueueCap),
 		cache:     NewCache(cfg.CacheCapacity, cfg.CacheShards),
 		metrics:   newMetrics(),
+		lat:       obs.NewSet(),
+		tracer:    obs.NewTracer(128, 32, time.Millisecond),
 		mux:       http.NewServeMux(),
 		baseCtx:   ctx,
 		cancelAll: cancel,
@@ -164,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/debug/requests", s.tracer.ServeDebug)
 	return s, nil
 }
 
@@ -270,6 +289,57 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// EndpointOf maps a solve kind to its observability endpoint.
+func EndpointOf(kind Kind) obs.Endpoint {
+	switch kind {
+	case KindAllocate:
+		return obs.EndpointAllocate
+	case KindSpill:
+		return obs.EndpointSpill
+	}
+	return obs.EndpointCoalesce
+}
+
+// StartTrace begins a pooled trace for one request: the propagated
+// X-Regcoal-Trace-Id is adopted when present (a fresh ID is minted
+// otherwise) and the X-Regcoal-Family label is captured. Exported for
+// the cluster worker, which runs the same solve path behind its own mux.
+func (s *Server) StartTrace(e obs.Endpoint, r *http.Request) *obs.Trace {
+	id, _ := obs.ParseTraceID(r.Header.Get(TraceIDHeader))
+	tr := s.tracer.Start(e, id)
+	tr.Family = r.Header.Get(FamilyHeader)
+	return tr
+}
+
+// FinishTrace closes the trace, feeds its end-to-end and per-phase
+// durations into the latency histograms, and files it into the
+// recent/slow rings. Allocation-free in steady state.
+func (s *Server) FinishTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.EndPhase()
+	for i := 0; i < tr.NPhases; i++ {
+		sp := &tr.Phases[i]
+		s.lat.ObservePhase(tr.Endpoint, sp.Phase, time.Duration(sp.EndNS-sp.StartNS))
+	}
+	s.lat.ObserveRequest(tr.Endpoint, time.Duration(tr.Since()))
+	s.tracer.Finish(tr)
+}
+
+// Tracer exposes the trace rings (for embedders mounting their own
+// /debug/requests route).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Latency exposes the latency histogram set (for embedders and tests).
+func (s *Server) Latency() *obs.Set { return s.lat }
+
+// TraceWanted reports whether the request opted into a full solve
+// timeline in the response body (?trace=1 or X-Regcoal-Trace: 1).
+func TraceWanted(r *http.Request) bool {
+	return r.URL.Query().Get("trace") == "1" || r.Header.Get(TraceHeader) == "1"
+}
+
 func (s *Server) handleSolve(kind Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -287,38 +357,71 @@ func (s *Server) handleSolve(kind Kind) http.HandlerFunc {
 		s.metrics.InFlight.Add(1)
 		defer s.metrics.InFlight.Add(-1)
 
+		tr := s.StartTrace(EndpointOf(kind), r)
+		defer s.FinishTrace(tr)
+		w.Header().Set(TraceIDHeader, tr.ID.String())
+		fail := func(err error) {
+			tr.Status = ErrorStatus(err)
+			s.writeError(w, err)
+		}
+
+		tr.BeginPhase(obs.PhaseDecode)
 		var req Request
 		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		dec := json.NewDecoder(body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			s.writeError(w, badRequest("decoding request: %v", err))
+			fail(badRequest("decoding request: %v", err))
 			return
 		}
 
 		if len(req.Batch) > 0 {
 			if req.Graph != nil {
-				s.writeError(w, badRequest("use either graph or batch, not both"))
+				fail(badRequest("use either graph or batch, not both"))
 				return
 			}
 			if len(req.Batch) > s.cfg.MaxBatch {
-				s.writeError(w, badRequest("batch carries %d graphs, limit %d", len(req.Batch), s.cfg.MaxBatch))
+				fail(badRequest("batch carries %d graphs, limit %d", len(req.Batch), s.cfg.MaxBatch))
 				return
 			}
-			s.writeJSON(w, http.StatusOK, s.runBatch(kind, req.Batch))
+			tr.EndPhase()
+			resp := s.runBatch(kind, req.Batch)
+			tr.BeginPhase(obs.PhaseEncode)
+			data, err := json.Marshal(resp)
+			tr.EndPhase()
+			if err != nil {
+				s.metrics.Errors.Add(1)
+				tr.Status = http.StatusInternalServerError
+				http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+				return
+			}
+			tr.Status = http.StatusOK
+			s.writeRaw(w, http.StatusOK, data)
 			return
 		}
-		p, err := s.Prepare(kind, &req)
+		p, err := s.PrepareTraced(kind, &req, tr)
 		if err != nil {
-			s.writeError(w, err)
+			fail(err)
 			return
 		}
-		body2, disposition, err := s.SolvePrepared(p)
+		body2, disposition, err := s.SolvePreparedTraced(p, tr)
 		if err != nil {
-			s.writeError(w, err)
+			fail(err)
 			return
 		}
+		tr.Cache = disposition
+		tr.Status = http.StatusOK
 		w.Header().Set("X-Regcoal-Cache", disposition)
+		if h := obs.BuildPhasesHeader(tr); h != "" {
+			w.Header().Set(PhasesHeader, h)
+		}
+		if TraceWanted(r) {
+			// Opt-in only: the spliced body is the one deliberate departure
+			// from byte-identity, and the splice leaves every preceding byte
+			// untouched.
+			tr.DurNS = tr.Since()
+			body2 = obs.SpliceTraceJSON(body2, tr)
+		}
 		s.writeRaw(w, http.StatusOK, body2)
 	}
 }
@@ -411,7 +514,7 @@ func (s *Server) solveBatchItem(kind Kind, sub *Request) BatchEntry {
 // for the cluster worker, which prepares items itself to consult the
 // tiered cache before solving.
 func (s *Server) SolveBatchEntry(p *Prepared) (BatchEntry, string) {
-	out, disposition, err := s.solvePreparedAny(p)
+	out, disposition, err := s.solvePreparedAny(p, nil)
 	if err != nil {
 		return BatchEntry{Error: err.Error()}, ""
 	}
@@ -462,17 +565,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.WritePrometheus(w)
 }
 
-// WritePrometheus renders the counter set in Prometheus exposition
+// WritePrometheus renders the counter set, the latency histogram
+// families, pool gauges, and Go runtime gauges in Prometheus exposition
 // format (the body of GET /metrics, exposed for embedders that append
 // their own families).
 func (s *Server) WritePrometheus(w io.Writer) {
 	s.metrics.writePrometheus(w, s.cache.Len(), s.pool.QueueDepth(), s.cache.Evictions())
+	fmt.Fprintf(w, "# HELP regcoal_pool_workers Worker goroutines in the solve pool.\n# TYPE regcoal_pool_workers gauge\nregcoal_pool_workers %d\n", s.cfg.Workers)
+	s.lat.WritePrometheus(w)
+	obs.WriteRuntimePrometheus(w)
 }
 
 // StatsSnapshot returns the JSON counter snapshot served on GET /stats
 // (exposed for embedders that wrap it with their own sections).
 func (s *Server) StatsSnapshot() Stats {
-	return s.metrics.snapshot(s.cache.Len(), s.pool.QueueDepth(), s.cache.Evictions())
+	st := s.metrics.snapshot(s.cache.Len(), s.pool.QueueDepth(), s.cache.Evictions())
+	st.Latency = s.lat.Snapshot()
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
