@@ -338,7 +338,7 @@ func buildTrajectory(baseline, run *PerfRun) *PerfTrajectory {
 // pooledKernel reports whether a kernel runs on the pooled solve path —
 // the kernels whose allocs/op the gate protects against regression.
 func pooledKernel(name string) bool {
-	for _, p := range []string{"irc/", "spill-greedy/", "spill-inc/", "svc-solve/", "svc-cached/", "svc-spill/"} {
+	for _, p := range []string{"irc/", "spill-greedy/", "spill-inc/", "svc-solve/", "svc-cached/", "svc-spill/", "svc-delta/"} {
 		if strings.HasPrefix(name, p) {
 			return true
 		}

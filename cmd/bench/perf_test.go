@@ -152,7 +152,7 @@ func TestCommittedTrajectoryWellFormed(t *testing.T) {
 
 func TestServiceSuiteShape(t *testing.T) {
 	names := serviceKernelNames()
-	want := 3*len(serviceFamilies) + len(spillFamilies) + 8 // decode/solve/cached + spill + single + cluster loadgen
+	want := 4*len(serviceFamilies) + len(spillFamilies) + 8 // decode/solve/cached/delta + spill + single + cluster loadgen
 	if len(names) != want {
 		t.Fatalf("service suite has %d kernels, want %d: %v", len(names), want, names)
 	}
@@ -241,13 +241,19 @@ func TestAllocRegressionGate(t *testing.T) {
 
 // TestCommittedServiceTrajectoryWellFormed keeps BENCH_service.json
 // honest: parseable, suite/version matching this binary, and the pooled
-// request-path kernels at the acceptance gate. Allocation counts are
-// deterministic, so the allocs/op side is strict: every solve/spill
-// kernel must allocate LESS than baseline and nothing on the pooled
-// path may regress >10%. Wall-clock on multi-millisecond racing kernels
-// varies ~±10% run to run (the suite machine is small), so the ns/op
-// side asserts no kernel regressed beyond that noise floor and that the
-// suite sped up somewhere beyond it too.
+// request-path kernels at the acceptance gate. The v2 trajectory's
+// baseline is the pre-session serving tier re-measured on the same
+// machine as the current run (cross-machine ns ratios are noise; the
+// pre-pooling → pooled story this file carried at v1 is recorded in
+// CHANGES.md). Allocation counts are deterministic, so the allocs/op
+// side is strict: nothing on the pooled path may regress beyond the
+// gate's slack, and the untouched solve/spill kernels must not allocate
+// more than baseline at all. Wall-clock on multi-millisecond racing
+// kernels varies ~±15% run to run even on one machine, so the ns/op
+// side only asserts no kernel regressed beyond that noise floor. The
+// session PR's acceptance rides here too: the warm-session svc-delta
+// kernel must beat the fresh-solve svc-solve kernel on at least 3
+// families.
 func TestCommittedServiceTrajectoryWellFormed(t *testing.T) {
 	path := filepath.Join("..", "..", "BENCH_service.json")
 	data, err := os.ReadFile(path)
@@ -268,27 +274,44 @@ func TestCommittedServiceTrajectoryWellFormed(t *testing.T) {
 	if regs := allocRegressions(&traj); len(regs) > 0 {
 		t.Errorf("alloc gate: %v", regs)
 	}
-	gated, fasterBeyondNoise := 0, 0
+	gated := 0
 	for kernel, ratio := range traj.AllocRatio {
 		if !strings.HasPrefix(kernel, "svc-solve/") && !strings.HasPrefix(kernel, "svc-spill/") {
 			continue
 		}
 		gated++
-		if ratio >= 1 {
-			t.Errorf("%s: allocs/op ratio %.2f, want < 1 (pooled path must allocate less)", kernel, ratio)
+		if ratio > 1 {
+			t.Errorf("%s: allocs/op ratio %.2f, want <= 1 (pooled path must not allocate more)", kernel, ratio)
 		}
 		if s := traj.Speedup[kernel]; s < 0.85 {
-			t.Errorf("%s: speedup %.2f, regressed beyond the ~±10%% run-to-run noise", kernel, s)
-		}
-		if traj.Speedup[kernel] >= 1.05 {
-			fasterBeyondNoise++
+			t.Errorf("%s: speedup %.2f, regressed beyond the ~±15%% run-to-run noise", kernel, s)
 		}
 	}
 	if gated == 0 {
 		t.Error("no svc-solve/svc-spill kernels found in the trajectory")
 	}
-	if fasterBeyondNoise == 0 {
-		t.Error("no solve/spill kernel sped up beyond the noise floor")
+	// The delta-session acceptance: per family, one warm-session delta
+	// apply must be cheaper than re-solving the instance from scratch,
+	// on at least 3 families.
+	cur := map[string]PerfKernel{}
+	for _, k := range traj.Current.Kernels {
+		cur[k.Name] = k
+	}
+	deltaWins, deltaKernels := 0, 0
+	for _, f := range serviceFamilies {
+		d, okD := cur["svc-delta/"+f]
+		s, okS := cur["svc-solve/"+f]
+		if !okD {
+			t.Errorf("current run is missing svc-delta/%s", f)
+			continue
+		}
+		deltaKernels++
+		if okS && d.NsPerOp < s.NsPerOp {
+			deltaWins++
+		}
+	}
+	if deltaKernels > 0 && deltaWins < 3 {
+		t.Errorf("svc-delta beats svc-solve on %d families, want >= 3", deltaWins)
 	}
 	// The committed current run must carry the cluster loadgen scenario —
 	// the sharded tier's throughput/latency alongside the single-node

@@ -13,6 +13,11 @@ package main
 //     result cache (decode → canonicalize → hash lookup → encode)
 //   - svc-spill/<family>:   the spill endpoint on the high-pressure
 //     families (decode → spill race → encode)
+//   - svc-delta/<family>:   one warm-session delta apply on the
+//     /v1/coalesce/delta endpoint (decode → validate → toggle one edge →
+//     memoized incremental re-solve → encode); the contrast against
+//     svc-solve/<family> is what the per-edit session path saves over
+//     re-solving the instance from scratch
 //
 // plus two loadgen-driven kernel sets produced by the same concurrent,
 // response-validating replayer that cmd/loadgen uses:
@@ -45,11 +50,13 @@ import (
 	"regcoal/internal/graph"
 	"regcoal/internal/service"
 	"regcoal/internal/service/loadgen"
+	"regcoal/internal/session"
 )
 
 // serviceSuiteVersion bumps whenever service kernel names, seeds, or
 // instance choices change, invalidating cross-version comparisons.
-const serviceSuiteVersion = 1
+// v2: added the svc-delta/<family> warm-session kernels.
+const serviceSuiteVersion = 2
 
 // serviceSuiteSeed pins the corpus build the service kernels run over.
 const serviceSuiteSeed = 0x5eed5e21
@@ -125,6 +132,81 @@ func post(h http.Handler, path string, body []byte) {
 	}
 }
 
+// deltaTogglePair finds the first non-adjacent vertex pair of g — the
+// edge the svc-delta kernel toggles. Deterministic in the graph, so the
+// kernel workload is stable across runs.
+func deltaTogglePair(g *graph.Graph) (graph.V, graph.V, bool) {
+	n := graph.V(g.N())
+	for u := graph.V(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) {
+				return u, v, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// postDelta drives /v1/coalesce/delta in process and decodes the
+// response, panicking on a non-200 like post.
+func postDelta(h http.Handler, body []byte) service.DeltaResponse {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/coalesce/delta", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		panic(fmt.Sprintf("perf: /v1/coalesce/delta answered %d: %s", rec.Code, rec.Body.String()))
+	}
+	var resp service.DeltaResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		panic(err)
+	}
+	return resp
+}
+
+// deltaKernel pins one warm session per family and returns a kernel that
+// toggles a single non-edge per op: decode → validate → apply → memoized
+// incremental re-solve → encode. Both toggle states are primed, so the
+// steady state the kernel measures is the session memo-hit path.
+func deltaKernel(h http.Handler, inst serviceInstance) (kernel, error) {
+	u, v, ok := deltaTogglePair(inst.file.G)
+	if !ok {
+		return kernel{}, fmt.Errorf("perf: %s instance is complete, no edge to toggle", inst.family)
+	}
+	var req service.Request
+	if err := json.Unmarshal(inst.solveBody, &req); err != nil {
+		return kernel{}, err
+	}
+	createBody, err := json.Marshal(service.DeltaRequest{Op: "create", Graph: req.Graph, K: req.K})
+	if err != nil {
+		return kernel{}, err
+	}
+	sess := postDelta(h, createBody)
+	addBody, err := json.Marshal(service.DeltaRequest{SessionID: sess.SessionID,
+		Deltas: []session.Delta{{Op: session.OpAddEdge, U: int(u), V: int(v)}}})
+	if err != nil {
+		return kernel{}, err
+	}
+	delBody, err := json.Marshal(service.DeltaRequest{SessionID: sess.SessionID,
+		Deltas: []session.Delta{{Op: session.OpRemoveEdge, U: int(u), V: int(v)}}})
+	if err != nil {
+		return kernel{}, err
+	}
+	for i := 0; i < 4; i++ {
+		post(h, "/v1/coalesce/delta", addBody)
+		post(h, "/v1/coalesce/delta", delBody)
+	}
+	add := true
+	return kernel{"svc-delta/" + inst.family, func() {
+		if add {
+			post(h, "/v1/coalesce/delta", addBody)
+		} else {
+			post(h, "/v1/coalesce/delta", delBody)
+		}
+		add = !add
+	}}, nil
+}
+
 // serviceKernels measures the service suite. The server is the real
 // service.Server with default configuration; per-request kernels bypass
 // the network by invoking the handler directly.
@@ -165,6 +247,11 @@ func serviceKernels(quick bool) ([]PerfKernel, error) {
 				post(h, "/v1/spill", inst.solveBody)
 			}})
 		}
+		dk, err := deltaKernel(h, inst)
+		if err != nil {
+			return nil, err
+		}
+		kernels = append(kernels, dk)
 	}
 	// Prime the cache so every svc-cached op is a hit.
 	for _, inst := range insts {
@@ -279,6 +366,7 @@ func serviceKernelNames() []string {
 		if spillFamilies[f] {
 			names = append(names, "svc-spill/"+f)
 		}
+		names = append(names, "svc-delta/"+f)
 	}
 	for _, prefix := range []string{"svc-loadgen", "cluster-loadgen"} {
 		names = append(names, prefix+"/inv-throughput", prefix+"/mean", prefix+"/p50", prefix+"/p99")

@@ -130,6 +130,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	r.mux.HandleFunc("/v1/coalesce", r.handleProxy)
 	r.mux.HandleFunc("/v1/allocate", r.handleProxy)
 	r.mux.HandleFunc("/v1/spill", r.handleProxy)
+	r.mux.HandleFunc("/v1/coalesce/delta", r.handleDelta)
 	r.mux.HandleFunc("/v1/batch", r.handleBatch)
 	r.mux.HandleFunc("/healthz", r.handleLivez)
 	r.mux.HandleFunc("/livez", r.handleLivez)
@@ -193,6 +194,50 @@ func (r *Router) routingKey(body []byte) string {
 		return ""
 	}
 	return service.RoutingHash(&req, r.cfg.MaxVertices)
+}
+
+// handleDelta serves the session endpoint: route by the session's base
+// graph hash so every operation of a session lands on the shard that
+// owns it. A create request hashes the base graph itself (the same hash
+// the worker mints as base_hash); delta and close requests must echo
+// base_hash to stay shard-sticky — without it they route to the fallback
+// shard, whose worker answers 404 unless it happens to own the session.
+func (r *Router) handleDelta(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		r.writeError(rw, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	r.proxied.Add(1)
+	traceID := r.traceID(req)
+	rw.Header().Set(service.TraceIDHeader, traceID)
+	body, err := io.ReadAll(http.MaxBytesReader(rw, req.Body, r.cfg.MaxBodyBytes))
+	if err != nil {
+		r.writeError(rw, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
+		return
+	}
+	key := r.deltaRoutingKey(body)
+	if key == "" {
+		r.fallback.Add(1)
+	}
+	r.forward(rw, req, key, body, traceID)
+}
+
+// deltaRoutingKey extracts the base-graph hash from a delta-session
+// request: base_hash verbatim when present, else (create) the canonical
+// hash of the carried graph — computed exactly like the worker computes
+// base_hash, so the create lands where the deltas will.
+func (r *Router) deltaRoutingKey(body []byte) string {
+	var req service.DeltaRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return ""
+	}
+	if req.BaseHash != "" {
+		return req.BaseHash
+	}
+	if req.Graph == nil {
+		return ""
+	}
+	return service.RoutingHash(&service.Request{Graph: req.Graph, K: req.K}, r.cfg.MaxVertices)
 }
 
 // forward sends body to the first available worker in key's ring

@@ -1,0 +1,157 @@
+package cluster_test
+
+// Routing tests for the delta-session endpoint: a session must stay
+// shard-sticky — the worker that created it (picked by base-graph hash)
+// answers every subsequent delta and close that echoes base_hash.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"regcoal/internal/cluster"
+	"regcoal/internal/service"
+	"regcoal/internal/session"
+)
+
+func TestDeltaSessionShardSticky(t *testing.T) {
+	c := startCluster(t, 3, cluster.InProcessOptions{})
+
+	// A handful of distinct base graphs so the sessions spread over the
+	// ring (with 3 workers, 8 bases all but surely hit at least two).
+	shards := make(map[string]bool)
+	for base := 0; base < 8; base++ {
+		spec := &service.GraphSpec{Vertices: 6 + base, K: 3}
+		for v := 1; v < spec.Vertices; v++ {
+			spec.Edges = append(spec.Edges, [2]int{v - 1, v})
+		}
+		spec.Moves = append(spec.Moves, service.Move{X: 0, Y: spec.Vertices - 1, Weight: 7})
+
+		body, err := json.Marshal(service.DeltaRequest{Op: "create", Graph: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, hdr, respBody := post(t, c.RouterURL+"/v1/coalesce/delta", body)
+		if status != http.StatusOK {
+			t.Fatalf("create: status %d: %s", status, respBody)
+		}
+		var created service.DeltaResponse
+		if err := json.Unmarshal(respBody, &created); err != nil {
+			t.Fatal(err)
+		}
+		if created.SessionID == "" || created.BaseHash == "" {
+			t.Fatalf("create response missing ids: %s", respBody)
+		}
+		owner := hdr.Get("X-Regcoal-Shard")
+		if owner == "" {
+			t.Fatalf("create response missing shard header")
+		}
+		shards[owner] = true
+
+		// Ten deltas echoing base_hash: every one must land on the
+		// creating shard and apply in order.
+		for i := 0; i < 10; i++ {
+			v := int64(i)
+			dbody, err := json.Marshal(service.DeltaRequest{
+				SessionID: created.SessionID,
+				BaseHash:  created.BaseHash,
+				Version:   &v,
+				Deltas:    []session.Delta{{Op: session.OpAddVertex}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			status, dhdr, dresp := post(t, c.RouterURL+"/v1/coalesce/delta", dbody)
+			if status != http.StatusOK {
+				t.Fatalf("delta %d: status %d: %s", i, status, dresp)
+			}
+			if got := dhdr.Get("X-Regcoal-Shard"); got != owner {
+				t.Fatalf("delta %d landed on %s, session lives on %s", i, got, owner)
+			}
+			var dr service.DeltaResponse
+			if err := json.Unmarshal(dresp, &dr); err != nil {
+				t.Fatal(err)
+			}
+			if dr.Version != v+1 {
+				t.Fatalf("delta %d: version %d, want %d", i, dr.Version, v+1)
+			}
+			if dr.Result == nil || dr.Result.Vertices != spec.Vertices+i+1 {
+				t.Fatalf("delta %d: result %+v", i, dr.Result)
+			}
+		}
+
+		// Close, also sticky via base_hash.
+		cbody, err := json.Marshal(service.DeltaRequest{
+			Op: "close", SessionID: created.SessionID, BaseHash: created.BaseHash})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, chdr, cresp := post(t, c.RouterURL+"/v1/coalesce/delta", cbody)
+		if status != http.StatusOK {
+			t.Fatalf("close: status %d: %s", status, cresp)
+		}
+		if got := chdr.Get("X-Regcoal-Shard"); got != owner {
+			t.Fatalf("close landed on %s, session lives on %s", got, owner)
+		}
+	}
+	if len(shards) < 2 {
+		t.Fatalf("all 8 sessions landed on one shard; ring looks degenerate: %v", shards)
+	}
+}
+
+func TestDeltaSessionErrorsAreStructured4xx(t *testing.T) {
+	c := startCluster(t, 2, cluster.InProcessOptions{})
+
+	// Unknown session against any shard: structured 404 from the worker.
+	body, _ := json.Marshal(service.DeltaRequest{
+		SessionID: "s-deadbeef", BaseHash: "nope",
+		Deltas: []session.Delta{{Op: session.OpAddVertex}}})
+	status, _, resp := post(t, c.RouterURL+"/v1/coalesce/delta", body)
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d: %s", status, resp)
+	}
+	var e service.ErrorResponse
+	if err := json.Unmarshal(resp, &e); err != nil || e.Error == "" {
+		t.Fatalf("unknown session: unstructured error %q", resp)
+	}
+
+	// Malformed body: routed to the fallback shard, worker's own 400.
+	status, _, resp = post(t, c.RouterURL+"/v1/coalesce/delta", []byte(`{"op":`))
+	if status != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d: %s", status, resp)
+	}
+	if err := json.Unmarshal(resp, &e); err != nil || e.Error == "" {
+		t.Fatalf("malformed body: unstructured error %q", resp)
+	}
+}
+
+// A stale version through the router is a 409 from the owning shard —
+// the optimistic-concurrency contract survives the network hop.
+func TestDeltaSessionVersionConflictThroughRouter(t *testing.T) {
+	c := startCluster(t, 2, cluster.InProcessOptions{})
+
+	spec := &service.GraphSpec{Vertices: 4, K: 2,
+		Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}}
+	body, _ := json.Marshal(service.DeltaRequest{Op: "create", Graph: spec})
+	status, _, resp := post(t, c.RouterURL+"/v1/coalesce/delta", body)
+	if status != http.StatusOK {
+		t.Fatalf("create: status %d: %s", status, resp)
+	}
+	var created service.DeltaResponse
+	if err := json.Unmarshal(resp, &created); err != nil {
+		t.Fatal(err)
+	}
+	stale := int64(5)
+	dbody, _ := json.Marshal(service.DeltaRequest{
+		SessionID: created.SessionID, BaseHash: created.BaseHash,
+		Version: &stale,
+		Deltas:  []session.Delta{{Op: session.OpAddVertex}}})
+	status, _, resp = post(t, c.RouterURL+"/v1/coalesce/delta", dbody)
+	if status != http.StatusConflict {
+		t.Fatalf("stale version: status %d: %s", status, resp)
+	}
+	var e service.ErrorResponse
+	if err := json.Unmarshal(resp, &e); err != nil || e.Error == "" {
+		t.Fatalf("stale version: unstructured error %q", resp)
+	}
+}

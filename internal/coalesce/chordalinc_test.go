@@ -265,3 +265,78 @@ func TestQuickChordalIncrementalClassIndependent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The coverage gap behind the session layer's fallback contract: a merge
+// that is individually fine can break chordality. Pairwise-merging the
+// endpoints of P5 creates a chordless C4, and only the decision's full
+// interval class (which the Theorem 5 tiling returns) keeps the quotient
+// chordal. This pins that the class is the chordality-restoring merge,
+// not just a colorability witness.
+func TestChordalIncrementalMergeClassRestoresChordality(t *testing.T) {
+	// P5: 0-1-2-3-4, affinity (0, 4), k=2 (= omega).
+	g := graph.New(5)
+	for v := 0; v < 4; v++ {
+		g.AddEdge(graph.V(v), graph.V(v+1))
+	}
+	dec, err := ChordalIncremental(g, 0, 4, 2)
+	if err != nil || !dec.OK {
+		t.Fatalf("P5 endpoints with k=2: dec=%+v err=%v", dec, err)
+	}
+
+	quotient := func(p *graph.Partition) *graph.Graph {
+		q, _, qerr := graph.Quotient(g, p)
+		if qerr != nil {
+			t.Fatalf("quotient: %v", qerr)
+		}
+		return q
+	}
+	// Naive pairwise merge of just {0, 4}: the quotient is C4 — NOT
+	// chordal. A driver that merged only the endpoints would hand its next
+	// ChordalIncremental call a graph the algorithm must reject.
+	naive := graph.NewPartition(5)
+	naive.Union(0, 4)
+	if chordal.IsChordal(quotient(naive)) {
+		t.Fatalf("naive endpoint merge of P5 stayed chordal; the scenario no longer pins the gap")
+	}
+	// Any non-adjacent pair of the C4 quotient triggers the documented
+	// ErrNotChordal rejection (adjacent pairs short-circuit to "no"
+	// before the chordality check).
+	q := quotient(naive)
+	checked := false
+	for u := graph.V(0); u < graph.V(q.N()); u++ {
+		for v := u + 1; v < graph.V(q.N()); v++ {
+			if q.HasEdge(u, v) {
+				continue
+			}
+			checked = true
+			if _, err := ChordalIncremental(q, u, v, 2); err != ErrNotChordal {
+				t.Fatalf("post-naive-merge decision (%d, %d): want ErrNotChordal, got %v", u, v, err)
+			}
+		}
+	}
+	if !checked {
+		t.Fatalf("C4 quotient has no non-adjacent pair?")
+	}
+
+	// The decision's class merge: chordal again, and 2-colorable with the
+	// endpoints identified.
+	full := graph.NewPartition(5)
+	for _, v := range dec.Class {
+		full.Union(0, v)
+	}
+	if !chordal.IsChordal(quotient(full)) {
+		t.Fatalf("class merge %v left a non-chordal quotient", dec.Class)
+	}
+	col, ok, err := ChordalIncrementalColoring(g, 0, 4, 2)
+	if err != nil || !ok {
+		t.Fatalf("coloring: ok=%v err=%v", ok, err)
+	}
+	if col[0] != col[4] {
+		t.Fatalf("coloring does not identify the endpoints: %v", col)
+	}
+	for v := 0; v < 4; v++ {
+		if col[v] == col[v+1] {
+			t.Fatalf("improper coloring %v", col)
+		}
+	}
+}

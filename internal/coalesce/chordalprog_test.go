@@ -111,3 +111,32 @@ func TestChordalProgressiveVsBrute(t *testing.T) {
 	}
 	t.Logf("progressive=%d brute=%d", prog, brute)
 }
+
+// The progressive driver's mid-drive hazard: accepting the P5 endpoint
+// affinity must go through the class merge (plus padding edges), because
+// the bare endpoint merge creates a chordless C4 and the next iteration's
+// chordality precondition would fail. The driver is documented to keep
+// the working graph chordal after every accepted merge; this drives it
+// through exactly the merge that would break a naive implementation, with
+// a second affinity queued behind it so the restored graph is used.
+func TestChordalProgressiveMergeWouldBreakChordality(t *testing.T) {
+	g := graph.New(5)
+	for v := 0; v < 4; v++ {
+		g.AddEdge(graph.V(v), graph.V(v+1))
+	}
+	g.AddAffinity(0, 4, 10) // processed first (heaviest): the hazardous merge
+	g.AddAffinity(1, 3, 1)  // processed second, against the restored graph
+	res, err := ChordalProgressive(g, 2)
+	if err != nil {
+		t.Fatalf("ChordalProgressive: %v", err)
+	}
+	if !res.Colorable {
+		t.Fatalf("result not colorable: %+v", res)
+	}
+	if res.P.Find(0) != res.P.Find(4) {
+		t.Fatalf("heaviest affinity (0,4) not coalesced; partition %v", res.P)
+	}
+	if res.CoalescedWeight < 10 {
+		t.Fatalf("coalesced weight %d, want at least the (0,4) affinity", res.CoalescedWeight)
+	}
+}

@@ -1,0 +1,350 @@
+package corpus
+
+// Edit scripts: deterministic per-seed streams of session deltas over a
+// base instance, plus a naive reference model that applies them. The
+// generator and the model share one evolving-graph state, so every
+// generated delta is valid by construction against internal/session's
+// batch validation (no duplicate edges, no self-loops, no dead-vertex
+// touches, positive weights), and the model's compacted output is the
+// ground truth the differential harness compares the session layer's
+// incremental solves against.
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"regcoal/internal/graph"
+	"regcoal/internal/session"
+)
+
+// editModel is the naive evolving-graph reference: session id-space
+// (grow-only, dead ids never reused), interference edges and merged
+// affinities as maps, k. It is deliberately simple — maps and slices,
+// full rebuild on demand — so it cannot share bugs with the session
+// layer's pooled incremental machinery.
+type editModel struct {
+	n     int // id-space size (next fresh id)
+	alive []bool
+	k     int
+
+	edges map[[2]graph.V]bool
+	aff   map[[2]graph.V]int64
+
+	// Dense candidate lists for O(1) sampling; kept in sync with the maps
+	// by swap-remove (order is irrelevant — sampling is by index).
+	edgeList [][2]graph.V
+	edgeIdx  map[[2]graph.V]int
+	affList  [][2]graph.V
+	affIdx   map[[2]graph.V]int
+}
+
+func pair(u, v graph.V) [2]graph.V {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]graph.V{u, v}
+}
+
+func newEditModel(f *graph.File, k int) *editModel {
+	if k <= 0 {
+		k = f.K
+	}
+	n := f.G.N()
+	m := &editModel{
+		n:       n,
+		alive:   make([]bool, n),
+		k:       k,
+		edges:   make(map[[2]graph.V]bool),
+		aff:     make(map[[2]graph.V]int64),
+		edgeIdx: make(map[[2]graph.V]int),
+		affIdx:  make(map[[2]graph.V]int),
+	}
+	for i := range m.alive {
+		m.alive[i] = true
+	}
+	for _, e := range f.G.Edges() {
+		m.putEdge(pair(e[0], e[1]))
+	}
+	for _, a := range f.G.Affinities() {
+		if a.X == a.Y {
+			continue
+		}
+		p := pair(a.X, a.Y)
+		if m.aff[p]+a.Weight == 0 {
+			m.dropAff(p)
+			continue
+		}
+		if _, ok := m.affIdx[p]; !ok {
+			m.affIdx[p] = len(m.affList)
+			m.affList = append(m.affList, p)
+		}
+		m.aff[p] += a.Weight
+	}
+	return m
+}
+
+func (m *editModel) putEdge(p [2]graph.V) {
+	if m.edges[p] {
+		return
+	}
+	m.edges[p] = true
+	m.edgeIdx[p] = len(m.edgeList)
+	m.edgeList = append(m.edgeList, p)
+}
+
+func (m *editModel) dropEdge(p [2]graph.V) {
+	if !m.edges[p] {
+		return
+	}
+	delete(m.edges, p)
+	i := m.edgeIdx[p]
+	last := len(m.edgeList) - 1
+	m.edgeList[i] = m.edgeList[last]
+	m.edgeIdx[m.edgeList[i]] = i
+	m.edgeList = m.edgeList[:last]
+	delete(m.edgeIdx, p)
+}
+
+func (m *editModel) putAff(p [2]graph.V, w int64) {
+	if _, ok := m.aff[p]; !ok {
+		m.affIdx[p] = len(m.affList)
+		m.affList = append(m.affList, p)
+	}
+	m.aff[p] = w
+}
+
+func (m *editModel) dropAff(p [2]graph.V) {
+	if _, ok := m.aff[p]; !ok {
+		return
+	}
+	delete(m.aff, p)
+	i := m.affIdx[p]
+	last := len(m.affList) - 1
+	m.affList[i] = m.affList[last]
+	m.affIdx[m.affList[i]] = i
+	m.affList = m.affList[:last]
+	delete(m.affIdx, p)
+}
+
+// aliveCount is O(n); the generator calls it rarely (remove_vertex guard).
+func (m *editModel) aliveCount() int {
+	c := 0
+	for _, a := range m.alive {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// randAlive samples one alive vertex, or -1 when none.
+func (m *editModel) randAlive(rng *rand.Rand) int {
+	for tries := 0; tries < 64; tries++ {
+		v := rng.Intn(m.n)
+		if m.alive[v] {
+			return v
+		}
+	}
+	for v := 0; v < m.n; v++ {
+		if m.alive[v] {
+			return v
+		}
+	}
+	return -1
+}
+
+// apply advances the model by one delta (assumed valid).
+func (m *editModel) apply(d *session.Delta) {
+	u, v := graph.V(d.U), graph.V(d.V)
+	switch d.Op {
+	case session.OpAddVertex:
+		m.n++
+		m.alive = append(m.alive, true)
+	case session.OpRemoveVertex:
+		m.alive[u] = false
+		// Sweep incident edges and affinities off the candidate lists.
+		for i := 0; i < len(m.edgeList); {
+			p := m.edgeList[i]
+			if p[0] == u || p[1] == u {
+				m.dropEdge(p)
+				continue // swap-remove put a new pair at i
+			}
+			i++
+		}
+		for i := 0; i < len(m.affList); {
+			p := m.affList[i]
+			if p[0] == u || p[1] == u {
+				m.dropAff(p)
+				continue
+			}
+			i++
+		}
+	case session.OpAddEdge:
+		m.putEdge(pair(u, v))
+	case session.OpRemoveEdge:
+		m.dropEdge(pair(u, v))
+	case session.OpAddAffinity, session.OpReweightAffinity:
+		m.putAff(pair(u, v), d.Weight)
+	case session.OpRemoveAffinity:
+		m.dropAff(pair(u, v))
+	case session.OpSetK:
+		m.k = d.K
+	}
+}
+
+// File compacts the model into a fresh instance: alive vertices
+// renumbered densely in id order (order-preserving, so per-component
+// solves see the same local instances as the session's id space), K set
+// to the model's current k. Edges and affinities are emitted in Go map
+// iteration order — deliberately nondeterministic, so a reference solve
+// over this file also certifies insensitivity to build order.
+func (m *editModel) File() *graph.File {
+	old2new := make([]graph.V, m.n)
+	next := graph.V(0)
+	for v := 0; v < m.n; v++ {
+		if m.alive[v] {
+			old2new[v] = next
+			next++
+		} else {
+			old2new[v] = -1
+		}
+	}
+	g := graph.New(int(next))
+	for p := range m.edges {
+		g.AddEdge(old2new[p[0]], old2new[p[1]])
+	}
+	for p, w := range m.aff {
+		g.AddAffinity(old2new[p[0]], old2new[p[1]], w)
+	}
+	return &graph.File{G: g, K: m.k}
+}
+
+// GenEditScript derives a deterministic per-seed edit script of steps
+// deltas over base instance f (k overrides f.K when positive): a mix of
+// vertex churn, edge flips, affinity add/remove/reweight, and occasional
+// k changes, every delta valid against the session layer's batch
+// validation at its point in the stream.
+func GenEditScript(f *graph.File, k int, seed int64, steps int) []session.Delta {
+	rng := rand.New(rand.NewSource(seed))
+	m := newEditModel(f, k)
+	out := make([]session.Delta, 0, steps)
+	emit := func(d session.Delta) {
+		m.apply(&d)
+		out = append(out, d)
+	}
+	for len(out) < steps {
+		switch op := rng.Intn(20); {
+		case op < 3: // add_vertex
+			emit(session.Delta{Op: session.OpAddVertex})
+		case op < 5: // remove_vertex (keep at least 3 alive)
+			if m.aliveCount() <= 3 {
+				emit(session.Delta{Op: session.OpAddVertex})
+				continue
+			}
+			if u := m.randAlive(rng); u >= 0 {
+				emit(session.Delta{Op: session.OpRemoveVertex, U: u})
+			}
+		case op < 10: // add_edge between a random non-adjacent alive pair
+			var d session.Delta
+			ok := false
+			for tries := 0; tries < 32; tries++ {
+				u, v := m.randAlive(rng), m.randAlive(rng)
+				if u < 0 || v < 0 || u == v || m.edges[pair(graph.V(u), graph.V(v))] {
+					continue
+				}
+				d = session.Delta{Op: session.OpAddEdge, U: u, V: v}
+				ok = true
+				break
+			}
+			if !ok { // near-clique: flip direction instead
+				if len(m.edgeList) == 0 {
+					emit(session.Delta{Op: session.OpAddVertex})
+					continue
+				}
+				p := m.edgeList[rng.Intn(len(m.edgeList))]
+				d = session.Delta{Op: session.OpRemoveEdge, U: int(p[0]), V: int(p[1])}
+			}
+			emit(d)
+		case op < 13: // remove_edge
+			if len(m.edgeList) == 0 {
+				emit(session.Delta{Op: session.OpAddVertex})
+				continue
+			}
+			p := m.edgeList[rng.Intn(len(m.edgeList))]
+			emit(session.Delta{Op: session.OpRemoveEdge, U: int(p[0]), V: int(p[1])})
+		case op < 16: // add_affinity on a fresh alive pair
+			added := false
+			for tries := 0; tries < 32; tries++ {
+				u, v := m.randAlive(rng), m.randAlive(rng)
+				if u < 0 || v < 0 || u == v {
+					continue
+				}
+				if _, exists := m.aff[pair(graph.V(u), graph.V(v))]; exists {
+					continue
+				}
+				emit(session.Delta{Op: session.OpAddAffinity, U: u, V: v,
+					Weight: 1 + int64(rng.Intn(9))})
+				added = true
+				break
+			}
+			if !added {
+				emit(session.Delta{Op: session.OpAddVertex})
+			}
+		case op < 17: // remove_affinity
+			if len(m.affList) == 0 {
+				emit(session.Delta{Op: session.OpAddVertex})
+				continue
+			}
+			p := m.affList[rng.Intn(len(m.affList))]
+			emit(session.Delta{Op: session.OpRemoveAffinity, U: int(p[0]), V: int(p[1])})
+		case op < 19: // reweight_affinity
+			if len(m.affList) == 0 {
+				emit(session.Delta{Op: session.OpAddVertex})
+				continue
+			}
+			p := m.affList[rng.Intn(len(m.affList))]
+			emit(session.Delta{Op: session.OpReweightAffinity, U: int(p[0]), V: int(p[1]),
+				Weight: 1 + int64(rng.Intn(9))})
+		default: // set_k within [2, 6]
+			emit(session.Delta{Op: session.OpSetK, K: 2 + rng.Intn(5)})
+		}
+	}
+	return out
+}
+
+// ApplyEditScript runs the naive reference model over the script and
+// returns the edited instance, compacted to dense alive-vertex ids with K
+// set to the final register count. This is the ground truth a fresh solve
+// of the edited graph is computed from.
+func ApplyEditScript(f *graph.File, k int, deltas []session.Delta) *graph.File {
+	m := newEditModel(f, k)
+	for i := range deltas {
+		m.apply(&deltas[i])
+	}
+	return m.File()
+}
+
+// ScriptSeed derives a deterministic edit-script seed from instance
+// content (vertex count, k, edges, affinities), so matrix runners can
+// attach a reproducible script to an instance they only see as a
+// graph.File.
+func ScriptSeed(f *graph.File) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wr := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	wr(uint64(f.G.N()))
+	wr(uint64(f.K))
+	for _, e := range f.G.Edges() {
+		wr(uint64(e[0])<<32 | uint64(e[1]))
+	}
+	for _, a := range f.G.Affinities() {
+		wr(uint64(a.X)<<32 | uint64(a.Y))
+		wr(uint64(a.Weight))
+	}
+	return int64(h.Sum64())
+}

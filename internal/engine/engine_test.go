@@ -41,7 +41,7 @@ func TestMatrixMatchesFacade(t *testing.T) {
 		}
 	}
 	full := MatrixNames(StandardMatrix())
-	wantTail := []string{"irc", "exact", "spill-greedy", "spill-inc", "spill-exact", "spill+briggs+george", "spill+optimistic"}
+	wantTail := []string{"irc", "exact", "spill-greedy", "spill-inc", "spill-exact", "spill+briggs+george", "spill+optimistic", "session-inc", "session-fresh"}
 	if len(full) != len(names)+len(wantTail) {
 		t.Fatalf("standard matrix = %v, want strategies + %v", full, wantTail)
 	}

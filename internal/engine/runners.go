@@ -245,13 +245,15 @@ func SpillAllocRunners() []Runner {
 }
 
 // StandardMatrix is the full strategy matrix the benchmark drives: every
-// regcoal strategy, the IRC allocator, the exact solver, and the spill ×
-// coalesce columns (spillers plus the spill-then-coalesce pipeline).
+// regcoal strategy, the IRC allocator, the exact solver, the spill ×
+// coalesce columns (spillers plus the spill-then-coalesce pipeline), and
+// the session layer's incremental-vs-fresh differential pair.
 func StandardMatrix() []Runner {
 	m := StrategyRunners()
 	m = append(m, IRCRunner(), ExactRunner())
 	m = append(m, SpillRunners()...)
 	m = append(m, SpillAllocRunners()...)
+	m = append(m, SessionRunners()...)
 	return m
 }
 

@@ -100,6 +100,22 @@ func TestHistogramPrometheusLints(t *testing.T) {
 	}
 }
 
+func TestIdleSetPrometheusLints(t *testing.T) {
+	// A server that has taken no traffic must still scrape clean: a
+	// HELP/TYPE header with zero samples is a strict-lint violation, so
+	// an all-empty family is omitted entirely.
+	var set Set
+	var buf bytes.Buffer
+	set.WritePrometheus(&buf)
+	if buf.Len() != 0 {
+		t.Fatalf("idle set emitted %q, want empty", buf.String())
+	}
+	WriteRuntimePrometheus(&buf)
+	if problems := LintPrometheus(buf.String()); len(problems) != 0 {
+		t.Fatalf("lint problems:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
 func TestLintPrometheusCatchesViolations(t *testing.T) {
 	cases := map[string]string{
 		"no HELP":          "# TYPE foo counter\nfoo 1\n",

@@ -14,10 +14,13 @@ const (
 	EndpointAllocate
 	EndpointSpill
 	EndpointBatch
+	// EndpointDelta is the session layer's POST /v1/coalesce/delta
+	// (create, apply-delta, and close all record here).
+	EndpointDelta
 	NumEndpoints
 )
 
-var endpointNames = [NumEndpoints]string{"coalesce", "allocate", "spill", "batch"}
+var endpointNames = [NumEndpoints]string{"coalesce", "allocate", "spill", "batch", "delta"}
 
 func (e Endpoint) String() string {
 	if e < 0 || e >= NumEndpoints {
@@ -101,22 +104,33 @@ func (s *Set) PhaseHistogram(e Endpoint, p Phase) *Histogram { return &s.phase[e
 
 // WritePrometheus renders the set as two histogram families:
 // regcoal_request_duration_seconds{endpoint=...} and
-// regcoal_phase_duration_seconds{endpoint=...,phase=...}. Phase series
-// with zero samples are skipped (an endpoint never hit emits nothing),
-// keeping scrape size proportional to live traffic shape.
+// regcoal_phase_duration_seconds{endpoint=...,phase=...}. Series with
+// zero samples are skipped (an endpoint never hit emits nothing), and a
+// family whose every series is empty is omitted entirely — HELP/TYPE
+// included — so an idle server's scrape stays strict-lint clean (the
+// linter rejects a header with no samples) and scrape size stays
+// proportional to live traffic shape.
 func (s *Set) WritePrometheus(w io.Writer) {
-	WritePrometheusHeader(w, "regcoal_request_duration_seconds", "End-to-end request latency per endpoint.")
+	headed := false
 	for e := Endpoint(0); e < NumEndpoints; e++ {
 		if s.request[e].Count() == 0 {
 			continue
 		}
+		if !headed {
+			WritePrometheusHeader(w, "regcoal_request_duration_seconds", "End-to-end request latency per endpoint.")
+			headed = true
+		}
 		s.request[e].WritePrometheus(w, "regcoal_request_duration_seconds", `endpoint="`+e.String()+`"`)
 	}
-	WritePrometheusHeader(w, "regcoal_phase_duration_seconds", "Per-phase request latency (decode, canon, peer, cache, race, encode).")
+	headed = false
 	for e := Endpoint(0); e < NumEndpoints; e++ {
 		for p := Phase(0); p < NumPhases; p++ {
 			if s.phase[e][p].Count() == 0 {
 				continue
+			}
+			if !headed {
+				WritePrometheusHeader(w, "regcoal_phase_duration_seconds", "Per-phase request latency (decode, canon, peer, cache, race, encode).")
+				headed = true
 			}
 			labels := `endpoint="` + e.String() + `",phase="` + p.String() + `"`
 			s.phase[e][p].WritePrometheus(w, "regcoal_phase_duration_seconds", labels)

@@ -1,0 +1,102 @@
+package service_test
+
+// Fuzz coverage for the delta wire format: whatever bytes arrive at
+// POST /v1/coalesce/delta, the handler must answer 200 or a structured
+// 4xx JSON body — never a panic, never a 5xx. The seeds walk the
+// documented failure modes (malformed vertex ids, duplicate edges, k
+// underflow, deltas against never-created or evicted sessions) plus a
+// live session id injected per run, so mutations also exercise the
+// validated apply path, not just decode rejections.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"regcoal/internal/service"
+	"regcoal/internal/session"
+)
+
+func FuzzApplyDelta(f *testing.F) {
+	srv, err := service.New(service.Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	// One live session the fuzzer can address via the LIVE placeholder,
+	// and one created-then-closed id for the evicted-session path.
+	mk := func(op string) service.DeltaResponse {
+		body, _ := json.Marshal(service.DeltaRequest{Op: op, Graph: &service.GraphSpec{
+			Vertices: 4, K: 2, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}},
+			Moves: []service.Move{{X: 0, Y: 3, Weight: 2}}}})
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/coalesce/delta", bytes.NewReader(body)))
+		var resp service.DeltaResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || rec.Code != http.StatusOK {
+			f.Fatalf("bootstrap %s: status %d body %s", op, rec.Code, rec.Body.Bytes())
+		}
+		return resp
+	}
+	live := mk("create")
+	closed := mk("create")
+	cbody, _ := json.Marshal(service.DeltaRequest{Op: "close", SessionID: closed.SessionID})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/coalesce/delta", bytes.NewReader(cbody)))
+	if rec.Code != http.StatusOK {
+		f.Fatalf("bootstrap close: status %d", rec.Code)
+	}
+
+	seed := func(v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b))
+	}
+	ver := func(n int64) *int64 { return &n }
+	// Valid shapes.
+	seed(service.DeltaRequest{Op: "create", Graph: &service.GraphSpec{Vertices: 3, K: 2, Edges: [][2]int{{0, 1}}}})
+	seed(service.DeltaRequest{SessionID: "LIVE", Deltas: []session.Delta{{Op: session.OpAddVertex}}})
+	seed(service.DeltaRequest{SessionID: "LIVE", Version: ver(0), Deltas: []session.Delta{{Op: session.OpAddEdge, U: 0, V: 2}}})
+	seed(service.DeltaRequest{Op: "close", SessionID: "LIVE"})
+	// Documented 4xx: malformed vertex ids, duplicate edges, k underflow,
+	// deltas against closed/unknown sessions, stale versions.
+	seed(service.DeltaRequest{SessionID: "LIVE", Deltas: []session.Delta{{Op: session.OpAddEdge, U: -1, V: 99}}})
+	seed(service.DeltaRequest{SessionID: "LIVE", Deltas: []session.Delta{{Op: session.OpAddEdge, U: 0, V: 1}}})
+	seed(service.DeltaRequest{SessionID: "LIVE", Deltas: []session.Delta{{Op: session.OpSetK, K: 0}}})
+	seed(service.DeltaRequest{SessionID: "LIVE", Deltas: []session.Delta{{Op: session.OpSetK, K: -7}}})
+	seed(service.DeltaRequest{SessionID: closed.SessionID, Deltas: []session.Delta{{Op: session.OpAddVertex}}})
+	seed(service.DeltaRequest{SessionID: "s-never", Deltas: []session.Delta{{Op: session.OpAddVertex}}})
+	seed(service.DeltaRequest{SessionID: "LIVE", Version: ver(999), Deltas: []session.Delta{{Op: session.OpAddVertex}}})
+	seed(service.DeltaRequest{SessionID: "LIVE", BaseHash: "wrong", Deltas: []session.Delta{{Op: session.OpAddVertex}}})
+	seed(service.DeltaRequest{SessionID: "LIVE", Deltas: []session.Delta{{Op: "frobnicate", U: 1}}})
+	// Structurally broken bodies.
+	f.Add(`{"op":`)
+	f.Add(`{"op":"create"}`)
+	f.Add(`{"op":"create","graph":{"vertices":-3,"k":2}}`)
+	f.Add(`{"deltas":[{"op":"add_edge","u":1e99,"v":0}],"session_id":"LIVE"}`)
+	f.Add(`[]`)
+	f.Add(`{"session_id":"LIVE","deltas":[]}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		// LIVE lets mutated inputs keep addressing the real session.
+		body = strings.ReplaceAll(body, "LIVE", live.SessionID)
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/coalesce/delta", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("5xx (%d) for body %q: %s", rec.Code, body, rec.Body.Bytes())
+		}
+		if rec.Code != http.StatusOK {
+			var e service.ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("status %d without structured error body %q for input %q", rec.Code, rec.Body.Bytes(), body)
+			}
+		}
+	})
+}

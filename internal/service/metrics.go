@@ -10,6 +10,7 @@ import (
 
 	"regcoal/internal/coalesce"
 	"regcoal/internal/obs"
+	"regcoal/internal/session"
 )
 
 // Metrics are the service's counters, exported two ways: Prometheus text
@@ -26,6 +27,7 @@ type Metrics struct {
 	CoalesceRequests      atomic.Int64
 	AllocateRequests      atomic.Int64
 	SpillRequests         atomic.Int64
+	DeltaRequests         atomic.Int64
 	BatchRequests         atomic.Int64
 	BatchGraphs           atomic.Int64
 	CacheHits             atomic.Int64
@@ -99,6 +101,7 @@ type Stats struct {
 	CoalesceRequests      int64            `json:"coalesce_requests"`
 	AllocateRequests      int64            `json:"allocate_requests"`
 	SpillRequests         int64            `json:"spill_requests"`
+	DeltaRequests         int64            `json:"delta_requests"`
 	BatchRequests         int64            `json:"batch_requests"`
 	BatchGraphs           int64            `json:"batch_graphs"`
 	CacheHits             int64            `json:"cache_hits"`
@@ -116,6 +119,9 @@ type Stats struct {
 	// Latency carries per-endpoint p50/p90/p99 summaries (total and per
 	// phase), filled by Server.StatsSnapshot from the obs histograms.
 	Latency map[string]obs.EndpointSummary `json:"latency,omitempty"`
+	// Sessions carries the delta-session layer's counters, filled by
+	// Server.StatsSnapshot.
+	Sessions *session.StatsSnapshot `json:"sessions,omitempty"`
 }
 
 func (m *Metrics) snapshot(cacheEntries, queueDepth int, cacheEvictions int64) Stats {
@@ -124,6 +130,7 @@ func (m *Metrics) snapshot(cacheEntries, queueDepth int, cacheEvictions int64) S
 		CoalesceRequests:      m.CoalesceRequests.Load(),
 		AllocateRequests:      m.AllocateRequests.Load(),
 		SpillRequests:         m.SpillRequests.Load(),
+		DeltaRequests:         m.DeltaRequests.Load(),
 		BatchRequests:         m.BatchRequests.Load(),
 		BatchGraphs:           m.BatchGraphs.Load(),
 		CacheHits:             m.CacheHits.Load(),
@@ -153,6 +160,7 @@ func (m *Metrics) writePrometheus(w io.Writer, cacheEntries, queueDepth int, cac
 	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"coalesce\"} %d\n", m.CoalesceRequests.Load())
 	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"allocate\"} %d\n", m.AllocateRequests.Load())
 	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"spill\"} %d\n", m.SpillRequests.Load())
+	fmt.Fprintf(w, "regcoal_requests_total{endpoint=\"delta\"} %d\n", m.DeltaRequests.Load())
 	counter("regcoal_batch_requests_total", "POST /v1/batch requests.", m.BatchRequests.Load())
 	counter("regcoal_batch_graphs_total", "Graphs received inside batch requests.", m.BatchGraphs.Load())
 	counter("regcoal_cache_hits_total", "Requests answered from the result cache.", m.CacheHits.Load())

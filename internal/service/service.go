@@ -45,6 +45,7 @@ import (
 	"regcoal/internal/engine"
 	"regcoal/internal/graph"
 	"regcoal/internal/obs"
+	"regcoal/internal/session"
 	"regcoal/internal/singleflight"
 )
 
@@ -95,6 +96,13 @@ type Config struct {
 	// MaxBatch bounds the graphs one batch request may carry (default
 	// 256).
 	MaxBatch int
+	// MaxSessions caps live delta-solve sessions (LRU eviction past it;
+	// default 256) and SessionTTL expires idle ones (default 15m).
+	// SessionBudget bounds the incremental affected-region re-solve in
+	// vertices before falling back to a full fresh solve (default 16384).
+	MaxSessions   int
+	SessionTTL    time.Duration
+	SessionBudget int
 }
 
 func (c *Config) fillDefaults() {
@@ -141,14 +149,15 @@ func (c *Config) fillDefaults() {
 
 // Server is the online coalescing service.
 type Server struct {
-	cfg     Config
-	pool    *engine.Pool
-	cache   *Cache
-	metrics *Metrics
-	lat     *obs.Set
-	tracer  *obs.Tracer
-	mux     *http.ServeMux
-	flights singleflight.Group
+	cfg      Config
+	pool     *engine.Pool
+	cache    *Cache
+	metrics  *Metrics
+	lat      *obs.Set
+	tracer   *obs.Tracer
+	mux      *http.ServeMux
+	flights  singleflight.Group
+	sessions *session.Store
 
 	draining  atomic.Bool
 	baseCtx   context.Context
@@ -172,8 +181,14 @@ func New(cfg Config) (*Server, error) {
 		mux:       http.NewServeMux(),
 		baseCtx:   ctx,
 		cancelAll: cancel,
+		sessions: session.NewStore(session.StoreConfig{
+			MaxSessions: cfg.MaxSessions,
+			TTL:         cfg.SessionTTL,
+			Solver:      session.SolverConfig{Budget: cfg.SessionBudget},
+		}),
 	}
 	s.mux.HandleFunc("/v1/coalesce", s.handleSolve(KindCoalesce))
+	s.mux.HandleFunc("/v1/coalesce/delta", s.handleDelta)
 	s.mux.HandleFunc("/v1/allocate", s.handleSolve(KindAllocate))
 	s.mux.HandleFunc("/v1/spill", s.handleSolve(KindSpill))
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
@@ -571,6 +586,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // their own families).
 func (s *Server) WritePrometheus(w io.Writer) {
 	s.metrics.writePrometheus(w, s.cache.Len(), s.pool.QueueDepth(), s.cache.Evictions())
+	s.sessions.Metrics().WritePrometheus(w)
 	fmt.Fprintf(w, "# HELP regcoal_pool_workers Worker goroutines in the solve pool.\n# TYPE regcoal_pool_workers gauge\nregcoal_pool_workers %d\n", s.cfg.Workers)
 	s.lat.WritePrometheus(w)
 	obs.WriteRuntimePrometheus(w)
@@ -581,6 +597,8 @@ func (s *Server) WritePrometheus(w io.Writer) {
 func (s *Server) StatsSnapshot() Stats {
 	st := s.metrics.snapshot(s.cache.Len(), s.pool.QueueDepth(), s.cache.Evictions())
 	st.Latency = s.lat.Snapshot()
+	sess := s.sessions.Metrics().Snapshot()
+	st.Sessions = &sess
 	return st
 }
 

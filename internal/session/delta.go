@@ -1,0 +1,131 @@
+// Package session is the delta-solve layer: a client pins a frozen base
+// interference graph (identified by its WL canonical hash) and streams
+// edit deltas — add/remove vertex, add/remove edge, add/remove/reweight
+// affinity, change k — against it. Each batch of deltas is validated
+// atomically, applied to the session's working graph, and re-solved
+// against the cached previous solve: the affected region is found by a
+// BFS-bounded dirty set, unaffected connected components are reused
+// verbatim, and recomputed components are answered from a content-
+// fingerprint memo before falling back to an actual solve. The
+// per-component solver runs ChordalIncremental (via ChordalProgressive)
+// wherever the component stays chordal and falls back to the
+// conservative/optimistic members otherwise; a full fresh solve over all
+// components is the always-correct fallback when the affected region
+// exceeds the session's budget. The steady-state apply path runs in
+// pooled scratch (graph.Arena + session-owned reusable buffers) and is
+// held to zero heap allocations by the alloc-gate suite.
+//
+// The HTTP surface (POST /v1/coalesce/delta) lives in internal/service;
+// the cluster router keeps a session shard-sticky by routing on its base
+// graph hash.
+package session
+
+import (
+	"fmt"
+	"net/http"
+
+	"regcoal/internal/graph"
+)
+
+// Op names one kind of edit delta (the "op" field of the wire format).
+type Op string
+
+const (
+	// OpAddVertex appends a fresh isolated vertex; its id is the
+	// session's next unused vertex id (ids are never reused).
+	OpAddVertex Op = "add_vertex"
+	// OpRemoveVertex deletes vertex U: every incident edge and affinity
+	// is dropped and the id becomes permanently dead.
+	OpRemoveVertex Op = "remove_vertex"
+	// OpAddEdge adds the interference edge {U, V}.
+	OpAddEdge Op = "add_edge"
+	// OpRemoveEdge removes the interference edge {U, V}.
+	OpRemoveEdge Op = "remove_edge"
+	// OpAddAffinity adds an affinity (move) between U and V with Weight.
+	OpAddAffinity Op = "add_affinity"
+	// OpRemoveAffinity removes the affinity between U and V.
+	OpRemoveAffinity Op = "remove_affinity"
+	// OpReweightAffinity sets the existing affinity {U, V} to Weight.
+	OpReweightAffinity Op = "reweight_affinity"
+	// OpSetK changes the session's register count to K.
+	OpSetK Op = "set_k"
+)
+
+// Delta is one edit against a session's working graph — an element of
+// the "deltas" array in the POST /v1/coalesce/delta wire format.
+// Vertex ids are session ids: the base graph's request numbering for the
+// original vertices, then consecutive fresh ids for added ones.
+type Delta struct {
+	Op     Op    `json:"op"`
+	U      int   `json:"u,omitempty"`
+	V      int   `json:"v,omitempty"`
+	Weight int64 `json:"weight,omitempty"`
+	K      int   `json:"k,omitempty"`
+}
+
+// ClientError is a structured client-side failure: invalid deltas (400),
+// unknown or expired sessions (404), and version or base-hash conflicts
+// (409). Everything a malformed or stale request can provoke maps here —
+// never a panic, never a 5xx.
+type ClientError struct {
+	Status int
+	Msg    string
+}
+
+func (e *ClientError) Error() string { return e.Msg }
+
+// Errf builds a ClientError.
+func Errf(status int, format string, args ...any) *ClientError {
+	return &ClientError{Status: status, Msg: fmt.Sprintf(format, args...)}
+}
+
+func errDelta(i int, format string, args ...any) *ClientError {
+	return &ClientError{Status: http.StatusBadRequest,
+		Msg: fmt.Sprintf("delta %d: %s", i, fmt.Sprintf(format, args...))}
+}
+
+// pairKey canonicalizes an unordered vertex pair for the affinity map.
+func pairKey(u, v graph.V) [2]graph.V {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]graph.V{u, v}
+}
+
+// insertSortedV inserts v into sorted slice s if absent.
+func insertSortedV(s []graph.V, v graph.V) []graph.V {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = v
+	return s
+}
+
+// removeSortedV removes v from sorted slice s if present.
+func removeSortedV(s []graph.V, v graph.V) []graph.V {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(s) || s[lo] != v {
+		return s
+	}
+	copy(s[lo:], s[lo+1:])
+	return s[:len(s)-1]
+}
