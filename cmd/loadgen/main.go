@@ -28,9 +28,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"regcoal/internal/faultinject"
 	"regcoal/internal/service/loadgen"
 )
 
@@ -50,6 +53,7 @@ func main() {
 		stats       = flag.Bool("stats", true, "fetch and print /stats after the run")
 		slowN       = flag.Int("slow", 0, "report the N slowest requests with trace IDs and per-phase timings")
 		asJSON      = flag.Bool("json", false, "emit the report as JSON on stdout (durations in ns) instead of the text summary")
+		chaos       = flag.String("chaos", "", "path to a fault-injection plan JSON applied client-side to generated traffic (see docs/FAULT_INJECTION.md)")
 	)
 	flag.Parse()
 
@@ -68,12 +72,32 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loadgen: %d instances -> %s/v1/%s, concurrency %d\n",
 		len(jobs), strings.Join(targets, ","), *endpoint, *concurrency)
 
+	// -chaos wraps the generator's own transport: target i is peer "w<i>"
+	// in the plan, and drops/delays/blackholes hit requests before they
+	// leave the client. Useful for rehearsing how dashboards and retry
+	// policies read under a lossy network without touching the servers.
+	var inj *faultinject.Injector
+	var client *http.Client
+	if *chaos != "" {
+		plan, perr := faultinject.LoadPlan(*chaos)
+		if perr != nil {
+			fatal(perr)
+		}
+		inj = faultinject.New(plan)
+		client = &http.Client{
+			Timeout:   60 * time.Second,
+			Transport: inj.Transport(nil, faultinject.NameMap(targets)),
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: chaos plan %s armed (seed %d, %d rules)\n", *chaos, plan.Seed, len(plan.Rules))
+	}
+
 	rep, err := loadgen.Run(context.Background(), loadgen.Options{
 		Targets:     targets,
 		Endpoint:    *endpoint,
 		Concurrency: *concurrency,
 		Requests:    *n,
 		SlowN:       *slowN,
+		Client:      client,
 	}, jobs)
 	if err != nil {
 		fatal(err)
@@ -94,6 +118,10 @@ func main() {
 		fmt.Print(rep.String())
 	}
 
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Fprintf(os.Stderr, "loadgen: chaos injected %d drops, %d delays, %d errors\n", st.Drops, st.Delays, st.Errors)
+	}
 	if *stats {
 		for _, target := range targets {
 			if snapshot, err := loadgen.FetchStats(context.Background(), nil, target); err == nil {

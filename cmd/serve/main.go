@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"regcoal/internal/cluster"
+	"regcoal/internal/faultinject"
 	"regcoal/internal/service"
 )
 
@@ -71,12 +72,27 @@ func main() {
 		peers     = flag.String("peers", "", "comma-separated worker base URLs (the shard set; same list on every node)")
 		self      = flag.String("self", "", "this worker's base URL as it appears in -peers (worker role)")
 		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per worker on the consistent-hash ring")
+		replicas  = flag.Int("replicas", cluster.DefaultReplicas, "replica-set size R: workers owning each hash range (same value on every node)")
+
+		retryBudget = flag.Int("retry-budget", 0, "router: total attempts per request across replicas (0 = default 3)")
+		hedgeAfter  = flag.Duration("hedge-after", 250*time.Millisecond, "router: launch a hedged attempt on the next replica after this long (0 disables)")
+		faultPlan   = flag.String("fault-plan", "", "path to a fault-injection plan JSON (off when empty; see docs/FAULT_INJECTION.md)")
 	)
 	flag.Parse()
 
 	peerList := splitList(*peers)
+	var plan *faultinject.Plan
+	if *faultPlan != "" {
+		p, err := faultinject.LoadPlan(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		plan = p
+		log.Printf("serve: fault injection armed from %s (seed %d, %d rules)", *faultPlan, p.Seed, len(p.Rules))
+	}
 	if *clusterOn && *role == "router" {
-		runRouter(*addr, peerList, *vnodes, *grace)
+		runRouter(*addr, peerList, *vnodes, *replicas, *retryBudget, *hedgeAfter, *grace, plan)
 		return
 	}
 
@@ -103,17 +119,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "serve: unknown -role %q (want worker or router)\n", *role)
 			os.Exit(1)
 		}
-		worker, werr := cluster.NewWorker(svc, cluster.WorkerConfig{
-			Self:   *self,
-			Peers:  peerList,
-			VNodes: *vnodes,
-		})
+		wcfg := cluster.WorkerConfig{
+			Self:     *self,
+			Peers:    peerList,
+			VNodes:   *vnodes,
+			Replicas: *replicas,
+		}
+		var inj *faultinject.Injector
+		if plan != nil {
+			inj = faultinject.New(plan)
+			wcfg.Client = &http.Client{
+				Timeout:   2 * time.Second,
+				Transport: inj.Transport(nil, faultinject.NameMap(peerList)),
+			}
+		}
+		worker, werr := cluster.NewWorker(svc, wcfg)
 		if werr != nil {
 			fmt.Fprintln(os.Stderr, "serve:", werr)
 			os.Exit(1)
 		}
 		handler = worker
-		log.Printf("serve: cluster worker %s, %d peers", *self, len(peerList))
+		if inj != nil {
+			// This worker's name in the plan is its position in -peers.
+			name := *self
+			for i, p := range peerList {
+				if p == *self {
+					name = fmt.Sprintf("w%d", i)
+					break
+				}
+			}
+			handler = inj.Middleware(name, handler)
+		}
+		log.Printf("serve: cluster worker %s, %d peers, R=%d", *self, len(peerList), *replicas)
 	}
 	if *pprofOn {
 		// Explicit registration on our own mux — importing net/http/pprof
@@ -170,11 +207,22 @@ func main() {
 
 // runRouter serves the stateless sharding tier: no solver, no pool — just
 // the consistent-hash proxy over the worker set.
-func runRouter(addr string, workerURLs []string, vnodes int, grace time.Duration) {
-	router, err := cluster.NewRouter(cluster.RouterConfig{
-		Workers: workerURLs,
-		VNodes:  vnodes,
-	})
+func runRouter(addr string, workerURLs []string, vnodes, replicas, retryBudget int, hedgeAfter, grace time.Duration, plan *faultinject.Plan) {
+	rcfg := cluster.RouterConfig{
+		Workers:     workerURLs,
+		VNodes:      vnodes,
+		Replicas:    replicas,
+		RetryBudget: retryBudget,
+		HedgeAfter:  hedgeAfter,
+	}
+	if plan != nil {
+		inj := faultinject.New(plan)
+		rcfg.Client = &http.Client{
+			Timeout:   60 * time.Second,
+			Transport: inj.Transport(nil, faultinject.NameMap(workerURLs)),
+		}
+	}
+	router, err := cluster.NewRouter(rcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
@@ -186,7 +234,7 @@ func runRouter(addr string, workerURLs []string, vnodes int, grace time.Duration
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serve: cluster router on %s over %d workers", addr, len(workerURLs))
+	log.Printf("serve: cluster router on %s over %d workers (R=%d, hedge %v)", addr, len(workerURLs), replicas, hedgeAfter)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

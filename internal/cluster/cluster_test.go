@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"sync"
 	"testing"
 	"time"
@@ -165,9 +166,10 @@ func TestClusterDifferentialByteIdentity(t *testing.T) {
 	}
 
 	// Peer cache fill: the same instances posted directly to a worker
-	// that does not own their hash. The non-owner fills from the owner's
-	// cache (seeded by the routed traffic above) and must still answer
-	// byte-identically.
+	// outside their hash's replica set (replicas already hold the entry
+	// via push-on-compute, so only a non-replica exercises the L2
+	// lookup). The non-replica fills from an owner's cache (seeded by
+	// the routed traffic above) and must still answer byte-identically.
 	ring := c.Router.Ring()
 	peerFillsBefore := int64(0)
 	for _, w := range c.Workers {
@@ -179,13 +181,16 @@ func TestClusterDifferentialByteIdentity(t *testing.T) {
 		if err := json.Unmarshal(body, &req); err != nil {
 			t.Fatal(err)
 		}
-		owner := ring.Owner(service.RoutingHash(&req, 0))
+		replicas := ring.Replicas(service.RoutingHash(&req, 0), cluster.DefaultReplicas)
 		var nonOwner *cluster.InProcessWorker
 		for _, w := range c.Workers {
-			if w.URL != owner {
+			if !slices.Contains(replicas, w.URL) {
 				nonOwner = w
 				break
 			}
+		}
+		if nonOwner == nil {
+			t.Fatalf("%s: no worker outside replica set %v", inst.Name, replicas)
 		}
 		wantStatus, _, want := post(t, single.URL+"/v1/coalesce", body)
 		gotStatus, _, got := post(t, nonOwner.URL+"/v1/coalesce", body)
@@ -231,11 +236,11 @@ func TestClusterDifferentialByteIdentity(t *testing.T) {
 	// Error paths route to the deterministic fallback shard and must
 	// reproduce the single-node error bodies exactly.
 	for _, bad := range []string{
-		`{"graph":{"vertices":3,"edges":[[0,1]]}}`,        // no register count
-		`{}`,                                              // missing graph
-		`{"graph":{"vertices":2,"edges":[[0,5]],"k":2}}`,  // vertex out of range
-		`not json`,                                        // undecodable
-		`{"kind":"bogus","items":[]}`,                     // sent to /v1/coalesce: unknown field
+		`{"graph":{"vertices":3,"edges":[[0,1]]}}`, // no register count
+		`{}`, // missing graph
+		`{"graph":{"vertices":2,"edges":[[0,5]],"k":2}}`, // vertex out of range
+		`not json`,                    // undecodable
+		`{"kind":"bogus","items":[]}`, // sent to /v1/coalesce: unknown field
 	} {
 		wantStatus, _, want := post(t, single.URL+"/v1/coalesce", []byte(bad))
 		gotStatus, _, got := post(t, c.RouterURL+"/v1/coalesce", []byte(bad))
@@ -331,6 +336,11 @@ func TestClusterSingleflightCollapses64ConcurrentDuplicates(t *testing.T) {
 func TestPeerFillServesWithoutRecompute(t *testing.T) {
 	c := startCluster(t, 2, cluster.InProcessOptions{
 		Service: service.Config{Workers: 2, QueueCap: 64},
+		// R = 1: under the replicated default (R = 2) a 2-worker cluster
+		// push-on-computes every entry to both shards, so the "peer" tier
+		// this test isolates would never be exercised.
+		Worker: cluster.WorkerConfig{Replicas: 1},
+		Router: cluster.RouterConfig{Replicas: 1},
 	})
 	insts := quickInstances(t)
 	inst := insts[0] // chordal: WL-discriminated, hash is relabel-invariant

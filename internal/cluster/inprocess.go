@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"regcoal/internal/faultinject"
 	"regcoal/internal/service"
 )
 
@@ -19,6 +20,10 @@ type InProcess struct {
 	RouterURL string
 	Workers   []*InProcessWorker
 
+	// RouterInjector is the router's fault injector (nil without a plan):
+	// it decides the fate of router→worker requests.
+	RouterInjector *faultinject.Injector
+
 	servers []*http.Server
 }
 
@@ -27,6 +32,10 @@ type InProcessWorker struct {
 	Service *service.Server
 	Worker  *Worker
 	URL     string
+	// Injector is this worker's fault injector (nil without a plan): it
+	// decides server-side faults on the worker's own solve endpoints and
+	// client-side faults on its peer traffic.
+	Injector *faultinject.Injector
 }
 
 // InProcessOptions shape the topology.
@@ -38,6 +47,12 @@ type InProcessOptions struct {
 	Worker WorkerConfig
 	// Router configures the front door; Workers is filled in.
 	Router RouterConfig
+	// Fault, when set, arms deterministic fault injection across the
+	// topology. Worker i is peer "w<i>" in the plan's rules. Each
+	// component holds its own Injector over the same plan, so request
+	// counters advance per side per component — exactly the isolation a
+	// real deployment (one injector per process) would have.
+	Fault *faultinject.Plan
 }
 
 // StartInProcess launches n workers and a router on loopback. Callers
@@ -68,6 +83,11 @@ func StartInProcess(n int, opts InProcessOptions) (*InProcess, error) {
 		urls[i] = "http://" + ln.Addr().String()
 	}
 
+	var namer func(*http.Request) string
+	if opts.Fault != nil {
+		namer = faultinject.NameMap(urls)
+	}
+
 	for i := 0; i < n; i++ {
 		svc, err := service.New(opts.Service)
 		if err != nil {
@@ -79,6 +99,14 @@ func StartInProcess(n int, opts InProcessOptions) (*InProcess, error) {
 		wcfg := opts.Worker
 		wcfg.Self = urls[i]
 		wcfg.Peers = urls
+		var inj *faultinject.Injector
+		if opts.Fault != nil {
+			inj = faultinject.New(opts.Fault)
+			wcfg.Client = &http.Client{
+				Timeout:   2 * time.Second,
+				Transport: inj.Transport(nil, namer),
+			}
+		}
 		w, err := NewWorker(svc, wcfg)
 		if err != nil {
 			svc.Close()
@@ -87,8 +115,12 @@ func StartInProcess(n int, opts InProcessOptions) (*InProcess, error) {
 			}
 			return fail(err)
 		}
-		node := &InProcessWorker{Service: svc, Worker: w, URL: urls[i]}
-		srv := &http.Server{Handler: w}
+		var handler http.Handler = w
+		if inj != nil {
+			handler = inj.Middleware(fmt.Sprintf("w%d", i), handler)
+		}
+		node := &InProcessWorker{Service: svc, Worker: w, URL: urls[i], Injector: inj}
+		srv := &http.Server{Handler: handler}
 		go srv.Serve(listeners[i])
 		c.Workers = append(c.Workers, node)
 		c.servers = append(c.servers, srv)
@@ -100,6 +132,16 @@ func StartInProcess(n int, opts InProcessOptions) (*InProcess, error) {
 	rcfg.MaxBatch = firstPositive(rcfg.MaxBatch, c.Workers[0].Service.Config().MaxBatch)
 	if rcfg.VNodes == 0 {
 		rcfg.VNodes = opts.Worker.VNodes
+	}
+	if rcfg.Replicas == 0 {
+		rcfg.Replicas = opts.Worker.Replicas
+	}
+	if opts.Fault != nil {
+		c.RouterInjector = faultinject.New(opts.Fault)
+		rcfg.Client = &http.Client{
+			Timeout:   60 * time.Second,
+			Transport: c.RouterInjector.Transport(nil, namer),
+		}
 	}
 	router, err := NewRouter(rcfg)
 	if err != nil {
@@ -124,6 +166,17 @@ func firstPositive(vals ...int) int {
 		}
 	}
 	return 0
+}
+
+// StopWorker kills worker i's listener immediately — a simulated crash,
+// not a drain: in-flight requests are cut, no readiness flip, no
+// goodbye. The router discovers the death through connection errors and
+// fails the worker's ranges over to the next replica.
+func (c *InProcess) StopWorker(i int) error {
+	if i < 0 || i >= len(c.Workers) {
+		return fmt.Errorf("cluster: no worker %d", i)
+	}
+	return c.servers[i].Close()
 }
 
 // Drain gracefully quiesces every worker: stop advertising readiness,

@@ -94,6 +94,21 @@ func (r *Ring) at(key string) int {
 	return i
 }
 
+// Replicas returns key's ordered replica set: the first min(r,
+// len(nodes)) distinct nodes of the ring sequence. Index 0 is the
+// primary (== Owner), the rest are the secondaries that receive
+// push-on-compute cache entries and replicated session logs. Because
+// the set is a prefix of the ring walk, removing a node elsewhere on
+// the ring never changes it, and removing a member shifts in exactly
+// the next distinct node — minimal movement, per replica slot.
+func (r *Ring) Replicas(key string, n int) []string {
+	seq := r.Sequence(key)
+	if n < len(seq) {
+		seq = seq[:n]
+	}
+	return seq
+}
+
 // Sequence returns every node in preference order for key: the owner
 // first, then each distinct node in ring order. Callers walk it to fail
 // over when the owner is down or draining.

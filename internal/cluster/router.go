@@ -12,7 +12,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -31,8 +33,13 @@ import (
 // deterministic fallback shard — ring owner of the empty key — whose
 // worker reproduces the exact single-node error body.
 //
-// Failover walks the ring sequence: a worker that is unreachable or
-// fails its readiness probe (draining) is skipped for the next node.
+// Failover walks the ring sequence — the replica set first, then the
+// remaining nodes in ring order — under a per-request retry budget:
+// attempts that fail in transport or answer 5xx retry the next distinct
+// node after a capped, jittered exponential backoff, and (for idempotent
+// endpoints) a hedged second attempt races the next replica once the
+// first has been in flight longer than HedgeAfter. A worker that is
+// unreachable or fails its readiness probe (draining) is skipped.
 type Router struct {
 	cfg    RouterConfig
 	ring   *Ring
@@ -45,11 +52,18 @@ type Router struct {
 	batchItems    atomic.Int64
 	fallback      atomic.Int64
 	failovers     atomic.Int64
+	retries       atomic.Int64
+	hedges        atomic.Int64
+	readyProbes   atomic.Int64
 	noWorker      atomic.Int64
 	perShard      map[string]*shardStats // immutable after NewRouter
 
 	readyMu sync.Mutex
 	ready   map[string]readyState
+	probeMu map[string]*sync.Mutex // per-node probe singleflight; immutable
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
 
 // shardStats is one worker's view from the router: how much traffic it
@@ -89,6 +103,22 @@ type RouterConfig struct {
 	Client *http.Client
 	// ReadyTTL caches worker readiness probes (default 500ms).
 	ReadyTTL time.Duration
+	// Replicas is the replica-set size R each hash range is owned by
+	// (default 2, capped by the worker count). Must match the workers'.
+	Replicas int
+	// RetryBudget caps total attempts per request — the first try plus
+	// retries plus any hedge (default 3).
+	RetryBudget int
+	// HedgeAfter launches a hedged attempt at the next replica once the
+	// current attempt has been in flight this long without answering.
+	// Zero disables hedging (the in-process/test default: a hedge
+	// duplicates compute on a second shard, which perturbs cluster-wide
+	// solve counts that several differential tests pin down).
+	HedgeAfter time.Duration
+	// BackoffBase and BackoffCap bound the jittered exponential backoff
+	// between retry attempts (defaults 10ms and 200ms).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
 }
 
 func (c *RouterConfig) fillDefaults() {
@@ -104,7 +134,23 @@ func (c *RouterConfig) fillDefaults() {
 	if c.ReadyTTL <= 0 {
 		c.ReadyTTL = 500 * time.Millisecond
 	}
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 200 * time.Millisecond
+	}
 }
+
+// DefaultReplicas is the replica-set size used when a config leaves it
+// zero.
+const DefaultReplicas = 2
 
 // NewRouter builds a router over the worker set.
 func NewRouter(cfg RouterConfig) (*Router, error) {
@@ -120,9 +166,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		ids:      obs.NewTracer(1, 1, time.Hour),
 		perShard: make(map[string]*shardStats, len(cfg.Workers)),
 		ready:    make(map[string]readyState),
+		probeMu:  make(map[string]*sync.Mutex, len(cfg.Workers)),
+		jitter:   rand.New(rand.NewSource(hashSeed(cfg.Workers))),
 	}
 	for _, node := range cfg.Workers {
 		r.perShard[node] = &shardStats{}
+		r.probeMu[node] = &sync.Mutex{}
 	}
 	if r.client == nil {
 		r.client = &http.Client{Timeout: 60 * time.Second}
@@ -165,7 +214,7 @@ func (r *Router) handleProxy(rw http.ResponseWriter, req *http.Request) {
 	if key == "" {
 		r.fallback.Add(1)
 	}
-	r.forward(rw, req, key, body, traceID)
+	r.forward(rw, req, key, body, traceID, true)
 }
 
 // traceID adopts the client's X-Regcoal-Trace-Id when valid, otherwise
@@ -219,7 +268,13 @@ func (r *Router) handleDelta(rw http.ResponseWriter, req *http.Request) {
 	if key == "" {
 		r.fallback.Add(1)
 	}
-	r.forward(rw, req, key, body, traceID)
+	// No hedging here: a delta batch is not idempotent, and a hedged
+	// duplicate landing on a replica could rebuild and apply the session
+	// divergently. Retries stay on — a transport failure means the
+	// primary never answered, and the next replica rebuilds from the
+	// replicated log; a duplicate of an already-applied versioned batch
+	// is caught by the optimistic-concurrency guard (409).
+	r.forward(rw, req, key, body, traceID, false)
 }
 
 // deltaRoutingKey extracts the base-graph hash from a delta-session
@@ -240,16 +295,19 @@ func (r *Router) deltaRoutingKey(body []byte) string {
 	return service.RoutingHash(&service.Request{Graph: req.Graph, K: req.K}, r.cfg.MaxVertices)
 }
 
-// forward sends body to the first available worker in key's ring
-// sequence and copies the response verbatim, tagging the shard that
-// answered in X-Regcoal-Shard. The client request's path, query (so
-// ?trace=1 reaches the worker), and trace opt-in headers ride along.
-func (r *Router) forward(rw http.ResponseWriter, req *http.Request, key string, body []byte, traceID string) {
+// forward sends body to key's replica set under the retry budget and
+// copies the winning response verbatim, tagging the shard that answered
+// in X-Regcoal-Shard. The client request's path, query (so ?trace=1
+// reaches the worker), and trace opt-in headers ride along. hedge
+// enables the hedged second attempt — callers disable it for
+// non-idempotent bodies (session deltas), where a raced duplicate could
+// apply twice.
+func (r *Router) forward(rw http.ResponseWriter, req *http.Request, key string, body []byte, traceID string, hedge bool) {
 	path := req.URL.Path
 	if q := req.URL.RawQuery; q != "" {
 		path += "?" + q
 	}
-	status, hdr, respBody, node, err := r.forwardTo(path, key, body, traceID, req)
+	status, hdr, respBody, node, err := r.forwardTo(path, key, body, traceID, req, hedge)
 	if err != nil {
 		r.noWorker.Add(1)
 		r.writeError(rw, http.StatusBadGateway, err.Error())
@@ -265,81 +323,227 @@ func (r *Router) forward(rw http.ResponseWriter, req *http.Request, key string, 
 	rw.Write(respBody)
 }
 
-// forwardTo tries each node in key's ring sequence: skip nodes failing
-// their cached readiness probe, fail over on transport errors. The
-// answering shard's counters and latency histogram record the attempt;
-// traceID and the client's trace opt-in headers propagate to the worker.
-// clientReq may be nil (batch sub-requests carry no per-item opt-ins).
-func (r *Router) forwardTo(path, key string, body []byte, traceID string, clientReq *http.Request) (status int, hdr http.Header, respBody []byte, node string, err error) {
-	seq := r.ring.Sequence(key)
-	var lastErr error
-	for i, candidate := range seq {
-		if !r.isReady(candidate) {
-			continue
-		}
-		failedOver := i > 0
-		if failedOver {
-			r.failovers.Add(1)
-		}
-		freq, ferr := http.NewRequest(http.MethodPost, candidate+path, bytes.NewReader(body))
-		if ferr != nil {
-			lastErr = ferr
-			continue
-		}
-		freq.Header.Set("Content-Type", "application/json")
-		if traceID != "" {
-			freq.Header.Set(service.TraceIDHeader, traceID)
-		}
-		if clientReq != nil {
-			for _, h := range []string{service.TraceHeader, service.FamilyHeader} {
-				if v := clientReq.Header.Get(h); v != "" {
-					freq.Header.Set(h, v)
-				}
+// attemptResult is one forward attempt's outcome.
+type attemptResult struct {
+	status     int
+	hdr        http.Header
+	body       []byte
+	node       string
+	failedOver bool
+	dur        time.Duration
+	err        error
+}
+
+// attempt performs one forward to node and reports the outcome. A
+// transport error marks the node unready so concurrent and subsequent
+// requests skip it for a ReadyTTL window.
+func (r *Router) attempt(node, path string, body []byte, traceID string, clientReq *http.Request, failedOver bool) attemptResult {
+	res := attemptResult{node: node, failedOver: failedOver}
+	freq, err := http.NewRequest(http.MethodPost, node+path, bytes.NewReader(body))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	freq.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		freq.Header.Set(service.TraceIDHeader, traceID)
+	}
+	if clientReq != nil {
+		for _, h := range []string{service.TraceHeader, service.FamilyHeader} {
+			if v := clientReq.Header.Get(h); v != "" {
+				freq.Header.Set(h, v)
 			}
 		}
-		start := time.Now()
-		resp, ferr := r.client.Do(freq)
-		if ferr != nil {
-			r.markUnready(candidate)
-			lastErr = ferr
-			continue
-		}
-		data, rerr := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if rerr != nil {
-			lastErr = rerr
-			continue
-		}
-		r.countShard(candidate, failedOver, key == "", time.Since(start))
-		return resp.StatusCode, resp.Header, data, candidate, nil
 	}
-	if lastErr != nil {
-		return 0, nil, nil, "", fmt.Errorf("no worker available: %v", lastErr)
+	start := time.Now()
+	resp, err := r.client.Do(freq)
+	if err != nil {
+		r.markUnready(node)
+		res.err = err
+		return res
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.status = resp.StatusCode
+	res.hdr = resp.Header
+	res.body = data
+	res.dur = time.Since(start)
+	return res
+}
+
+// forwardTo answers one request through key's ring sequence — replica
+// set first — under the retry budget. Attempts that fail in transport
+// or answer 5xx retry the next distinct node (never the same node
+// twice) after a capped, jittered exponential backoff; when hedge is
+// set, a duplicate attempt races the next candidate once the current
+// one has been in flight longer than HedgeAfter, and the first
+// non-5xx answer wins. Unready nodes are skipped. Only when every
+// candidate has failed does the client see a 5xx: the last 5xx body
+// verbatim, or a 502 when no node could even be reached. The answering
+// shard's counters and latency histogram record the attempt; traceID
+// and the client's trace opt-in headers propagate to the worker.
+// clientReq may be nil (batch sub-requests carry no per-item opt-ins).
+func (r *Router) forwardTo(path, key string, body []byte, traceID string, clientReq *http.Request, hedge bool) (status int, hdr http.Header, respBody []byte, node string, err error) {
+	seq := r.ring.Sequence(key)
+	results := make(chan attemptResult, len(seq)+1)
+	next, launched, inFlight := 0, 0, 0
+	launch := func() bool {
+		for next < len(seq) {
+			candidate := seq[next]
+			failedOver := next > 0
+			next++
+			if !r.isReady(candidate) {
+				continue
+			}
+			if failedOver {
+				r.failovers.Add(1)
+			}
+			launched++
+			inFlight++
+			go func() {
+				results <- r.attempt(candidate, path, body, traceID, clientReq, failedOver)
+			}()
+			return true
+		}
+		return false
+	}
+	launch()
+
+	var hedgeC <-chan time.Time
+	if hedge && r.cfg.HedgeAfter > 0 && inFlight > 0 {
+		ht := time.NewTimer(r.cfg.HedgeAfter)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+	var backoffT *time.Timer
+	var backoffC <-chan time.Time
+	defer func() {
+		if backoffT != nil {
+			backoffT.Stop()
+		}
+	}()
+	var last attemptResult
+	haveLast := false
+	for inFlight > 0 || backoffC != nil {
+		select {
+		case res := <-results:
+			inFlight--
+			if res.err == nil && res.status < http.StatusInternalServerError {
+				r.countShard(res.node, res.failedOver, key == "", res.dur)
+				return res.status, res.hdr, res.body, res.node, nil
+			}
+			last, haveLast = res, true
+			if launched < r.cfg.RetryBudget && next < len(seq) && backoffC == nil {
+				r.retries.Add(1)
+				backoffT = time.NewTimer(r.backoff(launched))
+				backoffC = backoffT.C
+			}
+		case <-backoffC:
+			backoffC = nil
+			launch()
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < r.cfg.RetryBudget && launch() {
+				r.hedges.Add(1)
+			}
+		}
+	}
+	if haveLast && last.err == nil {
+		// Every candidate answered 5xx: relay the last body verbatim so
+		// the client sees the worker's own error, not a router wrapper.
+		r.countShard(last.node, last.failedOver, key == "", last.dur)
+		return last.status, last.hdr, last.body, last.node, nil
+	}
+	if haveLast {
+		return 0, nil, nil, "", fmt.Errorf("no worker available: %v", last.err)
 	}
 	return 0, nil, nil, "", fmt.Errorf("no worker available")
 }
 
+// backoff returns the pre-retry wait after `attempt` launched attempts:
+// BackoffBase doubling per attempt, capped at BackoffCap, with the
+// upper half jittered to decorrelate concurrent retry storms.
+func (r *Router) backoff(attempt int) time.Duration {
+	d := r.cfg.BackoffBase
+	for i := 1; i < attempt && d < r.cfg.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > r.cfg.BackoffCap {
+		d = r.cfg.BackoffCap
+	}
+	r.jitterMu.Lock()
+	j := time.Duration(r.jitter.Int63n(int64(d)/2 + 1))
+	r.jitterMu.Unlock()
+	return d/2 + j
+}
+
+// hashSeed folds the worker list into the jitter seed, so distinct
+// routers decorrelate without consulting a clock.
+func hashSeed(nodes []string) int64 {
+	h := fnv.New64a()
+	for _, n := range nodes {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64())
+}
+
 // isReady consults the cached readiness of node, probing /readyz when
 // the cache entry is stale. A draining worker answers 503 and is skipped
-// until its probe recovers.
+// until its probe recovers. The probe itself is singleflighted per
+// node: when a stale entry is hit by many concurrent requests, exactly
+// one of them probes and the rest reuse its fresh result — at most one
+// probe per peer per ReadyTTL window, no thundering herd on the
+// failover path.
 func (r *Router) isReady(node string) bool {
-	r.readyMu.Lock()
-	st, ok := r.ready[node]
-	r.readyMu.Unlock()
-	if ok && time.Since(st.at) < r.cfg.ReadyTTL {
-		return st.ok
+	if ok, fresh := r.readyCached(node); fresh {
+		return ok
 	}
-	ready := false
-	resp, err := r.client.Get(node + "/readyz")
-	if err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		ready = resp.StatusCode == http.StatusOK
+	mu := r.probeMu[node]
+	if mu == nil {
+		// Not a configured worker (defensive): probe without caching.
+		return r.probe(node)
 	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Re-check: the probe that held the lock first has refreshed the
+	// cache for everyone who queued behind it.
+	if ok, fresh := r.readyCached(node); fresh {
+		return ok
+	}
+	ready := r.probe(node)
 	r.readyMu.Lock()
 	r.ready[node] = readyState{ok: ready, at: time.Now()}
 	r.readyMu.Unlock()
 	return ready
+}
+
+// readyCached returns node's cached readiness and whether the entry is
+// still fresh.
+func (r *Router) readyCached(node string) (ok, fresh bool) {
+	r.readyMu.Lock()
+	st, have := r.ready[node]
+	r.readyMu.Unlock()
+	if have && time.Since(st.at) < r.cfg.ReadyTTL {
+		return st.ok, true
+	}
+	return false, false
+}
+
+// probe performs one GET /readyz.
+func (r *Router) probe(node string) bool {
+	r.readyProbes.Add(1)
+	resp, err := r.client.Get(node + "/readyz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 func (r *Router) markUnready(node string) {
@@ -392,15 +596,15 @@ func (r *Router) handleBatch(rw http.ResponseWriter, req *http.Request) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if derr := dec.Decode(&breq); derr != nil {
-		r.forward(rw, req, "", body, traceID)
+		r.forward(rw, req, "", body, traceID, true)
 		return
 	}
 	if _, kerr := service.ParseKind(breq.Kind); kerr != nil {
-		r.forward(rw, req, "", body, traceID)
+		r.forward(rw, req, "", body, traceID, true)
 		return
 	}
 	if len(breq.Items) == 0 || len(breq.Items) > r.cfg.MaxBatch {
-		r.forward(rw, req, "", body, traceID)
+		r.forward(rw, req, "", body, traceID, true)
 		return
 	}
 	r.batchItems.Add(int64(len(breq.Items)))
@@ -448,7 +652,7 @@ func (r *Router) handleBatch(rw http.ResponseWriter, req *http.Request) {
 				r.fillErrors(results, g.indices, fmt.Sprintf("encoding shard batch: %v", merr))
 				return
 			}
-			status, _, respBody, _, ferr := r.forwardTo(req.URL.Path, g.key, subBody, traceID, req)
+			status, _, respBody, _, ferr := r.forwardTo(req.URL.Path, g.key, subBody, traceID, req, true)
 			if ferr != nil {
 				r.noWorker.Add(1)
 				r.fillErrors(results, g.indices, fmt.Sprintf("shard unavailable: %v", ferr))
@@ -505,11 +709,15 @@ type ShardSummary struct {
 // RouterStats is the router's counter snapshot, served on /stats.
 type RouterStats struct {
 	Workers       []string                `json:"workers"`
+	Replicas      int                     `json:"replicas"`
 	Proxied       int64                   `json:"proxied"`
 	BatchRequests int64                   `json:"batch_requests"`
 	BatchItems    int64                   `json:"batch_items"`
 	Fallback      int64                   `json:"fallback_routed"`
 	Failovers     int64                   `json:"failovers"`
+	Retries       int64                   `json:"retries"`
+	Hedges        int64                   `json:"hedges"`
+	ReadyProbes   int64                   `json:"ready_probes"`
 	NoWorker      int64                   `json:"no_worker"`
 	PerShard      map[string]ShardSummary `json:"per_shard"`
 }
@@ -532,11 +740,15 @@ func (r *Router) Stats() RouterStats {
 	}
 	return RouterStats{
 		Workers:       r.ring.Nodes(),
+		Replicas:      r.cfg.Replicas,
 		Proxied:       r.proxied.Load(),
 		BatchRequests: r.batchRequests.Load(),
 		BatchItems:    r.batchItems.Load(),
 		Fallback:      r.fallback.Load(),
 		Failovers:     r.failovers.Load(),
+		Retries:       r.retries.Load(),
+		Hedges:        r.hedges.Load(),
+		ReadyProbes:   r.readyProbes.Load(),
 		NoWorker:      r.noWorker.Load(),
 		PerShard:      per,
 	}
@@ -557,6 +769,9 @@ func (r *Router) handleMetrics(rw http.ResponseWriter, req *http.Request) {
 	counter("regcoal_router_batch_items_total", "Batch items fanned out.", st.BatchItems)
 	counter("regcoal_router_fallback_total", "Requests routed to the fallback shard.", st.Fallback)
 	counter("regcoal_router_failovers_total", "Requests answered by a non-owner after failover.", st.Failovers)
+	counter("regcoal_router_retries_total", "Attempts retried on a further replica after a transport error or 5xx.", st.Retries)
+	counter("regcoal_router_hedges_total", "Hedged attempts launched after HedgeAfter without an answer.", st.Hedges)
+	counter("regcoal_router_ready_probes_total", "Readiness probes issued (singleflighted per peer per ReadyTTL window).", st.ReadyProbes)
 	counter("regcoal_router_no_worker_total", "Requests that found no available worker.", st.NoWorker)
 	nodes := make([]string, 0, len(st.PerShard))
 	for n := range st.PerShard {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -38,10 +39,14 @@ func setTraceHeader(req *http.Request, tr *obs.Trace) {
 //     numbering.
 //   - Admission lanes: misses are classified fast/heavy by size class and
 //     admitted through bounded lanes; a full lane answers 429.
-//   - Push-on-compute: an entry computed for a hash this shard does not
-//     own is pushed to the owner (PUT /internal/cache), so the owning
-//     shard accumulates the cluster's working set no matter where traffic
-//     lands.
+//   - Push-on-compute: an entry computed on any shard is pushed to every
+//     member of its hash's replica set (PUT /internal/cache), so each of
+//     the R owners accumulates the cluster's working set no matter where
+//     traffic lands — read-your-writes holds on any replica.
+//   - Session replication: successful /v1/coalesce/delta ops are logged
+//     and pushed to the replica set of the session's base hash, so a
+//     secondary can rebuild a primary's session by deterministic replay
+//     (see replication.go).
 type Worker struct {
 	svc    *service.Server
 	cfg    WorkerConfig
@@ -50,11 +55,18 @@ type Worker struct {
 	client *http.Client
 	mux    *http.ServeMux
 
-	peerFills   atomic.Int64 // local misses answered from a peer's cache
-	peerMisses  atomic.Int64 // peer lookups that found nothing
-	peerErrors  atomic.Int64 // peer lookups/pushes that failed
-	peerPushes  atomic.Int64 // computed entries pushed to their owner
-	laneRejects [2]atomic.Int64
+	sessLogs *sessionLogs
+	replLag  map[string]*atomic.Int64 // per-peer un-acked log pushes; immutable map
+
+	peerFills       atomic.Int64 // local misses answered from a peer's cache
+	peerMisses      atomic.Int64 // peer lookups that found nothing
+	peerErrors      atomic.Int64 // peer lookups/pushes that failed
+	peerPushes      atomic.Int64 // computed entries pushed to replica owners
+	replPushes      atomic.Int64 // session log records replicated to peers
+	replFailures    atomic.Int64 // ...that failed
+	rebuilds        atomic.Int64 // sessions rebuilt from a replicated log
+	rebuildFailures atomic.Int64 // ...that failed to replay
+	laneRejects     [2]atomic.Int64
 }
 
 // WorkerConfig parameterizes a Worker. Self and Peers use the same base
@@ -76,6 +88,10 @@ type WorkerConfig struct {
 	// DisablePeerFill turns off L2 lookups and pushes while keeping the
 	// ring (for experiments isolating admission from the tiered cache).
 	DisablePeerFill bool
+	// Replicas is the replica-set size R each hash range is owned by
+	// (default DefaultReplicas, capped by the worker count). Must match
+	// the router's. R = 1 is the pre-replication single-owner behavior.
+	Replicas int
 }
 
 // NewWorker wraps svc as a cluster shard.
@@ -93,11 +109,13 @@ func NewWorker(svc *service.Server, cfg WorkerConfig) (*Worker, error) {
 		}
 	}
 	w := &Worker{
-		svc:    svc,
-		cfg:    cfg,
-		adm:    NewAdmission(cfg.Admission),
-		client: cfg.Client,
-		mux:    http.NewServeMux(),
+		svc:      svc,
+		cfg:      cfg,
+		adm:      NewAdmission(cfg.Admission),
+		client:   cfg.Client,
+		mux:      http.NewServeMux(),
+		sessLogs: newSessionLogs(svc.Config().MaxSessions),
+		replLag:  make(map[string]*atomic.Int64, len(cfg.Peers)),
 	}
 	if cfg.Self != "" && len(cfg.Peers) > 1 {
 		w.ring = NewRing(cfg.Peers, cfg.VNodes)
@@ -105,16 +123,31 @@ func NewWorker(svc *service.Server, cfg WorkerConfig) (*Worker, error) {
 	if w.client == nil {
 		w.client = &http.Client{Timeout: 2 * time.Second}
 	}
+	for _, p := range cfg.Peers {
+		if p != cfg.Self {
+			w.replLag[p] = &atomic.Int64{}
+		}
+	}
 	w.mux.HandleFunc("/v1/coalesce", w.handleSolve(service.KindCoalesce))
 	w.mux.HandleFunc("/v1/allocate", w.handleSolve(service.KindAllocate))
 	w.mux.HandleFunc("/v1/spill", w.handleSolve(service.KindSpill))
+	w.mux.HandleFunc("/v1/coalesce/delta", w.handleDelta)
 	w.mux.HandleFunc("/v1/batch", w.handleBatch)
 	w.mux.HandleFunc("/internal/cache", w.handleInternalCache)
+	w.mux.HandleFunc("/internal/session/log", w.handleInternalSessionLog)
 	w.mux.HandleFunc("/metrics", w.handleMetrics)
 	w.mux.HandleFunc("/stats", w.handleStats)
 	// Liveness, readiness, and anything else stay the service's.
 	w.mux.Handle("/", svc.Handler())
 	return w, nil
+}
+
+// replicaCount is the effective replica-set size.
+func (w *Worker) replicaCount() int {
+	if w.cfg.Replicas > 0 {
+		return w.cfg.Replicas
+	}
+	return DefaultReplicas
 }
 
 // ServeHTTP implements http.Handler.
@@ -256,7 +289,7 @@ func (w *Worker) solveClustered(p *service.Prepared, tr *obs.Trace) (body []byte
 	if err != nil {
 		return nil, "", "", err
 	}
-	w.pushToOwner(p, disposition, tr)
+	w.pushToOwners(p, disposition, tr)
 	return body, disposition, "compute", nil
 }
 
@@ -290,7 +323,7 @@ func (w *Worker) solveBatchEntry(kind service.Kind, sub *service.Request) servic
 	w.peerFill(p, nil)
 	e, disposition := w.svc.SolveBatchEntry(p)
 	if e.Error == "" {
-		w.pushToOwner(p, disposition, nil)
+		w.pushToOwners(p, disposition, nil)
 	}
 	return e
 }
@@ -365,21 +398,31 @@ func (w *Worker) handleBatch(rw http.ResponseWriter, r *http.Request) {
 	w.writeJSON(rw, http.StatusOK, w.runBatch(kind, req.Items))
 }
 
-// peerFill consults the owning shard's cache for a key this shard does
-// not own and is missing locally. Returns whether the local cache was
-// seeded from the peer. The request's trace ID (when tr is non-nil)
-// rides the lookup so the hop is attributable to its cluster request.
+// peerFill consults the replica owners' caches for a key missing
+// locally, in replica order, seeding the local cache from the first
+// hit. Returns whether the local cache was seeded. The request's trace
+// ID (when tr is non-nil) rides each lookup so the hops are
+// attributable to their cluster request.
 func (w *Worker) peerFill(p *service.Prepared, tr *obs.Trace) bool {
 	if w.ring == nil || w.cfg.DisablePeerFill || p.NoCache() {
-		return false
-	}
-	owner := w.ring.Owner(p.Hash())
-	if owner == w.cfg.Self {
 		return false
 	}
 	if w.svc.CacheContains(p.Key()) {
 		return false
 	}
+	for _, owner := range w.ring.Replicas(p.Hash(), w.replicaCount()) {
+		if owner == w.cfg.Self {
+			continue
+		}
+		if w.peerFillFrom(owner, p, tr) {
+			return true
+		}
+	}
+	return false
+}
+
+// peerFillFrom asks one replica owner for the entry.
+func (w *Worker) peerFillFrom(owner string, p *service.Prepared, tr *obs.Trace) bool {
 	req, err := http.NewRequest(http.MethodGet, owner+"/internal/cache?key="+url.QueryEscape(p.Key()), nil)
 	if err != nil {
 		w.peerErrors.Add(1)
@@ -415,41 +458,44 @@ func (w *Worker) peerFill(p *service.Prepared, tr *obs.Trace) bool {
 	return true
 }
 
-// pushToOwner sends a freshly computed entry to the shard owning its
-// hash, so the owner's cache accumulates the cluster working set no
-// matter which worker the traffic hit. Synchronous and best-effort: a
-// failed push costs a future peer-fill miss, nothing else.
-func (w *Worker) pushToOwner(p *service.Prepared, disposition string, tr *obs.Trace) {
+// pushToOwners sends a freshly computed entry to every member of its
+// hash's replica set, so each of the R owners accumulates the cluster
+// working set no matter which worker the traffic hit — and a later read
+// answered by any replica sees the write (read-your-writes).
+// Synchronous and best-effort: a failed push costs a future peer-fill
+// miss, nothing else.
+func (w *Worker) pushToOwners(p *service.Prepared, disposition string, tr *obs.Trace) {
 	if w.ring == nil || w.cfg.DisablePeerFill || p.NoCache() || disposition != "miss" {
-		return
-	}
-	owner := w.ring.Owner(p.Hash())
-	if owner == w.cfg.Self {
 		return
 	}
 	data, ok := w.svc.CachePeek(p.Key())
 	if !ok {
 		return
 	}
-	req, err := http.NewRequest(http.MethodPut, owner+"/internal/cache?key="+url.QueryEscape(p.Key()), bytes.NewReader(data))
-	if err != nil {
-		w.peerErrors.Add(1)
-		return
+	for _, owner := range w.ring.Replicas(p.Hash(), w.replicaCount()) {
+		if owner == w.cfg.Self {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodPut, owner+"/internal/cache?key="+url.QueryEscape(p.Key()), bytes.NewReader(data))
+		if err != nil {
+			w.peerErrors.Add(1)
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		setTraceHeader(req, tr)
+		resp, err := w.client.Do(req)
+		if err != nil {
+			w.peerErrors.Add(1)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+			w.peerErrors.Add(1)
+			continue
+		}
+		w.peerPushes.Add(1)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	setTraceHeader(req, tr)
-	resp, err := w.client.Do(req)
-	if err != nil {
-		w.peerErrors.Add(1)
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		w.peerErrors.Add(1)
-		return
-	}
-	w.peerPushes.Add(1)
 }
 
 // handleInternalCache is the peer-fill wire: GET returns the serialized
@@ -487,31 +533,52 @@ func (w *Worker) handleInternalCache(rw http.ResponseWriter, r *http.Request) {
 // ClusterStats is the worker's shard-level counter section, nested under
 // "cluster" in its /stats body.
 type ClusterStats struct {
-	Self             string `json:"self,omitempty"`
-	Peers            int    `json:"peers"`
-	PeerFills        int64  `json:"peer_fills"`
-	PeerMisses       int64  `json:"peer_misses"`
-	PeerPushes       int64  `json:"peer_pushes"`
-	PeerErrors       int64  `json:"peer_errors"`
-	FastLaneRejects  int64  `json:"fast_lane_rejects"`
-	HeavyLaneRejects int64  `json:"heavy_lane_rejects"`
-	FastLaneDepth    int    `json:"fast_lane_depth"`
-	HeavyLaneDepth   int    `json:"heavy_lane_depth"`
+	Self                string           `json:"self,omitempty"`
+	Peers               int              `json:"peers"`
+	Replicas            int              `json:"replicas"`
+	PeerFills           int64            `json:"peer_fills"`
+	PeerMisses          int64            `json:"peer_misses"`
+	PeerPushes          int64            `json:"peer_pushes"`
+	PeerErrors          int64            `json:"peer_errors"`
+	SessionReplPushes   int64            `json:"session_repl_pushes"`
+	SessionReplFailures int64            `json:"session_repl_failures"`
+	SessionRebuilds     int64            `json:"session_rebuilds"`
+	SessionRebuildFails int64            `json:"session_rebuild_failures"`
+	SessionLogs         int              `json:"session_logs"`
+	SessionReplicaLag   map[string]int64 `json:"session_replica_lag,omitempty"`
+	FastLaneRejects     int64            `json:"fast_lane_rejects"`
+	HeavyLaneRejects    int64            `json:"heavy_lane_rejects"`
+	FastLaneDepth       int              `json:"fast_lane_depth"`
+	HeavyLaneDepth      int              `json:"heavy_lane_depth"`
 }
 
 // Stats returns the shard-level counters.
 func (w *Worker) Stats() ClusterStats {
+	var lag map[string]int64
+	if len(w.replLag) > 0 {
+		lag = make(map[string]int64, len(w.replLag))
+		for peer, v := range w.replLag {
+			lag[peer] = v.Load()
+		}
+	}
 	return ClusterStats{
-		Self:             w.cfg.Self,
-		Peers:            len(w.cfg.Peers),
-		PeerFills:        w.peerFills.Load(),
-		PeerMisses:       w.peerMisses.Load(),
-		PeerPushes:       w.peerPushes.Load(),
-		PeerErrors:       w.peerErrors.Load(),
-		FastLaneRejects:  w.laneRejects[LaneFast].Load(),
-		HeavyLaneRejects: w.laneRejects[LaneHeavy].Load(),
-		FastLaneDepth:    w.adm.Depth(LaneFast),
-		HeavyLaneDepth:   w.adm.Depth(LaneHeavy),
+		Self:                w.cfg.Self,
+		Peers:               len(w.cfg.Peers),
+		Replicas:            w.replicaCount(),
+		PeerFills:           w.peerFills.Load(),
+		PeerMisses:          w.peerMisses.Load(),
+		PeerPushes:          w.peerPushes.Load(),
+		PeerErrors:          w.peerErrors.Load(),
+		SessionReplPushes:   w.replPushes.Load(),
+		SessionReplFailures: w.replFailures.Load(),
+		SessionRebuilds:     w.rebuilds.Load(),
+		SessionRebuildFails: w.rebuildFailures.Load(),
+		SessionLogs:         w.sessLogs.len(),
+		SessionReplicaLag:   lag,
+		FastLaneRejects:     w.laneRejects[LaneFast].Load(),
+		HeavyLaneRejects:    w.laneRejects[LaneHeavy].Load(),
+		FastLaneDepth:       w.adm.Depth(LaneFast),
+		HeavyLaneDepth:      w.adm.Depth(LaneHeavy),
 	}
 }
 
@@ -537,6 +604,21 @@ func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
 	counter("regcoal_cluster_peer_misses_total", "Peer cache lookups that found nothing.", cs.PeerMisses)
 	counter("regcoal_cluster_peer_pushes_total", "Computed entries pushed to their owning shard.", cs.PeerPushes)
 	counter("regcoal_cluster_peer_errors_total", "Failed peer cache lookups or pushes.", cs.PeerErrors)
+	counter("regcoal_session_repl_pushes_total", "Session op-log records replicated to peers.", cs.SessionReplPushes)
+	counter("regcoal_session_repl_failures_total", "Session op-log replication pushes that failed.", cs.SessionReplFailures)
+	counter("regcoal_session_rebuilds_total", "Sessions rebuilt from a replicated op log after failover.", cs.SessionRebuilds)
+	counter("regcoal_session_rebuild_failures_total", "Session rebuilds that failed to replay.", cs.SessionRebuildFails)
+	if len(cs.SessionReplicaLag) > 0 {
+		fmt.Fprintf(rw, "# HELP regcoal_session_replica_lag Un-acked session log pushes per peer (rises on push, falls on ack).\n# TYPE regcoal_session_replica_lag gauge\n")
+		peers := make([]string, 0, len(cs.SessionReplicaLag))
+		for p := range cs.SessionReplicaLag {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			fmt.Fprintf(rw, "regcoal_session_replica_lag{peer=%q} %d\n", p, cs.SessionReplicaLag[p])
+		}
+	}
 	fmt.Fprintf(rw, "# HELP regcoal_cluster_lane_rejects_total Admission rejections per lane.\n# TYPE regcoal_cluster_lane_rejects_total counter\n")
 	fmt.Fprintf(rw, "regcoal_cluster_lane_rejects_total{lane=\"fast\"} %d\n", cs.FastLaneRejects)
 	fmt.Fprintf(rw, "regcoal_cluster_lane_rejects_total{lane=\"heavy\"} %d\n", cs.HeavyLaneRejects)

@@ -1,0 +1,153 @@
+package faultinject_test
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"regcoal/internal/faultinject"
+)
+
+func TestParsePlanValidates(t *testing.T) {
+	good := `{"seed": 7, "rules": [
+		{"peer": "w1", "mode": "blackhole", "from": 5},
+		{"peer": "w2", "mode": "error", "prob": 0.1},
+		{"peer": "*", "mode": "delay", "delay_ms": 20, "to": 10}
+	]}`
+	p, err := faultinject.ParsePlan([]byte(good))
+	if err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+	if p.Seed != 7 || len(p.Rules) != 3 {
+		t.Fatalf("plan mis-parsed: %+v", p)
+	}
+	for _, bad := range []string{
+		`{"rules":[{"peer":"w0","mode":"explode"}]}`,
+		`{"rules":[{"peer":"","mode":"drop"}]}`,
+		`{"rules":[{"peer":"w0","mode":"drop","from":5,"to":3}]}`,
+		`{"rules":[{"peer":"w0","mode":"drop","prob":1.5}]}`,
+		`{"rules":[{"peer":"w0","mode":"delay"}]}`,
+		`{"rules":[{"peer":"w0","mode":"drop","side":"middle"}]}`,
+	} {
+		if _, err := faultinject.ParsePlan([]byte(bad)); err == nil {
+			t.Errorf("plan %s accepted, want error", bad)
+		}
+	}
+}
+
+// The injector's decisions are a pure function of (seed, peer, side,
+// request index): two injectors over one plan agree decision-for-
+// decision, and windows bound exactly which indices can fault.
+func TestDecideDeterministicAndWindowed(t *testing.T) {
+	plan := &faultinject.Plan{Seed: 42, Rules: []faultinject.Rule{
+		{Peer: "w1", Mode: faultinject.ModeBlackhole, From: 3, To: 6},
+		{Peer: "w2", Mode: faultinject.ModeError, Prob: 0.5},
+	}}
+	a, b := faultinject.New(plan), faultinject.New(plan)
+	errorsSeen := 0
+	for n := 0; n < 200; n++ {
+		actA, okA := a.Decide("w1", faultinject.SideClient)
+		actB, okB := b.Decide("w1", faultinject.SideClient)
+		if okA != okB || actA != actB {
+			t.Fatalf("request %d: injectors disagree: %v/%v vs %v/%v", n, actA, okA, actB, okB)
+		}
+		if want := n >= 3 && n < 6; okA != want {
+			t.Fatalf("request %d: blackhole fired=%v, want %v", n, okA, want)
+		}
+		_, okA = a.Decide("w2", faultinject.SideServer)
+		_, okB = b.Decide("w2", faultinject.SideServer)
+		if okA != okB {
+			t.Fatalf("request %d: probabilistic decisions disagree", n)
+		}
+		if okA {
+			errorsSeen++
+		}
+	}
+	// Prob 0.5 over 200 coins: anything near half; the exact count is
+	// seed-determined, the test only guards against all-or-nothing.
+	if errorsSeen < 50 || errorsSeen > 150 {
+		t.Fatalf("prob 0.5 fired %d/200 times", errorsSeen)
+	}
+}
+
+// Sides partition the rules: a client-side blackhole never fires in the
+// middleware, a server-side error never fires in the transport.
+func TestSidesArePartitioned(t *testing.T) {
+	plan := &faultinject.Plan{Rules: []faultinject.Rule{
+		{Peer: "w0", Mode: faultinject.ModeBlackhole},
+		{Peer: "w0", Mode: faultinject.ModeError},
+	}}
+	in := faultinject.New(plan)
+	if act, ok := in.Decide("w0", faultinject.SideClient); !ok || act.Mode != faultinject.ModeBlackhole {
+		t.Fatalf("client side: got %v/%v, want blackhole", act, ok)
+	}
+	if act, ok := in.Decide("w0", faultinject.SideServer); !ok || act.Mode != faultinject.ModeError {
+		t.Fatalf("server side: got %v/%v, want error", act, ok)
+	}
+}
+
+func TestTransportDropsAndNames(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		io.WriteString(rw, "ok")
+	}))
+	defer backend.Close()
+
+	plan := &faultinject.Plan{Rules: []faultinject.Rule{
+		{Peer: "w0", Mode: faultinject.ModeDrop, From: 1, To: 2},
+	}}
+	in := faultinject.New(plan)
+	client := &http.Client{Transport: in.Transport(nil, faultinject.NameMap([]string{backend.URL}))}
+
+	if _, err := client.Get(backend.URL); err != nil {
+		t.Fatalf("request 0 should pass: %v", err)
+	}
+	_, err := client.Get(backend.URL)
+	var inj *faultinject.InjectedError
+	if err == nil || !errors.As(err, &inj) {
+		t.Fatalf("request 1 should drop with InjectedError, got %v", err)
+	}
+	if inj.Peer != "w0" {
+		t.Fatalf("dropped peer named %q, want w0", inj.Peer)
+	}
+	if _, err := client.Get(backend.URL); err != nil {
+		t.Fatalf("request 2 should pass: %v", err)
+	}
+	if st := in.Stats(); st.Drops != 1 {
+		t.Fatalf("stats drops = %d, want 1", st.Drops)
+	}
+}
+
+// The middleware faults /v1/* only: health, metrics, and internal paths
+// pass untouched even under an always-error rule.
+func TestMiddlewareScopedToSolvePaths(t *testing.T) {
+	plan := &faultinject.Plan{Rules: []faultinject.Rule{
+		{Peer: "w0", Mode: faultinject.ModeError, Status: 503},
+	}}
+	in := faultinject.New(plan)
+	next := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+	})
+	h := in.Middleware("w0", next)
+
+	for path, want := range map[string]int{
+		"/v1/coalesce":    http.StatusServiceUnavailable,
+		"/v1/batch":       http.StatusServiceUnavailable,
+		"/readyz":         http.StatusOK,
+		"/metrics":        http.StatusOK,
+		"/internal/cache": http.StatusOK,
+	} {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader("{}"))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != want {
+			t.Errorf("%s: status %d, want %d", path, rec.Code, want)
+		}
+	}
+	if st := in.Stats(); st.Errors != 2 {
+		t.Fatalf("stats errors = %d, want 2", st.Errors)
+	}
+}

@@ -92,7 +92,15 @@ func (st *Store) Create(f *graph.File, k int, baseHash string) (*Session, error)
 	st.mu.Lock()
 	id := st.mintID()
 	st.mu.Unlock()
+	return st.CreateWithID(id, f, k, baseHash)
+}
 
+// CreateWithID is Create under a caller-chosen id: the replication path
+// — a cluster secondary rebuilding a session from its replicated op log
+// — must preserve the id the primary minted, so the client's handle
+// survives a primary death. An id that is already live is a 409
+// ClientError (the session does not need rebuilding).
+func (st *Store) CreateWithID(id string, f *graph.File, k int, baseHash string) (*Session, error) {
 	// Build outside the store lock: creation solves the base instance.
 	s, err := New(id, f, k, st.cfg.Solver, baseHash, &st.metrics)
 	if err != nil {
@@ -100,6 +108,10 @@ func (st *Store) Create(f *graph.File, k int, baseHash string) (*Session, error)
 	}
 
 	st.mu.Lock()
+	if _, exists := st.byID[id]; exists {
+		st.mu.Unlock()
+		return nil, Errf(http.StatusConflict, "session %q already exists", id)
+	}
 	now := st.cfg.now()
 	st.expireLocked(now)
 	s.lastUse = now
