@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"regcoal/internal/cluster"
 	"regcoal/internal/faultinject"
 	"regcoal/internal/service/loadgen"
 )
@@ -54,6 +55,8 @@ func main() {
 		slowN       = flag.Int("slow", 0, "report the N slowest requests with trace IDs and per-phase timings")
 		asJSON      = flag.Bool("json", false, "emit the report as JSON on stdout (durations in ns) instead of the text summary")
 		chaos       = flag.String("chaos", "", "path to a fault-injection plan JSON applied client-side to generated traffic (see docs/FAULT_INJECTION.md)")
+		churnNode   = flag.String("churn", "", "worker base URL to repeatedly remove from and re-add to the ring mid-run via the first target's /internal/topology (rehearses live resharding; see docs/RESHARDING.md)")
+		churnEvery  = flag.Duration("churn-every", 2*time.Second, "interval between -churn membership flips")
 	)
 	flag.Parse()
 
@@ -91,6 +94,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: chaos plan %s armed (seed %d, %d rules)\n", *chaos, plan.Seed, len(plan.Rules))
 	}
 
+	// -churn flips one worker's membership while the load runs: remove,
+	// wait an interval, re-add, repeat — every flip bumps the epoch and
+	// triggers the handoff/migration machinery under real traffic. The
+	// node is always re-added before exit so the ring ends whole.
+	churnDone := make(chan struct{})
+	churnStopped := make(chan struct{})
+	if *churnNode != "" {
+		go func() {
+			defer close(churnStopped)
+			removed := false
+			flips := 0
+			defer func() {
+				if removed {
+					if _, err := cluster.PostTopologyUpdate(client, targets[0], []string{*churnNode}, nil); err != nil {
+						fmt.Fprintf(os.Stderr, "loadgen: churn re-add: %v\n", err)
+					}
+				}
+				fmt.Fprintf(os.Stderr, "loadgen: churn flipped %s %d times\n", *churnNode, flips)
+			}()
+			tick := time.NewTicker(*churnEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-churnDone:
+					return
+				case <-tick.C:
+				}
+				var add, remove []string
+				if removed {
+					add = []string{*churnNode}
+				} else {
+					remove = []string{*churnNode}
+				}
+				if _, err := cluster.PostTopologyUpdate(client, targets[0], add, remove); err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: churn: %v\n", err)
+					continue
+				}
+				removed = !removed
+				flips++
+			}
+		}()
+	} else {
+		close(churnStopped)
+	}
+
 	rep, err := loadgen.Run(context.Background(), loadgen.Options{
 		Targets:     targets,
 		Endpoint:    *endpoint,
@@ -99,6 +147,8 @@ func main() {
 		SlowN:       *slowN,
 		Client:      client,
 	}, jobs)
+	close(churnDone)
+	<-churnStopped
 	if err != nil {
 		fatal(err)
 	}

@@ -74,6 +74,8 @@ func main() {
 		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per worker on the consistent-hash ring")
 		replicas  = flag.Int("replicas", cluster.DefaultReplicas, "replica-set size R: workers owning each hash range (same value on every node)")
 
+		joinURL     = flag.String("join", "", "worker: router base URL to announce this node to at startup (live join) and to leave on shutdown")
+		handoffRate = flag.Float64("handoff-rate", 0, "worker: max cache entries streamed per second during a reshard handoff (0 = default 200)")
 		retryBudget = flag.Int("retry-budget", 0, "router: total attempts per request across replicas (0 = default 3)")
 		hedgeAfter  = flag.Duration("hedge-after", 250*time.Millisecond, "router: launch a hedged attempt on the next replica after this long (0 disables)")
 		faultPlan   = flag.String("fault-plan", "", "path to a fault-injection plan JSON (off when empty; see docs/FAULT_INJECTION.md)")
@@ -114,16 +116,24 @@ func main() {
 	}
 
 	var handler http.Handler = svc.Handler()
+	var clusterWorker *cluster.Worker
 	if *clusterOn {
 		if *role != "worker" {
 			fmt.Fprintf(os.Stderr, "serve: unknown -role %q (want worker or router)\n", *role)
 			os.Exit(1)
 		}
+		if *joinURL != "" && *self != "" && !contains(peerList, *self) {
+			// Joining an existing ring: the node set is -peers plus this
+			// node. The router's broadcast (or the first stale-epoch 409)
+			// overwrites this provisional view with the cluster's real one.
+			peerList = append(peerList, *self)
+		}
 		wcfg := cluster.WorkerConfig{
-			Self:     *self,
-			Peers:    peerList,
-			VNodes:   *vnodes,
-			Replicas: *replicas,
+			Self:        *self,
+			Peers:       peerList,
+			VNodes:      *vnodes,
+			Replicas:    *replicas,
+			HandoffRate: *handoffRate,
 		}
 		var inj *faultinject.Injector
 		if plan != nil {
@@ -139,6 +149,7 @@ func main() {
 			os.Exit(1)
 		}
 		handler = worker
+		clusterWorker = worker
 		if inj != nil {
 			// This worker's name in the plan is its position in -peers.
 			name := *self
@@ -178,6 +189,18 @@ func main() {
 	log.Printf("serve: listening on %s (workers=%d queue=%d cache=%d deadline=%v)",
 		*addr, *workers, *queue, *cacheCap, *deadline)
 
+	if clusterWorker != nil && *joinURL != "" {
+		// Announce the join once the listener is up: the router bumps the
+		// epoch, broadcasts the new view, and peers start streaming this
+		// node its share of the cache.
+		wire, jerr := cluster.PostTopologyUpdate(nil, *joinURL, []string{*self}, nil)
+		if jerr != nil {
+			log.Printf("serve: join %s: %v (serving anyway; an internal RPC will reconcile)", *joinURL, jerr)
+		} else {
+			log.Printf("serve: joined ring at epoch %d (%d nodes)", wire.Epoch, len(wire.Nodes))
+		}
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	select {
@@ -185,6 +208,20 @@ func main() {
 		log.Printf("serve: %v, draining", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		if clusterWorker != nil && *joinURL != "" {
+			// Leave the ring first: the router reassigns this node's hash
+			// ranges and broadcasts, which triggers this worker's own
+			// handoff — stream the reassigned cache entries and sessions
+			// to their new owners before the service stops answering.
+			if wire, lerr := cluster.PostTopologyUpdate(nil, *joinURL, nil, []string{*self}); lerr != nil {
+				log.Printf("serve: leave %s: %v", *joinURL, lerr)
+			} else {
+				log.Printf("serve: left ring at epoch %d", wire.Epoch)
+			}
+			if herr := clusterWorker.HandoffWait(ctx); herr != nil {
+				log.Printf("serve: handoff: %v", herr)
+			}
+		}
 		// Drain order matters: flip readiness first so load balancers and
 		// cluster routers stop sending traffic here, wait for in-flight
 		// work (a /v1/batch holds InFlight for its whole fan-out), then
@@ -251,6 +288,15 @@ func runRouter(addr string, workerURLs []string, vnodes, replicas, retryBudget i
 			log.Fatalf("serve: %v", err)
 		}
 	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 func splitList(s string) []string {

@@ -589,8 +589,16 @@ func TestClusterSmokeBatchByteIdentical(t *testing.T) {
 			t.Fatalf("result %d: error %q", i, r.Error)
 		}
 	}
-	// The batch was genuinely sharded, not proxied whole.
-	if shards := c.Router.Stats().PerShard; len(shards) < 2 {
-		t.Fatalf("batch touched %d shards, want 2: %v", len(shards), shards)
+	// The batch was genuinely sharded: it touched exactly the shards the
+	// ring assigns to the items' routing hashes. (With random ports the
+	// ring occasionally maps every item to one worker — a legal split —
+	// so the expectation is computed, not hard-coded at 2.)
+	ring := c.Router.Ring()
+	owners := make(map[string]bool, len(breq.Items))
+	for i := range breq.Items {
+		owners[ring.Owner(service.RoutingHash(&breq.Items[i], 200000))] = true
+	}
+	if shards := c.Router.Stats().PerShard; len(shards) != len(owners) {
+		t.Fatalf("batch touched %d shards, ring expects %d: %v", len(shards), len(owners), shards)
 	}
 }

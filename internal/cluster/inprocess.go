@@ -24,7 +24,10 @@ type InProcess struct {
 	// it decides the fate of router→worker requests.
 	RouterInjector *faultinject.Injector
 
-	servers []*http.Server
+	servers   []*http.Server // one per worker, same index as Workers
+	routerSrv *http.Server
+	opts      InProcessOptions
+	urls      []string // every worker URL ever launched, for fault naming
 }
 
 // InProcessWorker is one running shard.
@@ -61,7 +64,7 @@ func StartInProcess(n int, opts InProcessOptions) (*InProcess, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one worker, got %d", n)
 	}
-	c := &InProcess{}
+	c := &InProcess{opts: opts}
 	fail := func(err error) (*InProcess, error) {
 		c.Close()
 		return nil, err
@@ -82,6 +85,7 @@ func StartInProcess(n int, opts InProcessOptions) (*InProcess, error) {
 		listeners[i] = ln
 		urls[i] = "http://" + ln.Addr().String()
 	}
+	c.urls = append(c.urls, urls...)
 
 	var namer func(*http.Request) string
 	if opts.Fault != nil {
@@ -155,8 +159,62 @@ func StartInProcess(n int, opts InProcessOptions) (*InProcess, error) {
 	go srv.Serve(ln)
 	c.Router = router
 	c.RouterURL = "http://" + ln.Addr().String()
-	c.servers = append(c.servers, srv)
+	c.routerSrv = srv
 	return c, nil
+}
+
+// AddWorker launches one more worker on loopback and returns it. The new
+// worker starts from the router's current node set plus itself (at epoch
+// 1 — its first internal RPC or the join broadcast reconciles it), but
+// joining the serving rotation is a separate, explicit step: call
+// UpdateTopology(add=[w.URL]) to announce it, exactly as `serve -join`
+// does. Fault plans name the new worker "w<n>" in launch order.
+func (c *InProcess) AddWorker() (*InProcessWorker, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	url := "http://" + ln.Addr().String()
+	svc, err := service.New(c.opts.Service)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	wcfg := c.opts.Worker
+	wcfg.Self = url
+	wcfg.Peers = append(append([]string(nil), c.Router.Topology().View().Nodes...), url)
+	c.urls = append(c.urls, url)
+	var inj *faultinject.Injector
+	if c.opts.Fault != nil {
+		inj = faultinject.New(c.opts.Fault)
+		wcfg.Client = &http.Client{
+			Timeout:   2 * time.Second,
+			Transport: inj.Transport(nil, faultinject.NameMap(c.urls)),
+		}
+	}
+	w, err := NewWorker(svc, wcfg)
+	if err != nil {
+		svc.Close()
+		ln.Close()
+		return nil, err
+	}
+	var handler http.Handler = w
+	if inj != nil {
+		handler = inj.Middleware(fmt.Sprintf("w%d", len(c.Workers)), handler)
+	}
+	node := &InProcessWorker{Service: svc, Worker: w, URL: url, Injector: inj}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	c.Workers = append(c.Workers, node)
+	c.servers = append(c.servers, srv)
+	return node, nil
+}
+
+// UpdateTopology applies an add/remove membership edit through the
+// router's admin endpoint — the same wire a deployment would POST — and
+// returns the installed view.
+func (c *InProcess) UpdateTopology(add, remove []string) (TopologyWire, error) {
+	return postTopologyUpdate(http.DefaultClient, c.RouterURL, topologyUpdate{Add: add, Remove: remove})
 }
 
 func firstPositive(vals ...int) int {
@@ -196,6 +254,9 @@ func (c *InProcess) Close() {
 	defer cancel()
 	for _, srv := range c.servers {
 		srv.Shutdown(ctx)
+	}
+	if c.routerSrv != nil {
+		c.routerSrv.Shutdown(ctx)
 	}
 	for _, w := range c.Workers {
 		w.Service.Close()

@@ -114,6 +114,21 @@ func (sl *sessionLogs) get(id string) *sessionLog {
 	return out
 }
 
+// all returns a stable snapshot of every log, without touching LRU
+// order — the handoff engine's enumeration on a topology change.
+func (sl *sessionLogs) all() []*sessionLog {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	out := make([]*sessionLog, 0, sl.ll.Len())
+	for el := sl.ll.Front(); el != nil; el = el.Next() {
+		lg := el.Value.(*sessionLog)
+		cp := &sessionLog{ID: lg.ID, BaseHash: lg.BaseHash, Create: lg.Create}
+		cp.Deltas = append(cp.Deltas, lg.Deltas...)
+		out = append(out, cp)
+	}
+	return out
+}
+
 func (sl *sessionLogs) len() int {
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
@@ -177,7 +192,7 @@ func (w *Worker) handleDelta(rw http.ResponseWriter, r *http.Request) {
 	var req service.DeltaRequest
 	_ = json.Unmarshal(body, &req)
 
-	if w.ring != nil && req.SessionID != "" {
+	if w.topo != nil && req.SessionID != "" {
 		switch req.Op {
 		case "", "delta", "close":
 			w.maybeRebuild(req.SessionID)
@@ -192,7 +207,7 @@ func (w *Worker) handleDelta(rw http.ResponseWriter, r *http.Request) {
 
 	// Replicate before answering: once the client has seen success, a
 	// primary death must always be recoverable from a secondary's log.
-	if rec.status == http.StatusOK && w.ring != nil {
+	if rec.status == http.StatusOK && w.topo != nil {
 		w.replicateSessionOp(&req, body, rec.buf.Bytes())
 	}
 	rec.copyTo(rw)
@@ -261,7 +276,7 @@ func (w *Worker) replicateSessionOp(req *service.DeltaRequest, body, respBody []
 	if id == "" || baseHash == "" {
 		return
 	}
-	for _, peer := range w.ring.Replicas(baseHash, w.replicaCount()) {
+	for _, peer := range w.topo.View().Ring.Replicas(baseHash, w.replicaCount()) {
 		if peer == w.cfg.Self {
 			continue
 		}
@@ -289,22 +304,21 @@ func (w *Worker) sessionBaseHash(req *service.DeltaRequest) string {
 // that is down reads as persistent lag until the next successful push
 // sequence catches it up (or the session closes).
 func (w *Worker) pushSessionLog(peer, op, id, baseHash string, body []byte) {
-	lag := w.replLag[peer]
-	if lag != nil {
-		lag.Add(1)
-	}
+	lag := w.lagFor(peer)
+	lag.Add(1)
 	payload, err := json.Marshal(sessionLogOp{Op: op, SessionID: id, BaseHash: baseHash, Body: body})
 	if err != nil {
 		w.replFailures.Add(1)
 		return
 	}
-	req, err := http.NewRequest(http.MethodPost, peer+"/internal/session/log", bytes.NewReader(payload))
-	if err != nil {
-		w.replFailures.Add(1)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.client.Do(req)
+	resp, err := w.doEpochRequest(peer, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, peer+"/internal/session/log", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		w.replFailures.Add(1)
 		return
@@ -316,9 +330,7 @@ func (w *Worker) pushSessionLog(peer, op, id, baseHash string, body []byte) {
 		return
 	}
 	w.replPushes.Add(1)
-	if lag != nil {
-		lag.Add(-1)
-	}
+	lag.Add(-1)
 }
 
 // handleInternalSessionLog is the replication wire: a peer pushes one
@@ -326,6 +338,9 @@ func (w *Worker) pushSessionLog(peer, op, id, baseHash string, body []byte) {
 func (w *Worker) handleInternalSessionLog(rw http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.writeError(rw, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !w.checkEpoch(rw, r) {
 		return
 	}
 	var op sessionLogOp

@@ -69,8 +69,11 @@ func hash64(s string) uint64 {
 	return h.Sum64()
 }
 
-// Nodes returns the sorted node set.
-func (r *Ring) Nodes() []string { return r.nodes }
+// Nodes returns a copy of the sorted node set. Returning a copy (not
+// the internal slice) means a caller iterating it while a topology swap
+// replaces the ring can never observe a mutation — rings are immutable
+// and so is everything handed out of one.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
 
 // Owner returns the node owning key, or "" on an empty ring. The empty
 // key is valid: it is the deterministic fallback shard for requests that

@@ -42,25 +42,29 @@ import (
 // unreachable or fails its readiness probe (draining) is skipped.
 type Router struct {
 	cfg    RouterConfig
-	ring   *Ring
+	topo   *Topology
 	client *http.Client
 	mux    *http.ServeMux
 	ids    *obs.Tracer // trace-ID mint only; the router keeps no spans
 
-	proxied       atomic.Int64
-	batchRequests atomic.Int64
-	batchItems    atomic.Int64
-	fallback      atomic.Int64
-	failovers     atomic.Int64
-	retries       atomic.Int64
-	hedges        atomic.Int64
-	readyProbes   atomic.Int64
-	noWorker      atomic.Int64
-	perShard      map[string]*shardStats // immutable after NewRouter
+	proxied         atomic.Int64
+	batchRequests   atomic.Int64
+	batchItems      atomic.Int64
+	fallback        atomic.Int64
+	failovers       atomic.Int64
+	retries         atomic.Int64
+	hedges          atomic.Int64
+	readyProbes     atomic.Int64
+	noWorker        atomic.Int64
+	topologyUpdates atomic.Int64
+	broadcastFails  atomic.Int64
+
+	shardMu  sync.Mutex
+	perShard map[string]*shardStats // grown lazily as nodes answer traffic
 
 	readyMu sync.Mutex
 	ready   map[string]readyState
-	probeMu map[string]*sync.Mutex // per-node probe singleflight; immutable
+	probeMu map[string]*sync.Mutex // per-node probe singleflight; grown lazily
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
@@ -68,8 +72,9 @@ type Router struct {
 
 // shardStats is one worker's view from the router: how much traffic it
 // answered, how it came to answer (owner, failover target, fallback
-// shard), and the forward latency distribution. The map of these is
-// built once from the worker list, so the hot path is lock-free.
+// shard), and the forward latency distribution. Entries are created on a
+// node's first answer and never removed (a departed node's history stays
+// readable), so the hot path is one short lock to fetch the pointer.
 type shardStats struct {
 	forwarded atomic.Int64 // requests this worker answered
 	failovers atomic.Int64 // ...while standing in for an unready owner
@@ -160,7 +165,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	r := &Router{
 		cfg:      cfg,
-		ring:     NewRing(cfg.Workers, cfg.VNodes),
+		topo:     NewTopology(cfg.Workers, cfg.VNodes),
 		client:   cfg.Client,
 		mux:      http.NewServeMux(),
 		ids:      obs.NewTracer(1, 1, time.Hour),
@@ -168,10 +173,6 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		ready:    make(map[string]readyState),
 		probeMu:  make(map[string]*sync.Mutex, len(cfg.Workers)),
 		jitter:   rand.New(rand.NewSource(hashSeed(cfg.Workers))),
-	}
-	for _, node := range cfg.Workers {
-		r.perShard[node] = &shardStats{}
-		r.probeMu[node] = &sync.Mutex{}
 	}
 	if r.client == nil {
 		r.client = &http.Client{Timeout: 60 * time.Second}
@@ -181,6 +182,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	r.mux.HandleFunc("/v1/spill", r.handleProxy)
 	r.mux.HandleFunc("/v1/coalesce/delta", r.handleDelta)
 	r.mux.HandleFunc("/v1/batch", r.handleBatch)
+	r.mux.HandleFunc("/internal/topology", r.handleTopology)
 	r.mux.HandleFunc("/healthz", r.handleLivez)
 	r.mux.HandleFunc("/livez", r.handleLivez)
 	r.mux.HandleFunc("/readyz", r.handleLivez)
@@ -192,8 +194,115 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 // ServeHTTP implements http.Handler.
 func (r *Router) ServeHTTP(rw http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(rw, req) }
 
-// Ring exposes the router's ring (tests).
-func (r *Router) Ring() *Ring { return r.ring }
+// Ring exposes the current view's ring (tests). The pointer is a
+// snapshot: a concurrent topology change installs a new ring rather than
+// mutating this one.
+func (r *Router) Ring() *Ring { return r.topo.View().Ring }
+
+// Topology exposes the router's membership object.
+func (r *Router) Topology() *Topology { return r.topo }
+
+// handleTopology is the admin surface of live membership. GET returns
+// the current {epoch, nodes} view. POST applies an add/remove/full-set
+// update CAS-guarded by from_epoch, broadcasts the new view to the union
+// of the old and new node sets (so a leaving node learns it left and
+// starts its handoff), invalidates every cached readiness probe (a
+// rejoined worker must not stay masked as unready for a stale TTL
+// window), and answers the new view. A CAS miss answers the structured
+// stale-epoch 409.
+func (r *Router) handleTopology(rw http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		r.writeJSON(rw, http.StatusOK, r.topo.View().Wire())
+	case http.MethodPost:
+		var upd topologyUpdate
+		dec := json.NewDecoder(http.MaxBytesReader(rw, req.Body, r.cfg.MaxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&upd); err != nil {
+			r.writeError(rw, http.StatusBadRequest, fmt.Sprintf("decoding topology update: %v", err))
+			return
+		}
+		old := r.topo.View()
+		from := upd.FromEpoch
+		if from == 0 {
+			from = old.Epoch
+		}
+		nodes, err := upd.applyEdit(old.Nodes)
+		if err != nil {
+			r.writeError(rw, http.StatusBadRequest, err.Error())
+			return
+		}
+		if len(nodes) == 0 {
+			r.writeError(rw, http.StatusBadRequest, "topology update: node set would be empty")
+			return
+		}
+		next, err := r.topo.CAS(from, nodes)
+		if err != nil {
+			writeStaleEpoch(rw, from, next)
+			return
+		}
+		r.topologyUpdates.Add(1)
+		r.invalidateReadiness()
+		r.broadcastTopology(old, next)
+		r.writeJSON(rw, http.StatusOK, next.Wire())
+	default:
+		r.writeError(rw, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}
+
+// invalidateReadiness drops every cached readiness probe. Called on each
+// epoch change: membership just moved, so a node marked unready under
+// the old view (it was down, draining, or leaving) must be re-probed
+// immediately rather than skipped for the remainder of its TTL window.
+func (r *Router) invalidateReadiness() {
+	r.readyMu.Lock()
+	r.ready = make(map[string]readyState)
+	r.readyMu.Unlock()
+}
+
+// broadcastTopology pushes the new view to the union of the old and new
+// node sets, concurrently and best-effort: a node that misses the
+// broadcast reconciles through the stale-epoch 409 exchange on its next
+// internal RPC.
+func (r *Router) broadcastTopology(old, next *TopologyView) {
+	targets := make([]string, 0, len(old.Nodes)+len(next.Nodes))
+	seen := make(map[string]bool, cap(targets))
+	for _, n := range append(append([]string(nil), next.Nodes...), old.Nodes...) {
+		if !seen[n] {
+			seen[n] = true
+			targets = append(targets, n)
+		}
+	}
+	body, err := json.Marshal(next.Wire())
+	if err != nil {
+		r.broadcastFails.Add(int64(len(targets)))
+		return
+	}
+	var wg sync.WaitGroup
+	for _, node := range targets {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, node+"/internal/topology", bytes.NewReader(body))
+			if err != nil {
+				r.broadcastFails.Add(1)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := r.client.Do(req)
+			if err != nil {
+				r.broadcastFails.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= http.StatusInternalServerError {
+				r.broadcastFails.Add(1)
+			}
+		}(node)
+	}
+	wg.Wait()
+}
 
 // handleProxy serves the three single-solve endpoints: hash, pick the
 // owner, forward verbatim.
@@ -388,7 +497,7 @@ func (r *Router) attempt(node, path string, body []byte, traceID string, clientR
 // and the client's trace opt-in headers propagate to the worker.
 // clientReq may be nil (batch sub-requests carry no per-item opt-ins).
 func (r *Router) forwardTo(path, key string, body []byte, traceID string, clientReq *http.Request, hedge bool) (status int, hdr http.Header, respBody []byte, node string, err error) {
-	seq := r.ring.Sequence(key)
+	seq := r.topo.View().Ring.Sequence(key)
 	results := make(chan attemptResult, len(seq)+1)
 	next, launched, inFlight := 0, 0, 0
 	launch := func() bool {
@@ -503,11 +612,15 @@ func (r *Router) isReady(node string) bool {
 	if ok, fresh := r.readyCached(node); fresh {
 		return ok
 	}
+	r.readyMu.Lock()
 	mu := r.probeMu[node]
 	if mu == nil {
-		// Not a configured worker (defensive): probe without caching.
-		return r.probe(node)
+		// First probe of a node (including ones that joined after
+		// construction): create its singleflight lock on demand.
+		mu = &sync.Mutex{}
+		r.probeMu[node] = mu
 	}
+	r.readyMu.Unlock()
 	mu.Lock()
 	defer mu.Unlock()
 	// Re-check: the probe that held the lock first has refreshed the
@@ -553,10 +666,13 @@ func (r *Router) markUnready(node string) {
 }
 
 func (r *Router) countShard(node string, failedOver, fallbackKey bool, d time.Duration) {
+	r.shardMu.Lock()
 	st, ok := r.perShard[node]
 	if !ok {
-		return
+		st = &shardStats{}
+		r.perShard[node] = st
 	}
+	r.shardMu.Unlock()
 	st.forwarded.Add(1)
 	if failedOver {
 		st.failovers.Add(1)
@@ -616,12 +732,13 @@ func (r *Router) handleBatch(rw http.ResponseWriter, req *http.Request) {
 		indices []int
 	}
 	groups := make(map[string]*group)
+	ring := r.topo.View().Ring
 	for i := range breq.Items {
 		key := ""
 		if len(breq.Items[i].Batch) == 0 {
 			key = service.RoutingHash(&breq.Items[i], r.cfg.MaxVertices)
 		}
-		owner := r.ring.Owner(key)
+		owner := ring.Owner(key)
 		g, ok := groups[owner]
 		if !ok {
 			g = &group{key: key}
@@ -708,25 +825,40 @@ type ShardSummary struct {
 
 // RouterStats is the router's counter snapshot, served on /stats.
 type RouterStats struct {
-	Workers       []string                `json:"workers"`
-	Replicas      int                     `json:"replicas"`
-	Proxied       int64                   `json:"proxied"`
-	BatchRequests int64                   `json:"batch_requests"`
-	BatchItems    int64                   `json:"batch_items"`
-	Fallback      int64                   `json:"fallback_routed"`
-	Failovers     int64                   `json:"failovers"`
-	Retries       int64                   `json:"retries"`
-	Hedges        int64                   `json:"hedges"`
-	ReadyProbes   int64                   `json:"ready_probes"`
-	NoWorker      int64                   `json:"no_worker"`
-	PerShard      map[string]ShardSummary `json:"per_shard"`
+	Workers         []string                `json:"workers"`
+	Epoch           uint64                  `json:"epoch"`
+	Replicas        int                     `json:"replicas"`
+	Proxied         int64                   `json:"proxied"`
+	BatchRequests   int64                   `json:"batch_requests"`
+	BatchItems      int64                   `json:"batch_items"`
+	Fallback        int64                   `json:"fallback_routed"`
+	Failovers       int64                   `json:"failovers"`
+	Retries         int64                   `json:"retries"`
+	Hedges          int64                   `json:"hedges"`
+	ReadyProbes     int64                   `json:"ready_probes"`
+	NoWorker        int64                   `json:"no_worker"`
+	TopologyUpdates int64                   `json:"topology_updates"`
+	BroadcastFails  int64                   `json:"topology_broadcast_failures"`
+	PerShard        map[string]ShardSummary `json:"per_shard"`
+}
+
+// shardSnapshot copies the per-shard stat pointers under the lock.
+func (r *Router) shardSnapshot() map[string]*shardStats {
+	r.shardMu.Lock()
+	defer r.shardMu.Unlock()
+	out := make(map[string]*shardStats, len(r.perShard))
+	for node, st := range r.perShard {
+		out[node] = st
+	}
+	return out
 }
 
 // Stats returns the router's counters. Shards that never answered a
 // request are omitted, so per_shard reads as "who carried traffic".
 func (r *Router) Stats() RouterStats {
-	per := make(map[string]ShardSummary, len(r.perShard))
-	for node, st := range r.perShard {
+	shards := r.shardSnapshot()
+	per := make(map[string]ShardSummary, len(shards))
+	for node, st := range shards {
 		fwd := st.forwarded.Load()
 		if fwd == 0 {
 			continue
@@ -738,19 +870,23 @@ func (r *Router) Stats() RouterStats {
 			Latency:   st.lat.Summary(),
 		}
 	}
+	view := r.topo.View()
 	return RouterStats{
-		Workers:       r.ring.Nodes(),
-		Replicas:      r.cfg.Replicas,
-		Proxied:       r.proxied.Load(),
-		BatchRequests: r.batchRequests.Load(),
-		BatchItems:    r.batchItems.Load(),
-		Fallback:      r.fallback.Load(),
-		Failovers:     r.failovers.Load(),
-		Retries:       r.retries.Load(),
-		Hedges:        r.hedges.Load(),
-		ReadyProbes:   r.readyProbes.Load(),
-		NoWorker:      r.noWorker.Load(),
-		PerShard:      per,
+		Workers:         view.Nodes,
+		Epoch:           view.Epoch,
+		Replicas:        r.cfg.Replicas,
+		Proxied:         r.proxied.Load(),
+		BatchRequests:   r.batchRequests.Load(),
+		BatchItems:      r.batchItems.Load(),
+		Fallback:        r.fallback.Load(),
+		Failovers:       r.failovers.Load(),
+		Retries:         r.retries.Load(),
+		Hedges:          r.hedges.Load(),
+		ReadyProbes:     r.readyProbes.Load(),
+		NoWorker:        r.noWorker.Load(),
+		TopologyUpdates: r.topologyUpdates.Load(),
+		BroadcastFails:  r.broadcastFails.Load(),
+		PerShard:        per,
 	}
 }
 
@@ -773,6 +909,9 @@ func (r *Router) handleMetrics(rw http.ResponseWriter, req *http.Request) {
 	counter("regcoal_router_hedges_total", "Hedged attempts launched after HedgeAfter without an answer.", st.Hedges)
 	counter("regcoal_router_ready_probes_total", "Readiness probes issued (singleflighted per peer per ReadyTTL window).", st.ReadyProbes)
 	counter("regcoal_router_no_worker_total", "Requests that found no available worker.", st.NoWorker)
+	counter("regcoal_router_topology_updates_total", "Admin topology updates applied (epoch bumps).", st.TopologyUpdates)
+	counter("regcoal_router_topology_broadcast_failures_total", "Topology broadcast pushes that failed.", st.BroadcastFails)
+	fmt.Fprintf(rw, "# HELP regcoal_topology_epoch Current cluster membership epoch.\n# TYPE regcoal_topology_epoch gauge\nregcoal_topology_epoch %d\n", st.Epoch)
 	nodes := make([]string, 0, len(st.PerShard))
 	for n := range st.PerShard {
 		nodes = append(nodes, n)
@@ -792,8 +931,9 @@ func (r *Router) handleMetrics(rw http.ResponseWriter, req *http.Request) {
 		shardCounter("regcoal_router_shard_fallback_total", "Fallback-keyed (unroutable) requests a shard answered.",
 			func(s ShardSummary) int64 { return s.Fallback })
 		obs.WritePrometheusHeader(rw, "regcoal_router_shard_latency_seconds", "Router-observed forward latency per shard.")
+		shards := r.shardSnapshot()
 		for _, n := range nodes {
-			r.perShard[n].lat.WritePrometheus(rw, "regcoal_router_shard_latency_seconds", fmt.Sprintf("shard=%q", n))
+			shards[n].lat.WritePrometheus(rw, "regcoal_router_shard_latency_seconds", fmt.Sprintf("shard=%q", n))
 		}
 	}
 }

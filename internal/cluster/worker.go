@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,13 +51,20 @@ func setTraceHeader(req *http.Request, tr *obs.Trace) {
 type Worker struct {
 	svc    *service.Server
 	cfg    WorkerConfig
-	ring   *Ring
+	topo   *Topology // nil when Self is empty (single-node behavior)
 	adm    *Admission
 	client *http.Client
 	mux    *http.ServeMux
 
+	// prev holds the pre-reshard view during the bounded handoff
+	// window: reads that miss the new owners fall back to the old ones,
+	// so no request observes a cold cache while entries stream over.
+	prev atomic.Pointer[TopologyView]
+
 	sessLogs *sessionLogs
-	replLag  map[string]*atomic.Int64 // per-peer un-acked log pushes; immutable map
+
+	lagMu   sync.Mutex
+	replLag map[string]*atomic.Int64 // per-peer un-acked log pushes; grown lazily
 
 	peerFills       atomic.Int64 // local misses answered from a peer's cache
 	peerMisses      atomic.Int64 // peer lookups that found nothing
@@ -67,6 +75,17 @@ type Worker struct {
 	rebuilds        atomic.Int64 // sessions rebuilt from a replicated log
 	rebuildFailures atomic.Int64 // ...that failed to replay
 	laneRejects     [2]atomic.Int64
+
+	epochRejects    atomic.Int64 // internal RPCs rejected 409 for a stale epoch
+	epochAdoptions  atomic.Int64 // topology views adopted (broadcast or 409 exchange)
+	handoffEntries  atomic.Int64 // cache entries streamed to new owners
+	handoffBytes    atomic.Int64 // ...their serialized size
+	handoffSessions atomic.Int64 // sessions exported to new primaries
+	handoffErrors   atomic.Int64 // handoff pushes that failed after retry
+	handoffRounds   atomic.Int64 // topology changes that ran a handoff
+	handoffActive   atomic.Int64 // handoffs currently streaming (gauge)
+	sessionImports  atomic.Int64 // sessions imported (made live) via migration
+	importFailures  atomic.Int64 // import records rejected
 }
 
 // WorkerConfig parameterizes a Worker. Self and Peers use the same base
@@ -92,6 +111,14 @@ type WorkerConfig struct {
 	// (default DefaultReplicas, capped by the worker count). Must match
 	// the router's. R = 1 is the pre-replication single-owner behavior.
 	Replicas int
+	// HandoffRate bounds the handoff stream to this many cache entries
+	// per second per topology change (0 = unlimited). Resharding trades
+	// warm caches for network burst; the rate keeps the burst bounded.
+	HandoffRate float64
+	// HandoffWindow is how long after adopting a new topology the old
+	// view remains a read fallback: a miss on the new owners retries the
+	// old ones while entries are still streaming (default 5s).
+	HandoffWindow time.Duration
 }
 
 // NewWorker wraps svc as a cluster shard.
@@ -117,16 +144,23 @@ func NewWorker(svc *service.Server, cfg WorkerConfig) (*Worker, error) {
 		sessLogs: newSessionLogs(svc.Config().MaxSessions),
 		replLag:  make(map[string]*atomic.Int64, len(cfg.Peers)),
 	}
-	if cfg.Self != "" && len(cfg.Peers) > 1 {
-		w.ring = NewRing(cfg.Peers, cfg.VNodes)
+	if cfg.Self != "" && len(cfg.Peers) > 0 {
+		w.topo = NewTopology(cfg.Peers, cfg.VNodes)
+		// Prefill the lag gauges for the initial peer set so the metrics
+		// family is present from the first scrape; peers that join later
+		// grow the map through lagFor.
+		for _, p := range cfg.Peers {
+			if p != cfg.Self {
+				w.replLag[p] = &atomic.Int64{}
+			}
+		}
+		// LRU eviction is a migration trigger: an evicted session's op
+		// log is re-pushed so the session survives as rebuildable state
+		// on its current replica set even after a reshard moved it.
+		svc.Sessions().SetEvictHook(w.onSessionEvict)
 	}
 	if w.client == nil {
 		w.client = &http.Client{Timeout: 2 * time.Second}
-	}
-	for _, p := range cfg.Peers {
-		if p != cfg.Self {
-			w.replLag[p] = &atomic.Int64{}
-		}
 	}
 	w.mux.HandleFunc("/v1/coalesce", w.handleSolve(service.KindCoalesce))
 	w.mux.HandleFunc("/v1/allocate", w.handleSolve(service.KindAllocate))
@@ -135,12 +169,32 @@ func NewWorker(svc *service.Server, cfg WorkerConfig) (*Worker, error) {
 	w.mux.HandleFunc("/v1/batch", w.handleBatch)
 	w.mux.HandleFunc("/internal/cache", w.handleInternalCache)
 	w.mux.HandleFunc("/internal/session/log", w.handleInternalSessionLog)
+	w.mux.HandleFunc("/internal/session/import", w.handleSessionImport)
+	w.mux.HandleFunc("/internal/topology", w.handleInternalTopology)
 	w.mux.HandleFunc("/metrics", w.handleMetrics)
 	w.mux.HandleFunc("/stats", w.handleStats)
 	// Liveness, readiness, and anything else stay the service's.
 	w.mux.Handle("/", svc.Handler())
 	return w, nil
 }
+
+// lagFor returns (creating if needed) peer's replica-lag gauge. The map
+// grows as topology changes introduce peers; entries are never removed,
+// so a departed peer's final lag stays readable.
+func (w *Worker) lagFor(peer string) *atomic.Int64 {
+	w.lagMu.Lock()
+	defer w.lagMu.Unlock()
+	l, ok := w.replLag[peer]
+	if !ok {
+		l = &atomic.Int64{}
+		w.replLag[peer] = l
+	}
+	return l
+}
+
+// Topology exposes the worker's membership object (nil when not
+// clustered).
+func (w *Worker) Topology() *Topology { return w.topo }
 
 // replicaCount is the effective replica-set size.
 func (w *Worker) replicaCount() int {
@@ -400,20 +454,30 @@ func (w *Worker) handleBatch(rw http.ResponseWriter, r *http.Request) {
 
 // peerFill consults the replica owners' caches for a key missing
 // locally, in replica order, seeding the local cache from the first
-// hit. Returns whether the local cache was seeded. The request's trace
-// ID (when tr is non-nil) rides each lookup so the hops are
-// attributable to their cluster request.
+// hit. Returns whether the local cache was seeded. During a handoff
+// window the previous view's owners are consulted after the current
+// ones: an entry whose range just moved may not have streamed to its
+// new owner yet, but the old owner still holds it — reads fall back
+// old-owner→new-owner, so a reshard never exposes a cold cache. The
+// request's trace ID (when tr is non-nil) rides each lookup so the hops
+// are attributable to their cluster request.
 func (w *Worker) peerFill(p *service.Prepared, tr *obs.Trace) bool {
-	if w.ring == nil || w.cfg.DisablePeerFill || p.NoCache() {
+	if w.topo == nil || w.cfg.DisablePeerFill || p.NoCache() {
 		return false
 	}
 	if w.svc.CacheContains(p.Key()) {
 		return false
 	}
-	for _, owner := range w.ring.Replicas(p.Hash(), w.replicaCount()) {
-		if owner == w.cfg.Self {
+	tried := map[string]bool{w.cfg.Self: true}
+	owners := w.topo.View().Ring.Replicas(p.Hash(), w.replicaCount())
+	if prev := w.prev.Load(); prev != nil {
+		owners = append(append([]string(nil), owners...), prev.Ring.Replicas(p.Hash(), w.replicaCount())...)
+	}
+	for _, owner := range owners {
+		if tried[owner] {
 			continue
 		}
+		tried[owner] = true
 		if w.peerFillFrom(owner, p, tr) {
 			return true
 		}
@@ -423,13 +487,13 @@ func (w *Worker) peerFill(p *service.Prepared, tr *obs.Trace) bool {
 
 // peerFillFrom asks one replica owner for the entry.
 func (w *Worker) peerFillFrom(owner string, p *service.Prepared, tr *obs.Trace) bool {
-	req, err := http.NewRequest(http.MethodGet, owner+"/internal/cache?key="+url.QueryEscape(p.Key()), nil)
-	if err != nil {
-		w.peerErrors.Add(1)
-		return false
-	}
-	setTraceHeader(req, tr)
-	resp, err := w.client.Do(req)
+	resp, err := w.doEpochRequest(owner, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodGet, owner+"/internal/cache?key="+url.QueryEscape(p.Key()), nil)
+		if err == nil {
+			setTraceHeader(req, tr)
+		}
+		return req, err
+	})
 	if err != nil {
 		w.peerErrors.Add(1)
 		return false
@@ -465,25 +529,26 @@ func (w *Worker) peerFillFrom(owner string, p *service.Prepared, tr *obs.Trace) 
 // Synchronous and best-effort: a failed push costs a future peer-fill
 // miss, nothing else.
 func (w *Worker) pushToOwners(p *service.Prepared, disposition string, tr *obs.Trace) {
-	if w.ring == nil || w.cfg.DisablePeerFill || p.NoCache() || disposition != "miss" {
+	if w.topo == nil || w.cfg.DisablePeerFill || p.NoCache() || disposition != "miss" {
 		return
 	}
 	data, ok := w.svc.CachePeek(p.Key())
 	if !ok {
 		return
 	}
-	for _, owner := range w.ring.Replicas(p.Hash(), w.replicaCount()) {
+	for _, owner := range w.topo.View().Ring.Replicas(p.Hash(), w.replicaCount()) {
 		if owner == w.cfg.Self {
 			continue
 		}
-		req, err := http.NewRequest(http.MethodPut, owner+"/internal/cache?key="+url.QueryEscape(p.Key()), bytes.NewReader(data))
-		if err != nil {
-			w.peerErrors.Add(1)
-			continue
-		}
-		req.Header.Set("Content-Type", "application/json")
-		setTraceHeader(req, tr)
-		resp, err := w.client.Do(req)
+		resp, err := w.doEpochRequest(owner, func() (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPut, owner+"/internal/cache?key="+url.QueryEscape(p.Key()), bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			setTraceHeader(req, tr)
+			return req, nil
+		})
 		if err != nil {
 			w.peerErrors.Add(1)
 			continue
@@ -501,6 +566,9 @@ func (w *Worker) pushToOwners(p *service.Prepared, disposition string, tr *obs.T
 // handleInternalCache is the peer-fill wire: GET returns the serialized
 // canonical-space entry for ?key (404 when absent), PUT installs one.
 func (w *Worker) handleInternalCache(rw http.ResponseWriter, r *http.Request) {
+	if !w.checkEpoch(rw, r) {
+		return
+	}
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		w.writeError(rw, http.StatusBadRequest, "missing key")
@@ -550,21 +618,52 @@ type ClusterStats struct {
 	HeavyLaneRejects    int64            `json:"heavy_lane_rejects"`
 	FastLaneDepth       int              `json:"fast_lane_depth"`
 	HeavyLaneDepth      int              `json:"heavy_lane_depth"`
+	Epoch               uint64           `json:"epoch,omitempty"`
+	EpochRejects        int64            `json:"epoch_rejects"`
+	EpochAdoptions      int64            `json:"epoch_adoptions"`
+	HandoffEntries      int64            `json:"handoff_entries"`
+	HandoffBytes        int64            `json:"handoff_bytes"`
+	HandoffSessions     int64            `json:"handoff_sessions"`
+	HandoffErrors       int64            `json:"handoff_errors"`
+	HandoffRounds       int64            `json:"handoff_rounds"`
+	HandoffActive       int64            `json:"handoff_active"`
+	SessionImports      int64            `json:"session_imports"`
+	SessionImportFails  int64            `json:"session_import_failures"`
 }
 
 // Stats returns the shard-level counters.
 func (w *Worker) Stats() ClusterStats {
 	var lag map[string]int64
+	w.lagMu.Lock()
 	if len(w.replLag) > 0 {
 		lag = make(map[string]int64, len(w.replLag))
 		for peer, v := range w.replLag {
 			lag[peer] = v.Load()
 		}
 	}
+	w.lagMu.Unlock()
+	var epoch uint64
+	peers := len(w.cfg.Peers)
+	if w.topo != nil {
+		view := w.topo.View()
+		epoch = view.Epoch
+		peers = len(view.Nodes)
+	}
 	return ClusterStats{
 		Self:                w.cfg.Self,
-		Peers:               len(w.cfg.Peers),
+		Peers:               peers,
 		Replicas:            w.replicaCount(),
+		Epoch:               epoch,
+		EpochRejects:        w.epochRejects.Load(),
+		EpochAdoptions:      w.epochAdoptions.Load(),
+		HandoffEntries:      w.handoffEntries.Load(),
+		HandoffBytes:        w.handoffBytes.Load(),
+		HandoffSessions:     w.handoffSessions.Load(),
+		HandoffErrors:       w.handoffErrors.Load(),
+		HandoffRounds:       w.handoffRounds.Load(),
+		HandoffActive:       w.handoffActive.Load(),
+		SessionImports:      w.sessionImports.Load(),
+		SessionImportFails:  w.importFailures.Load(),
 		PeerFills:           w.peerFills.Load(),
 		PeerMisses:          w.peerMisses.Load(),
 		PeerPushes:          w.peerPushes.Load(),
@@ -608,6 +707,19 @@ func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
 	counter("regcoal_session_repl_failures_total", "Session op-log replication pushes that failed.", cs.SessionReplFailures)
 	counter("regcoal_session_rebuilds_total", "Sessions rebuilt from a replicated op log after failover.", cs.SessionRebuilds)
 	counter("regcoal_session_rebuild_failures_total", "Session rebuilds that failed to replay.", cs.SessionRebuildFails)
+	counter("regcoal_epoch_rejects_total", "Internal RPCs rejected 409 for a stale topology epoch.", cs.EpochRejects)
+	counter("regcoal_epoch_adoptions_total", "Topology views adopted from a broadcast or 409 exchange.", cs.EpochAdoptions)
+	counter("regcoal_handoff_entries_total", "Cache entries streamed to new owners during resharding.", cs.HandoffEntries)
+	counter("regcoal_handoff_bytes_total", "Serialized bytes of cache entries streamed during resharding.", cs.HandoffBytes)
+	counter("regcoal_handoff_sessions_total", "Sessions exported to new owners (reshard or eviction migration).", cs.HandoffSessions)
+	counter("regcoal_handoff_errors_total", "Handoff pushes that failed after the retry round.", cs.HandoffErrors)
+	counter("regcoal_handoff_rounds_total", "Topology changes that ran a handoff stream.", cs.HandoffRounds)
+	counter("regcoal_session_imports_total", "Sessions made live via the migration import wire.", cs.SessionImports)
+	counter("regcoal_session_import_failures_total", "Migration import records rejected.", cs.SessionImportFails)
+	fmt.Fprintf(rw, "# HELP regcoal_handoff_active Handoff streams currently running.\n# TYPE regcoal_handoff_active gauge\nregcoal_handoff_active %d\n", cs.HandoffActive)
+	if cs.Epoch > 0 {
+		fmt.Fprintf(rw, "# HELP regcoal_topology_epoch Current cluster membership epoch.\n# TYPE regcoal_topology_epoch gauge\nregcoal_topology_epoch %d\n", cs.Epoch)
+	}
 	if len(cs.SessionReplicaLag) > 0 {
 		fmt.Fprintf(rw, "# HELP regcoal_session_replica_lag Un-acked session log pushes per peer (rises on push, falls on ack).\n# TYPE regcoal_session_replica_lag gauge\n")
 		peers := make([]string, 0, len(cs.SessionReplicaLag))

@@ -73,6 +73,16 @@ type Rule struct {
 	Prob    float64 `json:"prob,omitempty"`
 	DelayMS int64   `json:"delay_ms,omitempty"`
 	Status  int     `json:"status,omitempty"` // error mode; default 500
+	// Paths restricts the rule to requests whose URL path starts with
+	// one of these prefixes, and switches the rule onto its own
+	// per-(rule, peer, side) request counter — its window counts only
+	// matching requests. This is how chaos plans reach internal traffic
+	// (handoff streams, session imports) that path-less rules
+	// deliberately never touch: {"paths": ["/internal/cache"], "mode":
+	// "drop", "from": 2} kills a handoff push mid-stream without
+	// perturbing solve traffic or the legacy counters existing plans'
+	// windows are calibrated against.
+	Paths []string `json:"paths,omitempty"`
 }
 
 // side returns the rule's effective side.
@@ -119,6 +129,11 @@ func (p *Plan) Validate() error {
 		}
 		if r.Mode == ModeDelay && r.DelayMS <= 0 {
 			return fmt.Errorf("faultinject: rule %d: delay mode needs delay_ms > 0", i)
+		}
+		for _, p := range r.Paths {
+			if !strings.HasPrefix(p, "/") {
+				return fmt.Errorf("faultinject: rule %d: path %q must start with /", i, p)
+			}
 		}
 	}
 	return nil
@@ -186,7 +201,9 @@ func (in *Injector) Stats() Stats {
 }
 
 // Decide advances peer's request counter for side and returns the first
-// matching rule's action, if any.
+// matching path-less rule's action, if any. Path-scoped rules are
+// evaluated separately (DecidePath) on their own counters, so adding
+// one to a plan never shifts the windows of the rules that were there.
 func (in *Injector) Decide(peer, side string) (Action, bool) {
 	if in.plan == nil || len(in.plan.Rules) == 0 {
 		return Action{}, false
@@ -198,7 +215,7 @@ func (in *Injector) Decide(peer, side string) (Action, bool) {
 	in.mu.Unlock()
 	for i := range in.plan.Rules {
 		r := &in.plan.Rules[i]
-		if r.side() != side {
+		if len(r.Paths) > 0 || r.side() != side {
 			continue
 		}
 		if r.Peer != "*" && r.Peer != peer {
@@ -210,13 +227,68 @@ func (in *Injector) Decide(peer, side string) (Action, bool) {
 		if r.Prob > 0 && r.Prob < 1 && coin(in.plan.Seed, peer, side, n) >= r.Prob {
 			continue
 		}
-		act := Action{Mode: r.Mode, Delay: time.Duration(r.DelayMS) * time.Millisecond, Status: r.Status}
-		if act.Status == 0 {
-			act.Status = http.StatusInternalServerError
-		}
-		return act, true
+		return in.action(r), true
 	}
 	return Action{}, false
+}
+
+// DecidePath evaluates path-scoped rules for one request. Every
+// matching rule's private counter advances (windows count matching
+// requests only); the first whose window and probability hit supplies
+// the action.
+func (in *Injector) DecidePath(peer, side, path string) (Action, bool) {
+	if in.plan == nil || len(in.plan.Rules) == 0 {
+		return Action{}, false
+	}
+	var hit *Rule
+	for i := range in.plan.Rules {
+		r := &in.plan.Rules[i]
+		if len(r.Paths) == 0 || r.side() != side {
+			continue
+		}
+		if r.Peer != "*" && r.Peer != peer {
+			continue
+		}
+		if !matchPath(r.Paths, path) {
+			continue
+		}
+		in.mu.Lock()
+		key := fmt.Sprintf("%s|%s|#%d", side, peer, i)
+		n := in.counts[key]
+		in.counts[key] = n + 1
+		in.mu.Unlock()
+		if hit != nil {
+			continue // counters still advance past the winning rule
+		}
+		if n < r.From || (r.To != 0 && n >= r.To) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && coin(in.plan.Seed, peer, side, n) >= r.Prob {
+			continue
+		}
+		hit = r
+	}
+	if hit == nil {
+		return Action{}, false
+	}
+	return in.action(hit), true
+}
+
+func matchPath(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Injector) action(r *Rule) Action {
+	act := Action{Mode: r.Mode, Delay: time.Duration(r.DelayMS) * time.Millisecond, Status: r.Status}
+	if act.Status == 0 {
+		act.Status = http.StatusInternalServerError
+	}
+	return act
 }
 
 // coin is the deterministic probability source: splitmix64 over the
@@ -282,7 +354,11 @@ func (in *Injector) Transport(base http.RoundTripper, peerOf func(*http.Request)
 
 func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	peer := t.peerOf(req)
-	if act, ok := t.in.Decide(peer, SideClient); ok {
+	act, ok := t.in.Decide(peer, SideClient)
+	if !ok {
+		act, ok = t.in.DecidePath(peer, SideClient, req.URL.Path)
+	}
+	if ok {
 		switch act.Mode {
 		case ModeDrop, ModeBlackhole:
 			t.in.drops.Add(1)
@@ -298,26 +374,34 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	return t.base.RoundTrip(req)
 }
 
-// Middleware wraps next so inbound /v1/* requests are first judged
-// against the plan's server-side rules for this component's own name.
-// Only client-facing solve traffic is faulted: internal replication,
-// health, and metrics paths stay clean so injected faults perturb where
-// work happens, not whether the cluster can observe itself.
+// Middleware wraps next so inbound requests are first judged against
+// the plan's server-side rules for this component's own name. Path-less
+// rules fault only client-facing /v1/* solve traffic — internal
+// replication, health, and metrics paths stay clean so injected faults
+// perturb where work happens, not whether the cluster can observe
+// itself. Path-scoped rules reach whatever their prefixes name,
+// including /internal/* — that is how a plan kills a handoff stream or
+// session import mid-flight.
 func (in *Injector) Middleware(self string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		act, ok := Action{}, false
 		if strings.HasPrefix(r.URL.Path, "/v1/") {
-			if act, ok := in.Decide(self, SideServer); ok {
-				switch act.Mode {
-				case ModeError, ModeDrop, ModeBlackhole:
-					in.errors.Add(1)
-					rw.Header().Set("Content-Type", "application/json")
-					rw.WriteHeader(act.Status)
-					fmt.Fprintf(rw, `{"error":"injected fault (%s)"}`, act.Mode)
-					return
-				case ModeDelay:
-					in.delays.Add(1)
-					time.Sleep(act.Delay)
-				}
+			act, ok = in.Decide(self, SideServer)
+		}
+		if !ok {
+			act, ok = in.DecidePath(self, SideServer, r.URL.Path)
+		}
+		if ok {
+			switch act.Mode {
+			case ModeError, ModeDrop, ModeBlackhole:
+				in.errors.Add(1)
+				rw.Header().Set("Content-Type", "application/json")
+				rw.WriteHeader(act.Status)
+				fmt.Fprintf(rw, `{"error":"injected fault (%s)"}`, act.Mode)
+				return
+			case ModeDelay:
+				in.delays.Add(1)
+				time.Sleep(act.Delay)
 			}
 		}
 		next.ServeHTTP(rw, r)

@@ -133,6 +133,25 @@ func (c *Cache) Put(key string, val *entry) {
 	}
 }
 
+// Keys returns every resident key, shard by shard, without touching LRU
+// order. It is the enumeration side of the cluster's handoff protocol:
+// on a topology change, the old owner walks its keys to find the entries
+// whose hash ranges moved. The snapshot is per-shard consistent, not
+// globally atomic — concurrent inserts may or may not appear, which is
+// fine for a best-effort stream (a missed entry costs one future peer
+// fill).
+func (c *Cache) Keys() []string {
+	out := make([]string, 0, c.Len())
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			out = append(out, el.Value.(*cacheItem).key)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Evictions reports how many entries the cache has evicted since start.
 func (c *Cache) Evictions() int64 { return c.evictions.Load() }
 

@@ -1,0 +1,110 @@
+package session
+
+// Session export/import: the migration wire format. A session's entire
+// state is a deterministic function of its raw op log — the create
+// request body plus the ordered delta request bodies — so migrating a
+// session between cluster nodes means shipping exactly that, pinned to
+// the base graph's canonical hash and the version the log must replay
+// to. The Store validates records structurally (truncated or duplicated
+// logs fail the version arithmetic, never a replay panic) and delegates
+// the actual replay to the service layer, which owns the request decode.
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// ExportRecord is a session serialized for migration: the raw op log
+// plus the pinned base-graph hash and the version replaying the log must
+// arrive at. Bodies are verbatim request bytes; the session engine is
+// deterministic, so an import answers byte-identical responses at the
+// same session id.
+type ExportRecord struct {
+	SessionID string            `json:"session_id"`
+	BaseHash  string            `json:"base_hash"`
+	Version   int64             `json:"version"`
+	Create    json.RawMessage   `json:"create"`
+	Deltas    []json.RawMessage `json:"deltas,omitempty"`
+}
+
+// Validate checks an ExportRecord's structural integrity. Every failure
+// is a 400 ClientError: a malformed record is the sender's fault, never
+// a reason to panic or 500. The version check is the tamper/truncation
+// guard — each delta body replays as exactly one applied batch, so a log
+// whose length disagrees with the pinned version has been truncated
+// (missing deltas) or duplicated (replayed appends), and importing it
+// would silently resurrect the wrong state.
+func (rec *ExportRecord) Validate() error {
+	if rec.SessionID == "" {
+		return Errf(http.StatusBadRequest, "import: missing session_id")
+	}
+	if len(rec.Create) == 0 {
+		return Errf(http.StatusBadRequest, "import %s: missing create body", rec.SessionID)
+	}
+	if !json.Valid(rec.Create) {
+		return Errf(http.StatusBadRequest, "import %s: create body is not valid JSON", rec.SessionID)
+	}
+	if rec.Version < 0 {
+		return Errf(http.StatusBadRequest, "import %s: negative version %d", rec.SessionID, rec.Version)
+	}
+	if rec.Version != int64(len(rec.Deltas)) {
+		return Errf(http.StatusBadRequest,
+			"import %s: version %d disagrees with %d logged deltas (truncated or duplicated op log)",
+			rec.SessionID, rec.Version, len(rec.Deltas))
+	}
+	for i, d := range rec.Deltas {
+		if len(d) == 0 || !json.Valid(d) {
+			return Errf(http.StatusBadRequest, "import %s: delta %d is not valid JSON", rec.SessionID, i)
+		}
+	}
+	return nil
+}
+
+// Export serializes the live session id as an ExportRecord. The raw
+// bodies come from the caller — the replication layer owns them — and
+// the Store contributes what only it knows: the session's live base hash
+// and version, which pin the log so the importer can verify it replays
+// to exactly this state. A log out of step with the live session
+// (replication lag, eviction race) is a 409: exporting it would migrate
+// a stale session.
+func (st *Store) Export(id string, create []byte, deltas [][]byte) (*ExportRecord, error) {
+	s, err := st.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(create) == 0 {
+		return nil, Errf(http.StatusConflict, "export %s: no create body in the op log", id)
+	}
+	version := s.Version()
+	if version != int64(len(deltas)) {
+		return nil, Errf(http.StatusConflict,
+			"export %s: live version %d disagrees with %d logged deltas", id, version, len(deltas))
+	}
+	rec := &ExportRecord{
+		SessionID: id,
+		BaseHash:  s.BaseHash(),
+		Version:   version,
+		Create:    append(json.RawMessage(nil), create...),
+		Deltas:    make([]json.RawMessage, len(deltas)),
+	}
+	for i, d := range deltas {
+		rec.Deltas[i] = append(json.RawMessage(nil), d...)
+	}
+	return rec, nil
+}
+
+// Import validates rec and rebuilds the session through replay — the
+// caller supplies the replay function because decoding the raw bodies is
+// the service layer's job (service.ReplaySession). A record that fails
+// validation never reaches replay; a session already live under the id
+// surfaces as replay's 409 (idempotent re-delivery, nothing to do).
+func (st *Store) Import(rec *ExportRecord, replay func(id, baseHash string, create []byte, deltas [][]byte) error) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	deltas := make([][]byte, len(rec.Deltas))
+	for i, d := range rec.Deltas {
+		deltas[i] = d
+	}
+	return replay(rec.SessionID, rec.BaseHash, rec.Create, deltas)
+}

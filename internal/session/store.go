@@ -49,6 +49,36 @@ type Store struct {
 	idSeed  uint64
 	flights singleflight.Group
 	metrics Metrics
+
+	hookMu    sync.Mutex
+	evictHook func(id string)
+}
+
+// SetEvictHook registers fn to run after each LRU eviction (capacity
+// pressure, not TTL expiry or Close) with the evicted session's id. The
+// cluster layer uses it to migrate an evicted session's op log to its
+// replica set before the state becomes unreachable. fn runs outside the
+// store lock and must not call back into the Store synchronously with
+// work that needs the evicted session — it is already gone.
+func (st *Store) SetEvictHook(fn func(id string)) {
+	st.hookMu.Lock()
+	st.evictHook = fn
+	st.hookMu.Unlock()
+}
+
+func (st *Store) notifyEvict(ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	st.hookMu.Lock()
+	fn := st.evictHook
+	st.hookMu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, id := range ids {
+		fn(id)
+	}
 }
 
 // NewStore builds an empty Store.
@@ -116,12 +146,15 @@ func (st *Store) CreateWithID(id string, f *graph.File, k int, baseHash string) 
 	st.expireLocked(now)
 	s.lastUse = now
 	st.byID[id] = st.ll.PushFront(s)
+	var evicted []string
 	for st.ll.Len() > st.cfg.MaxSessions {
 		oldest := st.ll.Back()
+		evicted = append(evicted, oldest.Value.(*Session).id)
 		st.removeLocked(oldest)
 		st.metrics.Evicted.Add(1)
 	}
 	st.mu.Unlock()
+	st.notifyEvict(evicted)
 
 	st.metrics.Created.Add(1)
 	st.metrics.Active.Store(int64(st.Len()))
